@@ -1,0 +1,42 @@
+"""Ablation: area-greedy vs depth-optimal (FlowMap) technology mapping.
+
+The paper maps for area (its CLB counts drive device cost); FlowMap maps
+for delay.  Measure what the choice costs each way: LUT depth (FlowMap
+must win), CLB count after packing, and the downstream bipartition cut.
+"""
+
+from benchmarks.conftest import run_once
+from repro.hypergraph.build import build_hypergraph
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.partition.fm_replication import ReplicationConfig, replication_bipartition
+from repro.techmap.cover import cover_netlist
+from repro.techmap.decompose import decompose_netlist
+from repro.techmap.flowmap import flowmap_cover, lut_depth
+from repro.techmap.mapped import technology_map
+
+
+def test_bench_mapper_ablation(benchmark, scale):
+    netlist = benchmark_circuit("s5378", scale=min(scale, 0.15), seed=3)
+
+    def compute():
+        decomposed = decompose_netlist(netlist)
+        greedy = cover_netlist(decomposed)
+        flow, _ = flowmap_cover(decomposed)
+        depths = (lut_depth(greedy, decomposed), lut_depth(flow, decomposed))
+        rows = {}
+        for mapper in ("area", "depth"):
+            mapped = technology_map(netlist, mapper=mapper)
+            hg = build_hypergraph(mapped, include_terminals=False)
+            rep = replication_bipartition(hg, ReplicationConfig(seed=1, threshold=0))
+            rows[mapper] = (mapped.n_cells, rep.cut_size, rep.n_replicated)
+        return depths, rows
+
+    (greedy_depth, flow_depth), rows = run_once(benchmark, compute)
+    print()
+    print(f"LUT depth: greedy={greedy_depth}  flowmap={flow_depth}")
+    for mapper, (clbs, cut, repl) in rows.items():
+        print(f"{mapper}: CLBs={clbs}  replication cut={cut}  replicated={repl}")
+    assert flow_depth <= greedy_depth  # FlowMap's guarantee
+    # Both mappings feed the replication flow successfully.
+    for clbs, cut, repl in rows.values():
+        assert clbs > 0 and cut >= 0

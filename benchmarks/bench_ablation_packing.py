@@ -1,0 +1,52 @@
+"""Ablation: two-output CLB packing is what makes functional replication pay.
+
+With pairing disabled every mapped cell has a single output, psi = 0
+everywhere (eq. 4's m = 1 case), and functional replication degenerates to
+nothing.  This bench demonstrates the dependency the paper's Section II
+establishes between the cell library (multi-output cells with partial
+support overlap) and the replication win.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.flow import bipartition_experiment
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.replication.potential import cell_distribution
+from repro.hypergraph.build import build_hypergraph
+from repro.techmap.mapped import technology_map
+
+RUNS = 3
+
+
+def test_bench_packing_ablation(benchmark, scale):
+    netlist = benchmark_circuit("s5378", scale=min(scale, 0.3), seed=3)
+
+    def compute():
+        paired = technology_map(netlist, pair=True)
+        single = technology_map(netlist, pair=False)
+        dist_paired = cell_distribution(build_hypergraph(paired))
+        dist_single = cell_distribution(build_hypergraph(single))
+        rep_paired = bipartition_experiment(
+            paired, "fm+functional", runs=RUNS, seed=1
+        )
+        rep_single = bipartition_experiment(
+            single, "fm+functional", runs=RUNS, seed=1
+        )
+        return dist_paired, dist_single, rep_paired, rep_single
+
+    dist_paired, dist_single, rep_paired, rep_single = run_once(benchmark, compute)
+    # Without pairing there are no multi-output cells, hence no candidates.
+    assert dist_single.single_output_zero == dist_single.n_cells
+    assert rep_single.avg_replicated == 0
+    # With pairing, replication candidates exist and get used.
+    assert dist_paired.cells_with_potential_at_least(1) > 0
+    assert rep_paired.avg_replicated > 0
+    print()
+    print(
+        f"paired: {dist_paired.n_cells} cells, "
+        f"{dist_paired.cells_with_potential_at_least(1)} with psi>=1, "
+        f"avg cut {rep_paired.avg_cut:.0f}, avg replicated {rep_paired.avg_replicated:.0f}"
+    )
+    print(
+        f"single-output: {dist_single.n_cells} cells, 0 with psi>=1, "
+        f"avg cut {rep_single.avg_cut:.0f}, replication inert"
+    )

@@ -1,0 +1,53 @@
+"""Ablation: functional vs traditional replication vs plain moves.
+
+The paper's Section II argument (Figures 1 and 4): per replicated cell,
+functional replication removes more nets from the cut than traditional
+replication because it exploits the input/output dependency to drop input
+nets.  The comparison is only meaningful *area-fair*: with unlimited
+growth, traditional replication can duplicate whole cones (its split
+semantics remove every output net from the cut) and trade unbounded area
+for cut -- exactly why the paper calls its benefits "seriously limited"
+after mapping, when area is a real constraint.  This bench compares the
+styles under a 10% circuit-growth budget.
+"""
+
+import statistics
+
+from benchmarks.conftest import run_once
+from repro.core.flow import bipartition_experiment
+from repro.experiments.common import load_suite
+
+RUNS = 4
+GROWTH_BUDGET = 0.10
+
+
+def test_bench_styles(benchmark, circuits, scale):
+    suite = load_suite(circuits[:3], scale)
+
+    def compute():
+        out = {}
+        for sc in suite:
+            out[sc.name] = {
+                algo: bipartition_experiment(
+                    sc.mapped, algo, runs=RUNS, seed=3, max_growth=GROWTH_BUDGET
+                ).avg_cut
+                for algo in ("fm", "fm+traditional", "fm+functional")
+            }
+        return out
+
+    results = run_once(benchmark, compute)
+    print()
+    fm_avg = statistics.mean(r["fm"] for r in results.values())
+    tr_avg = statistics.mean(r["fm+traditional"] for r in results.values())
+    fr_avg = statistics.mean(r["fm+functional"] for r in results.values())
+    for name, r in results.items():
+        print(
+            f"{name}: fm={r['fm']:.0f} traditional={r['fm+traditional']:.0f} "
+            f"functional={r['fm+functional']:.0f}"
+        )
+    print(
+        f"averages (growth budget {GROWTH_BUDGET:.0%}): "
+        f"fm={fm_avg:.1f} traditional={tr_avg:.1f} functional={fr_avg:.1f}"
+    )
+    assert fr_avg <= fm_avg
+    assert fr_avg <= tr_avg * 1.10  # functional at least matches traditional

@@ -1,0 +1,47 @@
+"""Ablation: the threshold replication potential T (eq. 6).
+
+DESIGN.md calls out T as the paper's main replication knob.  Sweep T over
+the equal-size bipartition experiment and check the monotone trend the
+paper reports: more replication freedom (smaller T) gives smaller or equal
+cuts, at the price of more replicated cells.
+"""
+
+import statistics
+
+from benchmarks.conftest import run_once
+from repro.core.flow import bipartition_experiment
+from repro.experiments.common import load_suite
+
+THRESHOLDS = (0, 1, 2, 3, float("inf"))
+RUNS = 3
+
+
+def test_bench_threshold_sweep(benchmark, circuits, scale):
+    suite = load_suite(circuits[:2], scale)
+
+    def compute():
+        rows = {}
+        for sc in suite:
+            per_t = {}
+            for t in THRESHOLDS:
+                report = bipartition_experiment(
+                    sc.mapped, "fm+functional", runs=RUNS, threshold=t, seed=5
+                )
+                per_t[t] = (report.avg_cut, report.avg_replicated)
+            rows[sc.name] = per_t
+        return rows
+
+    rows = run_once(benchmark, compute)
+    print()
+    for name, per_t in rows.items():
+        line = "  ".join(
+            f"T={t}: cut={cut:.0f} repl={rep:.0f}" for t, (cut, rep) in per_t.items()
+        )
+        print(f"{name}: {line}")
+        # T = inf means no replication at all.
+        assert per_t[float("inf")][1] == 0
+        # Full freedom must not lose to no replication on average.
+        assert per_t[0][0] <= per_t[float("inf")][0] * 1.05
+        # Replication count shrinks (weakly) as T grows.
+        reps = [per_t[t][1] for t in (0, 1, 2, 3)]
+        assert all(a >= b - 1e-9 for a, b in zip(reps, reps[1:]))

@@ -1,0 +1,62 @@
+"""Baseline comparison: FM vs spectral vs annealing vs FM+replication.
+
+Situates the paper's engine among the era's alternatives (its related-work
+section): FM should be fast and good, spectral+FM competitive, annealing
+slow, and FM + functional replication the best cut of all.
+"""
+
+import statistics
+import time
+
+from benchmarks.conftest import run_once
+from repro.experiments.common import load_suite
+from repro.partition.annealing import AnnealingConfig, annealing_bipartition
+from repro.partition.fm import FMConfig, fm_bipartition
+from repro.partition.fm_replication import ReplicationConfig, replication_bipartition
+from repro.partition.spectral import SpectralConfig, spectral_bipartition
+
+SEEDS = (0, 1, 2)
+
+
+def test_bench_baselines(benchmark, circuits, scale):
+    suite = load_suite(circuits[:2], min(scale, 0.3))
+
+    def compute():
+        rows = {}
+        for sc in suite:
+            hg = sc.hg_relaxed
+            timings = {}
+            start = time.perf_counter()
+            fm = statistics.mean(
+                fm_bipartition(hg, FMConfig(seed=s)).cut_size for s in SEEDS
+            )
+            timings["fm"] = time.perf_counter() - start
+            start = time.perf_counter()
+            spectral = statistics.mean(
+                spectral_bipartition(hg, SpectralConfig(seed=s)).cut_size
+                for s in SEEDS
+            )
+            timings["spectral"] = time.perf_counter() - start
+            start = time.perf_counter()
+            sa = annealing_bipartition(hg, AnnealingConfig(seed=0)).cut_size
+            timings["sa"] = time.perf_counter() - start
+            start = time.perf_counter()
+            repl = statistics.mean(
+                replication_bipartition(
+                    hg, ReplicationConfig(seed=s, threshold=0)
+                ).cut_size
+                for s in SEEDS
+            )
+            timings["fm+repl"] = time.perf_counter() - start
+            rows[sc.name] = ({"fm": fm, "spectral": spectral, "sa": sa,
+                              "fm+repl": repl}, timings)
+        return rows
+
+    rows = run_once(benchmark, compute)
+    print()
+    for name, (cuts, timings) in rows.items():
+        print(f"{name}: " + "  ".join(
+            f"{algo}={cut:.0f} ({timings[algo]:.2f}s)" for algo, cut in cuts.items()
+        ))
+        # The paper's engine must produce the best cut of the lineup.
+        assert cuts["fm+repl"] <= min(cuts["fm"], cuts["spectral"], cuts["sa"]) * 1.05

@@ -1,0 +1,50 @@
+"""Raw engine throughput: mapping, FM, and replication-FM speed.
+
+These benches time the substrates individually (multiple rounds, since they
+are cheap enough) so regressions in the hot loops are visible separately
+from the experiment-level benches.
+"""
+
+import pytest
+
+from repro.hypergraph.build import build_hypergraph
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.partition.fm import FMConfig, fm_bipartition
+from repro.partition.fm_replication import (
+    ReplicationConfig,
+    replication_bipartition,
+)
+from repro.techmap.mapped import technology_map
+
+
+@pytest.fixture(scope="module")
+def netlist(scale):
+    return benchmark_circuit("s5378", scale=min(scale, 0.3), seed=3)
+
+
+@pytest.fixture(scope="module")
+def hg(netlist):
+    return build_hypergraph(technology_map(netlist), include_terminals=False)
+
+
+def test_bench_technology_map(benchmark, netlist):
+    mapped = benchmark(lambda: technology_map(netlist))
+    assert mapped.n_cells > 0
+
+
+def test_bench_fm(benchmark, hg):
+    result = benchmark(lambda: fm_bipartition(hg, FMConfig(seed=1)))
+    assert result.cut_size <= result.initial_cut
+
+
+def test_bench_fm_replication(benchmark, hg):
+    result = benchmark(
+        lambda: replication_bipartition(hg, ReplicationConfig(seed=1, threshold=0))
+    )
+    assert result.cut_size <= result.initial_cut
+
+
+def test_bench_hypergraph_build(benchmark, netlist):
+    mapped = technology_map(netlist)
+    hg2 = benchmark(lambda: build_hypergraph(mapped))
+    assert hg2.n_cells == mapped.n_cells

@@ -1,0 +1,22 @@
+"""Bench for Figure 3: replication-potential distribution per circuit.
+
+Shape targets from the paper: single-output cells are a minority, roughly
+10% or less of cells are multi-output with psi = 0, and the bulk of cells
+have psi >= 1 (these drive the interconnect reductions).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure3
+
+
+def test_bench_figure3(benchmark, circuits, scale):
+    result = run_once(benchmark, lambda: figure3.run(circuits, scale))
+    assert len(result.rows) == len(circuits)
+    for row in result.rows:
+        single_pct, multi_zero_pct = row[2], row[3]
+        replicable_pct = 100.0 - single_pct - multi_zero_pct
+        # Most cells must be functional-replication candidates (psi >= 1).
+        assert replicable_pct > 40.0, row[0]
+        assert multi_zero_pct < 25.0, row[0]
+    print()
+    print(result.text())

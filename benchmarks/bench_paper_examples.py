@@ -1,0 +1,52 @@
+"""Bench for the paper's worked examples (Figures 1, 2 and 4).
+
+Micro-bench of the gain machinery on the exact scenarios of the paper; the
+assertions pin the published numbers: G_m = -1, G_tr = -2, G_X1 = -4,
+G_X2 = +2, G_r = +2, and cut 3 -> 1 when the replication is applied.
+"""
+
+from repro.replication.gains import (
+    gain_functional_replication,
+    gain_single_move,
+    gain_traditional_replication,
+    make_move_vectors,
+)
+
+
+def _paper_vectors():
+    return make_move_vectors(
+        a=[(1, 1, 1, 1, 0), (0, 0, 0, 1, 1)],
+        ci=(0, 0, 0, 1, 1),
+        qi=(1, 1, 1, 1, 1),
+        co=(0, 1),
+        qo=(1, 1),
+    )
+
+
+def test_bench_gain_formulas(benchmark):
+    mv = _paper_vectors()
+
+    def compute():
+        return (
+            gain_single_move(mv),
+            gain_traditional_replication(mv),
+            gain_functional_replication(mv),
+        )
+
+    g_m, g_tr, (g_r, output) = benchmark(compute)
+    assert g_m == -1
+    assert g_tr == -2
+    assert (g_r, output) == (2, 1)
+
+
+def test_bench_figure4_engine(benchmark):
+    from tests.test_paper_figures import _figure4_engine
+
+    def compute():
+        engine, m = _figure4_engine()
+        gain = engine.run_pass()
+        return gain, engine.cut_size()
+
+    gain, cut = benchmark(compute)
+    assert gain == 2
+    assert cut == 1

@@ -1,0 +1,29 @@
+"""Bench: Rent-exponent fidelity of the synthetic benchmark circuits.
+
+Not a paper table -- the quantitative justification for the benchmark
+substitution (DESIGN.md §2): the generators must exhibit the sub-linear
+terminal growth of real circuits.  Realistic Rent exponents sit roughly in
+0.3-0.75; a structureless random graph would push toward 1.0.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.common import load_suite
+from repro.netlist.rent import fit_rent, rent_points
+
+
+def test_bench_rent_exponents(benchmark, circuits, scale):
+    suite = load_suite(circuits, min(scale, 0.3))
+
+    def compute():
+        fits = {}
+        for sc in suite:
+            fit = fit_rent(rent_points(sc.hg_relaxed, seed=1))
+            fits[sc.name] = fit
+        return fits
+
+    fits = run_once(benchmark, compute)
+    print()
+    for name, fit in fits.items():
+        assert fit is not None, name
+        print(f"{name}: p = {fit.exponent:.3f} over {len(fit.points)} blocks")
+        assert 0.1 < fit.exponent < 0.95, name

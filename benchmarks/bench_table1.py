@@ -1,0 +1,15 @@
+"""Bench for Table I: device-library construction and report."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table1
+from repro.partition.devices import XC3000_LIBRARY
+
+
+def test_bench_table1(benchmark):
+    result = run_once(benchmark, lambda: table1.run())
+    assert len(result.rows) == len(XC3000_LIBRARY)
+    # The Table I economics: strictly decreasing price per CLB.
+    rates = [row[-1] for row in result.rows]
+    assert all(a > b for a, b in zip(rates, rates[1:]))
+    print()
+    print(result.text())

@@ -1,0 +1,19 @@
+"""Bench for Table II: benchmark characteristics after XC3000 mapping."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table2
+
+
+def test_bench_table2(benchmark, circuits, scale):
+    result = run_once(benchmark, lambda: table2.run(circuits, scale))
+    assert len(result.rows) == len(circuits)
+    for row in result.rows:
+        name, clbs, iobs, dff, nets, pins = row
+        assert clbs > 0 and iobs > 0 and nets > 0 and pins > 0
+        if name.startswith("s"):
+            assert dff > 0  # sequential circuits keep their registers
+        else:
+            assert dff == 0
+        assert pins > nets  # every net has >= 1 sink beyond its driver
+    print()
+    print(result.text())

@@ -1,0 +1,61 @@
+"""Shared configuration for the benchmark harness.
+
+Every paper table/figure has a ``bench_*.py`` here that regenerates it via
+``pytest benchmarks/ --benchmark-only``.  Benches run at a reduced *quick*
+scale by default so the whole harness finishes in minutes; set environment
+variables to reproduce at larger sizes::
+
+    REPRO_BENCH_SCALE=1.0 REPRO_BENCH_CIRCUITS=all pytest benchmarks/ --benchmark-only
+
+(the EXPERIMENTS.md record was produced by the standalone experiment CLIs,
+e.g. ``python -m repro.experiments.table3 --scale 0.5``, which print the
+full tables).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Tuple
+
+import pytest
+
+from repro.netlist.benchmarks import BENCHMARK_NAMES
+
+#: Quick defaults: a combinational + sequential subset at reduced scale.
+DEFAULT_CIRCUITS: Tuple[str, ...] = ("c3540", "c6288", "s5378", "s9234")
+DEFAULT_SCALE = 0.25
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
+
+
+def bench_circuits() -> Tuple[str, ...]:
+    raw = os.environ.get("REPRO_BENCH_CIRCUITS", "")
+    if not raw:
+        return DEFAULT_CIRCUITS
+    if raw.strip().lower() == "all":
+        return BENCHMARK_NAMES
+    return tuple(name.strip() for name in raw.split(",") if name.strip())
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def circuits() -> Tuple[str, ...]:
+    return bench_circuits()
+
+
+@pytest.fixture(scope="session")
+def suite(circuits, scale):
+    from repro.experiments.common import load_suite
+
+    return load_suite(circuits, scale)
+
+
+def run_once(benchmark, fn):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

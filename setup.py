@@ -1,0 +1,4 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without the wheel package."""
+from setuptools import setup
+
+setup()

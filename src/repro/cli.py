@@ -1,0 +1,263 @@
+"""Command-line interface: ``repro-fpga`` / ``python -m repro``.
+
+Subcommands
+-----------
+stats        Table II characteristics for a benchmark or .bench file.
+map          Technology-map a circuit and report CLB/IOB/net counts.
+bipartition  Min-cut bipartitioning with or without functional replication.
+partition    Heterogeneous k-way partitioning (cost + interconnect).
+experiment   Regenerate a paper table/figure (table1..table7, figure3).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.flow import bipartition_experiment, kway_experiment
+from repro.netlist.bench_io import load_bench
+from repro.netlist.benchmarks import BENCHMARK_NAMES, benchmark_circuit
+from repro.netlist.netlist import Netlist
+from repro.netlist.stats import mapped_stats, netlist_stats
+from repro.techmap.mapped import technology_map
+
+
+def _resolve_circuit(spec: str, scale: float, seed: int) -> Netlist:
+    """A circuit spec is either a benchmark name or a .bench file path."""
+    if spec in BENCHMARK_NAMES:
+        return benchmark_circuit(spec, scale=scale, seed=seed)
+    if spec.endswith(".bench"):
+        return load_bench(spec)
+    raise SystemExit(
+        f"unknown circuit {spec!r}: expected one of {', '.join(BENCHMARK_NAMES)} "
+        "or a path ending in .bench"
+    )
+
+
+def _add_circuit_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("circuit", help="benchmark name or .bench file")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=1994)
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    netlist = _resolve_circuit(args.circuit, args.scale, args.seed)
+    stats = netlist_stats(netlist)
+    if args.json:
+        print(json.dumps(stats.as_dict(), indent=2))
+    else:
+        for key, value in stats.as_dict().items():
+            print(f"{key:>12}: {value}")
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    netlist = _resolve_circuit(args.circuit, args.scale, args.seed)
+    mapped = technology_map(netlist)
+    stats = mapped_stats(mapped)
+    payload = stats.as_dict()
+    payload["multi_output_cells"] = mapped.n_multi_output_cells
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for key, value in payload.items():
+            print(f"{key:>20}: {value}")
+    return 0
+
+
+def _cmd_bipartition(args: argparse.Namespace) -> int:
+    netlist = _resolve_circuit(args.circuit, args.scale, args.seed)
+    mapped = technology_map(netlist)
+    report = bipartition_experiment(
+        mapped,
+        algorithm=args.algorithm,
+        runs=args.runs,
+        threshold=args.threshold,
+        seed=args.seed,
+    )
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(
+            f"{report.circuit}: {report.algorithm}, {report.runs} runs -> "
+            f"best cut {report.best_cut}, avg cut {report.avg_cut:.1f}, "
+            f"avg replicated {report.avg_replicated:.1f} "
+            f"({report.elapsed_seconds:.2f}s)"
+        )
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    netlist = _resolve_circuit(args.circuit, args.scale, args.seed)
+    mapped = technology_map(netlist)
+    threshold = float("inf") if args.threshold == "inf" else float(args.threshold)
+    if args.verify:
+        from repro.core.flow import kway_solution
+        from repro.partition.verify import verify_solution
+
+        solution = kway_solution(
+            mapped, threshold=threshold, n_solutions=args.solutions, seed=args.seed
+        )
+        problems = verify_solution(mapped, solution)
+        payload = solution.summary()
+        payload["violations"] = problems
+        if args.json:
+            print(json.dumps(payload, indent=2, default=str))
+        else:
+            for key, value in payload.items():
+                print(f"{key:>14}: {value}")
+        return 0 if not problems else 1
+    report = kway_experiment(
+        mapped,
+        threshold=threshold,
+        n_solutions=args.solutions,
+        seed=args.seed,
+    )
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(
+            f"{report.circuit}: k={report.k} cost={report.total_cost:.0f} "
+            f"devices={report.device_counts} "
+            f"CLB util {100 * report.avg_clb_utilization:.1f}% "
+            f"IOB util {100 * report.avg_iob_utilization:.1f}% "
+            f"replicated {100 * report.replicated_fraction:.1f}% "
+            f"feasible={report.feasible} ({report.elapsed_seconds:.1f}s)"
+        )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.hypergraph.build import build_hypergraph
+    from repro.netlist.rent import fit_rent, rent_points
+    from repro.replication.potential import cell_distribution
+
+    netlist = _resolve_circuit(args.circuit, args.scale, args.seed)
+    mapped = technology_map(netlist)
+    hg = build_hypergraph(mapped, include_terminals=False)
+    dist = cell_distribution(hg, name=mapped.name)
+    fit = fit_rent(rent_points(hg, seed=args.seed))
+    payload = {
+        "circuit": mapped.name,
+        "clbs": mapped.n_cells,
+        "multi_output_cells": mapped.n_multi_output_cells,
+        "psi_distribution": {label: count for label, count, _ in dist.rows()},
+        "rent_exponent": round(fit.exponent, 3) if fit else None,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        from repro.experiments.figure3 import ascii_histogram
+
+        print(ascii_histogram(dist))
+        if fit:
+            print(f"Rent exponent: {fit.exponent:.3f} "
+                  f"(coefficient {fit.coefficient:.2f}, "
+                  f"{len(fit.points)} sample blocks)")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import table1, table2, table3, figure3, tables4to7
+
+    name = args.name
+    if name == "table1":
+        print(table1.run().text())
+    elif name == "table2":
+        print(table2.run(args.circuits, args.scale, args.seed).text())
+    elif name == "figure3":
+        print(figure3.run(args.circuits, args.scale, args.seed).text())
+    elif name == "table3":
+        print(
+            table3.run(args.circuits, args.scale, args.seed, runs=args.runs).text()
+        )
+    elif name in ("table4", "table5", "table6", "table7"):
+        data = tables4to7.sweep(args.circuits, args.scale, args.seed)
+        table_fn = {
+            "table4": tables4to7.table4,
+            "table5": tables4to7.table5,
+            "table6": tables4to7.table6,
+            "table7": tables4to7.table7,
+        }[name]
+        print(table_fn(data, args.scale).text())
+    else:
+        raise SystemExit(f"unknown experiment {name!r}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fpga",
+        description="Heterogeneous-FPGA netlist partitioning (DAC'94 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="gate-level circuit statistics")
+    _add_circuit_args(p_stats)
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_map = sub.add_parser("map", help="technology-map into XC3000 CLBs")
+    _add_circuit_args(p_map)
+    p_map.set_defaults(func=_cmd_map)
+
+    p_bi = sub.add_parser("bipartition", help="equal-size min-cut bipartitioning")
+    _add_circuit_args(p_bi)
+    p_bi.add_argument(
+        "--algorithm",
+        choices=["fm", "fm+functional", "fm+traditional"],
+        default="fm+functional",
+    )
+    p_bi.add_argument("--runs", type=int, default=5)
+    p_bi.add_argument("--threshold", type=int, default=0)
+    p_bi.set_defaults(func=_cmd_bipartition)
+
+    p_kw = sub.add_parser("partition", help="heterogeneous k-way partitioning")
+    _add_circuit_args(p_kw)
+    p_kw.add_argument("--threshold", default="1", help="T (int or 'inf')")
+    p_kw.add_argument("--solutions", type=int, default=2)
+    p_kw.add_argument(
+        "--verify",
+        action="store_true",
+        help="run the independent solution checker; non-zero exit on violations",
+    )
+    p_kw.set_defaults(func=_cmd_partition)
+
+    p_an = sub.add_parser(
+        "analyze", help="replication-potential distribution + Rent exponent"
+    )
+    _add_circuit_args(p_an)
+    p_an.set_defaults(func=_cmd_analyze)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p_exp.add_argument(
+        "name",
+        choices=[
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "table7",
+            "figure3",
+        ],
+    )
+    p_exp.add_argument("--scale", type=float, default=0.5)
+    p_exp.add_argument("--circuits", nargs="*", default=None)
+    p_exp.add_argument("--seed", type=int, default=1994)
+    p_exp.add_argument("--runs", type=int, default=20)
+    p_exp.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,166 @@
+"""End-to-end flows: the two experiments of the paper's Section IV.
+
+* :func:`bipartition_experiment` -- experiment 1: bipartition into two
+  equal-sized partitions minimizing the cut set with terminal constraints
+  completely relaxed, comparing plain F-M min-cut against F-M min-cut with
+  functional replication over N runs (Table III).
+* :func:`kway_experiment` -- experiment 2: the k-way device-cost/interconnect
+  flow for a given threshold replication potential T (Tables IV-VII).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Union
+
+from repro.core.results import BipartitionReport, KWayReport
+from repro.hypergraph.build import build_hypergraph
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.netlist.netlist import Netlist
+from repro.partition.devices import DeviceLibrary, XC3000_LIBRARY
+from repro.partition.fm import FMConfig, fm_bipartition
+from repro.partition.fm_replication import (
+    FUNCTIONAL,
+    NONE,
+    TRADITIONAL,
+    ReplicationConfig,
+    replication_bipartition,
+)
+from repro.partition.kway import KWayConfig, KWaySolution, best_heterogeneous_partition
+from repro.techmap.mapped import MappedNetlist, technology_map
+
+
+def map_circuit(circuit: Union[str, Netlist], scale: float = 1.0, seed: int = 1994) -> MappedNetlist:
+    """Resolve a benchmark name or netlist into a mapped netlist."""
+    if isinstance(circuit, str):
+        circuit = benchmark_circuit(circuit, scale=scale, seed=seed)
+    return technology_map(circuit)
+
+
+def bipartition_experiment(
+    mapped: MappedNetlist,
+    algorithm: str = "fm+functional",
+    runs: int = 20,
+    threshold: Union[int, float] = 0,
+    seed: int = 0,
+    balance_tolerance: float = 0.02,
+    max_passes: int = 16,
+    max_growth: Optional[float] = None,
+) -> BipartitionReport:
+    """Experiment 1: N equal-size min-cut bipartitioning runs.
+
+    ``algorithm`` is one of ``"fm"`` (the [15] baseline), ``"fm+functional"``
+    (this paper) or ``"fm+traditional"`` (the [13]-style ablation).
+    Terminal constraints are relaxed by building the hypergraph without
+    terminal nodes, exactly as the paper's first experiment does.
+    """
+    hg = build_hypergraph(mapped, include_terminals=False)
+    cuts = []
+    replicated = []
+    start = time.perf_counter()
+    for run in range(runs):
+        run_seed = seed * 7919 + run
+        if algorithm == "fm":
+            result = fm_bipartition(
+                hg,
+                FMConfig(
+                    seed=run_seed,
+                    balance_tolerance=balance_tolerance,
+                    max_passes=max_passes,
+                ),
+            )
+            cuts.append(result.cut_size)
+            replicated.append(0)
+        elif algorithm in ("fm+functional", "fm+traditional"):
+            style = FUNCTIONAL if algorithm == "fm+functional" else TRADITIONAL
+            result = replication_bipartition(
+                hg,
+                ReplicationConfig(
+                    seed=run_seed,
+                    threshold=threshold,
+                    style=style,
+                    balance_tolerance=balance_tolerance,
+                    max_passes=max_passes,
+                    max_growth=max_growth,
+                ),
+            )
+            cuts.append(result.cut_size)
+            replicated.append(result.n_replicated)
+        else:
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+    elapsed = time.perf_counter() - start
+    return BipartitionReport(
+        circuit=mapped.name,
+        algorithm=algorithm,
+        runs=runs,
+        cuts=cuts,
+        replicated_counts=replicated,
+        elapsed_seconds=elapsed,
+        n_cells=hg.n_cells,
+    )
+
+
+def kway_experiment(
+    mapped: MappedNetlist,
+    threshold: Union[int, float],
+    library: Optional[DeviceLibrary] = None,
+    n_solutions: int = 2,
+    seed: int = 0,
+    seeds_per_carve: int = 3,
+    style: str = FUNCTIONAL,
+    devices_per_carve: int = 3,
+) -> KWayReport:
+    """Experiment 2: one k-way heterogeneous partitioning data point.
+
+    ``threshold=float('inf')`` reproduces the no-replication baseline
+    (the "In [3]" columns of Tables IV-VII).
+    """
+    if threshold == float("inf"):
+        style = NONE
+    config = KWayConfig(
+        library=library or XC3000_LIBRARY,
+        threshold=threshold,
+        style=style,
+        seed=seed,
+        seeds_per_carve=seeds_per_carve,
+        devices_per_carve=devices_per_carve,
+    )
+    start = time.perf_counter()
+    solution = best_heterogeneous_partition(mapped, config, n_solutions=n_solutions)
+    elapsed = time.perf_counter() - start
+    return KWayReport(
+        circuit=mapped.name,
+        threshold=float(threshold),
+        k=solution.k,
+        total_cost=solution.cost.total_cost,
+        device_counts=solution.cost.device_counts,
+        avg_clb_utilization=solution.cost.avg_clb_utilization,
+        avg_iob_utilization=solution.cost.avg_iob_utilization,
+        replicated_fraction=solution.replicated_fraction,
+        n_cells=solution.n_original_cells,
+        n_instances=solution.n_instances,
+        feasible=solution.feasible,
+        elapsed_seconds=elapsed,
+    )
+
+
+def kway_solution(
+    mapped: MappedNetlist,
+    threshold: Union[int, float],
+    library: Optional[DeviceLibrary] = None,
+    n_solutions: int = 2,
+    seed: int = 0,
+    seeds_per_carve: int = 3,
+    style: str = FUNCTIONAL,
+) -> KWaySolution:
+    """Like :func:`kway_experiment` but returning the full solution object."""
+    if threshold == float("inf"):
+        style = NONE
+    config = KWayConfig(
+        library=library or XC3000_LIBRARY,
+        threshold=threshold,
+        style=style,
+        seed=seed,
+        seeds_per_carve=seeds_per_carve,
+    )
+    return best_heterogeneous_partition(mapped, config, n_solutions=n_solutions)

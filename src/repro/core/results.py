@@ -1,0 +1,76 @@
+"""Serializable result records for the two end-to-end experiments."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class BipartitionReport:
+    """Outcome of a multi-run min-cut bipartitioning experiment (Table III)."""
+
+    circuit: str
+    algorithm: str  # "fm" | "fm+functional" | "fm+traditional"
+    runs: int
+    cuts: List[int]
+    replicated_counts: List[int]
+    elapsed_seconds: float
+    n_cells: int
+
+    @property
+    def best_cut(self) -> int:
+        return min(self.cuts)
+
+    @property
+    def avg_cut(self) -> float:
+        return sum(self.cuts) / len(self.cuts)
+
+    @property
+    def avg_replicated(self) -> float:
+        if not self.replicated_counts:
+            return 0.0
+        return sum(self.replicated_counts) / len(self.replicated_counts)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "circuit": self.circuit,
+            "algorithm": self.algorithm,
+            "runs": self.runs,
+            "best_cut": self.best_cut,
+            "avg_cut": round(self.avg_cut, 2),
+            "avg_replicated": round(self.avg_replicated, 2),
+            "elapsed_s": round(self.elapsed_seconds, 3),
+            "cells": self.n_cells,
+        }
+
+
+@dataclass
+class KWayReport:
+    """Outcome of one heterogeneous k-way partitioning run (Tables IV-VII)."""
+
+    circuit: str
+    threshold: float
+    k: int
+    total_cost: float
+    device_counts: Dict[str, int]
+    avg_clb_utilization: float
+    avg_iob_utilization: float
+    replicated_fraction: float
+    n_cells: int
+    n_instances: int
+    feasible: bool
+    elapsed_seconds: float
+
+    def as_dict(self) -> Dict[str, object]:
+        data = asdict(self)
+        data["threshold"] = "inf" if self.threshold == float("inf") else self.threshold
+        return data
+
+
+def dump_reports(reports: List[object], path: str) -> None:
+    """Write a list of report dataclasses to a JSON file."""
+    payload = [r.as_dict() for r in reports]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)

@@ -1,0 +1,127 @@
+"""Shared experiment plumbing: suite loading, table formatting, caching.
+
+The paper's evaluation runs over nine benchmark circuits; experiments here
+take a ``scale`` knob (1.0 = the published circuit sizes) and a ``circuits``
+subset so benches can run quickly by default and at full fidelity on demand.
+Suite loading and the k-way sweep are memoized in-process because four of
+the paper's tables are different projections of one sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.hypergraph.build import build_hypergraph
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.netlist.benchmarks import BENCHMARK_NAMES, benchmark_circuit
+from repro.techmap.mapped import MappedNetlist, technology_map
+
+#: Circuit subset used by quick (default) bench runs.
+QUICK_CIRCUITS: Tuple[str, ...] = ("c3540", "c6288", "s5378", "s9234")
+#: Default scale for quick bench runs.
+QUICK_SCALE = 0.3
+
+
+@dataclass
+class TableResult:
+    """A rendered experiment table."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[object]]
+    notes: List[str] = field(default_factory=list)
+
+    def text(self) -> str:
+        """Render as an aligned ASCII table."""
+        cells = [self.headers] + [
+            [_fmt(v) for v in row] for row in self.rows
+        ]
+        widths = [
+            max(len(row[col]) for row in cells) for col in range(len(self.headers))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        header_line = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+        lines.append(header_line)
+        lines.append("-" * len(header_line))
+        for row in cells[1:]:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def row_dict(self) -> List[Dict[str, object]]:
+        return [dict(zip(self.headers, row)) for row in self.rows]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+@dataclass
+class SuiteCircuit:
+    """One loaded benchmark circuit in all representations."""
+
+    name: str
+    mapped: MappedNetlist
+    hg_full: Hypergraph  # with terminal nodes
+    hg_relaxed: Hypergraph  # terminals relaxed (experiment 1 setting)
+
+
+@lru_cache(maxsize=8)
+def _load_suite_cached(
+    circuits: Tuple[str, ...], scale: float, seed: int
+) -> Tuple[SuiteCircuit, ...]:
+    loaded = []
+    for name in circuits:
+        netlist = benchmark_circuit(name, scale=scale, seed=seed)
+        mapped = technology_map(netlist)
+        loaded.append(
+            SuiteCircuit(
+                name=name,
+                mapped=mapped,
+                hg_full=build_hypergraph(mapped, include_terminals=True),
+                hg_relaxed=build_hypergraph(mapped, include_terminals=False),
+            )
+        )
+    return tuple(loaded)
+
+
+def load_suite(
+    circuits: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    seed: int = 1994,
+) -> List[SuiteCircuit]:
+    """Load (and memoize) a benchmark suite at the given scale."""
+    names = tuple(circuits) if circuits else BENCHMARK_NAMES
+    return list(_load_suite_cached(names, scale, seed))
+
+
+def standard_parser(description: str) -> argparse.ArgumentParser:
+    """Common CLI flags shared by every experiment module."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.5,
+        help="benchmark size factor (1.0 = published circuit sizes)",
+    )
+    parser.add_argument(
+        "--circuits",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help=f"circuit subset (default: all of {', '.join(BENCHMARK_NAMES)})",
+    )
+    parser.add_argument("--seed", type=int, default=1994, help="generator seed")
+    return parser
+
+
+def geomean_percent(values: Iterable[float]) -> float:
+    """Arithmetic mean of percentages (the paper averages this way)."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,28 @@
+"""Pin-level hypergraph substrate.
+
+The paper models the mapped circuit as a hypergraph H = ({X; Y}, E): interior
+nodes X (cells/CLBs), terminal nodes Y (I/O pads, one IOB each), and nets E.
+This package provides the static structure (:mod:`hypergraph`), construction
+from a mapped netlist (:mod:`build`) and partition metrics (:mod:`metrics`).
+"""
+
+from repro.hypergraph.hypergraph import Hypergraph, Node, Net, NodeKind
+from repro.hypergraph.build import build_hypergraph
+from repro.hypergraph.metrics import (
+    cut_nets,
+    cut_size,
+    partition_clb_sizes,
+    partition_terminal_counts,
+)
+
+__all__ = [
+    "Hypergraph",
+    "Node",
+    "Net",
+    "NodeKind",
+    "build_hypergraph",
+    "cut_nets",
+    "cut_size",
+    "partition_clb_sizes",
+    "partition_terminal_counts",
+]

@@ -1,0 +1,108 @@
+"""Hypergraph construction from a mapped netlist."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.hypergraph.hypergraph import Hypergraph, NodeKind
+from repro.techmap.mapped import MappedNetlist
+
+
+def build_hypergraph(
+    mapped: MappedNetlist, include_terminals: bool = True
+) -> Hypergraph:
+    """Build the paper's H = ({X; Y}, E) from a :class:`MappedNetlist`.
+
+    Parameters
+    ----------
+    mapped:
+        The technology-mapped circuit.
+    include_terminals:
+        With ``False``, primary I/O pads are left out of the hypergraph
+        (the "completely relaxed terminal constraints" setting of the
+        paper's first experiment); nets then connect cells only, and nets
+        left with fewer than two pins are dropped.
+
+    Net naming follows the mapped netlist's net names; node names are cell
+    names and ``pi:<net>`` / ``po:<net>`` for terminals.
+    """
+    hg = Hypergraph(mapped.name)
+    nets = mapped.nets()
+
+    net_nodes: Dict[str, object] = {}
+    for net_name in nets:
+        net_nodes[net_name] = hg.add_net(net_name)
+
+    # Cells with their pins.  Input pin order mirrors cell.inputs so that
+    # supports translate directly to pin indices.
+    for cell in mapped.cells:
+        node = hg.add_node(cell.name, NodeKind.CELL)
+        input_pin_of: Dict[str, int] = {}
+        for net_name in cell.inputs:
+            if net_name not in net_nodes:
+                continue  # input tied to a dead net (cannot happen post-validate)
+            pin = hg.connect_input(node, net_nodes[net_name])
+            input_pin_of[net_name] = pin
+        for oi, net_name in enumerate(cell.outputs):
+            if net_name in net_nodes:
+                hg.connect_output(node, net_nodes[net_name])
+            else:
+                # Dead output (no readers, not a PO): give it a private net so
+                # the node keeps its pin structure.
+                net = hg.add_net(f"__dead:{net_name}")
+                net_nodes[net_name] = net
+                hg.connect_output(node, net)
+            node.supports.append(
+                tuple(
+                    input_pin_of[s]
+                    for s in cell.supports[oi]
+                    if s in input_pin_of
+                )
+            )
+
+    if include_terminals:
+        for pi_name in mapped.primary_inputs:
+            if pi_name not in net_nodes:
+                continue  # unused input pad: no net to drive
+            node = hg.add_node(f"pi:{pi_name}", NodeKind.PI)
+            hg.connect_output(node, net_nodes[pi_name])
+        for po_name in mapped.primary_outputs:
+            node = hg.add_node(f"po:{po_name}", NodeKind.PO)
+            hg.connect_input(node, net_nodes[po_name])
+    else:
+        # PI-driven nets need a driver pin for net legality; model the pad as
+        # a zero-weight PI node only when the net has cell readers.  Without
+        # terminals we instead drop driverless nets entirely by rebuilding.
+        pruned = Hypergraph(mapped.name)
+        keep = {}
+        for net in hg.nets:
+            cell_pins = [p for p in net.pins if hg.nodes[p[0]].is_cell]
+            if len(cell_pins) >= 2:
+                keep[net.index] = pruned.add_net(net.name)
+        index_map: Dict[int, int] = {}
+        for node in hg.nodes:
+            if not node.is_cell:
+                continue
+            new_node = pruned.add_node(node.name, NodeKind.CELL)
+            index_map[node.index] = new_node.index
+            old_to_new_pin: Dict[int, int] = {}
+            for old_pin, net_idx in enumerate(node.input_nets):
+                if net_idx in keep:
+                    new_pin = pruned.connect_input(new_node, keep[net_idx])
+                    old_to_new_pin[old_pin] = new_pin
+            for oi, net_idx in enumerate(node.output_nets):
+                if net_idx in keep:
+                    pruned.connect_output(new_node, keep[net_idx])
+                else:
+                    dead = pruned.add_net(f"__dead:{node.name}:{oi}")
+                    pruned.connect_output(new_node, dead)
+                new_support = tuple(
+                    old_to_new_pin[p]
+                    for p in node.supports[oi]
+                    if p in old_to_new_pin
+                )
+                new_node.supports.append(new_support)
+        hg = pruned
+
+    hg.check()
+    return hg

@@ -1,0 +1,90 @@
+"""Partition metrics over a static hypergraph + block assignment.
+
+These functions evaluate *replication-free* assignments (arrays mapping node
+index -> block id, or -1 for unassigned).  The replication-aware engines keep
+their own dynamic state and expose equivalent accessors; tests cross-check
+the two.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from repro.hypergraph.hypergraph import Hypergraph, PIN_IN
+
+
+def net_blocks(hg: Hypergraph, assignment: Sequence[int], net_index: int) -> Set[int]:
+    """Distinct blocks touched by a net (unassigned pins are ignored)."""
+    blocks: Set[int] = set()
+    for node, _, _ in hg.nets[net_index].pins:
+        block = assignment[node]
+        if block >= 0:
+            blocks.add(block)
+    return blocks
+
+
+def cut_nets(hg: Hypergraph, assignment: Sequence[int]) -> List[int]:
+    """Indices of nets spanning more than one block."""
+    return [
+        net.index
+        for net in hg.nets
+        if len(net_blocks(hg, assignment, net.index)) > 1
+    ]
+
+
+def cut_size(hg: Hypergraph, assignment: Sequence[int]) -> int:
+    """Number of nets in the cut set."""
+    return len(cut_nets(hg, assignment))
+
+
+def partition_clb_sizes(hg: Hypergraph, assignment: Sequence[int]) -> Dict[int, int]:
+    """CLB count per block."""
+    sizes: Dict[int, int] = {}
+    for node in hg.nodes:
+        block = assignment[node.index]
+        if block >= 0 and node.clb_weight:
+            sizes[block] = sizes.get(block, 0) + node.clb_weight
+    return sizes
+
+
+def partition_terminal_counts(
+    hg: Hypergraph, assignment: Sequence[int]
+) -> Dict[int, int]:
+    """Terminals (IOBs) used per block: the paper's t_Pj.
+
+    A block j needs one IOB for every net that touches it and either spans
+    another block (an inter-device signal) or carries a primary I/O pad
+    assigned to block j (the pad occupies an IOB of that device).
+    """
+    counts: Dict[int, int] = {}
+    blocks_seen: Set[int] = {
+        b for b in assignment if b >= 0
+    }
+    for b in blocks_seen:
+        counts[b] = 0
+    for net in hg.nets:
+        blocks: Set[int] = set()
+        pad_blocks: Set[int] = set()
+        for node_idx, direction, _ in net.pins:
+            block = assignment[node_idx]
+            if block < 0:
+                continue
+            blocks.add(block)
+            if not hg.nodes[node_idx].is_cell:
+                pad_blocks.add(block)
+        if len(blocks) > 1:
+            for b in blocks:
+                counts[b] = counts.get(b, 0) + 1
+        elif blocks and pad_blocks:
+            b = next(iter(blocks))
+            counts[b] = counts.get(b, 0) + 1
+    return counts
+
+
+def balance_ratio(hg: Hypergraph, assignment: Sequence[int]) -> float:
+    """max block CLB size / total CLB weight (0.5 is perfectly balanced 2-way)."""
+    sizes = partition_clb_sizes(hg, assignment)
+    total = sum(sizes.values())
+    if not total:
+        return 0.0
+    return max(sizes.values()) / total

@@ -1,0 +1,56 @@
+"""Gate-level netlist substrate.
+
+This package implements the circuit layer underneath the partitioner:
+
+* :mod:`repro.netlist.gates` -- primitive gate types and their logic.
+* :mod:`repro.netlist.netlist` -- the :class:`Netlist` container.
+* :mod:`repro.netlist.bench_io` -- ISCAS ``.bench`` reader/writer.
+* :mod:`repro.netlist.blif_io` -- BLIF (subset) reader/writer.
+* :mod:`repro.netlist.validate` -- structural legality checks.
+* :mod:`repro.netlist.stats` -- circuit characteristics (Table II columns).
+* :mod:`repro.netlist.generate` -- synthetic circuit generators.
+* :mod:`repro.netlist.benchmarks` -- the nine named DAC'94 benchmark builders.
+"""
+
+from repro.netlist.gates import Gate, GateType
+from repro.netlist.netlist import Netlist
+from repro.netlist.bench_io import loads_bench, dumps_bench, load_bench, save_bench
+from repro.netlist.blif_io import loads_blif, dumps_blif
+from repro.netlist.validate import validate_netlist, NetlistError
+from repro.netlist.stats import netlist_stats, NetlistStats
+from repro.netlist.benchmarks import benchmark_circuit, BENCHMARK_NAMES
+from repro.netlist.verilog_io import loads_verilog, dumps_verilog
+from repro.netlist.transform import (
+    clean_netlist,
+    propagate_constants,
+    remove_dead_logic,
+    sweep_buffers,
+)
+from repro.netlist.rent import rent_exponent, rent_points, fit_rent
+
+__all__ = [
+    "loads_verilog",
+    "dumps_verilog",
+    "clean_netlist",
+    "propagate_constants",
+    "remove_dead_logic",
+    "sweep_buffers",
+    "rent_exponent",
+    "rent_points",
+    "fit_rent",
+    "Gate",
+    "GateType",
+    "Netlist",
+    "loads_bench",
+    "dumps_bench",
+    "load_bench",
+    "save_bench",
+    "loads_blif",
+    "dumps_blif",
+    "validate_netlist",
+    "NetlistError",
+    "netlist_stats",
+    "NetlistStats",
+    "benchmark_circuit",
+    "BENCHMARK_NAMES",
+]

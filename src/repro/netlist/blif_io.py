@@ -1,0 +1,211 @@
+"""BLIF (Berkeley Logic Interchange Format) reader and writer — SOP subset.
+
+Supported constructs: ``.model``, ``.inputs``, ``.outputs``, ``.names``
+(single-output cover), ``.latch`` (D flip-flop, clocking ignored), ``.end``.
+Covers are converted to the substrate's primitive gates where the function
+matches a primitive; otherwise the cover is expanded into a small AND/OR/NOT
+network (one AND per cube plus an OR, or their complement for the off-set
+form), which keeps the netlist purely structural.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+
+class BlifParseError(ValueError):
+    """Raised when a BLIF file is malformed or uses unsupported constructs."""
+
+
+def _fresh(netlist: Netlist, base: str) -> str:
+    """Generate a gate name not yet present in ``netlist``."""
+    if base not in netlist:
+        return base
+    for i in itertools.count():
+        cand = f"{base}_{i}"
+        if cand not in netlist:
+            return cand
+    raise AssertionError("unreachable")
+
+
+def _cover_to_gates(
+    netlist: Netlist,
+    output: str,
+    inputs: Sequence[str],
+    cubes: Sequence[Tuple[str, str]],
+) -> None:
+    """Expand a ``.names`` cover into primitive gates driving ``output``."""
+    if not inputs:
+        # Constant cell: a single cube with output value 1 means constant 1.
+        value = any(out_val == "1" for _, out_val in cubes)
+        netlist.add_gate(output, GateType.CONST1 if value else GateType.CONST0)
+        return
+    if not cubes:
+        netlist.add_gate(output, GateType.CONST0)
+        return
+    out_vals = {out_val for _, out_val in cubes}
+    if len(out_vals) != 1:
+        raise BlifParseError(f"mixed on/off-set cover for {output!r}")
+    onset = out_vals.pop() == "1"
+
+    def build_cube(pattern: str, name_hint: str) -> str:
+        """Return the net computing one cube (product term)."""
+        literals: List[str] = []
+        for bit, src in zip(pattern, inputs):
+            if bit == "-":
+                continue
+            if bit == "1":
+                literals.append(src)
+            elif bit == "0":
+                inv = _fresh(netlist, f"{name_hint}_n_{src}")
+                netlist.add_gate(inv, GateType.NOT, [src])
+                literals.append(inv)
+            else:
+                raise BlifParseError(f"bad cube character {bit!r} for {output!r}")
+        if not literals:
+            const = _fresh(netlist, f"{name_hint}_t")
+            netlist.add_gate(const, GateType.CONST1)
+            return const
+        if len(literals) == 1:
+            return literals[0]
+        term = _fresh(netlist, f"{name_hint}_and")
+        netlist.add_gate(term, GateType.AND, literals)
+        return term
+
+    terms = [
+        build_cube(pattern, f"{output}_c{i}") for i, (pattern, _) in enumerate(cubes)
+    ]
+    if len(terms) == 1:
+        src = terms[0]
+        netlist.add_gate(output, GateType.BUF if onset else GateType.NOT, [src])
+    else:
+        if onset:
+            netlist.add_gate(output, GateType.OR, terms)
+        else:
+            netlist.add_gate(output, GateType.NOR, terms)
+
+
+def loads_blif(text: str, name: str = "") -> Netlist:
+    """Parse BLIF text into a :class:`Netlist`."""
+    # Join continuation lines first.
+    logical_lines: List[str] = []
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        logical_lines.append(pending + line)
+        pending = ""
+    if pending.strip():
+        logical_lines.append(pending)
+
+    model_name = name
+    inputs: List[str] = []
+    outputs: List[str] = []
+    latches: List[Tuple[str, str]] = []
+    covers: List[Tuple[str, List[str], List[Tuple[str, str]]]] = []
+    current: Optional[Tuple[str, List[str], List[Tuple[str, str]]]] = None
+
+    for line in logical_lines:
+        tokens = line.split()
+        if tokens[0].startswith("."):
+            directive = tokens[0]
+            current = None
+            if directive == ".model":
+                if len(tokens) > 1 and not model_name:
+                    model_name = tokens[1]
+            elif directive == ".inputs":
+                inputs.extend(tokens[1:])
+            elif directive == ".outputs":
+                outputs.extend(tokens[1:])
+            elif directive == ".names":
+                if len(tokens) < 2:
+                    raise BlifParseError(".names with no signals")
+                current = (tokens[-1], tokens[1:-1], [])
+                covers.append(current)
+            elif directive == ".latch":
+                if len(tokens) < 3:
+                    raise BlifParseError(".latch needs input and output")
+                latches.append((tokens[1], tokens[2]))
+            elif directive == ".end":
+                break
+            else:
+                raise BlifParseError(f"unsupported directive {directive}")
+        else:
+            if current is None:
+                raise BlifParseError(f"cube line outside .names: {line!r}")
+            if len(tokens) == 1 and not current[1]:
+                current[2].append(("", tokens[0]))
+            elif len(tokens) == 2:
+                current[2].append((tokens[0], tokens[1]))
+            else:
+                raise BlifParseError(f"malformed cube line {line!r}")
+
+    netlist = Netlist(model_name or "blif_circuit")
+    for pi in inputs:
+        netlist.add_input(pi)
+    for data_in, q_out in latches:
+        netlist.add_gate(q_out, GateType.DFF, [data_in])
+    for output, cover_in, cubes in covers:
+        _cover_to_gates(netlist, output, cover_in, cubes)
+    for po in outputs:
+        netlist.add_output(po)
+    netlist.check()
+    return netlist
+
+
+def dumps_blif(netlist: Netlist) -> str:
+    """Serialize a :class:`Netlist` to BLIF text (one ``.names`` per gate)."""
+    lines = [f".model {netlist.name}"]
+    if netlist.inputs:
+        lines.append(".inputs " + " ".join(netlist.inputs))
+    if netlist.outputs:
+        lines.append(".outputs " + " ".join(netlist.outputs))
+    for gate in netlist.gates():
+        if gate.gtype is GateType.INPUT:
+            continue
+        if gate.gtype is GateType.DFF:
+            lines.append(f".latch {gate.fanin[0]} {gate.name} 0")
+            continue
+        lines.append(".names " + " ".join(gate.fanin + [gate.name]))
+        lines.extend(_gate_cubes(gate.gtype, len(gate.fanin)))
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def _gate_cubes(gtype: GateType, fanin: int) -> List[str]:
+    """SOP cube lines for one primitive gate."""
+    if gtype is GateType.CONST1:
+        return ["1"]
+    if gtype is GateType.CONST0:
+        return []
+    if gtype is GateType.BUF:
+        return ["1 1"]
+    if gtype is GateType.NOT:
+        return ["0 1"]
+    if gtype is GateType.AND:
+        return ["1" * fanin + " 1"]
+    if gtype is GateType.NAND:
+        return ["0" + "-" * (fanin - 1 - i) + " 1" for i in range(0)] or [
+            "-" * i + "0" + "-" * (fanin - 1 - i) + " 1" for i in range(fanin)
+        ]
+    if gtype is GateType.OR:
+        return ["-" * i + "1" + "-" * (fanin - 1 - i) + " 1" for i in range(fanin)]
+    if gtype is GateType.NOR:
+        return ["0" * fanin + " 1"]
+    if gtype in (GateType.XOR, GateType.XNOR):
+        want = 1 if gtype is GateType.XOR else 0
+        cubes = []
+        for row in range(1 << fanin):
+            bits = [(row >> j) & 1 for j in range(fanin)]
+            if (sum(bits) & 1) == want:
+                cubes.append("".join(str(b) for b in bits) + " 1")
+        return cubes
+    raise BlifParseError(f"cannot serialize gate type {gtype.value}")

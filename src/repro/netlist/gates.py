@@ -1,0 +1,175 @@
+"""Primitive gate types and their logic functions.
+
+The netlist substrate models circuits at the structural gate level, the same
+abstraction the ISCAS'85/'89 benchmark suites use.  Every gate has one output
+(the gate *is* its output net, ISCAS style) and zero or more ordered inputs.
+
+Sequential elements are modelled with the :data:`GateType.DFF` type: a D
+flip-flop whose single input is the next-state function and whose output is
+the present-state value.  Technology mapping later packs DFFs into CLB
+flip-flops.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+
+class GateType(enum.Enum):
+    """The primitive cell types understood by the substrate."""
+
+    INPUT = "INPUT"
+    AND = "AND"
+    OR = "OR"
+    NAND = "NAND"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    NOT = "NOT"
+    BUF = "BUF"
+    DFF = "DFF"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+
+    @property
+    def is_combinational(self) -> bool:
+        """True for gates whose output is a pure function of their inputs."""
+        return self not in (GateType.INPUT, GateType.DFF, GateType.CONST0, GateType.CONST1)
+
+    @property
+    def is_source(self) -> bool:
+        """True for gates with no structural fan-in (primary inputs, constants)."""
+        return self in (GateType.INPUT, GateType.CONST0, GateType.CONST1)
+
+    @property
+    def min_fanin(self) -> int:
+        if self.is_source:
+            return 0
+        if self in (GateType.NOT, GateType.BUF, GateType.DFF):
+            return 1
+        return 2
+
+    @property
+    def max_fanin(self) -> int:
+        if self.is_source:
+            return 0
+        if self in (GateType.NOT, GateType.BUF, GateType.DFF):
+            return 1
+        return 1_000_000  # unbounded; decomposition enforces practical limits
+
+
+#: Gate types that may appear as the ``fn`` of a combinational logic gate.
+LOGIC_TYPES: Tuple[GateType, ...] = (
+    GateType.AND,
+    GateType.OR,
+    GateType.NAND,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+    GateType.NOT,
+    GateType.BUF,
+)
+
+#: Symmetric (input-order-independent) gate types.
+SYMMETRIC_TYPES: Tuple[GateType, ...] = (
+    GateType.AND,
+    GateType.OR,
+    GateType.NAND,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+)
+
+
+def evaluate_gate(gtype: GateType, inputs: Sequence[int]) -> int:
+    """Evaluate a single gate on concrete 0/1 input values.
+
+    ``INPUT`` and ``DFF`` are not evaluable here: their value comes from the
+    environment / previous clock cycle and is handled by the simulator in
+    :mod:`repro.netlist.netlist`.
+    """
+    if gtype is GateType.CONST0:
+        return 0
+    if gtype is GateType.CONST1:
+        return 1
+    if not inputs:
+        raise ValueError(f"gate type {gtype.value} requires inputs")
+    if gtype is GateType.AND:
+        return int(all(inputs))
+    if gtype is GateType.OR:
+        return int(any(inputs))
+    if gtype is GateType.NAND:
+        return int(not all(inputs))
+    if gtype is GateType.NOR:
+        return int(not any(inputs))
+    if gtype is GateType.XOR:
+        return sum(inputs) & 1
+    if gtype is GateType.XNOR:
+        return (sum(inputs) & 1) ^ 1
+    if gtype is GateType.NOT:
+        return 1 - inputs[0]
+    if gtype is GateType.BUF:
+        return inputs[0]
+    raise ValueError(f"cannot evaluate gate type {gtype.value}")
+
+
+def gate_truth_table(gtype: GateType, fanin: int) -> Tuple[int, ...]:
+    """Truth table of a gate as a tuple of 2**fanin output bits.
+
+    Bit ``i`` of the result is the gate output when the inputs spell the
+    binary expansion of ``i`` (input 0 = least significant bit).  Used by the
+    technology mapper to build LUT masks.
+    """
+    if fanin < 0:
+        raise ValueError("fanin must be non-negative")
+    rows = []
+    for row in range(1 << fanin):
+        bits = [(row >> j) & 1 for j in range(fanin)]
+        rows.append(evaluate_gate(gtype, bits) if fanin else evaluate_gate(gtype, ()))
+    return tuple(rows)
+
+
+@dataclass
+class Gate:
+    """One gate instance in a :class:`~repro.netlist.netlist.Netlist`.
+
+    Attributes
+    ----------
+    name:
+        Unique gate name; also the name of the net the gate drives.
+    gtype:
+        The primitive type.
+    fanin:
+        Ordered list of driver gate names.  Mutated by netlist editing
+        operations; treat as owned by the netlist.
+    """
+
+    name: str
+    gtype: GateType
+    fanin: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("gate name must be non-empty")
+
+    @property
+    def is_combinational(self) -> bool:
+        return self.gtype.is_combinational
+
+    @property
+    def is_source(self) -> bool:
+        return self.gtype.is_source
+
+    def check_arity(self) -> None:
+        """Raise ``ValueError`` when the fan-in count is illegal for the type."""
+        n = len(self.fanin)
+        if n < self.gtype.min_fanin or n > self.gtype.max_fanin:
+            raise ValueError(
+                f"gate {self.name!r} of type {self.gtype.value} has illegal fanin count {n}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ins = ", ".join(self.fanin)
+        return f"Gate({self.name} = {self.gtype.value}({ins}))"

@@ -1,0 +1,599 @@
+"""Synthetic gate-level circuit generators.
+
+The paper evaluates on ISCAS'85/'89 circuits from the MCNC ``partitioning93``
+benchmark directory, which is no longer distributable here.  This module
+builds *synthetic equivalents*: deterministic, seeded generators that
+reproduce the structural properties the partitioning algorithms are
+sensitive to —
+
+* overall size (gate, PI, PO, DFF counts),
+* locality (a Rent's-rule-style clustered interconnect, the reason the
+  sequential ISCAS'89 circuits replicate so well in the paper),
+* fan-in/fan-out profiles typical of mapped random logic, and
+* regular datapath structure where the original circuit is a datapath
+  (c6288 is a genuine 16x16 array multiplier, reproduced exactly here).
+
+All generators take an explicit seed and are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+_LOGIC_CHOICES: Tuple[Tuple[GateType, int], ...] = (
+    # (gate type, relative weight) for random logic; mirrors the NAND/NOR-rich
+    # profile of the ISCAS netlists.
+    (GateType.NAND, 30),
+    (GateType.NOR, 14),
+    (GateType.AND, 18),
+    (GateType.OR, 12),
+    (GateType.NOT, 14),
+    (GateType.XOR, 7),
+    (GateType.XNOR, 3),
+    (GateType.BUF, 2),
+)
+
+
+def _weighted_type(rng: random.Random) -> GateType:
+    total = sum(w for _, w in _LOGIC_CHOICES)
+    pick = rng.randrange(total)
+    acc = 0
+    for gtype, weight in _LOGIC_CHOICES:
+        acc += weight
+        if pick < acc:
+            return gtype
+    raise AssertionError("unreachable")
+
+
+def _fanin_count(rng: random.Random, gtype: GateType, available: int) -> int:
+    if gtype in (GateType.NOT, GateType.BUF):
+        return 1
+    # ISCAS-style distribution: mostly 2-input, tail up to 5.
+    weights = [(2, 58), (3, 24), (4, 12), (5, 6)]
+    total = sum(w for _, w in weights)
+    pick = rng.randrange(total)
+    acc = 0
+    count = 2
+    for value, weight in weights:
+        acc += weight
+        if pick < acc:
+            count = value
+            break
+    return max(2, min(count, available))
+
+
+# ---------------------------------------------------------------------------
+# Random clustered logic (Rent's-rule flavoured)
+# ---------------------------------------------------------------------------
+
+
+def _geometric_offset(rng: random.Random, limit: int, p: float = 0.5) -> int:
+    """A 1-based log-uniform offset capped at ``limit``.
+
+    Cross-cluster link lengths are drawn log-uniformly (a power-law-ish
+    tail): mostly near neighbours with occasional long wires, matching the
+    Rent's-rule wire-length distribution of real designs.  A purely
+    geometric tail would give a 1-D circuit with near-zero Rent exponent.
+    """
+    if limit <= 0:
+        return 0
+    return max(1, min(limit, int(round(limit ** rng.random()))))
+
+
+def random_logic(
+    name: str,
+    n_gates: int,
+    n_inputs: int,
+    n_outputs: int,
+    seed: int = 0,
+    cluster_size: int = 32,
+    cross_cluster_prob: float = 0.10,
+    reconvergence: float = 0.5,
+    n_clusters: int = 0,
+) -> Netlist:
+    """Generate random combinational logic with Rent-style 1-D locality.
+
+    Gates are laid out as a sequence of clusters of ``cluster_size`` gates.
+    Each new gate draws its fan-in mostly from its own cluster's pool (with
+    a recency bias controlled by ``reconvergence``) and occasionally -- with
+    probability ``cross_cluster_prob`` per pin -- from an *earlier* cluster
+    chosen at a geometrically distributed distance.  The resulting netlists
+    have small bisection cuts growing sublinearly with size, the property of
+    real designs that min-cut partitioners (and the paper's experiments)
+    rely on; a plain random DAG would instead have Theta(n) cuts.
+
+    Parameters
+    ----------
+    name: circuit name.
+    n_gates: number of logic gates to create.
+    n_inputs / n_outputs: primary I/O counts.
+    seed: RNG seed (the generator is deterministic in it).
+    cluster_size: gates per locality cluster.
+    cross_cluster_prob: per-pin probability of an inter-cluster connection.
+    reconvergence: in [0, 1]; recency bias of fan-in selection.
+    n_clusters: overrides the cluster count when positive.
+    """
+    if n_gates < 1 or n_inputs < 1 or n_outputs < 1:
+        raise ValueError("n_gates, n_inputs, n_outputs must all be >= 1")
+    if n_clusters <= 0:
+        n_clusters = max(1, n_gates // max(4, cluster_size))
+    n_clusters = min(n_clusters, n_gates)
+    rng = random.Random(seed)
+    netlist = Netlist(name)
+
+    pis = [f"pi{i}" for i in range(n_inputs)]
+    for pi in pis:
+        netlist.add_input(pi)
+
+    # Each cluster's pool starts with a share of the primary inputs, so I/O
+    # is spread along the sequence like pads around a die.
+    cluster_nets: List[List[str]] = [[] for _ in range(n_clusters)]
+    for i, pi in enumerate(pis):
+        cluster_nets[i * n_clusters // len(pis)].append(pi)
+
+    gate_names: List[str] = []
+    skew_exp = 1.0 - 0.85 * reconvergence
+    for g in range(n_gates):
+        cluster = g * n_clusters // n_gates
+        gtype = _weighted_type(rng)
+        pool = cluster_nets[cluster]
+        fanin_n = _fanin_count(rng, gtype, max(2, len(pool)))
+        fanin: List[str] = []
+        seen = set()
+        for _ in range(fanin_n):
+            src_pool = pool
+            if cluster > 0 and rng.random() < cross_cluster_prob:
+                other = cluster - _geometric_offset(rng, cluster)
+                if cluster_nets[other]:
+                    src_pool = cluster_nets[other]
+            if not src_pool:
+                src_pool = pis
+            # Recency-biased index: skew toward the end of the pool.
+            u = rng.random()
+            idx = min(int((u ** skew_exp) * len(src_pool)), len(src_pool) - 1)
+            src = src_pool[idx]
+            if src in seen:
+                src = src_pool[rng.randrange(len(src_pool))]
+            if src in seen:
+                continue
+            seen.add(src)
+            fanin.append(src)
+        if not fanin:
+            fanin = [rng.choice(pis)]
+        if gtype in (GateType.NOT, GateType.BUF):
+            fanin = fanin[:1]
+        elif len(fanin) == 1:
+            gtype = GateType.BUF
+        gname = f"g{g}"
+        netlist.add_gate(gname, gtype, fanin)
+        cluster_nets[cluster].append(gname)
+        gate_names.append(gname)
+
+    _select_outputs(netlist, gate_names, n_outputs, rng)
+    netlist.check()
+    return netlist
+
+
+def _select_outputs(
+    netlist: Netlist, gate_names: Sequence[str], n_outputs: int, rng: random.Random
+) -> None:
+    """Mark primary outputs, preferring nets that currently have no readers.
+
+    Real circuits expose their cone apexes as POs; mirroring that keeps the
+    netlist dangle-free.  When there are more reader-less nets (sinks) than
+    requested outputs, the surplus sinks are folded into the final PO with a
+    4-ary OR tree; when there are fewer, random internal nets are promoted.
+    """
+    fanout = netlist.fanout_map()
+    sinks = [g for g in gate_names if not fanout.get(g)]
+    if len(sinks) > n_outputs:
+        chosen = sinks[: n_outputs - 1] if n_outputs > 1 else []
+        to_fold = sinks[n_outputs - 1 :] if n_outputs > 1 else sinks
+        level = 0
+        while len(to_fold) > 1:
+            nxt: List[str] = []
+            for i in range(0, len(to_fold), 4):
+                group = to_fold[i : i + 4]
+                if len(group) == 1:
+                    nxt.append(group[0])
+                    continue
+                joiner = f"po_join_{level}_{i}"
+                netlist.add_gate(joiner, GateType.OR, group)
+                nxt.append(joiner)
+            to_fold = nxt
+            level += 1
+        chosen.append(to_fold[0])
+    else:
+        chosen = list(sinks)
+        internal = [g for g in gate_names if g not in set(chosen)]
+        rng.shuffle(internal)
+        while len(chosen) < n_outputs and internal:
+            chosen.append(internal.pop())
+    for net in dict.fromkeys(chosen):
+        netlist.add_output(net)
+
+
+# ---------------------------------------------------------------------------
+# Datapath structures
+# ---------------------------------------------------------------------------
+
+
+def full_adder(netlist: Netlist, a: str, b: str, cin: str, prefix: str) -> Tuple[str, str]:
+    """Instantiate a full adder; returns ``(sum, carry_out)`` net names."""
+    s1 = f"{prefix}_s1"
+    netlist.add_gate(s1, GateType.XOR, [a, b])
+    s = f"{prefix}_sum"
+    netlist.add_gate(s, GateType.XOR, [s1, cin])
+    c1 = f"{prefix}_c1"
+    netlist.add_gate(c1, GateType.AND, [a, b])
+    c2 = f"{prefix}_c2"
+    netlist.add_gate(c2, GateType.AND, [s1, cin])
+    cout = f"{prefix}_cout"
+    netlist.add_gate(cout, GateType.OR, [c1, c2])
+    return s, cout
+
+
+def half_adder(netlist: Netlist, a: str, b: str, prefix: str) -> Tuple[str, str]:
+    """Instantiate a half adder; returns ``(sum, carry_out)`` net names."""
+    s = f"{prefix}_sum"
+    netlist.add_gate(s, GateType.XOR, [a, b])
+    c = f"{prefix}_cout"
+    netlist.add_gate(c, GateType.AND, [a, b])
+    return s, c
+
+
+def ripple_adder(name: str, width: int) -> Netlist:
+    """An n-bit ripple-carry adder (classic long-chain datapath)."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    netlist = Netlist(name)
+    a_bits = [f"a{i}" for i in range(width)]
+    b_bits = [f"b{i}" for i in range(width)]
+    for pin in a_bits + b_bits + ["cin"]:
+        netlist.add_input(pin)
+    carry = "cin"
+    for i in range(width):
+        s, carry = full_adder(netlist, a_bits[i], b_bits[i], carry, f"fa{i}")
+        netlist.add_output(s)
+    netlist.add_output(carry)
+    netlist.check()
+    return netlist
+
+
+def array_multiplier(name: str, width: int) -> Netlist:
+    """An n x n array multiplier.
+
+    With ``width=16`` this is the structural equivalent of ISCAS'85 c6288
+    (a 16x16 array multiplier of ~2400 gates built from full/half adders and
+    AND partial products).
+    """
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    netlist = Netlist(name)
+    a_bits = [f"a{i}" for i in range(width)]
+    b_bits = [f"b{i}" for i in range(width)]
+    for pin in a_bits + b_bits:
+        netlist.add_input(pin)
+
+    # Partial products pp[i][j] = a_i AND b_j.
+    pp: List[List[str]] = []
+    for j in range(width):
+        row = []
+        for i in range(width):
+            net = f"pp_{i}_{j}"
+            netlist.add_gate(net, GateType.AND, [a_bits[i], b_bits[j]])
+            row.append(net)
+        pp.append(row)
+
+    # Row-by-row carry-save accumulation.
+    sums = list(pp[0])  # partial sum bits for current significance window
+    carries: List[str] = []
+    outputs: List[str] = [sums[0]]
+    acc = sums[1:]
+    for j in range(1, width):
+        row = pp[j]
+        new_acc: List[str] = []
+        new_carries: List[str] = []
+        for i in range(width):
+            operands = [row[i]]
+            if i < len(acc):
+                operands.append(acc[i])
+            if i < len(carries):
+                operands.append(carries[i])
+            prefix = f"cell_{i}_{j}"
+            if len(operands) == 1:
+                s = operands[0]
+                c = None
+            elif len(operands) == 2:
+                s, c = half_adder(netlist, operands[0], operands[1], prefix)
+            else:
+                s, c = full_adder(netlist, operands[0], operands[1], operands[2], prefix)
+            new_acc.append(s)
+            if c is not None:
+                new_carries.append(c)
+            else:
+                new_carries.append("")
+        outputs.append(new_acc[0])
+        acc = new_acc[1:]
+        carries = [c for c in new_carries if c]
+
+    # Final carry-propagate row.
+    carry = ""
+    for i in range(len(acc)):
+        prefix = f"final_{i}"
+        operands = [acc[i]]
+        if i < len(carries):
+            operands.append(carries[i])
+        if carry:
+            operands.append(carry)
+        if len(operands) == 1:
+            s, carry = operands[0], ""
+        elif len(operands) == 2:
+            s, carry = half_adder(netlist, operands[0], operands[1], prefix)
+        else:
+            s, carry = full_adder(netlist, operands[0], operands[1], operands[2], prefix)
+        outputs.append(s)
+    leftover = [c for c in carries[len(acc):] if c]
+    if carry:
+        leftover.insert(0, carry)
+    while len(leftover) > 1:
+        prefix = f"tail_{len(outputs)}_{len(leftover)}"
+        s, c = half_adder(netlist, leftover.pop(), leftover.pop(), prefix)
+        outputs.append(s)
+        if c:
+            leftover.append(c)
+    if leftover:
+        outputs.append(leftover[0])
+
+    for net in outputs[: 2 * width]:
+        netlist.add_output(net)
+    # Tie off any remaining dangling internal nets as outputs to stay legal.
+    fanout = netlist.fanout_map()
+    po_set = set(netlist.outputs)
+    for gname in netlist.gate_names():
+        if gname not in fanout and gname not in po_set:
+            gate = netlist.gate(gname)
+            if gate.gtype is not GateType.INPUT:
+                netlist.add_output(gname)
+    netlist.check()
+    return netlist
+
+
+def alu_slice(netlist: Netlist, a: str, b: str, cin: str, op0: str, op1: str, prefix: str) -> Tuple[str, str]:
+    """A 1-bit ALU slice (AND/OR/XOR/ADD selected by ``op1 op0``).
+
+    Returns ``(result, carry_out)``.
+    """
+    f_and = f"{prefix}_and"
+    netlist.add_gate(f_and, GateType.AND, [a, b])
+    f_or = f"{prefix}_or"
+    netlist.add_gate(f_or, GateType.OR, [a, b])
+    f_xor = f"{prefix}_xor"
+    netlist.add_gate(f_xor, GateType.XOR, [a, b])
+    f_sum, cout = full_adder(netlist, a, b, cin, f"{prefix}_fa")
+    nop0 = f"{prefix}_nop0"
+    netlist.add_gate(nop0, GateType.NOT, [op0])
+    nop1 = f"{prefix}_nop1"
+    netlist.add_gate(nop1, GateType.NOT, [op1])
+    t0 = f"{prefix}_t0"
+    netlist.add_gate(t0, GateType.AND, [f_and, nop1, nop0])
+    t1 = f"{prefix}_t1"
+    netlist.add_gate(t1, GateType.AND, [f_or, nop1, op0])
+    t2 = f"{prefix}_t2"
+    netlist.add_gate(t2, GateType.AND, [f_xor, op1, nop0])
+    t3 = f"{prefix}_t3"
+    netlist.add_gate(t3, GateType.AND, [f_sum, op1, op0])
+    result = f"{prefix}_y"
+    netlist.add_gate(result, GateType.OR, [t0, t1, t2, t3])
+    return result, cout
+
+
+def alu(name: str, width: int) -> Netlist:
+    """An n-bit 4-function ALU (c3540/c5315-style control+datapath mix)."""
+    netlist = Netlist(name)
+    a_bits = [f"a{i}" for i in range(width)]
+    b_bits = [f"b{i}" for i in range(width)]
+    for pin in a_bits + b_bits + ["cin", "op0", "op1"]:
+        netlist.add_input(pin)
+    carry = "cin"
+    results = []
+    for i in range(width):
+        y, carry = alu_slice(netlist, a_bits[i], b_bits[i], carry, "op0", "op1", f"s{i}")
+        results.append(y)
+        netlist.add_output(y)
+    netlist.add_output(carry)
+    zero_terms = results[:]
+    level = 0
+    while len(zero_terms) > 1:
+        nxt = []
+        for i in range(0, len(zero_terms) - 1, 2):
+            net = f"z_{level}_{i}"
+            netlist.add_gate(net, GateType.OR, [zero_terms[i], zero_terms[i + 1]])
+            nxt.append(net)
+        if len(zero_terms) % 2:
+            nxt.append(zero_terms[-1])
+        zero_terms = nxt
+        level += 1
+    zero = f"{name}_zero"
+    netlist.add_gate(zero, GateType.NOT, [zero_terms[0]])
+    netlist.add_output(zero)
+    netlist.check()
+    return netlist
+
+
+# ---------------------------------------------------------------------------
+# Sequential structures
+# ---------------------------------------------------------------------------
+
+
+def lfsr(name: str, width: int, taps: Optional[Sequence[int]] = None) -> Netlist:
+    """A Fibonacci LFSR of ``width`` bits with an enable input."""
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    netlist = Netlist(name)
+    netlist.add_input("en")
+    netlist.add_input("seed_in")
+    tap_list = list(taps) if taps else [width - 1, max(0, width - 3)]
+    state = [f"q{i}" for i in range(width)]
+    # seed_in is always xored in so the register can leave the all-zero state.
+    feedback_terms = [state[t] for t in dict.fromkeys(tap_list)] + ["seed_in"]
+    fb = f"{name}_fb"
+    netlist.add_gate(fb, GateType.XOR, feedback_terms)
+    for i in range(width):
+        src = fb if i == 0 else state[i - 1]
+        hold = f"{name}_hold{i}"
+        nen = f"{name}_nen{i}"
+        shift = f"{name}_shift{i}"
+        d = f"{name}_d{i}"
+        netlist.add_gate(nen, GateType.NOT, ["en"])
+        netlist.add_gate(hold, GateType.AND, [state[i], nen])
+        netlist.add_gate(shift, GateType.AND, [src, "en"])
+        netlist.add_gate(d, GateType.OR, [hold, shift])
+        netlist.add_gate(state[i], GateType.DFF, [d])
+    netlist.add_output(state[-1])
+    netlist.add_output(state[width // 2])
+    netlist.check()
+    return netlist
+
+
+def counter(name: str, width: int) -> Netlist:
+    """A synchronous binary up-counter with enable."""
+    netlist = Netlist(name)
+    netlist.add_input("en")
+    state = [f"q{i}" for i in range(width)]
+    carry = "en"
+    for i in range(width):
+        toggle = f"{name}_t{i}"
+        netlist.add_gate(toggle, GateType.XOR, [state[i], carry])
+        if i < width - 1:
+            new_carry = f"{name}_c{i}"
+            netlist.add_gate(new_carry, GateType.AND, [state[i], carry])
+            carry = new_carry
+        netlist.add_gate(state[i], GateType.DFF, [toggle])
+        netlist.add_output(state[i])
+    netlist.check()
+    return netlist
+
+
+def sequential_core(
+    name: str,
+    n_gates: int,
+    n_inputs: int,
+    n_outputs: int,
+    n_dff: int,
+    seed: int = 0,
+    cluster_size: int = 40,
+    cross_cluster_prob: float = 0.06,
+    n_clusters: int = 0,
+) -> Netlist:
+    """Clustered sequential machine: the ISCAS'89-style generator.
+
+    Builds a sequence of register clusters (about ``cluster_size`` gates
+    each).  Each cluster owns a share of the DFFs; next-state logic draws
+    mostly on the cluster's own state and inputs (local feedback), with
+    occasional cross-cluster nets at geometrically distributed distance --
+    exactly the "cells are more clustered" structure the paper credits for
+    the larger replication wins on the s-circuits.
+    """
+    if min(n_gates, n_inputs, n_outputs, n_dff) < 1:
+        raise ValueError("all counts must be >= 1")
+    if n_clusters <= 0:
+        n_clusters = max(1, n_gates // max(4, cluster_size))
+    n_clusters = max(1, min(n_clusters, n_dff, n_gates))
+    rng = random.Random(seed)
+    netlist = Netlist(name)
+
+    pis = [f"pi{i}" for i in range(n_inputs)]
+    for pi in pis:
+        netlist.add_input(pi)
+    dffs = [f"ff{i}" for i in range(n_dff)]
+
+    # Per-cluster source pools start with state bits + some PIs.
+    cluster_nets: List[List[str]] = [[] for _ in range(n_clusters)]
+    cluster_dffs: List[List[str]] = [[] for _ in range(n_clusters)]
+    for i, ff in enumerate(dffs):
+        c = i * n_clusters // len(dffs)
+        cluster_nets[c].append(ff)
+        cluster_dffs[c].append(ff)
+    for i, pi in enumerate(pis):
+        cluster_nets[i * n_clusters // len(pis)].append(pi)
+
+    gate_names: List[str] = []
+    for g in range(n_gates):
+        cluster = g * n_clusters // n_gates
+        gtype = _weighted_type(rng)
+        pool = cluster_nets[cluster]
+        fanin_n = _fanin_count(rng, gtype, len(pool))
+        fanin: List[str] = []
+        seen = set()
+        for _ in range(fanin_n):
+            src_pool = pool
+            if n_clusters > 1 and rng.random() < cross_cluster_prob:
+                # Cross-links reach both directions (state feedback makes
+                # forward references legal through registers) but stay local.
+                offset = _geometric_offset(rng, n_clusters - 1)
+                other = cluster + (offset if rng.random() < 0.5 else -offset)
+                other = max(0, min(n_clusters - 1, other))
+                # Only state bits and PIs of a *later* cluster exist yet.
+                if cluster_nets[other]:
+                    src_pool = cluster_nets[other]
+            u = rng.random()
+            idx = min(int((u ** 0.35) * len(src_pool)), len(src_pool) - 1)
+            src = src_pool[idx]
+            if src in seen:
+                continue
+            seen.add(src)
+            fanin.append(src)
+        if not fanin:
+            fanin = [pool[rng.randrange(len(pool))]]
+        if gtype in (GateType.NOT, GateType.BUF):
+            fanin = fanin[:1]
+        elif len(fanin) == 1:
+            gtype = GateType.BUF
+        gname = f"g{g}"
+        netlist.add_gate(gname, gtype, fanin)
+        cluster_nets[cluster].append(gname)
+        gate_names.append(gname)
+
+    # Close the state loops: each DFF's D input comes from late logic of its
+    # own cluster (local feedback).
+    for c in range(n_clusters):
+        pool = cluster_nets[c]
+        logic_pool = [n for n in pool if n.startswith("g")] or pool
+        for ff in cluster_dffs[c]:
+            d_src = logic_pool[rng.randrange(max(1, len(logic_pool) // 2), len(logic_pool))] \
+                if len(logic_pool) > 1 else logic_pool[0]
+            netlist.add_gate(ff, GateType.DFF, [d_src])
+
+    # Every state bit must be observable: splice unread DFF outputs into a
+    # same-cluster gate (keeping the feedback local), or expose them as POs.
+    fanout = netlist.fanout_map()
+    for c in range(n_clusters):
+        logic_pool = [n for n in cluster_nets[c] if n.startswith("g")]
+        for ff in cluster_dffs[c]:
+            if fanout.get(ff):
+                continue
+            spliced = False
+            for _ in range(8):
+                if not logic_pool:
+                    break
+                gname = logic_pool[rng.randrange(len(logic_pool))]
+                gate = netlist.gate(gname)
+                if (
+                    gate.gtype not in (GateType.NOT, GateType.BUF, GateType.DFF)
+                    and len(gate.fanin) < 5
+                    and ff not in gate.fanin
+                ):
+                    gate.fanin.append(ff)
+                    spliced = True
+                    break
+            if not spliced:
+                netlist.add_output(ff)
+
+    _select_outputs(netlist, gate_names, n_outputs, rng)
+    netlist.check()
+    return netlist

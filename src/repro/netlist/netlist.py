@@ -1,0 +1,297 @@
+"""The :class:`Netlist` container: a named collection of gates and nets.
+
+The model follows the ISCAS benchmark convention: every gate drives exactly
+one net and that net carries the gate's name.  Primary outputs are a list of
+net names; a net may be both an internal fanout point and a primary output.
+
+The class supports structural editing (add/remove gates, rewiring), queries
+(fanout map, topological order, sequential levels) and cycle-accurate logic
+simulation, which the tests use to prove that technology mapping and
+replication preserve functionality.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set
+
+from repro.netlist.gates import Gate, GateType
+
+
+class Netlist:
+    """A gate-level circuit.
+
+    Parameters
+    ----------
+    name:
+        Circuit name (used in reports).
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self._gates: Dict[str, Gate] = {}
+        self._outputs: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_gate(self, name: str, gtype: GateType, fanin: Sequence[str] = ()) -> Gate:
+        """Add a gate; returns the created :class:`Gate`.
+
+        The fan-in names need not exist yet (forward references are allowed
+        during construction); :meth:`check` verifies them afterwards.
+        """
+        if name in self._gates:
+            raise ValueError(f"duplicate gate name {name!r}")
+        gate = Gate(name, gtype, list(fanin))
+        self._gates[name] = gate
+        return gate
+
+    def add_input(self, name: str) -> Gate:
+        return self.add_gate(name, GateType.INPUT)
+
+    def add_output(self, net: str) -> None:
+        """Mark an existing (or forward-referenced) net as a primary output."""
+        if net in self._outputs:
+            return
+        self._outputs.append(net)
+
+    def remove_gate(self, name: str) -> None:
+        """Remove a gate.  The caller is responsible for fixing dangling fanin."""
+        del self._gates[name]
+        if name in self._outputs:
+            self._outputs.remove(name)
+
+    def replace_fanin(self, gate_name: str, old: str, new: str) -> None:
+        """Rewire every occurrence of ``old`` in ``gate_name``'s fan-in to ``new``."""
+        gate = self._gates[gate_name]
+        gate.fanin = [new if f == old else f for f in gate.fanin]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._gates
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def gate(self, name: str) -> Gate:
+        return self._gates[name]
+
+    def gates(self) -> Iterator[Gate]:
+        return iter(self._gates.values())
+
+    def gate_names(self) -> Iterator[str]:
+        return iter(self._gates.keys())
+
+    @property
+    def inputs(self) -> List[str]:
+        """Primary input names, in insertion order."""
+        return [g.name for g in self._gates.values() if g.gtype is GateType.INPUT]
+
+    @property
+    def outputs(self) -> List[str]:
+        """Primary output net names, in declaration order."""
+        return list(self._outputs)
+
+    @property
+    def dffs(self) -> List[str]:
+        return [g.name for g in self._gates.values() if g.gtype is GateType.DFF]
+
+    @property
+    def logic_gates(self) -> List[str]:
+        return [g.name for g in self._gates.values() if g.is_combinational]
+
+    def fanout_map(self) -> Dict[str, List[str]]:
+        """Map each net name to the list of gate names that read it."""
+        fanout: Dict[str, List[str]] = defaultdict(list)
+        for gate in self._gates.values():
+            for src in gate.fanin:
+                fanout[src].append(gate.name)
+        return dict(fanout)
+
+    def net_names(self) -> List[str]:
+        """All net names: one per gate (its output net).
+
+        Nets with no readers and not marked as primary outputs are dangling;
+        :func:`repro.netlist.validate.validate_netlist` flags them.
+        """
+        return list(self._gates.keys())
+
+    def pin_count(self) -> int:
+        """Total number of gate pins (inputs + one output per logic/DFF gate).
+
+        This is the "#PINs" column of the paper's Table II measured at the
+        gate level; after mapping the mapped netlist reports its own count.
+        """
+        pins = 0
+        for gate in self._gates.values():
+            if gate.gtype is GateType.INPUT:
+                continue
+            pins += len(gate.fanin) + 1
+        return pins
+
+    # ------------------------------------------------------------------
+    # Ordering
+    # ------------------------------------------------------------------
+    def topological_order(self) -> List[str]:
+        """Gate names in combinational topological order.
+
+        DFF outputs and primary inputs are sources; DFF *inputs* are sinks,
+        i.e. the order is valid for single-cycle evaluation.  Raises
+        ``ValueError`` on a combinational cycle.
+        """
+        indeg: Dict[str, int] = {}
+        dependents: Dict[str, List[str]] = defaultdict(list)
+        for gate in self._gates.values():
+            if gate.is_combinational:
+                count = 0
+                for src in gate.fanin:
+                    src_gate = self._gates.get(src)
+                    if src_gate is not None and src_gate.is_combinational:
+                        count += 1
+                        dependents[src].append(gate.name)
+                indeg[gate.name] = count
+        order: List[str] = [
+            g.name for g in self._gates.values() if not g.is_combinational
+        ]
+        queue = deque(name for name, d in indeg.items() if d == 0)
+        seen = 0
+        while queue:
+            name = queue.popleft()
+            order.append(name)
+            seen += 1
+            for dep in dependents.get(name, ()):
+                indeg[dep] -= 1
+                if indeg[dep] == 0:
+                    queue.append(dep)
+        if seen != len(indeg):
+            raise ValueError(f"netlist {self.name!r} has a combinational cycle")
+        return order
+
+    def logic_depth(self) -> int:
+        """Maximum combinational depth (gates on the longest PI/DFF→PO/DFF path)."""
+        depth: Dict[str, int] = {}
+        for name in self.topological_order():
+            gate = self._gates[name]
+            if not gate.is_combinational:
+                depth[name] = 0
+                continue
+            depth[name] = 1 + max(
+                (depth.get(src, 0) for src in gate.fanin), default=0
+            )
+        return max(depth.values(), default=0)
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        input_vectors: Sequence[Mapping[str, int]],
+        initial_state: Optional[Mapping[str, int]] = None,
+    ) -> List[Dict[str, int]]:
+        """Cycle-accurate simulation.
+
+        Parameters
+        ----------
+        input_vectors:
+            One mapping of primary-input name -> 0/1 per clock cycle.
+        initial_state:
+            Optional DFF name -> 0/1 initial values (default all zero).
+
+        Returns
+        -------
+        One dict per cycle mapping every primary-output net to its value.
+        """
+        state: Dict[str, int] = {name: 0 for name in self.dffs}
+        if initial_state:
+            for key, val in initial_state.items():
+                if key not in state:
+                    raise KeyError(f"unknown DFF {key!r} in initial state")
+                state[key] = int(val)
+        order = self.topological_order()
+        results: List[Dict[str, int]] = []
+        for vec in input_vectors:
+            values: Dict[str, int] = {}
+            for name in order:
+                gate = self._gates[name]
+                if gate.gtype is GateType.INPUT:
+                    values[name] = int(vec[name])
+                elif gate.gtype is GateType.DFF:
+                    values[name] = state[name]
+                elif gate.gtype is GateType.CONST0:
+                    values[name] = 0
+                elif gate.gtype is GateType.CONST1:
+                    values[name] = 1
+                else:
+                    from repro.netlist.gates import evaluate_gate
+
+                    values[name] = evaluate_gate(
+                        gate.gtype, [values[s] for s in gate.fanin]
+                    )
+            results.append({po: values[po] for po in self._outputs})
+            for name in self.dffs:
+                state[name] = values[self._gates[name].fanin[0]]
+        return results
+
+    # ------------------------------------------------------------------
+    # Support computation
+    # ------------------------------------------------------------------
+    def transitive_fanin(self, net: str, stop_at_state: bool = True) -> Set[str]:
+        """Set of PI/DFF names in the transitive fan-in cone of ``net``.
+
+        With ``stop_at_state`` the cone stops at DFF outputs (single-cycle
+        support); otherwise it traverses through them.
+        """
+        support: Set[str] = set()
+        stack = [net]
+        visited: Set[str] = set()
+        while stack:
+            name = stack.pop()
+            if name in visited:
+                continue
+            visited.add(name)
+            gate = self._gates.get(name)
+            if gate is None:
+                continue
+            if gate.gtype is GateType.INPUT:
+                support.add(name)
+            elif gate.gtype is GateType.DFF and stop_at_state:
+                support.add(name)
+            elif gate.gtype in (GateType.CONST0, GateType.CONST1):
+                continue
+            else:
+                stack.extend(gate.fanin)
+        return support
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "Netlist":
+        """Deep structural copy."""
+        dup = Netlist(name or self.name)
+        for gate in self._gates.values():
+            dup.add_gate(gate.name, gate.gtype, list(gate.fanin))
+        for po in self._outputs:
+            dup.add_output(po)
+        return dup
+
+    def check(self) -> None:
+        """Cheap internal consistency check (arity + dangling references)."""
+        for gate in self._gates.values():
+            gate.check_arity()
+            for src in gate.fanin:
+                if src not in self._gates:
+                    raise ValueError(
+                        f"gate {gate.name!r} references missing driver {src!r}"
+                    )
+        for po in self._outputs:
+            if po not in self._gates:
+                raise ValueError(f"primary output {po!r} has no driver")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Netlist({self.name!r}: {len(self._gates)} gates, "
+            f"{len(self.inputs)} PI, {len(self._outputs)} PO, {len(self.dffs)} DFF)"
+        )

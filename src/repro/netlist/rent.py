@@ -1,0 +1,126 @@
+"""Rent's-rule analysis of netlist locality.
+
+Rent's rule relates the number of external terminals T of a logic block to
+the number of cells B it contains: ``T = t * B^p`` with Rent exponent p.
+Real circuits have p in roughly 0.5-0.75; a structureless random graph
+drives p toward 1.0.  The DAC'94 benchmark circuits are rebuilt
+synthetically here (see :mod:`repro.netlist.benchmarks`), so this module
+provides the quantitative check that the substitution preserves the
+property min-cut partitioning actually depends on: sub-linear terminal
+growth, i.e. a realistic Rent exponent.
+
+The estimator recursively bipartitions the mapped hypergraph with FM,
+records (cells, terminals) for every block at every level, and fits
+``log T = log t + p * log B`` by least squares -- the standard
+partitioning-based Rent estimation.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.partition.fm import FMConfig, fm_bipartition
+
+
+@dataclass(frozen=True)
+class RentFit:
+    """Least-squares fit of Rent's rule over recorded (cells, terminals)."""
+
+    exponent: float
+    coefficient: float
+    points: Tuple[Tuple[int, int], ...]
+
+    def predicted_terminals(self, cells: int) -> float:
+        return self.coefficient * cells ** self.exponent
+
+
+def _block_terminals(hg: Hypergraph, members: Sequence[int]) -> int:
+    """External nets of a block: nets with pins both inside and outside."""
+    member_set = set(members)
+    terminals = 0
+    for net in hg.nets:
+        inside = outside = False
+        for node, _, _ in net.pins:
+            if node in member_set:
+                inside = True
+            else:
+                outside = True
+            if inside and outside:
+                terminals += 1
+                break
+    return terminals
+
+
+def rent_points(
+    hg: Hypergraph,
+    seed: int = 0,
+    min_block: int = 8,
+    max_depth: int = 10,
+) -> List[Tuple[int, int]]:
+    """(cells, terminals) samples from recursive FM bisection."""
+    rng = random.Random(seed)
+    points: List[Tuple[int, int]] = []
+    cells = [n.index for n in hg.nodes if n.is_cell]
+    stack: List[Tuple[List[int], int]] = [(cells, 0)]
+    while stack:
+        members, depth = stack.pop()
+        if len(members) < min_block or depth >= max_depth:
+            continue
+        points.append((len(members), _block_terminals(hg, members)))
+        member_set = set(members)
+        fixed = {
+            n.index: 1
+            for n in hg.nodes
+            if n.is_cell and n.index not in member_set
+        }
+        # Bisect only the block: everything else is pinned to side 1 and the
+        # block's side-0 bound is half its size.
+        half = len(members) // 2
+        slack = max(1, len(members) // 20)
+        outside_weight = sum(hg.nodes[i].clb_weight for i in fixed)
+        config = FMConfig(
+            seed=rng.randrange(1 << 30),
+            side0_bounds=(half - slack, half + slack),
+            fixed=fixed,
+        )
+        result = fm_bipartition(hg, config)
+        left = [i for i in members if result.assignment[i] == 0]
+        right = [i for i in members if result.assignment[i] == 1]
+        if not left or not right:
+            continue
+        stack.append((left, depth + 1))
+        stack.append((right, depth + 1))
+    return points
+
+
+def fit_rent(points: Sequence[Tuple[int, int]]) -> Optional[RentFit]:
+    """Least-squares fit in log-log space; None when under-determined."""
+    usable = [(b, t) for b, t in points if b > 1 and t > 0]
+    if len(usable) < 3:
+        return None
+    xs = [math.log(b) for b, _ in usable]
+    ys = [math.log(t) for _, t in usable]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        return None
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    p = sxy / sxx
+    log_t = mean_y - p * mean_x
+    return RentFit(
+        exponent=p,
+        coefficient=math.exp(log_t),
+        points=tuple(usable),
+    )
+
+
+def rent_exponent(hg: Hypergraph, seed: int = 0) -> Optional[float]:
+    """Convenience wrapper: estimated Rent exponent of a hypergraph."""
+    fit = fit_rent(rent_points(hg, seed=seed))
+    return fit.exponent if fit else None

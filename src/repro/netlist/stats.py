@@ -1,0 +1,112 @@
+"""Circuit characteristic reports (the columns of the paper's Table II).
+
+Two granularities are provided: gate-level statistics of a raw
+:class:`~repro.netlist.netlist.Netlist`, and post-mapping statistics, which
+are what Table II actually tabulates (#CLBs, #IOBs, #DFF, #NETs, #PINs after
+mapping into the XC3000 family).  The post-mapping variant lives here too so
+that every Table II column has a single authoritative implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, TYPE_CHECKING
+
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.techmap.mapped import MappedNetlist
+
+
+@dataclass(frozen=True)
+class NetlistStats:
+    """Gate-level characteristics of a circuit."""
+
+    name: str
+    n_gates: int
+    n_logic: int
+    n_inputs: int
+    n_outputs: int
+    n_dff: int
+    n_nets: int
+    n_pins: int
+    depth: int
+    avg_fanin: float
+    max_fanin: int
+    avg_fanout: float
+    max_fanout: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "gates": self.n_gates,
+            "logic": self.n_logic,
+            "PI": self.n_inputs,
+            "PO": self.n_outputs,
+            "DFF": self.n_dff,
+            "nets": self.n_nets,
+            "pins": self.n_pins,
+            "depth": self.depth,
+            "avg_fanin": round(self.avg_fanin, 2),
+            "max_fanin": self.max_fanin,
+            "avg_fanout": round(self.avg_fanout, 2),
+            "max_fanout": self.max_fanout,
+        }
+
+
+def netlist_stats(netlist: Netlist) -> NetlistStats:
+    """Compute gate-level statistics for ``netlist``."""
+    logic = [g for g in netlist.gates() if g.is_combinational]
+    fanout = netlist.fanout_map()
+    fanin_counts = [len(g.fanin) for g in logic]
+    fanout_counts = [len(readers) for readers in fanout.values()]
+    return NetlistStats(
+        name=netlist.name,
+        n_gates=len(netlist),
+        n_logic=len(logic),
+        n_inputs=len(netlist.inputs),
+        n_outputs=len(netlist.outputs),
+        n_dff=len(netlist.dffs),
+        n_nets=len(netlist),
+        n_pins=netlist.pin_count(),
+        depth=netlist.logic_depth(),
+        avg_fanin=(sum(fanin_counts) / len(fanin_counts)) if fanin_counts else 0.0,
+        max_fanin=max(fanin_counts, default=0),
+        avg_fanout=(sum(fanout_counts) / len(fanout_counts)) if fanout_counts else 0.0,
+        max_fanout=max(fanout_counts, default=0),
+    )
+
+
+@dataclass(frozen=True)
+class MappedStats:
+    """Post-technology-mapping characteristics: the Table II columns."""
+
+    name: str
+    n_clbs: int
+    n_iobs: int
+    n_dff: int
+    n_nets: int
+    n_pins: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "Circuit": self.name,
+            "#CLBs": self.n_clbs,
+            "#IOBs": self.n_iobs,
+            "#DFF": self.n_dff,
+            "#NETs": self.n_nets,
+            "#PINs": self.n_pins,
+        }
+
+
+def mapped_stats(mapped: "MappedNetlist") -> MappedStats:
+    """Compute the Table II row for a mapped netlist."""
+    return MappedStats(
+        name=mapped.name,
+        n_clbs=mapped.n_cells,
+        n_iobs=mapped.n_iobs,
+        n_dff=mapped.n_dff,
+        n_nets=mapped.n_nets,
+        n_pins=mapped.n_pins,
+    )

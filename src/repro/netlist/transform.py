@@ -1,0 +1,184 @@
+"""Structural netlist transformations.
+
+Cleanup passes commonly needed before technology mapping when circuits
+arrive from external tools: constant propagation, buffer/double-inverter
+sweeping and dead-logic removal.  Every pass returns a *new* netlist and
+preserves circuit function (property-tested by simulation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.netlist.gates import GateType, evaluate_gate
+from repro.netlist.netlist import Netlist
+
+#: Gate types whose output is constant when any input is at the controlling
+#: value: (controlling value, output when controlled).
+_CONTROLLING = {
+    GateType.AND: (0, 0),
+    GateType.NAND: (0, 1),
+    GateType.OR: (1, 1),
+    GateType.NOR: (1, 0),
+}
+
+
+def propagate_constants(netlist: Netlist) -> Netlist:
+    """Fold CONST0/CONST1 drivers through the combinational logic.
+
+    Gates whose value becomes known are replaced by constant gates; inputs
+    at non-controlling values are dropped from symmetric gates.  DFFs stop
+    propagation (a constant D input still toggles the Q at cycle 1), so
+    sequential behaviour is untouched.
+    """
+    result = Netlist(netlist.name)
+    const_value: Dict[str, int] = {}
+
+    def value_of(net: str) -> Optional[int]:
+        return const_value.get(net)
+
+    for name in netlist.topological_order():
+        gate = netlist.gate(name)
+        if gate.gtype is GateType.INPUT:
+            result.add_input(name)
+            continue
+        if gate.gtype is GateType.CONST0:
+            const_value[name] = 0
+            result.add_gate(name, GateType.CONST0)
+            continue
+        if gate.gtype is GateType.CONST1:
+            const_value[name] = 1
+            result.add_gate(name, GateType.CONST1)
+            continue
+        if gate.gtype is GateType.DFF:
+            result.add_gate(name, GateType.DFF, list(gate.fanin))
+            continue
+
+        known = [value_of(f) for f in gate.fanin]
+        if all(v is not None for v in known):
+            out = evaluate_gate(gate.gtype, [v for v in known if v is not None])
+            const_value[name] = out
+            result.add_gate(
+                name, GateType.CONST1 if out else GateType.CONST0
+            )
+            continue
+        rule = _CONTROLLING.get(gate.gtype)
+        if rule is not None:
+            controlling, controlled_out = rule
+            if any(v == controlling for v in known):
+                const_value[name] = controlled_out
+                result.add_gate(
+                    name,
+                    GateType.CONST1 if controlled_out else GateType.CONST0,
+                )
+                continue
+            # Drop inputs stuck at the non-controlling value.
+            live = [
+                f for f, v in zip(gate.fanin, known) if v is None
+            ]
+            if len(live) == 1:
+                if gate.gtype in (GateType.AND, GateType.OR):
+                    result.add_gate(name, GateType.BUF, live)
+                else:
+                    result.add_gate(name, GateType.NOT, live)
+                continue
+            if live and len(live) < len(gate.fanin):
+                result.add_gate(name, gate.gtype, live)
+                continue
+        if gate.gtype in (GateType.XOR, GateType.XNOR):
+            live = [f for f, v in zip(gate.fanin, known) if v is None]
+            ones = sum(v for v in known if v is not None)
+            if live and len(live) < len(gate.fanin):
+                flip = (ones % 2) == 1
+                gtype = gate.gtype
+                if flip:
+                    gtype = (
+                        GateType.XNOR if gtype is GateType.XOR else GateType.XOR
+                    )
+                if len(live) == 1:
+                    result.add_gate(
+                        name,
+                        GateType.NOT if gtype is GateType.XNOR else GateType.BUF,
+                        live,
+                    )
+                else:
+                    result.add_gate(name, gtype, live)
+                continue
+        result.add_gate(name, gate.gtype, list(gate.fanin))
+    for po in netlist.outputs:
+        result.add_output(po)
+    result.check()
+    return result
+
+
+def sweep_buffers(netlist: Netlist) -> Netlist:
+    """Remove BUF gates and collapse NOT-NOT chains by rewiring readers.
+
+    Primary-output buffers are kept when removing them would rename a PO
+    net (the interface must not change).
+    """
+    alias: Dict[str, str] = {}
+    po_set = set(netlist.outputs)
+
+    def resolve(net: str) -> str:
+        seen = set()
+        while net in alias and net not in seen:
+            seen.add(net)
+            net = alias[net]
+        return net
+
+    for name in netlist.topological_order():
+        gate = netlist.gate(name)
+        if gate.gtype is GateType.BUF and name not in po_set:
+            alias[name] = gate.fanin[0]
+        elif gate.gtype is GateType.NOT and name not in po_set:
+            src = resolve(gate.fanin[0])
+            if src in netlist and netlist.gate(src).gtype is GateType.NOT:
+                inner = resolve(netlist.gate(src).fanin[0])
+                alias[name] = inner
+
+    result = Netlist(netlist.name)
+    for gate in netlist.gates():
+        if gate.name in alias:
+            continue
+        if gate.gtype is GateType.INPUT:
+            result.add_input(gate.name)
+        else:
+            result.add_gate(
+                gate.name, gate.gtype, [resolve(f) for f in gate.fanin]
+            )
+    for po in netlist.outputs:
+        result.add_output(resolve(po) if po not in result else po)
+    result.check()
+    return result
+
+
+def remove_dead_logic(netlist: Netlist) -> Netlist:
+    """Drop gates that no primary output or state element can observe."""
+    live: Set[str] = set()
+    stack: List[str] = list(netlist.outputs)
+    # All state elements are observable (they define sequential behaviour).
+    stack.extend(netlist.dffs)
+    while stack:
+        name = stack.pop()
+        if name in live or name not in netlist:
+            continue
+        live.add(name)
+        stack.extend(netlist.gate(name).fanin)
+    result = Netlist(netlist.name)
+    for gate in netlist.gates():
+        if gate.name not in live and gate.gtype is not GateType.INPUT:
+            continue
+        if gate.gtype is GateType.INPUT:
+            result.add_input(gate.name)
+        else:
+            result.add_gate(gate.name, gate.gtype, list(gate.fanin))
+    for po in netlist.outputs:
+        result.add_output(po)
+    result.check()
+    return result
+
+
+def clean_netlist(netlist: Netlist) -> Netlist:
+    """The standard pre-mapping pipeline: constants, buffers, dead logic."""
+    return remove_dead_logic(sweep_buffers(propagate_constants(netlist)))

@@ -1,0 +1,98 @@
+"""Structural legality checks for gate-level netlists.
+
+The partitioning pipeline assumes a well-formed netlist; this module makes
+the assumptions explicit and checkable.  :func:`validate_netlist` collects
+*all* violations rather than stopping at the first, which makes generator
+and parser debugging far quicker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+
+class NetlistError(ValueError):
+    """Raised by :func:`validate_netlist` in strict mode."""
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a validation run."""
+
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_if_failed(self) -> None:
+        if self.errors:
+            raise NetlistError("; ".join(self.errors))
+
+
+def validate_netlist(
+    netlist: Netlist, strict: bool = True, allow_dangling: bool = False
+) -> ValidationReport:
+    """Check a netlist for structural problems.
+
+    Checks performed:
+
+    * every fan-in reference resolves to an existing gate;
+    * gate arities are legal for their type;
+    * no combinational cycles;
+    * every primary output has a driver;
+    * no duplicate primary outputs;
+    * (warning / error depending on ``allow_dangling``) every non-PO net has
+      at least one reader;
+    * primary inputs that drive nothing are reported as warnings.
+    """
+    report = ValidationReport()
+    names = set(netlist.gate_names())
+
+    for gate in netlist.gates():
+        try:
+            gate.check_arity()
+        except ValueError as exc:
+            report.errors.append(str(exc))
+        for src in gate.fanin:
+            if src not in names:
+                report.errors.append(
+                    f"gate {gate.name!r} references missing driver {src!r}"
+                )
+        if gate.name in gate.fanin and gate.gtype is not GateType.DFF:
+            report.errors.append(f"combinational self-loop at {gate.name!r}")
+
+    po_seen = set()
+    for po in netlist.outputs:
+        if po in po_seen:
+            report.errors.append(f"duplicate primary output {po!r}")
+        po_seen.add(po)
+        if po not in names:
+            report.errors.append(f"primary output {po!r} has no driver")
+
+    try:
+        netlist.topological_order()
+    except ValueError as exc:
+        report.errors.append(str(exc))
+
+    fanout = netlist.fanout_map()
+    outputs = set(netlist.outputs)
+    for gate in netlist.gates():
+        readers = fanout.get(gate.name, ())
+        if not readers and gate.name not in outputs:
+            message = f"net {gate.name!r} is dangling (no readers, not a PO)"
+            if gate.gtype is GateType.INPUT:
+                report.warnings.append(f"primary input {gate.name!r} is unused")
+            elif allow_dangling:
+                report.warnings.append(message)
+            else:
+                report.errors.append(message)
+
+    if strict:
+        report.raise_if_failed()
+    return report

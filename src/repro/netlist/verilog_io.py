@@ -1,0 +1,152 @@
+"""Structural Verilog (gate-level subset) reader and writer.
+
+Many circuits circulate as flat structural Verilog; this module handles the
+subset those netlists use::
+
+    module top (a, b, y);
+      input a, b;
+      output y;
+      wire n1;
+      nand g1 (n1, a, b);   // output first, then inputs
+      not  g2 (y, n1);
+      dff  r1 (q, d);       // D flip-flop: (Q, D)
+    endmodule
+
+Supported primitives: ``and or nand nor xor xnor not buf dff``.  Escaped
+identifiers, expressions, assigns and hierarchy are out of scope (the
+parser raises on them rather than guessing).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+_PRIMITIVES: Dict[str, GateType] = {
+    "and": GateType.AND,
+    "or": GateType.OR,
+    "nand": GateType.NAND,
+    "nor": GateType.NOR,
+    "xor": GateType.XOR,
+    "xnor": GateType.XNOR,
+    "not": GateType.NOT,
+    "buf": GateType.BUF,
+    "dff": GateType.DFF,
+}
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_$]*"
+
+
+class VerilogParseError(ValueError):
+    """Raised for malformed or out-of-scope Verilog."""
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.DOTALL)
+    text = re.sub(r"//[^\n]*", " ", text)
+    return text
+
+
+def loads_verilog(text: str, name: str = "") -> Netlist:
+    """Parse one flat structural module into a :class:`Netlist`."""
+    text = _strip_comments(text)
+    module = re.search(
+        rf"module\s+({_IDENT})\s*\((.*?)\)\s*;(.*?)endmodule",
+        text,
+        flags=re.DOTALL,
+    )
+    if not module:
+        raise VerilogParseError("no module ... endmodule found")
+    mod_name, _, body = module.groups()
+    netlist = Netlist(name or mod_name)
+
+    inputs: List[str] = []
+    outputs: List[str] = []
+    statements = [s.strip() for s in body.split(";") if s.strip()]
+    instances: List[Tuple[str, List[str]]] = []
+    for stmt in statements:
+        head = stmt.split(None, 1)
+        if not head:
+            continue
+        keyword = head[0]
+        rest = head[1] if len(head) > 1 else ""
+        if keyword in ("input", "output", "wire"):
+            names = [n.strip() for n in rest.split(",") if n.strip()]
+            for net in names:
+                if not re.fullmatch(_IDENT, net):
+                    raise VerilogParseError(
+                        f"unsupported declaration {stmt!r} (vectors/escapes "
+                        "are out of scope)"
+                    )
+            if keyword == "input":
+                inputs.extend(names)
+            elif keyword == "output":
+                outputs.extend(names)
+            continue
+        match = re.fullmatch(
+            rf"({_IDENT})\s+({_IDENT})?\s*\(\s*(.*?)\s*\)", stmt, flags=re.DOTALL
+        )
+        if not match:
+            raise VerilogParseError(f"unparseable statement {stmt!r}")
+        prim, _inst_name, ports = match.group(1), match.group(2), match.group(3)
+        if prim not in _PRIMITIVES:
+            raise VerilogParseError(
+                f"unsupported primitive {prim!r} (hierarchy/assign are out of scope)"
+            )
+        nets = [p.strip() for p in ports.split(",") if p.strip()]
+        if len(nets) < 2:
+            raise VerilogParseError(f"primitive {stmt!r} needs >= 2 ports")
+        instances.append((prim, nets))
+
+    for pi in inputs:
+        netlist.add_input(pi)
+    for prim, nets in instances:
+        gtype = _PRIMITIVES[prim]
+        out, ins = nets[0], nets[1:]
+        netlist.add_gate(out, gtype, ins)
+    for po in outputs:
+        netlist.add_output(po)
+    netlist.check()
+    return netlist
+
+
+def dumps_verilog(netlist: Netlist) -> str:
+    """Serialize a :class:`Netlist` as one flat structural module."""
+    ports = list(netlist.inputs) + list(netlist.outputs)
+    lines = [f"module {_sanitize(netlist.name)} ({', '.join(ports)});"]
+    if netlist.inputs:
+        lines.append(f"  input {', '.join(netlist.inputs)};")
+    if netlist.outputs:
+        lines.append(f"  output {', '.join(netlist.outputs)};")
+    wires = [
+        g.name
+        for g in netlist.gates()
+        if g.gtype is not GateType.INPUT and g.name not in netlist.outputs
+    ]
+    if wires:
+        lines.append(f"  wire {', '.join(wires)};")
+    idx = 0
+    for gate in netlist.gates():
+        if gate.gtype is GateType.INPUT:
+            continue
+        if gate.gtype in (GateType.CONST0, GateType.CONST1):
+            raise VerilogParseError(
+                "constant gates cannot be expressed in the structural subset; "
+                "run repro.netlist.transform.propagate_constants first"
+            )
+        prim = gate.gtype.value.lower()
+        ports = ", ".join([gate.name] + list(gate.fanin))
+        lines.append(f"  {prim} g{idx} ({ports});")
+        idx += 1
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def _sanitize(name: str) -> str:
+    clean = re.sub(r"[^A-Za-z0-9_$]", "_", name)
+    if not re.match(r"[A-Za-z_]", clean):
+        clean = "m_" + clean
+    return clean

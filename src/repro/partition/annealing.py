@@ -1,0 +1,120 @@
+"""Simulated-annealing bipartitioning baseline.
+
+A compact Metropolis bipartitioner used as a second independent baseline
+in the harness (the paper's related-work section surveys move-based
+alternatives to FM).  Cost = cut size + a quadratic balance penalty; moves
+are single-node side flips.  Deliberately simple: it exists to show where
+FM (and FM + replication) stand, not to compete.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.metrics import cut_size
+
+
+@dataclass
+class AnnealingConfig:
+    seed: int = 0
+    initial_temperature: float = 2.0
+    cooling: float = 0.95
+    moves_per_temperature: float = 4.0  # x number of nodes
+    min_temperature: float = 0.01
+    balance_tolerance: float = 0.02
+    balance_weight: float = 2.0
+
+
+@dataclass
+class AnnealingResult:
+    assignment: List[int]
+    cut_size: int
+    temperature_steps: int
+    accepted_moves: int
+
+
+def annealing_bipartition(
+    hg: Hypergraph, config: Optional[AnnealingConfig] = None
+) -> AnnealingResult:
+    """Anneal a bipartition; returns the best balanced state visited."""
+    config = config or AnnealingConfig()
+    rng = random.Random(config.seed)
+    n_nodes = len(hg.nodes)
+
+    side = [rng.randrange(2) for _ in range(n_nodes)]
+    counts = [[0, 0] for _ in hg.nets]
+    node_net_pins: List[List] = []
+    for node in hg.nodes:
+        pairs = {}
+        for net in list(node.input_nets) + list(node.output_nets):
+            pairs[net] = pairs.get(net, 0) + 1
+        node_net_pins.append(list(pairs.items()))
+        for net, k in pairs.items():
+            counts[net][side[node.index]] += k
+
+    weights = [node.clb_weight for node in hg.nodes]
+    total = sum(weights)
+    sizes = [0, 0]
+    for v, w in enumerate(weights):
+        sizes[side[v]] += w
+    slack = max(1, int(config.balance_tolerance * total))
+
+    def cut_now() -> int:
+        return sum(1 for c in counts if c[0] > 0 and c[1] > 0)
+
+    def balance_penalty(s0: int) -> float:
+        over = max(0, abs(2 * s0 - total) - 2 * slack)
+        return config.balance_weight * over * over
+
+    cut = cut_now()
+    cost = cut + balance_penalty(sizes[0])
+    best_assignment = list(side)
+    best_cut = cut if abs(2 * sizes[0] - total) <= 2 * slack else math.inf
+
+    temperature = config.initial_temperature
+    steps = 0
+    accepted = 0
+    moves_per_t = max(8, int(config.moves_per_temperature * n_nodes))
+    while temperature > config.min_temperature:
+        steps += 1
+        for _ in range(moves_per_t):
+            v = rng.randrange(n_nodes)
+            s = side[v]
+            delta_cut = 0
+            for net, k in node_net_pins[v]:
+                f, t = counts[net][s], counts[net][1 - s]
+                before = f > 0 and t > 0
+                after = (f - k) > 0 and (t + k) > 0
+                delta_cut += int(after) - int(before)
+            new_s0 = sizes[0] + (weights[v] if s == 1 else -weights[v])
+            delta = delta_cut + balance_penalty(new_s0) - balance_penalty(sizes[0])
+            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                accepted += 1
+                for net, k in node_net_pins[v]:
+                    counts[net][s] -= k
+                    counts[net][1 - s] += k
+                side[v] = 1 - s
+                sizes[s] -= weights[v]
+                sizes[1 - s] += weights[v]
+                cut += delta_cut
+                if (
+                    abs(2 * sizes[0] - total) <= 2 * slack
+                    and cut < best_cut
+                ):
+                    best_cut = cut
+                    best_assignment = list(side)
+        temperature *= config.cooling
+
+    if best_cut is math.inf:  # never balanced: return final state
+        best_assignment = list(side)
+        best_cut = cut_size(hg, best_assignment)
+    return AnnealingResult(
+        assignment=best_assignment,
+        cut_size=int(best_cut),
+        temperature_steps=steps,
+        accepted_moves=accepted,
+    )

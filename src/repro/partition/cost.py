@@ -1,0 +1,103 @@
+"""Objective functions of the k-way formulation (paper eqs. 1 and 2).
+
+Equation (1): total device cost ``$_k = sum_i d_i n_i`` over the device
+types used by a k-way partition.  Equation (2): the interconnect measure is
+the average IOB utilization ``bar t_k = sum_j t_Pj / sum_i t_i n_i``.  The
+paper additionally reports average CLB utilization (its Table V), computed
+the same way over CLB capacities.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.partition.devices import Device
+
+
+@dataclass(frozen=True)
+class BlockUsage:
+    """Resource usage of one partition P_j on its assigned device."""
+
+    device: Device
+    clbs: int
+    terminals: int
+
+    @property
+    def clb_utilization(self) -> float:
+        return self.clbs / self.device.clbs
+
+    @property
+    def iob_utilization(self) -> float:
+        return self.terminals / self.device.terminals
+
+    @property
+    def feasible(self) -> bool:
+        return self.device.fits(self.clbs, self.terminals)
+
+
+@dataclass
+class SolutionCost:
+    """Aggregate objective report for one k-way solution."""
+
+    blocks: List[BlockUsage] = field(default_factory=list)
+
+    @property
+    def k(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def total_cost(self) -> float:
+        """Eq. (1): sum of device prices."""
+        return sum(b.device.price for b in self.blocks)
+
+    @property
+    def device_counts(self) -> Dict[str, int]:
+        """n_i per device type."""
+        return dict(Counter(b.device.name for b in self.blocks))
+
+    @property
+    def total_clb_capacity(self) -> int:
+        return sum(b.device.clbs for b in self.blocks)
+
+    @property
+    def total_iob_capacity(self) -> int:
+        return sum(b.device.terminals for b in self.blocks)
+
+    @property
+    def avg_clb_utilization(self) -> float:
+        """Used CLBs over provisioned CLB capacity (Table V quantity)."""
+        cap = self.total_clb_capacity
+        return sum(b.clbs for b in self.blocks) / cap if cap else 0.0
+
+    @property
+    def avg_iob_utilization(self) -> float:
+        """Eq. (2): used terminals over provisioned IOB capacity."""
+        cap = self.total_iob_capacity
+        return sum(b.terminals for b in self.blocks) / cap if cap else 0.0
+
+    @property
+    def feasible(self) -> bool:
+        return all(b.feasible for b in self.blocks)
+
+    def objective_key(self) -> Tuple[float, float]:
+        """Lexicographic objective: minimize cost, then interconnect."""
+        return (self.total_cost, self.avg_iob_utilization)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "k": self.k,
+            "cost": self.total_cost,
+            "devices": self.device_counts,
+            "avg_clb_util": round(self.avg_clb_utilization, 4),
+            "avg_iob_util": round(self.avg_iob_utilization, 4),
+            "feasible": self.feasible,
+        }
+
+
+def solution_cost(blocks: Sequence[Tuple[Device, int, int]]) -> SolutionCost:
+    """Build a :class:`SolutionCost` from ``(device, clbs, terminals)`` triples."""
+    return SolutionCost(
+        blocks=[BlockUsage(device=d, clbs=c, terminals=t) for d, c, t in blocks]
+    )

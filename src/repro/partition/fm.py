@@ -1,0 +1,329 @@
+"""Classic Fiduccia-Mattheyses bipartitioning (reference [15] of the paper).
+
+This is the replication-free baseline of the paper's first experiment
+("F-M min-cut") and the inner engine of the no-replication k-way flow.  The
+implementation follows the original algorithm: single-node moves, gain
+ordering, one lock per node per pass, best-prefix rollback, and repeated
+passes until a pass yields no improvement.
+
+Differences from the textbook presentation, forced by the pin-level model:
+
+* a node may contribute several pins to one net (e.g. a CLB output feeding
+  back to its own input); gains use pin *counts* per net per side;
+* gain maintenance recomputes the gains of nodes on affected nets instead of
+  the classic delta rules, but only when a net's side counts pass through
+  the "critical window" (counts small enough to matter), which preserves
+  exactness at near-linear cost;
+* instead of the fixed gain-bucket array we use two lazy max-heaps (one per
+  side) with update stamps, which keeps the max-gain admissible-move
+  selection O(log n) without bounding gains a priori.
+
+Balance is expressed either as a tolerance around the perfect 50/50 CLB
+split or as explicit ``side0_bounds``; zero-weight nodes (terminals) move
+freely.  ``fixed`` pins nodes to a side (used by the k-way carver).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+@dataclass
+class FMConfig:
+    """Knobs for one FM run."""
+
+    seed: int = 0
+    balance_tolerance: float = 0.02
+    max_passes: int = 16
+    side0_bounds: Optional[Tuple[int, int]] = None
+    fixed: Dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class FMResult:
+    """Outcome of one FM run."""
+
+    assignment: List[int]
+    cut_size: int
+    initial_cut: int
+    passes: int
+    pass_gains: List[int]
+
+    @property
+    def improvement(self) -> int:
+        return self.initial_cut - self.cut_size
+
+
+class _FMState:
+    """Mutable run state shared by the pass loop."""
+
+    def __init__(self, hg: Hypergraph, config: FMConfig, initial: Optional[Sequence[int]]):
+        self.hg = hg
+        self.config = config
+        rng = random.Random(config.seed)
+        n_nodes = len(hg.nodes)
+
+        # (net, pin count) pairs per node, distinct nets.
+        self.node_net_pins: List[List[Tuple[int, int]]] = []
+        for node in hg.nodes:
+            counts: Dict[int, int] = {}
+            for net in node.input_nets:
+                counts[net] = counts.get(net, 0) + 1
+            for net in node.output_nets:
+                counts[net] = counts.get(net, 0) + 1
+            self.node_net_pins.append(list(counts.items()))
+
+        # Critical window per net: the largest per-node pin count.
+        self.net_maxk: List[int] = [0] * len(hg.nets)
+        self.net_nodes: List[List[int]] = [[] for _ in hg.nets]
+        for node_idx, pairs in enumerate(self.node_net_pins):
+            for net, k in pairs:
+                self.net_nodes[net].append(node_idx)
+                if k > self.net_maxk[net]:
+                    self.net_maxk[net] = k
+
+        self.side: List[int] = self._initial_sides(rng, initial)
+        self.counts: List[List[int]] = [[0, 0] for _ in hg.nets]
+        for node_idx, pairs in enumerate(self.node_net_pins):
+            s = self.side[node_idx]
+            for net, k in pairs:
+                self.counts[net][s] += k
+
+        self.weights = [node.clb_weight for node in hg.nodes]
+        self.sizes = [0, 0]
+        for node_idx, w in enumerate(self.weights):
+            self.sizes[self.side[node_idx]] += w
+
+        self.total_weight = sum(self.weights)
+        if config.side0_bounds is not None:
+            self.lo0, self.hi0 = config.side0_bounds
+        else:
+            slack = max(1, int(config.balance_tolerance * self.total_weight))
+            half = self.total_weight / 2.0
+            self.lo0 = max(0, int(half) - slack)
+            self.hi0 = min(self.total_weight, int(half + 0.5) + slack)
+
+        self.locked = [False] * n_nodes
+        self.fixed_set = set(config.fixed)
+        self.movable = [i for i in range(n_nodes) if i not in self.fixed_set]
+        self.stamp = [0] * n_nodes
+        self._push_counter = 0
+
+    def _initial_sides(
+        self, rng: random.Random, initial: Optional[Sequence[int]]
+    ) -> List[int]:
+        hg, config = self.hg, self.config
+        if initial is not None:
+            sides = list(initial)
+            if len(sides) != len(hg.nodes):
+                raise ValueError("initial assignment length mismatch")
+        else:
+            order = list(range(len(hg.nodes)))
+            rng.shuffle(order)
+            total = sum(node.clb_weight for node in hg.nodes)
+            if config.side0_bounds is not None:
+                target0 = (config.side0_bounds[0] + config.side0_bounds[1]) / 2.0
+            else:
+                target0 = total / 2.0
+            sides = [1] * len(hg.nodes)
+            acc = 0
+            for idx in order:
+                w = hg.nodes[idx].clb_weight
+                if w == 0:
+                    sides[idx] = rng.randrange(2)
+                elif acc + w <= target0:
+                    sides[idx] = 0
+                    acc += w
+        for node_idx, fixed_side in config.fixed.items():
+            sides[node_idx] = fixed_side
+        return sides
+
+    # ------------------------------------------------------------------
+    def gain(self, node_idx: int) -> int:
+        """Exact cut delta of moving ``node_idx`` to the other side."""
+        s = self.side[node_idx]
+        total = 0
+        for net, k in self.node_net_pins[node_idx]:
+            f = self.counts[net][s]
+            t = self.counts[net][1 - s]
+            if t == 0:
+                if f > k:
+                    total -= 1
+            elif f == k:
+                total += 1
+        return total
+
+    def cut_size(self) -> int:
+        return sum(1 for c in self.counts if c[0] > 0 and c[1] > 0)
+
+    def admissible(self, node_idx: int) -> bool:
+        w = self.weights[node_idx]
+        if w == 0:
+            return True
+        if self.side[node_idx] == 0:
+            new0 = self.sizes[0] - w
+        else:
+            new0 = self.sizes[0] + w
+        return self.lo0 <= new0 <= self.hi0
+
+    def apply(self, node_idx: int) -> None:
+        s = self.side[node_idx]
+        for net, k in self.node_net_pins[node_idx]:
+            self.counts[net][s] -= k
+            self.counts[net][1 - s] += k
+        self.side[node_idx] = 1 - s
+        w = self.weights[node_idx]
+        self.sizes[s] -= w
+        self.sizes[1 - s] += w
+
+
+def fm_bipartition(
+    hg: Hypergraph,
+    config: Optional[FMConfig] = None,
+    initial: Optional[Sequence[int]] = None,
+) -> FMResult:
+    """Run FM on ``hg``; returns the best bipartition found."""
+    config = config or FMConfig()
+    state = _FMState(hg, config, initial)
+    initial_cut = state.cut_size()
+    pass_gains: List[int] = []
+
+    for _ in range(config.max_passes):
+        gain_of_pass = _run_pass(state)
+        pass_gains.append(gain_of_pass)
+        if gain_of_pass <= 0:
+            break
+
+    return FMResult(
+        assignment=list(state.side),
+        cut_size=state.cut_size(),
+        initial_cut=initial_cut,
+        passes=len(pass_gains),
+        pass_gains=pass_gains,
+    )
+
+
+def _run_pass(state: _FMState) -> int:
+    """One FM pass; returns the gain of the accepted prefix."""
+    for idx in range(len(state.locked)):
+        # Fixed nodes stay locked so neighbour refreshes cannot requeue them.
+        state.locked[idx] = idx in state.fixed_set
+    heaps: List[List[Tuple[int, int, int, int]]] = [[], []]
+
+    def push(node_idx: int) -> None:
+        state.stamp[node_idx] += 1
+        state._push_counter += 1
+        heapq.heappush(
+            heaps[state.side[node_idx]],
+            (-state.gain(node_idx), state._push_counter, node_idx, state.stamp[node_idx]),
+        )
+
+    for node_idx in state.movable:
+        push(node_idx)
+
+    moves: List[int] = []
+    cumulative = 0
+    best_gain = 0
+    best_index = 0
+    deferred: List[Tuple[int, Tuple[int, int, int, int]]] = []
+
+    while True:
+        # Pick the best valid, admissible entry across both heaps.
+        chosen = -1
+        while chosen < 0:
+            best_side = -1
+            for s in (0, 1):
+                heap = heaps[s]
+                while heap:
+                    neg_gain, _, node_idx, stamp = heap[0]
+                    if (
+                        state.locked[node_idx]
+                        or stamp != state.stamp[node_idx]
+                        or state.side[node_idx] != s
+                    ):
+                        heapq.heappop(heap)
+                        continue
+                    break
+                if not heap:
+                    continue
+                if best_side < 0 or heap[0][0] < heaps[best_side][0][0]:
+                    best_side = s
+            if best_side < 0:
+                chosen = -2
+                break
+            entry = heapq.heappop(heaps[best_side])
+            node_idx = entry[2]
+            if state.admissible(node_idx):
+                chosen = node_idx
+            else:
+                deferred.append((best_side, entry))
+        if chosen == -2:
+            break
+
+        gain = state.gain(chosen)
+        state.apply(chosen)
+        state.locked[chosen] = True
+        moves.append(chosen)
+        cumulative += gain
+        if cumulative > best_gain:
+            best_gain = cumulative
+            best_index = len(moves)
+
+        # Inadmissible entries may have become admissible: restore them.
+        for s, entry in deferred:
+            node_idx = entry[2]
+            if not state.locked[node_idx] and entry[3] == state.stamp[node_idx]:
+                heapq.heappush(heaps[s], entry)
+        deferred.clear()
+
+        # Refresh gains of neighbours on nets whose critical window moved.
+        new_side = state.side[chosen]
+        for net, k in state.node_net_pins[chosen]:
+            f_after = state.counts[net][new_side]
+            t_after = state.counts[net][1 - new_side]
+            f_before = f_after - k
+            t_before = t_after + k
+            window = state.net_maxk[net]
+            if (
+                min(f_before, t_before) > window
+                and min(f_after, t_after) > window
+            ):
+                continue
+            for other in state.net_nodes[net]:
+                if other != chosen and not state.locked[other]:
+                    push(other)
+
+    # Roll back to the best prefix.
+    for node_idx in reversed(moves[best_index:]):
+        state.apply(node_idx)
+    return best_gain
+
+
+def best_of_runs(
+    hg: Hypergraph,
+    runs: int,
+    base_config: Optional[FMConfig] = None,
+) -> Tuple[FMResult, List[int]]:
+    """Run FM ``runs`` times with derived seeds; return (best result, all cuts)."""
+    base_config = base_config or FMConfig()
+    best: Optional[FMResult] = None
+    cuts: List[int] = []
+    for run in range(runs):
+        config = FMConfig(
+            seed=base_config.seed * 7919 + run,
+            balance_tolerance=base_config.balance_tolerance,
+            max_passes=base_config.max_passes,
+            side0_bounds=base_config.side0_bounds,
+            fixed=dict(base_config.fixed),
+        )
+        result = fm_bipartition(hg, config)
+        cuts.append(result.cut_size)
+        if best is None or result.cut_size < best.cut_size:
+            best = result
+    assert best is not None
+    return best, cuts

@@ -1,0 +1,61 @@
+"""Human-readable reports for partitioning results.
+
+Formatting helpers shared by the CLI and the examples: block tables for
+k-way solutions and run summaries for bipartitioning experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.results import BipartitionReport
+from repro.partition.kway import KWaySolution
+
+
+def solution_report(solution: KWaySolution) -> str:
+    """A block-by-block table of one k-way solution."""
+    lines = [
+        f"{solution.name}: k = {solution.k}, "
+        f"total cost = {solution.cost.total_cost:.0f}, "
+        f"feasible = {solution.feasible}",
+        f"devices: {solution.cost.device_counts}",
+        f"avg CLB utilization {100 * solution.cost.avg_clb_utilization:.1f}%  "
+        f"avg IOB utilization {100 * solution.cost.avg_iob_utilization:.1f}%  "
+        f"replicated cells {len(solution.replicated_cells)} "
+        f"({100 * solution.replicated_fraction:.1f}%)",
+        "",
+        f"{'block':>5}  {'device':<8}  {'CLBs':>9}  {'IOBs':>9}  "
+        f"{'CLB%':>6}  {'IOB%':>6}  {'pads':>4}",
+    ]
+    for block in solution.blocks:
+        clb_pct = 100.0 * block.n_clbs / block.device.clbs
+        iob_pct = 100.0 * block.terminals / block.device.terminals
+        lines.append(
+            f"{block.index:>5}  {block.device.name:<8}  "
+            f"{block.n_clbs:>4}/{block.device.clbs:<4}  "
+            f"{block.terminals:>4}/{block.device.terminals:<4}  "
+            f"{clb_pct:>5.1f}%  {iob_pct:>5.1f}%  {len(block.pads):>4}"
+        )
+    return "\n".join(lines)
+
+
+def bipartition_report(reports: List[BipartitionReport]) -> str:
+    """Side-by-side comparison of bipartitioning runs on one circuit."""
+    if not reports:
+        return "(no runs)"
+    lines = [
+        f"{reports[0].circuit}: {reports[0].n_cells} cells, "
+        f"{reports[0].runs} runs each",
+        f"{'algorithm':<16}  {'best':>6}  {'avg':>8}  {'repl':>6}  {'sec':>7}",
+    ]
+    baseline = reports[0].avg_cut
+    for report in reports:
+        delta = ""
+        if report is not reports[0] and baseline:
+            delta = f"  ({100 * (baseline - report.avg_cut) / baseline:+.1f}% avg)"
+        lines.append(
+            f"{report.algorithm:<16}  {report.best_cut:>6}  "
+            f"{report.avg_cut:>8.1f}  {report.avg_replicated:>6.1f}  "
+            f"{report.elapsed_seconds:>7.2f}{delta}"
+        )
+    return "\n".join(lines)

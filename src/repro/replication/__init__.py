@@ -1,0 +1,42 @@
+"""Functional replication cost model (paper Sections II and III).
+
+* :mod:`repro.replication.adjacency` -- binary vectors and the three paper
+  operations (complementation, logical AND, norm).
+* :mod:`repro.replication.potential` -- replication potential psi (eq. 4),
+  the cell distribution d_X(psi) (eq. 5, Figure 3) and the maximum cell
+  replication factor r_T (eq. 6).
+* :mod:`repro.replication.gains` -- the unified gain model: single move
+  (eq. 7), traditional replication (eq. 8) and functional replication
+  (eqs. 9-11), plus extraction of the C/Q vectors from a partition state.
+"""
+
+from repro.replication.adjacency import BinaryVector, vand, vnot, norm
+from repro.replication.potential import (
+    replication_potential,
+    cell_distribution,
+    max_replication_factor,
+    PotentialDistribution,
+)
+from repro.replication.gains import (
+    gain_single_move,
+    gain_traditional_replication,
+    gain_functional_output,
+    gain_functional_replication,
+    MoveVectors,
+)
+
+__all__ = [
+    "BinaryVector",
+    "vand",
+    "vnot",
+    "norm",
+    "replication_potential",
+    "cell_distribution",
+    "max_replication_factor",
+    "PotentialDistribution",
+    "gain_single_move",
+    "gain_traditional_replication",
+    "gain_functional_output",
+    "gain_functional_replication",
+    "MoveVectors",
+]

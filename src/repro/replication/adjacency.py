@@ -1,0 +1,66 @@
+"""Binary adjacency vectors and the paper's three vector operations.
+
+Section II defines exactly three operations on adjacency vectors:
+
+* **Complementation** -- e.g. ``not([1,1,0]) = [0,0,1]``;
+* **Logical AND** -- elementwise product;
+* **Norm** -- the number of ones, ``|[0,1,1]| = 2``.
+
+Vectors are plain tuples of 0/1 ints, which keeps them hashable and cheap;
+this module adds validation and the named operations so the gain formulas in
+:mod:`repro.replication.gains` read like the paper's equations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+#: A binary (0/1) vector.
+BinaryVector = Tuple[int, ...]
+
+
+def vector(bits: Iterable[int]) -> BinaryVector:
+    """Build a validated binary vector from an iterable of 0/1 values."""
+    result = tuple(int(b) for b in bits)
+    for b in result:
+        if b not in (0, 1):
+            raise ValueError(f"binary vector element {b!r} is not 0/1")
+    return result
+
+
+def _check_same_length(*vectors: Sequence[int]) -> None:
+    lengths = {len(v) for v in vectors}
+    if len(lengths) > 1:
+        raise ValueError(f"vector length mismatch: {sorted(lengths)}")
+
+
+def vnot(v: Sequence[int]) -> BinaryVector:
+    """Complementation: flip every bit."""
+    return tuple(1 - b for b in v)
+
+
+def vand(*vectors: Sequence[int]) -> BinaryVector:
+    """Logical AND of one or more equal-length vectors."""
+    if not vectors:
+        raise ValueError("vand needs at least one vector")
+    _check_same_length(*vectors)
+    result = tuple(vectors[0])
+    for v in vectors[1:]:
+        result = tuple(a & b for a, b in zip(result, v))
+    return result
+
+
+def vor(*vectors: Sequence[int]) -> BinaryVector:
+    """Logical OR (used to aggregate supports across outputs)."""
+    if not vectors:
+        raise ValueError("vor needs at least one vector")
+    _check_same_length(*vectors)
+    result = tuple(vectors[0])
+    for v in vectors[1:]:
+        result = tuple(a | b for a, b in zip(result, v))
+    return result
+
+
+def norm(v: Sequence[int]) -> int:
+    """Norm: the number of ones."""
+    return sum(v)

@@ -1,0 +1,175 @@
+"""The unified gain model for moves and replications (paper Section III).
+
+All three move types are scored from the same small set of binary vectors
+associated with the cell under consideration (n inputs, m outputs):
+
+* ``a[i]`` -- I/O adjacency vector A_Xi of output i (length n);
+* ``ci`` / ``co`` -- cutset adjacency vectors C^I (length n) and C^O
+  (length m): bit set iff the net on that pin is currently in the cut;
+* ``qi`` / ``qo`` -- critical-net vectors Q^I and Q^O: bit set iff one move
+  of that pin across the cut line changes the net's cut state.
+
+For a *cut* net the pin is critical iff it is the only pin of the net on the
+cell's side (moving it un-cuts the net).  For a *nocut* net the pin is
+critical iff the net has at least one other pin (moving the pin then always
+cuts the net, because every net keeps its driver and the net was entirely on
+the cell's side).
+
+Equations implemented:
+
+* eq. (7)  -- :func:`gain_single_move`;
+* eq. (8)  -- :func:`gain_traditional_replication`
+  (``G_tr = (|C^I| + |C^O|) - n``);
+* eqs. (9)/(10) -- :func:`gain_functional_output`: the gain of a functional
+  replication in which the replica takes output ``i`` across the cut (with
+  exactly the inputs supporting it) while the original keeps the remaining
+  outputs and floats output ``i`` plus the inputs exclusive to it.  The
+  paper prints the two-output instance; this is the general-m form, and the
+  engine's ground-truth delta-cut agrees with it (property-tested);
+* eq. (11) -- :func:`gain_functional_replication` = max_i of the above.
+
+The worked example of Figure 4 (the paper's 5-input/2-output cell of
+Figure 2 with A_X1 = 11110, A_X2 = 00011, C^I = 00011, C^O = 01) evaluates
+to G_m = -1, G_tr = -2, G_X1 = -4, G_X2 = +2, G_r = +2, exactly the numbers
+in the paper; see ``tests/test_paper_figures.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.replication.adjacency import (
+    BinaryVector,
+    norm,
+    vand,
+    vnot,
+    vor,
+    vector,
+)
+
+
+@dataclass(frozen=True)
+class MoveVectors:
+    """The vector bundle the unified cost model consumes for one cell."""
+
+    a: Tuple[BinaryVector, ...]  # adjacency vector per output
+    ci: BinaryVector  # cutset adjacency, inputs
+    qi: BinaryVector  # criticality, inputs
+    co: BinaryVector  # cutset adjacency, outputs
+    qo: BinaryVector  # criticality, outputs
+
+    def __post_init__(self) -> None:
+        n = len(self.ci)
+        m = len(self.co)
+        if len(self.qi) != n:
+            raise ValueError("C^I and Q^I length mismatch")
+        if len(self.qo) != m:
+            raise ValueError("C^O and Q^O length mismatch")
+        if len(self.a) != m:
+            raise ValueError("one adjacency vector per output required")
+        for a_vec in self.a:
+            if len(a_vec) != n:
+                raise ValueError("adjacency vector length must equal input count")
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.ci)
+
+    @property
+    def n_outputs(self) -> int:
+        return len(self.co)
+
+
+def make_move_vectors(
+    a: Sequence[Sequence[int]],
+    ci: Sequence[int],
+    qi: Sequence[int],
+    co: Sequence[int],
+    qo: Sequence[int],
+) -> MoveVectors:
+    """Convenience constructor validating plain sequences into vectors."""
+    return MoveVectors(
+        a=tuple(vector(v) for v in a),
+        ci=vector(ci),
+        qi=vector(qi),
+        co=vector(co),
+        qo=vector(qo),
+    )
+
+
+def gain_single_move(mv: MoveVectors) -> int:
+    """Eq. (7): gain of moving the whole cell across the cut line.
+
+    ``G_m = (|C^I & Q^I| + |C^O & Q^O|) - (|~C^I & Q^I| + |~C^O & Q^O|)``
+    """
+    removed = norm(vand(mv.ci, mv.qi)) + norm(vand(mv.co, mv.qo))
+    added = norm(vand(vnot(mv.ci), mv.qi)) + norm(vand(vnot(mv.co), mv.qo))
+    return removed - added
+
+
+def gain_traditional_replication(mv: MoveVectors) -> int:
+    """Eq. (8): gain of traditional (whole-cell, split-output) replication.
+
+    ``G_tr = (|C^I| + |C^O|) - n`` where n is the number of cell inputs:
+    every cut output net is served locally on both sides after the split
+    (removed from the cut), while every nocut input net acquires a far-side
+    pin (added to the cut).
+    """
+    return (norm(mv.ci) + norm(mv.co)) - mv.n_inputs
+
+
+def _exclusive_mask(mv: MoveVectors, output_index: int) -> BinaryVector:
+    """Inputs supporting only ``output_index`` (the and-of-complements of eq. 4)."""
+    others = [
+        vnot(mv.a[j]) for j in range(mv.n_outputs) if j != output_index
+    ]
+    if not others:
+        return mv.a[output_index]
+    return vand(mv.a[output_index], *others)
+
+
+def gain_functional_output(mv: MoveVectors, output_index: int) -> int:
+    """Eqs. (9)/(10): gain of functionally replicating output ``output_index``.
+
+    The replica takes output i and the inputs in A_Xi across the cut; the
+    original floats output i and the inputs exclusive to it.  Gains:
+
+    * exclusive inputs behave like moved pins: cut-and-critical ones leave
+      the cut, nocut-and-critical ones enter it;
+    * shared inputs stay on the original and gain a far-side replica pin:
+      nocut ones always enter the cut (the original's pin stays behind),
+      cut ones stay cut;
+    * the output pin behaves like a moved pin: ``c q`` removes it from the
+      cut, ``(1-c) q`` adds it.
+    """
+    if not 0 <= output_index < mv.n_outputs:
+        raise IndexError("output index out of range")
+    excl = _exclusive_mask(mv, output_index)
+    shared = vand(mv.a[output_index], vnot(excl))
+    removed = norm(vand(mv.ci, mv.qi, excl)) + mv.co[output_index] * mv.qo[output_index]
+    added = (
+        norm(vand(vnot(mv.ci), mv.qi, excl))
+        + norm(vand(vnot(mv.ci), shared))
+        + (1 - mv.co[output_index]) * mv.qo[output_index]
+    )
+    return removed - added
+
+
+def gain_functional_replication(mv: MoveVectors) -> Tuple[int, int]:
+    """Eq. (11): the best functional replication, ``(gain, output_index)``.
+
+    Only defined for multi-output cells (functional replication needs at
+    least two outputs to split).
+    """
+    if mv.n_outputs < 2:
+        raise ValueError("functional replication requires >= 2 outputs")
+    best_gain = None
+    best_output = 0
+    for i in range(mv.n_outputs):
+        g = gain_functional_output(mv, i)
+        if best_gain is None or g > best_gain:
+            best_gain = g
+            best_output = i
+    assert best_gain is not None
+    return best_gain, best_output

@@ -1,0 +1,28 @@
+"""Xilinx XC3000 technology mapping substrate.
+
+Pipeline (see :func:`technology_map`):
+
+1. :mod:`repro.techmap.decompose` -- break wide gates into <= 4-input nodes.
+2. :mod:`repro.techmap.cover` -- cover the gate network with <= 5-input
+   single-output LUT cones (duplication-free greedy cover).
+3. :mod:`repro.techmap.pack` -- merge flip-flops into their driving cones and
+   pair LUTs into two-output CLBs under the XC3000 sharing rule (each
+   function <= 4 inputs, <= 5 distinct inputs per CLB).
+4. :mod:`repro.techmap.mapped` -- the resulting :class:`MappedNetlist` of
+   multi-output cells with per-output adjacency (support) vectors.
+"""
+
+from repro.techmap.decompose import decompose_netlist
+from repro.techmap.cover import cover_netlist, Lut
+from repro.techmap.pack import pack_cells
+from repro.techmap.mapped import MappedCell, MappedNetlist, technology_map
+
+__all__ = [
+    "decompose_netlist",
+    "cover_netlist",
+    "Lut",
+    "pack_cells",
+    "MappedCell",
+    "MappedNetlist",
+    "technology_map",
+]

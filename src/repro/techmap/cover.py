@@ -1,0 +1,177 @@
+"""LUT covering: absorb single-fanout fan-in cones into <= K-input LUTs.
+
+The cover is *duplication-free* (every gate belongs to exactly one LUT),
+which matches the paper's setting: replication is a partitioning decision,
+not a mapping one.  The algorithm is the classic greedy bottom-up cone
+packing (Chortle-style): in topological order each gate starts as its own
+cone and repeatedly absorbs the fan-in cone whose absorption yields the
+smallest resulting support, while the support stays within ``k`` inputs and
+the absorbed net has no other readers.
+
+Each finished LUT records its exact truth table (computed by simulating the
+covered gates over all support assignments), so mapped netlists remain
+simulatable and mapping correctness is testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.netlist.gates import GateType, evaluate_gate
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class Lut:
+    """One covered <= k-input, single-output cone.
+
+    Attributes
+    ----------
+    root:
+        Net name the LUT drives (the cone apex gate's name).
+    support:
+        Ordered list of input net names (PIs, DFF outputs, or other LUT
+        roots).
+    mask:
+        Truth table as an integer bitmask: bit ``i`` is the output for the
+        input assignment spelling ``i`` in binary, ``support[0]`` being the
+        least significant bit.
+    gates:
+        Names of the netlist gates covered by this LUT.
+    """
+
+    root: str
+    support: List[str]
+    mask: int
+    gates: Set[str] = field(default_factory=set)
+
+    @property
+    def k(self) -> int:
+        return len(self.support)
+
+    def evaluate(self, values: Sequence[int]) -> int:
+        """Evaluate the LUT on concrete support values."""
+        if len(values) != len(self.support):
+            raise ValueError("value count does not match support size")
+        index = 0
+        for bit, value in enumerate(values):
+            if value:
+                index |= 1 << bit
+        return (self.mask >> index) & 1
+
+
+def _cone_mask(
+    netlist: Netlist,
+    root: str,
+    support: List[str],
+    gates: Set[str],
+    order_index: Dict[str, int],
+) -> int:
+    """Truth table of the cone ``gates`` rooted at ``root`` over ``support``."""
+    order = sorted(gates, key=order_index.__getitem__)
+    mask = 0
+    for row in range(1 << len(support)):
+        values: Dict[str, int] = {
+            net: (row >> bit) & 1 for bit, net in enumerate(support)
+        }
+        for name in order:
+            gate = netlist.gate(name)
+            if gate.gtype is GateType.CONST0:
+                values[name] = 0
+            elif gate.gtype is GateType.CONST1:
+                values[name] = 1
+            else:
+                values[name] = evaluate_gate(
+                    gate.gtype, [values[f] for f in gate.fanin]
+                )
+        if values[root]:
+            mask |= 1 << row
+    return mask
+
+
+def cover_netlist(netlist: Netlist, k: int = 5) -> List[Lut]:
+    """Cover all combinational gates of ``netlist`` with <= ``k``-input LUTs.
+
+    The netlist must already be decomposed to fan-ins <= ``k`` (wide gates
+    raise ``ValueError``).  Returns the LUT list; roots are exactly the nets
+    that remain visible after covering (multi-fanout nets, PO nets, DFF data
+    inputs).
+    """
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    fanout = netlist.fanout_map()
+    outputs = set(netlist.outputs)
+
+    # Nets that must survive as LUT roots: read by >1 gate, read by a DFF,
+    # or primary outputs.
+    def must_root(name: str) -> bool:
+        readers = fanout.get(name, [])
+        if name in outputs:
+            return True
+        if len(readers) != 1:
+            return True
+        reader = netlist.gate(readers[0])
+        return reader.gtype is GateType.DFF
+
+    cones: Dict[str, Tuple[List[str], Set[str]]] = {}
+    absorbed: Set[str] = set()
+    order = netlist.topological_order()
+    order_index = {name: i for i, name in enumerate(order)}
+    const_luts: List[Lut] = []
+    for name in order:
+        gate = netlist.gate(name)
+        if gate.gtype in (GateType.CONST0, GateType.CONST1):
+            # Constants become zero-input LUTs so every net keeps a driver.
+            const_luts.append(
+                Lut(
+                    root=name,
+                    support=[],
+                    mask=1 if gate.gtype is GateType.CONST1 else 0,
+                    gates={name},
+                )
+            )
+            continue
+        if not gate.is_combinational:
+            continue
+        if len(gate.fanin) > k:
+            raise ValueError(
+                f"gate {name!r} has fanin {len(gate.fanin)} > k={k}; "
+                "run decompose_netlist first"
+            )
+        support = list(dict.fromkeys(gate.fanin))
+        gates: Set[str] = {name}
+        # Greedy absorption of single-fanout combinational fan-in cones.
+        while True:
+            best = None
+            best_support: List[str] = []
+            for src in support:
+                src_gate = netlist.gate(src) if src in netlist else None
+                if src_gate is None or not src_gate.is_combinational:
+                    continue
+                if must_root(src) or src in absorbed:
+                    continue
+                src_support, _ = cones[src]
+                merged = list(dict.fromkeys(
+                    [s for s in support if s != src] + src_support
+                ))
+                if len(merged) > k:
+                    continue
+                if best is None or len(merged) < len(best_support):
+                    best = src
+                    best_support = merged
+            if best is None:
+                break
+            absorbed.add(best)
+            _, src_gates = cones.pop(best)
+            gates |= src_gates
+            support = best_support
+        cones[name] = (support, gates)
+
+    luts: List[Lut] = list(const_luts)
+    for root, (support, gates) in cones.items():
+        if root in absorbed:
+            continue
+        mask = _cone_mask(netlist, root, support, gates, order_index)
+        luts.append(Lut(root=root, support=support, mask=mask, gates=gates))
+    return luts

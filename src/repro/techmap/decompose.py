@@ -1,0 +1,76 @@
+"""Fan-in decomposition: rewrite wide gates as trees of <= k-input gates.
+
+LUT covering works on bounded-fan-in networks.  Wide symmetric gates
+(AND/OR/XOR and their complements) decompose into balanced trees of the
+non-inverting base operation with the inversion applied only at the tree
+root, which preserves functionality exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+#: For each decomposable type: (base associative op for internal nodes,
+#: root op that realises the original function over the subtree results).
+_DECOMPOSE_RULES: Dict[GateType, tuple] = {
+    GateType.AND: (GateType.AND, GateType.AND),
+    GateType.OR: (GateType.OR, GateType.OR),
+    GateType.XOR: (GateType.XOR, GateType.XOR),
+    GateType.NAND: (GateType.AND, GateType.NAND),
+    GateType.NOR: (GateType.OR, GateType.NOR),
+    GateType.XNOR: (GateType.XOR, GateType.XNOR),
+}
+
+
+def decompose_netlist(netlist: Netlist, max_fanin: int = 4) -> Netlist:
+    """Return a functionally equivalent netlist with all gate fan-ins <= ``max_fanin``.
+
+    Gate and net names of the original netlist are preserved; helper nodes
+    get ``<name>__dcN`` names.  Raises ``ValueError`` for wide gates of a
+    type without a decomposition rule (there are none among the primitives).
+    """
+    if max_fanin < 2:
+        raise ValueError("max_fanin must be >= 2")
+    result = Netlist(netlist.name)
+    for gate in netlist.gates():
+        if gate.gtype is GateType.INPUT:
+            result.add_input(gate.name)
+            continue
+        if len(gate.fanin) <= max_fanin:
+            result.add_gate(gate.name, gate.gtype, list(gate.fanin))
+            continue
+        rule = _DECOMPOSE_RULES.get(gate.gtype)
+        if rule is None:
+            raise ValueError(
+                f"gate {gate.name!r} of type {gate.gtype.value} has fanin "
+                f"{len(gate.fanin)} and no decomposition rule"
+            )
+        base_op, root_op = rule
+        counter = 0
+
+        def reduce_level(sources: List[str]) -> List[str]:
+            """One tree level: group sources into max_fanin-ary base nodes."""
+            nonlocal counter
+            grouped: List[str] = []
+            for i in range(0, len(sources), max_fanin):
+                chunk = sources[i : i + max_fanin]
+                if len(chunk) == 1:
+                    grouped.append(chunk[0])
+                    continue
+                node = f"{gate.name}__dc{counter}"
+                counter += 1
+                result.add_gate(node, base_op, chunk)
+                grouped.append(node)
+            return grouped
+
+        sources = list(gate.fanin)
+        while len(sources) > max_fanin:
+            sources = reduce_level(sources)
+        result.add_gate(gate.name, root_op, sources)
+    for po in netlist.outputs:
+        result.add_output(po)
+    result.check()
+    return result

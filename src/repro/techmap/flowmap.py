@@ -1,0 +1,279 @@
+"""FlowMap: depth-optimal LUT covering (Cong & Ding, 1994).
+
+An alternative to the area-greedy cover of :mod:`repro.techmap.cover`.
+FlowMap computes, for every node of a K-bounded network, the minimum
+possible LUT depth (its *label*) together with a K-feasible cut realizing
+it, via max-flow on the node's fan-in cone:
+
+* ``label(source) = 0`` for PIs, DFF outputs and constants;
+* for a gate v with cone-maximum label p, ``label(v) = p`` iff the cone
+  has a K-feasible node cut once v and every label-p node are collapsed
+  into the sink (checked with unit-capacity node-split max-flow, aborted
+  at K+1); otherwise ``label(v) = p + 1`` with the trivial cut fanin(v).
+
+The mapping phase walks back from the outputs instantiating one LUT per
+needed node from its stored cut; unlike the duplication-free greedy cover,
+cones may overlap (logic is duplicated), the price FlowMap pays for depth
+optimality.  The result plugs into the same packing/CLB pipeline, giving
+the mapper ablation in ``benchmarks/bench_ablation_mapper.py``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+from repro.techmap.cover import Lut, _cone_mask
+
+
+def _is_source(netlist: Netlist, name: str) -> bool:
+    gate = netlist.gate(name)
+    return not gate.is_combinational
+
+
+def _cone_of(netlist: Netlist, root: str) -> Tuple[List[str], Set[str]]:
+    """Internal (combinational) nodes and source nodes of root's fan-in cone."""
+    internal: List[str] = []
+    sources: Set[str] = set()
+    seen: Set[str] = set()
+    stack = [root]
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        if name != root and _is_source(netlist, name):
+            sources.add(name)
+            continue
+        internal.append(name)
+        stack.extend(netlist.gate(name).fanin)
+    return internal, sources
+
+
+class _FlowNetwork:
+    """Unit-capacity node-split flow network for the K-feasible-cut test."""
+
+    def __init__(self) -> None:
+        self.adj: List[List[int]] = []  # adjacency: edge indices
+        self.to: List[int] = []
+        self.cap: List[int] = []
+
+    def add_node(self) -> int:
+        self.adj.append([])
+        return len(self.adj) - 1
+
+    def add_edge(self, u: int, v: int, cap: int) -> None:
+        self.adj[u].append(len(self.to))
+        self.to.append(v)
+        self.cap.append(cap)
+        self.adj[v].append(len(self.to))
+        self.to.append(u)
+        self.cap.append(0)
+
+    def max_flow(self, s: int, t: int, limit: int) -> int:
+        """BFS augmenting paths, stopping once flow exceeds ``limit``."""
+        flow = 0
+        while flow <= limit:
+            parent_edge = [-1] * len(self.adj)
+            parent_edge[s] = -2
+            queue = deque([s])
+            while queue and parent_edge[t] == -1:
+                u = queue.popleft()
+                for eid in self.adj[u]:
+                    v = self.to[eid]
+                    if parent_edge[v] == -1 and self.cap[eid] > 0:
+                        parent_edge[v] = eid
+                        queue.append(v)
+            if parent_edge[t] == -1:
+                break
+            v = t
+            while v != s:
+                eid = parent_edge[v]
+                self.cap[eid] -= 1
+                self.cap[eid ^ 1] += 1
+                v = self.to[eid ^ 1]
+            flow += 1
+        return flow
+
+    def reachable_from(self, s: int) -> Set[int]:
+        seen = {s}
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for eid in self.adj[u]:
+                v = self.to[eid]
+                if v not in seen and self.cap[eid] > 0:
+                    seen.add(v)
+                    queue.append(v)
+        return seen
+
+
+def _k_feasible_cut(
+    netlist: Netlist,
+    root: str,
+    internal: Sequence[str],
+    sources: Set[str],
+    labels: Dict[str, int],
+    p: int,
+    k: int,
+) -> Optional[List[str]]:
+    """The FlowMap cut test: a <= k node cut with v + label-p nodes collapsed.
+
+    Returns the cut's node names (the LUT inputs) or None.
+    """
+    collapsed: Set[str] = {root}
+    for name in internal:
+        if name != root and labels[name] == p:
+            collapsed.add(name)
+    # Every node of the cone except the collapsed sink gets split in/out.
+    members = [n for n in internal if n not in collapsed]
+    members.extend(sources - collapsed)
+    index: Dict[str, int] = {}
+    net = _FlowNetwork()
+    s = net.add_node()
+    t = net.add_node()
+    for name in members:
+        n_in = net.add_node()
+        n_out = net.add_node()
+        index[name] = n_in
+        net.add_edge(n_in, n_out, 1)
+    big = len(members) + k + 2
+
+    def out_of(name: str) -> int:
+        return index[name] + 1
+
+    cone_set = set(internal) | sources
+    for name in internal:
+        for src in netlist.gate(name).fanin:
+            if src not in cone_set:
+                continue
+            dst = t if name in collapsed else index[name]
+            if src in collapsed:
+                # label-p node feeding a non-collapsed node cannot happen in
+                # a legal cone (labels are monotone), but guard anyway.
+                continue
+            net.add_edge(out_of(src), dst, big)
+    for name in sources:
+        if name in collapsed:
+            continue
+        net.add_edge(s, index[name], big)
+
+    flow = net.max_flow(s, t, k)
+    if flow > k:
+        return None
+    reach = net.reachable_from(s)
+    cut: List[str] = []
+    for name in members:
+        n_in = index[name]
+        if n_in in reach and (n_in + 1) not in reach:
+            cut.append(name)
+    return cut
+
+
+def flowmap_cover(netlist: Netlist, k: int = 5) -> Tuple[List[Lut], Dict[str, int]]:
+    """Depth-optimal covering; returns (LUTs, labels of mapped roots).
+
+    The netlist must be K-bounded (fan-ins <= k); run
+    :func:`repro.techmap.decompose.decompose_netlist` first.
+    """
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    order = netlist.topological_order()
+    order_index = {name: i for i, name in enumerate(order)}
+    labels: Dict[str, int] = {}
+    cuts: Dict[str, List[str]] = {}
+    const_luts: List[Lut] = []
+
+    for name in order:
+        gate = netlist.gate(name)
+        if gate.gtype in (GateType.CONST0, GateType.CONST1):
+            labels[name] = 0
+            const_luts.append(
+                Lut(
+                    root=name,
+                    support=[],
+                    mask=1 if gate.gtype is GateType.CONST1 else 0,
+                    gates={name},
+                )
+            )
+            continue
+        if not gate.is_combinational:
+            labels[name] = 0
+            continue
+        if len(gate.fanin) > k:
+            raise ValueError(
+                f"gate {name!r} has fanin {len(gate.fanin)} > k={k}; "
+                "run decompose_netlist first"
+            )
+        internal, sources = _cone_of(netlist, name)
+        p = max(
+            (labels[u] for u in internal if u != name),
+            default=0,
+        )
+        cut = _k_feasible_cut(netlist, name, internal, sources, labels, p, k)
+        if cut is not None:
+            labels[name] = max(p, 1)
+            cuts[name] = cut
+        else:
+            labels[name] = p + 1
+            cuts[name] = list(dict.fromkeys(gate.fanin))
+
+    # ---- mapping phase: instantiate LUTs for needed roots ----------------
+    needed: Set[str] = set()
+    queue: List[str] = []
+    for po in netlist.outputs:
+        if po in netlist and netlist.gate(po).is_combinational:
+            queue.append(po)
+    for ff in netlist.dffs:
+        d_net = netlist.gate(ff).fanin[0]
+        if d_net in netlist and netlist.gate(d_net).is_combinational:
+            queue.append(d_net)
+    luts: List[Lut] = list(const_luts)
+    while queue:
+        root = queue.pop()
+        if root in needed:
+            continue
+        needed.add(root)
+        gate = netlist.gate(root)
+        if gate.gtype in (GateType.CONST0, GateType.CONST1):
+            continue
+        support = cuts[root]
+        # Cone gates between the cut and the root.
+        gates: Set[str] = set()
+        stack = [root]
+        support_set = set(support)
+        while stack:
+            u = stack.pop()
+            if u in support_set or u in gates:
+                continue
+            if u != root and _is_source(netlist, u):
+                continue
+            gates.add(u)
+            stack.extend(netlist.gate(u).fanin)
+        mask = _cone_mask(netlist, root, list(support), gates, order_index)
+        luts.append(Lut(root=root, support=list(support), mask=mask, gates=gates))
+        for u in support:
+            if u in netlist and netlist.gate(u).is_combinational:
+                queue.append(u)
+    return luts, labels
+
+
+def lut_depth(luts: Sequence[Lut], netlist: Netlist) -> int:
+    """LUT-level depth of a mapping (cells on the longest source-to-root path)."""
+    by_root = {lut.root: lut for lut in luts}
+    depth: Dict[str, int] = {}
+
+    def depth_of(root: str) -> int:
+        if root not in by_root:
+            return 0
+        if root in depth:
+            return depth[root]
+        depth[root] = 0  # cycle guard for registered feedback
+        lut = by_root[root]
+        value = 1 + max((depth_of(s) for s in lut.support), default=0)
+        depth[root] = value
+        return value
+
+    return max((depth_of(lut.root) for lut in luts), default=0)

@@ -1,0 +1,217 @@
+"""CLB packing: flip-flop merging and LUT pairing (XC3000 rules).
+
+An XC3000 CLB offers a 32-bit function generator usable as either one
+function of up to 5 variables or two functions of up to 4 variables each
+drawn from 5 distinct CLB inputs, plus two flip-flops driving the X/Y
+outputs.  Packing therefore has two steps:
+
+1. **FF merge** -- a D flip-flop absorbs the LUT computing its D input when
+   that LUT has no other reader; otherwise the FF becomes a pass-through
+   (identity) function so it can still share a CLB.
+2. **LUT pairing** -- two functions may share one CLB when each has <= 4
+   inputs and their combined distinct input count is <= 5.  Pairing is a
+   greedy maximum-sharing matching, which maximizes input overlap between
+   CLB outputs -- precisely the structure functional replication exploits.
+
+The output is a list of :class:`CellSpec` (1 CLB each) consumed by
+:mod:`repro.techmap.mapped`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+from repro.techmap.cover import Lut
+
+
+@dataclass
+class FunctionSpec:
+    """One single-output function destined for a CLB slot."""
+
+    output: str
+    support: List[str]
+    mask: int
+    registered: bool
+
+
+@dataclass
+class CellSpec:
+    """One packed CLB: one or two functions."""
+
+    functions: List[FunctionSpec]
+
+    @property
+    def inputs(self) -> List[str]:
+        merged: List[str] = []
+        for fn in self.functions:
+            for net in fn.support:
+                if net not in merged:
+                    merged.append(net)
+        return merged
+
+    @property
+    def outputs(self) -> List[str]:
+        return [fn.output for fn in self.functions]
+
+
+def _functions_from_mapping(netlist: Netlist, luts: Sequence[Lut]) -> List[FunctionSpec]:
+    """Merge DFFs with their driving LUTs; emit one FunctionSpec per output net."""
+    lut_by_root: Dict[str, Lut] = {lut.root: lut for lut in luts}
+
+    # Readers of each net after covering: LUT supports, DFF data pins, POs.
+    readers: Dict[str, int] = defaultdict(int)
+    for lut in luts:
+        for net in lut.support:
+            readers[net] += 1
+    dff_names = netlist.dffs
+    for ff in dff_names:
+        readers[netlist.gate(ff).fanin[0]] += 1
+    for po in netlist.outputs:
+        readers[po] += 1
+
+    consumed: Set[str] = set()
+    functions: List[FunctionSpec] = []
+    for ff in dff_names:
+        d_net = netlist.gate(ff).fanin[0]
+        lut = lut_by_root.get(d_net)
+        if lut is not None and readers[d_net] == 1 and d_net not in netlist.outputs:
+            # The D-input cone is private to this FF: register the cone.
+            consumed.add(d_net)
+            functions.append(
+                FunctionSpec(output=ff, support=list(lut.support), mask=lut.mask, registered=True)
+            )
+        else:
+            # Shared D net (or PI/PO): pass-through register.
+            functions.append(
+                FunctionSpec(output=ff, support=[d_net], mask=0b10, registered=True)
+            )
+    for lut in luts:
+        if lut.root in consumed:
+            continue
+        functions.append(
+            FunctionSpec(
+                output=lut.root, support=list(lut.support), mask=lut.mask, registered=False
+            )
+        )
+    return functions
+
+
+def pack_cells(
+    netlist: Netlist,
+    luts: Sequence[Lut],
+    max_cell_inputs: int = 5,
+    max_function_inputs: int = 4,
+    pair: bool = True,
+) -> List[CellSpec]:
+    """Pack LUTs (+ FFs) of a covered netlist into CLB cells.
+
+    Parameters
+    ----------
+    netlist:
+        The decomposed gate netlist the LUTs cover (provides DFF and PO info).
+    luts:
+        Output of :func:`repro.techmap.cover.cover_netlist`.
+    max_cell_inputs:
+        Distinct inputs allowed per CLB (5 on XC3000).
+    max_function_inputs:
+        Inputs allowed per function when two functions share a CLB (4 on
+        XC3000).
+    pair:
+        Disable to get one cell per function (useful for ablations: disables
+        multi-output cells and hence functional replication's advantage).
+    """
+    functions = _functions_from_mapping(netlist, luts)
+    if not pair:
+        return [CellSpec([fn]) for fn in functions]
+
+    # Index candidate partners by support net for fast sharing lookups.
+    by_net: Dict[str, List[int]] = defaultdict(list)
+    for idx, fn in enumerate(functions):
+        for net in fn.support:
+            by_net[net].append(idx)
+
+    paired: List[Optional[int]] = [None] * len(functions)
+    done: List[bool] = [False] * len(functions)
+    # Visit large-support functions first: they are the hardest to place.
+    visit_order = sorted(
+        range(len(functions)), key=lambda i: -len(functions[i].support)
+    )
+    for idx in visit_order:
+        if done[idx]:
+            continue
+        fn = functions[idx]
+        if len(fn.support) > max_function_inputs:
+            done[idx] = True  # must occupy a CLB alone (5-input function)
+            continue
+        support = set(fn.support)
+        best_j = -1
+        best_key: Tuple[int, int] = (-1, max_cell_inputs + 1)
+        candidates: Set[int] = set()
+        for net in fn.support:
+            candidates.update(by_net[net])
+        for j in candidates:
+            if j == idx or done[j]:
+                continue
+            other = functions[j]
+            if len(other.support) > max_function_inputs:
+                continue
+            union = support | set(other.support)
+            if len(union) > max_cell_inputs:
+                continue
+            shared = len(support) + len(other.support) - len(union)
+            key = (shared, -len(union))
+            if key > best_key:
+                best_key = key
+                best_j = j
+        if best_j >= 0:
+            paired[idx] = best_j
+            paired[best_j] = idx
+            done[idx] = done[best_j] = True
+        else:
+            done[idx] = True
+
+    # Second chance for loners: pair zero-sharing small functions (the CLB
+    # allows it as long as the union fits), which mirrors area-driven packing.
+    loners = [
+        i
+        for i in range(len(functions))
+        if paired[i] is None and len(functions[i].support) <= max_function_inputs
+    ]
+    loners.sort(key=lambda i: len(functions[i].support))
+    used: Set[int] = set()
+    for a_pos in range(len(loners)):
+        i = loners[a_pos]
+        if i in used:
+            continue
+        # Bounded scan keeps this pass linear; distant loners in the
+        # size-sorted order almost never fit together anyway.
+        for b_pos in range(a_pos + 1, min(a_pos + 400, len(loners))):
+            j = loners[b_pos]
+            if j in used:
+                continue
+            union = set(functions[i].support) | set(functions[j].support)
+            if len(union) <= max_cell_inputs:
+                paired[i] = j
+                paired[j] = i
+                used.add(i)
+                used.add(j)
+                break
+
+    cells: List[CellSpec] = []
+    emitted: Set[int] = set()
+    for idx, fn in enumerate(functions):
+        if idx in emitted:
+            continue
+        partner = paired[idx]
+        if partner is None or partner in emitted:
+            cells.append(CellSpec([fn]))
+            emitted.add(idx)
+        else:
+            cells.append(CellSpec([fn, functions[partner]]))
+            emitted.add(idx)
+            emitted.add(partner)
+    return cells

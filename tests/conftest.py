@@ -1,0 +1,112 @@
+"""Shared fixtures and builders for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.hypergraph.build import build_hypergraph
+from repro.hypergraph.hypergraph import Hypergraph, NodeKind
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+from repro.techmap.mapped import technology_map
+
+
+@pytest.fixture
+def tiny_netlist() -> Netlist:
+    """A 5-gate combinational circuit used across parser/mapper tests."""
+    n = Netlist("tiny")
+    for pi in ("a", "b", "c", "d"):
+        n.add_input(pi)
+    n.add_gate("g1", GateType.AND, ["a", "b"])
+    n.add_gate("g2", GateType.OR, ["c", "d"])
+    n.add_gate("g3", GateType.XOR, ["g1", "g2"])
+    n.add_gate("g4", GateType.NAND, ["g1", "c"])
+    n.add_gate("g5", GateType.NOT, ["g3"])
+    n.add_output("g4")
+    n.add_output("g5")
+    n.check()
+    return n
+
+
+@pytest.fixture
+def seq_netlist() -> Netlist:
+    """A small sequential circuit (2-bit counter with enable)."""
+    n = Netlist("seq")
+    n.add_input("en")
+    n.add_gate("t0", GateType.XOR, ["q0", "en"])
+    n.add_gate("c0", GateType.AND, ["q0", "en"])
+    n.add_gate("t1", GateType.XOR, ["q1", "c0"])
+    n.add_gate("q0", GateType.DFF, ["t0"])
+    n.add_gate("q1", GateType.DFF, ["t1"])
+    n.add_output("q0")
+    n.add_output("q1")
+    n.check()
+    return n
+
+
+@pytest.fixture(scope="session")
+def small_mapped():
+    """A mapped mid-size benchmark shared by partitioning tests."""
+    netlist = benchmark_circuit("s5378", scale=0.12, seed=7)
+    return technology_map(netlist)
+
+
+@pytest.fixture(scope="session")
+def small_hg(small_mapped):
+    return build_hypergraph(small_mapped, include_terminals=False)
+
+
+@pytest.fixture(scope="session")
+def small_hg_terms(small_mapped):
+    return build_hypergraph(small_mapped, include_terminals=True)
+
+
+def make_cell_hypergraph(spec, nets_extra=()):
+    """Build a hypergraph from a compact spec for gain-model tests.
+
+    ``spec`` is a list of cell dicts::
+
+        {"name": "m", "inputs": ["n1", "n2"], "outputs": ["n3", "n4"],
+         "supports": [(0, 1), (1,)]}
+
+    Nets are created on demand; ``nets_extra`` names nets that should exist
+    even if no listed cell touches them.
+    """
+    hg = Hypergraph("case")
+    nets = {}
+
+    def net_of(name):
+        if name not in nets:
+            nets[name] = hg.add_net(name)
+        return nets[name]
+
+    for cell in spec:
+        node = hg.add_node(cell["name"], NodeKind.CELL)
+        for net in cell["inputs"]:
+            hg.connect_input(node, net_of(net))
+        for net in cell["outputs"]:
+            hg.connect_output(node, net_of(net))
+        node.supports = [tuple(s) for s in cell.get(
+            "supports", [tuple(range(len(cell["inputs"])))] * len(cell["outputs"])
+        )]
+    for name in nets_extra:
+        net_of(name)
+    return hg
+
+
+def random_small_netlist(seed: int, n_gates: int = 40) -> Netlist:
+    """A random valid netlist for property-based tests."""
+    from repro.netlist.generate import random_logic
+
+    rng = random.Random(seed)
+    return random_logic(
+        f"rand{seed}",
+        n_gates=n_gates,
+        n_inputs=rng.randint(3, 8),
+        n_outputs=rng.randint(2, 6),
+        seed=seed,
+        cluster_size=rng.choice([8, 16, 32]),
+    )

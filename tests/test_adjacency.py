@@ -1,0 +1,80 @@
+"""Tests for binary adjacency vectors (the paper's three operations)."""
+
+import pytest
+
+from repro.replication.adjacency import norm, vand, vector, vnot, vor
+
+
+def test_vector_validation():
+    assert vector([1, 0, 1]) == (1, 0, 1)
+    with pytest.raises(ValueError):
+        vector([2, 0])
+
+
+def test_complementation_paper_example():
+    # Section II: not([1,1,0]) = [0,0,1].
+    assert vnot((1, 1, 0)) == (0, 0, 1)
+
+
+def test_and_paper_example():
+    # Section II: [1,1,0,...] AND [0,0,0,1,1] -> product vector.
+    a_x = (1, 1, 1, 1, 0)
+    a_x2 = (0, 0, 0, 1, 1)
+    assert vand(a_x, a_x2) == (0, 0, 0, 1, 0)
+
+
+def test_norm_paper_example():
+    # Section II: |A_X2| for [0,0,0,1,1] equals 2.
+    assert norm((0, 0, 0, 1, 1)) == 2
+
+
+def test_and_multiple():
+    assert vand((1, 1, 1), (1, 1, 0), (1, 0, 1)) == (1, 0, 0)
+
+
+def test_or():
+    assert vor((1, 0, 0), (0, 0, 1)) == (1, 0, 1)
+
+
+def test_double_complement_identity():
+    v = (1, 0, 1, 1, 0)
+    assert vnot(vnot(v)) == v
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        vand((1, 0), (1, 0, 1))
+    with pytest.raises(ValueError):
+        vor((1,), (1, 0))
+
+
+def test_empty_operations_rejected():
+    with pytest.raises(ValueError):
+        vand()
+    with pytest.raises(ValueError):
+        vor()
+
+
+def test_de_morgan():
+    a = (1, 0, 1, 0)
+    b = (1, 1, 0, 0)
+    assert vnot(vand(a, b)) == vor(vnot(a), vnot(b))
+
+
+def test_norm_of_complement():
+    v = (1, 0, 1, 1, 0)
+    assert norm(v) + norm(vnot(v)) == len(v)
+
+
+def test_and_idempotent():
+    v = (1, 0, 1)
+    assert vand(v, v) == v
+
+
+def test_or_with_zero_identity():
+    v = (1, 0, 1)
+    assert vor(v, (0, 0, 0)) == v
+
+
+def test_and_absorbs_zero():
+    assert vand((1, 1, 1), (0, 0, 0)) == (0, 0, 0)

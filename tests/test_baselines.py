@@ -1,0 +1,82 @@
+"""Tests for the spectral and simulated-annealing baseline partitioners."""
+
+import pytest
+
+from repro.hypergraph.metrics import cut_size, partition_clb_sizes
+from repro.partition.annealing import AnnealingConfig, annealing_bipartition
+from repro.partition.fm import FMConfig, fm_bipartition
+from repro.partition.spectral import SpectralConfig, spectral_bipartition
+from tests.conftest import make_cell_hypergraph
+from tests.test_fm import _two_cliques
+
+
+class TestSpectral:
+    def test_finds_clique_structure(self):
+        hg = _two_cliques()
+        result = spectral_bipartition(hg, SpectralConfig(refine_with_fm=False))
+        assert result.cut_size <= 2  # near-optimal without refinement
+        sizes = partition_clb_sizes(hg, result.assignment)
+        assert sizes[0] == sizes[1] == 4
+
+    def test_cut_reported_correctly(self, small_hg):
+        result = spectral_bipartition(small_hg, SpectralConfig(seed=1))
+        assert cut_size(small_hg, result.assignment) == result.cut_size
+
+    def test_fiedler_value_nonnegative(self, small_hg):
+        result = spectral_bipartition(small_hg, SpectralConfig(refine_with_fm=False))
+        assert result.fiedler_value >= -1e-9
+
+    def test_refinement_helps_or_ties(self, small_hg):
+        raw = spectral_bipartition(small_hg, SpectralConfig(refine_with_fm=False))
+        refined = spectral_bipartition(small_hg, SpectralConfig(refine_with_fm=True))
+        assert refined.cut_size <= raw.cut_size
+
+    def test_size_guard(self, small_hg):
+        with pytest.raises(ValueError, match="guard"):
+            spectral_bipartition(small_hg, SpectralConfig(max_cells=10))
+
+    def test_terminals_assigned(self, small_hg_terms):
+        result = spectral_bipartition(small_hg_terms, SpectralConfig(seed=2))
+        for node in small_hg_terms.nodes:
+            assert result.assignment[node.index] in (0, 1)
+
+    def test_trivial_graph(self):
+        hg = make_cell_hypergraph(
+            [{"name": "a", "inputs": [], "outputs": ["n"], "supports": [()]}]
+        )
+        result = spectral_bipartition(hg)
+        assert result.cut_size == 0
+
+
+class TestAnnealing:
+    def test_finds_clique_bridge(self):
+        hg = _two_cliques()
+        result = annealing_bipartition(hg, AnnealingConfig(seed=2))
+        assert result.cut_size <= 3
+
+    def test_balanced(self, small_hg):
+        config = AnnealingConfig(seed=1, balance_tolerance=0.05)
+        result = annealing_bipartition(small_hg, config)
+        sizes = partition_clb_sizes(small_hg, result.assignment)
+        total = small_hg.total_clb_weight()
+        assert abs(sizes.get(0, 0) - total / 2) <= max(1, 0.05 * total) + 1
+
+    def test_cut_reported_correctly(self, small_hg):
+        result = annealing_bipartition(small_hg, AnnealingConfig(seed=3))
+        assert cut_size(small_hg, result.assignment) == result.cut_size
+
+    def test_deterministic(self, small_hg):
+        a = annealing_bipartition(small_hg, AnnealingConfig(seed=9))
+        b = annealing_bipartition(small_hg, AnnealingConfig(seed=9))
+        assert a.assignment == b.assignment
+
+    def test_progress_counters(self, small_hg):
+        result = annealing_bipartition(small_hg, AnnealingConfig(seed=1))
+        assert result.temperature_steps > 10
+        assert result.accepted_moves > 0
+
+    def test_competitive_with_fm(self, small_hg):
+        # SA is a sanity baseline: within 2x of FM on small graphs.
+        fm = fm_bipartition(small_hg, FMConfig(seed=1)).cut_size
+        sa = annealing_bipartition(small_hg, AnnealingConfig(seed=1)).cut_size
+        assert sa <= max(2 * fm, fm + 20)

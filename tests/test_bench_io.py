@@ -1,0 +1,94 @@
+"""Tests for the ISCAS .bench reader/writer."""
+
+import pytest
+
+from repro.netlist.bench_io import (
+    BenchParseError,
+    dumps_bench,
+    load_bench,
+    loads_bench,
+    save_bench,
+)
+from repro.netlist.gates import GateType
+
+SAMPLE = """
+# a tiny sample
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+OUTPUT(q)
+n1 = NAND(a, b)
+y = NOT(n1)
+q = DFF(y)
+"""
+
+
+class TestParse:
+    def test_basic_parse(self):
+        n = loads_bench(SAMPLE, "sample")
+        assert n.inputs == ["a", "b"]
+        assert n.outputs == ["y", "q"]
+        assert n.gate("n1").gtype is GateType.NAND
+        assert n.gate("q").gtype is GateType.DFF
+
+    def test_case_insensitive_types(self):
+        n = loads_bench("INPUT(a)\nOUTPUT(y)\ny = nand(a, a)\n")
+        assert n.gate("y").gtype is GateType.NAND
+
+    def test_aliases(self):
+        n = loads_bench(
+            "INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\ny = INV(a)\nz = BUFF(a)\n"
+        )
+        assert n.gate("y").gtype is GateType.NOT
+        assert n.gate("z").gtype is GateType.BUF
+
+    def test_comments_and_blanks_ignored(self):
+        n = loads_bench("# c\n\nINPUT(a)\n  # indented comment\nOUTPUT(a)\n")
+        assert n.inputs == ["a"]
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(BenchParseError, match="unknown gate type"):
+            loads_bench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(BenchParseError, match="unparseable"):
+            loads_bench("INPUT(a)\nwhat is this\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(BenchParseError) as err:
+            loads_bench("INPUT(a)\n\nbad line\n")
+        assert err.value.lineno == 3
+
+    def test_duplicate_gate_rejected(self):
+        with pytest.raises(BenchParseError):
+            loads_bench("INPUT(a)\na = NOT(a)\n")
+
+    def test_missing_driver_rejected(self):
+        with pytest.raises(ValueError):
+            loads_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(ghost)\n")
+
+
+class TestRoundTrip:
+    def test_dump_parse_identity(self, tiny_netlist):
+        text = dumps_bench(tiny_netlist)
+        again = loads_bench(text, tiny_netlist.name)
+        assert again.inputs == tiny_netlist.inputs
+        assert again.outputs == tiny_netlist.outputs
+        assert set(again.gate_names()) == set(tiny_netlist.gate_names())
+
+    def test_roundtrip_preserves_function(self, seq_netlist):
+        again = loads_bench(dumps_bench(seq_netlist))
+        vecs = [{"en": 1}] * 5
+        assert again.simulate(vecs) == seq_netlist.simulate(vecs)
+
+    def test_file_roundtrip(self, tiny_netlist, tmp_path):
+        path = str(tmp_path / "tiny.bench")
+        save_bench(tiny_netlist, path)
+        again = load_bench(path)
+        assert again.name == "tiny"
+        assert set(again.gate_names()) == set(tiny_netlist.gate_names())
+
+    def test_load_uses_filename_as_default_name(self, tiny_netlist, tmp_path):
+        path = str(tmp_path / "mycircuit.bench")
+        save_bench(tiny_netlist, path)
+        assert load_bench(path).name == "mycircuit"

@@ -1,0 +1,84 @@
+"""Tests for the named DAC'94 benchmark suite."""
+
+import pytest
+
+from repro.netlist.benchmarks import (
+    BENCHMARK_NAMES,
+    COMBINATIONAL_NAMES,
+    PROFILES,
+    SEQUENTIAL_NAMES,
+    benchmark_circuit,
+    benchmark_suite,
+)
+from repro.netlist.validate import validate_netlist
+
+
+def test_all_nine_circuits_present():
+    assert len(BENCHMARK_NAMES) == 9
+    assert set(COMBINATIONAL_NAMES) | set(SEQUENTIAL_NAMES) == set(BENCHMARK_NAMES)
+
+
+def test_paper_table_order():
+    assert BENCHMARK_NAMES[:4] == ("c3540", "c5315", "c6288", "c7552")
+    assert BENCHMARK_NAMES[4:] == ("s5378", "s9234", "s13207", "s15850", "s38584")
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_circuit_valid_at_small_scale(name):
+    n = benchmark_circuit(name, scale=0.1)
+    report = validate_netlist(n, strict=False)
+    assert report.ok, report.errors[:3]
+
+
+@pytest.mark.parametrize("name", ["c3540", "s5378"])
+def test_deterministic(name):
+    a = benchmark_circuit(name, scale=0.15, seed=11)
+    b = benchmark_circuit(name, scale=0.15, seed=11)
+    assert [repr(g) for g in a.gates()] == [repr(g) for g in b.gates()]
+
+
+def test_published_profiles_at_full_scale():
+    # Spot-check the published ISCAS counts are honoured (PI/DFF are exact,
+    # gate counts approximate for the structural multiplier).
+    n = benchmark_circuit("s5378", scale=1.0)
+    assert len(n.inputs) == PROFILES["s5378"].n_inputs
+    assert len(n.dffs) == PROFILES["s5378"].n_dff
+
+
+def test_combinational_have_no_dffs():
+    for name in COMBINATIONAL_NAMES:
+        assert PROFILES[name].n_dff == 0
+
+
+def test_sequential_have_dffs():
+    n = benchmark_circuit("s9234", scale=0.1)
+    assert len(n.dffs) > 0
+
+
+def test_scale_shrinks_circuit():
+    small = benchmark_circuit("c7552", scale=0.1)
+    large = benchmark_circuit("c7552", scale=0.3)
+    assert len(small) < len(large)
+
+
+def test_multiplier_is_structural():
+    n = benchmark_circuit("c6288", scale=1.0)
+    assert len(n.inputs) == 32
+    assert n.name == "c6288"
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(KeyError):
+        benchmark_circuit("c17")
+
+
+def test_bad_scale_rejected():
+    with pytest.raises(ValueError):
+        benchmark_circuit("c3540", scale=0.0)
+    with pytest.raises(ValueError):
+        benchmark_circuit("c3540", scale=1.5)
+
+
+def test_suite_builder():
+    suite = benchmark_suite(scale=0.05)
+    assert set(suite) == set(BENCHMARK_NAMES)

@@ -1,0 +1,118 @@
+"""Tests for the BLIF (subset) reader/writer."""
+
+import itertools
+
+import pytest
+
+from repro.netlist.blif_io import BlifParseError, dumps_blif, loads_blif
+from repro.netlist.gates import GateType
+
+SAMPLE = """
+.model demo
+.inputs a b c
+.outputs y q
+.names a b t1
+11 1
+.names t1 c y
+1- 1
+-1 1
+.latch y q 0
+.end
+"""
+
+
+class TestParse:
+    def test_model_name(self):
+        assert loads_blif(SAMPLE).name == "demo"
+
+    def test_io(self):
+        n = loads_blif(SAMPLE)
+        assert n.inputs == ["a", "b", "c"]
+        assert n.outputs == ["y", "q"]
+
+    def test_and_cover_recognized(self):
+        n = loads_blif(SAMPLE)
+        out = n.simulate([{"a": 1, "b": 1, "c": 0}])[0]
+        assert out["y"] == 1
+
+    def test_latch(self):
+        n = loads_blif(SAMPLE)
+        assert n.gate("q").gtype is GateType.DFF
+        outs = n.simulate([{"a": 1, "b": 1, "c": 0}] * 2)
+        assert outs[0]["q"] == 0 and outs[1]["q"] == 1
+
+    def test_constant_cells(self):
+        n = loads_blif(".model k\n.outputs one zero\n.names one\n1\n.names zero\n.end\n")
+        out = n.simulate([{}])[0]
+        assert out == {"one": 1, "zero": 0}
+
+    def test_offset_cover(self):
+        # f = NOT(a AND b) expressed through the off-set.
+        text = ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n"
+        n = loads_blif(text)
+        for a, b in itertools.product((0, 1), repeat=2):
+            out = n.simulate([{"a": a, "b": b}])[0]
+            assert out["y"] == (0 if (a and b) else 1)
+
+    def test_continuation_lines(self):
+        text = ".model m\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n"
+        n = loads_blif(text)
+        assert n.inputs == ["a", "b"]
+
+    def test_dont_care_cubes(self):
+        text = ".model m\n.inputs a b c\n.outputs y\n.names a b c y\n1-- 1\n-11 1\n.end\n"
+        n = loads_blif(text)
+        for a, b, c in itertools.product((0, 1), repeat=3):
+            out = n.simulate([{"a": a, "b": b, "c": c}])[0]
+            assert out["y"] == int(bool(a or (b and c)))
+
+    def test_unsupported_directive_rejected(self):
+        with pytest.raises(BlifParseError):
+            loads_blif(".model m\n.gate NAND2 a=x b=y O=z\n.end\n")
+
+    def test_cube_outside_names_rejected(self):
+        with pytest.raises(BlifParseError):
+            loads_blif(".model m\n11 1\n.end\n")
+
+    def test_mixed_onoff_cover_rejected(self):
+        with pytest.raises(BlifParseError):
+            loads_blif(".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n0 0\n.end\n")
+
+
+class TestRoundTrip:
+    def test_netlist_to_blif_and_back(self, tiny_netlist):
+        text = dumps_blif(tiny_netlist)
+        again = loads_blif(text)
+        vec = {"a": 1, "b": 0, "c": 1, "d": 0}
+        assert again.simulate([vec])[0] == tiny_netlist.simulate([vec])[0]
+
+    def test_sequential_roundtrip(self, seq_netlist):
+        again = loads_blif(dumps_blif(seq_netlist))
+        vecs = [{"en": 1}] * 5
+        assert again.simulate(vecs) == seq_netlist.simulate(vecs)
+
+    def test_all_gate_types_roundtrip(self):
+        from repro.netlist.netlist import Netlist
+
+        n = Netlist("all")
+        for pi in ("a", "b", "c"):
+            n.add_input(pi)
+        gates = [
+            ("t_and", GateType.AND),
+            ("t_or", GateType.OR),
+            ("t_nand", GateType.NAND),
+            ("t_nor", GateType.NOR),
+            ("t_xor", GateType.XOR),
+            ("t_xnor", GateType.XNOR),
+        ]
+        for name, gtype in gates:
+            n.add_gate(name, gtype, ["a", "b", "c"])
+            n.add_output(name)
+        n.add_gate("t_not", GateType.NOT, ["a"])
+        n.add_output("t_not")
+        n.add_gate("t_buf", GateType.BUF, ["b"])
+        n.add_output("t_buf")
+        again = loads_blif(dumps_blif(n))
+        for a, b, c in itertools.product((0, 1), repeat=3):
+            vec = {"a": a, "b": b, "c": c}
+            assert again.simulate([vec])[0] == n.simulate([vec])[0]

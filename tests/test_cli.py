@@ -1,0 +1,143 @@
+"""Smoke tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_stats_benchmark(capsys):
+    assert main(["stats", "c6288", "--scale", "0.15", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["name"] == "c6288"
+    assert data["gates"] > 0
+
+
+def test_stats_bench_file(capsys, tmp_path, tiny_netlist):
+    from repro.netlist.bench_io import save_bench
+
+    path = str(tmp_path / "tiny.bench")
+    save_bench(tiny_netlist, path)
+    assert main(["stats", path]) == 0
+    assert "gates" in capsys.readouterr().out
+
+
+def test_unknown_circuit_rejected():
+    with pytest.raises(SystemExit):
+        main(["stats", "c17"])
+
+
+def test_map_command(capsys):
+    assert main(["map", "c6288", "--scale", "0.15", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["#CLBs"] > 0
+    assert "multi_output_cells" in data
+
+
+def test_bipartition_command(capsys):
+    assert (
+        main(
+            [
+                "bipartition",
+                "s5378",
+                "--scale",
+                "0.08",
+                "--runs",
+                "2",
+                "--json",
+            ]
+        )
+        == 0
+    )
+    data = json.loads(capsys.readouterr().out)
+    assert data["best_cut"] >= 0
+    assert data["runs"] == 2
+
+
+def test_bipartition_fm_only(capsys):
+    assert (
+        main(
+            [
+                "bipartition",
+                "s5378",
+                "--scale",
+                "0.08",
+                "--algorithm",
+                "fm",
+                "--runs",
+                "2",
+            ]
+        )
+        == 0
+    )
+    assert "best cut" in capsys.readouterr().out
+
+
+def test_partition_command(capsys):
+    assert (
+        main(
+            [
+                "partition",
+                "s5378",
+                "--scale",
+                "0.12",
+                "--threshold",
+                "1",
+                "--solutions",
+                "1",
+                "--json",
+            ]
+        )
+        == 0
+    )
+    data = json.loads(capsys.readouterr().out)
+    assert data["k"] >= 1
+    assert data["total_cost"] > 0
+
+
+def test_experiment_table1(capsys):
+    assert main(["experiment", "table1"]) == 0
+    assert "XC3090" in capsys.readouterr().out
+
+
+def test_experiment_table2(capsys):
+    assert (
+        main(["experiment", "table2", "--scale", "0.1", "--circuits", "c6288"]) == 0
+    )
+    assert "#CLBs" in capsys.readouterr().out
+
+
+def test_experiment_figure3(capsys):
+    assert (
+        main(["experiment", "figure3", "--scale", "0.1", "--circuits", "c6288"]) == 0
+    )
+    assert "psi" in capsys.readouterr().out
+
+
+def test_analyze_command(capsys):
+    assert main(["analyze", "c6288", "--scale", "0.15", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["circuit"] == "c6288"
+    assert "rent_exponent" in data
+    assert "psi_distribution" in data
+
+
+def test_partition_verify_flag(capsys):
+    rc = main(
+        [
+            "partition",
+            "s5378",
+            "--scale",
+            "0.1",
+            "--threshold",
+            "1",
+            "--solutions",
+            "1",
+            "--verify",
+            "--json",
+        ]
+    )
+    data = json.loads(capsys.readouterr().out)
+    assert data["violations"] == []
+    assert rc == 0

@@ -1,0 +1,65 @@
+"""Tests for the objective functions (eqs. 1 and 2)."""
+
+import pytest
+
+from repro.partition.cost import BlockUsage, SolutionCost, solution_cost
+from repro.partition.devices import XC3000_LIBRARY
+
+D20 = XC3000_LIBRARY["XC3020"]
+D90 = XC3000_LIBRARY["XC3090"]
+
+
+def test_eq1_total_cost():
+    sol = solution_cost([(D20, 50, 40), (D20, 55, 30), (D90, 300, 100)])
+    assert sol.total_cost == 100 + 100 + 370
+    assert sol.device_counts == {"XC3020": 2, "XC3090": 1}
+    assert sol.k == 3
+
+
+def test_eq2_iob_utilization():
+    sol = solution_cost([(D20, 50, 32), (D90, 300, 72)])
+    # sum t_Pj / sum t_i n_i = (32 + 72) / (64 + 144) = 0.5
+    assert sol.avg_iob_utilization == pytest.approx(0.5)
+
+
+def test_clb_utilization():
+    sol = solution_cost([(D20, 32, 10), (D90, 160, 10)])
+    assert sol.avg_clb_utilization == pytest.approx((32 + 160) / (64 + 320))
+
+
+def test_block_usage():
+    block = BlockUsage(device=D20, clbs=32, terminals=64)
+    assert block.clb_utilization == 0.5
+    assert block.iob_utilization == 1.0
+    assert block.feasible
+
+
+def test_feasibility_propagates():
+    good = solution_cost([(D20, 50, 40)])
+    assert good.feasible
+    bad = solution_cost([(D20, 50, 100)])  # terminal overflow
+    assert not bad.feasible
+
+
+def test_objective_key_ordering():
+    cheap = solution_cost([(D20, 50, 40)])
+    pricey = solution_cost([(D90, 50, 40)])
+    assert cheap.objective_key() < pricey.objective_key()
+    # Equal cost: lower interconnect wins.
+    tight = solution_cost([(D20, 50, 10)])
+    loose = solution_cost([(D20, 50, 60)])
+    assert tight.objective_key() < loose.objective_key()
+
+
+def test_empty_solution():
+    sol = SolutionCost()
+    assert sol.total_cost == 0
+    assert sol.avg_iob_utilization == 0.0
+    assert sol.feasible
+
+
+def test_summary_fields():
+    data = solution_cost([(D20, 50, 40)]).summary()
+    assert data["k"] == 1
+    assert data["cost"] == 100
+    assert "avg_iob_util" in data

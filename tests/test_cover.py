@@ -1,0 +1,155 @@
+"""Tests for LUT covering."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+from repro.techmap.cover import Lut, cover_netlist
+from repro.techmap.decompose import decompose_netlist
+from tests.conftest import random_small_netlist
+
+
+def _cover(netlist, k=5):
+    return cover_netlist(decompose_netlist(netlist, max_fanin=min(4, k - 1)), k=k)
+
+
+class TestCoverInvariants:
+    def test_every_gate_covered_exactly_once(self, tiny_netlist):
+        luts = _cover(tiny_netlist)
+        covered = [g for lut in luts for g in lut.gates]
+        logic = set(tiny_netlist.logic_gates)
+        assert set(covered) == logic
+        assert len(covered) == len(logic)  # duplication-free
+
+    def test_support_bound(self, tiny_netlist):
+        for lut in _cover(tiny_netlist):
+            assert lut.k <= 5
+
+    def test_roots_include_pos(self, tiny_netlist):
+        roots = {lut.root for lut in _cover(tiny_netlist)}
+        for po in tiny_netlist.outputs:
+            assert po in roots
+
+    def test_roots_include_dff_inputs(self, seq_netlist):
+        luts = cover_netlist(seq_netlist)
+        roots = {lut.root for lut in luts}
+        for ff in seq_netlist.dffs:
+            d_net = seq_netlist.gate(ff).fanin[0]
+            assert d_net in roots
+
+    def test_multifanout_nets_are_roots(self, tiny_netlist):
+        # g1 feeds g3 and g4 so it must survive as a LUT root.
+        roots = {lut.root for lut in _cover(tiny_netlist)}
+        assert "g1" in roots
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_circuits_cover_cleanly(self, seed):
+        netlist = random_small_netlist(seed, n_gates=60)
+        decomposed = decompose_netlist(netlist)
+        luts = cover_netlist(decomposed)
+        covered = [g for lut in luts for g in lut.gates]
+        assert len(covered) == len(set(covered))
+        assert set(covered) == set(decomposed.logic_gates)
+        for lut in luts:
+            assert lut.k <= 5
+            assert len(set(lut.support)) == lut.k
+
+    def test_wide_gate_rejected_without_decompose(self):
+        n = Netlist("wide")
+        pis = [f"i{k}" for k in range(8)]
+        for pi in pis:
+            n.add_input(pi)
+        n.add_gate("y", GateType.AND, pis)
+        n.add_output("y")
+        with pytest.raises(ValueError, match="decompose"):
+            cover_netlist(n, k=5)
+
+    def test_k_too_small_rejected(self, tiny_netlist):
+        with pytest.raises(ValueError):
+            cover_netlist(tiny_netlist, k=1)
+
+
+class TestLutFunction:
+    def test_masks_match_simulation(self, tiny_netlist):
+        decomposed = decompose_netlist(tiny_netlist)
+        luts = cover_netlist(decomposed)
+        # Evaluate the full circuit on random vectors, then check each LUT
+        # reproduces its root's value from its support values.
+        rng = random.Random(0)
+        order = decomposed.topological_order()
+        for _ in range(12):
+            vec = {pi: rng.randrange(2) for pi in decomposed.inputs}
+            values = {}
+            for name in order:
+                gate = decomposed.gate(name)
+                if gate.gtype is GateType.INPUT:
+                    values[name] = vec[name]
+                else:
+                    from repro.netlist.gates import evaluate_gate
+
+                    values[name] = evaluate_gate(
+                        gate.gtype, [values[f] for f in gate.fanin]
+                    )
+            for lut in luts:
+                got = lut.evaluate([values[s] for s in lut.support])
+                assert got == values[lut.root], lut.root
+
+    def test_lut_evaluate_arity_check(self):
+        lut = Lut(root="r", support=["a", "b"], mask=0b1000, gates={"r"})
+        with pytest.raises(ValueError):
+            lut.evaluate([1])
+
+    def test_constant_gates_become_zero_input_luts(self):
+        n = Netlist("const")
+        n.add_gate("one", GateType.CONST1)
+        n.add_input("a")
+        n.add_gate("y", GateType.AND, ["a", "one"])
+        n.add_output("y")
+        luts = cover_netlist(n)
+        const_luts = [l for l in luts if l.root == "one"]
+        assert len(const_luts) == 1
+        assert const_luts[0].k == 0
+        assert const_luts[0].mask == 1
+
+    def test_absorption_reduces_lut_count(self):
+        # A chain of single-fanout gates should collapse into few LUTs.
+        n = Netlist("chain")
+        n.add_input("a")
+        n.add_input("b")
+        prev = "a"
+        for i in range(6):
+            name = f"g{i}"
+            n.add_gate(name, GateType.AND, [prev, "b"])
+            prev = name
+        n.add_output(prev)
+        luts = cover_netlist(n)
+        assert len(luts) < 6
+
+
+class TestCoverEdgeCases:
+    def test_pure_dff_chain(self):
+        # Shift register: every D net is a pass-through; no logic LUTs.
+        n = Netlist("shift")
+        n.add_input("d")
+        prev = "d"
+        for i in range(4):
+            n.add_gate(f"q{i}", GateType.DFF, [prev])
+            prev = f"q{i}"
+        n.add_output(prev)
+        luts = cover_netlist(n)
+        assert luts == []
+
+    def test_fanout_to_po_and_gate(self):
+        # A net that is both a PO and an internal fanout must stay a root.
+        n = Netlist("pofan")
+        n.add_input("a")
+        n.add_input("b")
+        n.add_gate("mid", GateType.AND, ["a", "b"])
+        n.add_gate("top", GateType.NOT, ["mid"])
+        n.add_output("mid")
+        n.add_output("top")
+        roots = {l.root for l in cover_netlist(n)}
+        assert {"mid", "top"} <= roots

@@ -1,0 +1,142 @@
+"""Tests for the device library (Table I)."""
+
+import pytest
+
+from repro.partition.devices import Device, DeviceLibrary, XC3000_LIBRARY
+
+
+class TestDevice:
+    def test_fits_window(self):
+        dev = Device("D", clbs=100, terminals=80, price=10, util_lower=0.5, util_upper=0.9)
+        assert dev.min_clbs == 50
+        assert dev.max_clbs == 90
+        assert dev.fits(70, 80)
+        assert not dev.fits(49, 10)  # under lower utilization bound
+        assert not dev.fits(91, 10)  # over upper utilization bound
+        assert not dev.fits(70, 81)  # too many terminals
+
+    def test_cost_per_clb(self):
+        dev = Device("D", clbs=100, terminals=80, price=150)
+        assert dev.cost_per_clb == 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Device("D", clbs=0, terminals=80, price=1)
+        with pytest.raises(ValueError):
+            Device("D", clbs=10, terminals=0, price=1)
+        with pytest.raises(ValueError):
+            Device("D", clbs=10, terminals=8, price=-1)
+        with pytest.raises(ValueError):
+            Device("D", clbs=10, terminals=8, price=1, util_lower=0.9, util_upper=0.5)
+
+
+class TestLibrary:
+    def test_sorted_by_size(self):
+        sizes = [d.clbs for d in XC3000_LIBRARY]
+        assert sizes == sorted(sizes)
+
+    def test_lookup(self):
+        assert XC3000_LIBRARY["XC3090"].clbs == 320
+        with pytest.raises(KeyError):
+            XC3000_LIBRARY["XC9999"]
+
+    def test_largest_smallest(self):
+        assert XC3000_LIBRARY.largest.name == "XC3090"
+        assert XC3000_LIBRARY.smallest.name == "XC3020"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceLibrary([])
+
+    def test_duplicate_names_rejected(self):
+        dev = Device("D", clbs=10, terminals=8, price=1)
+        with pytest.raises(ValueError):
+            DeviceLibrary([dev, Device("D", clbs=20, terminals=8, price=2)])
+
+    def test_cheapest_fit(self):
+        dev = XC3000_LIBRARY.cheapest_fit(50, 40)
+        assert dev is not None
+        assert dev.name == "XC3020"
+
+    def test_cheapest_fit_respects_terminals(self):
+        dev = XC3000_LIBRARY.cheapest_fit(50, 100)
+        assert dev is not None
+        assert dev.terminals >= 100
+
+    def test_no_fit_returns_none(self):
+        assert XC3000_LIBRARY.cheapest_fit(10_000, 10) is None
+        assert XC3000_LIBRARY.cheapest_fit(10, 10_000) is None
+
+    def test_feasible_devices_sorted_by_price(self):
+        fits = XC3000_LIBRARY.feasible_devices(60, 60)
+        prices = [d.price for d in fits]
+        assert prices == sorted(prices)
+
+    def test_lower_bound_cost_monotone(self):
+        lb1 = XC3000_LIBRARY.lower_bound_cost(100)
+        lb2 = XC3000_LIBRARY.lower_bound_cost(200)
+        assert lb2 > lb1 > 0
+
+
+class TestXC3000Economics:
+    def test_paper_table1_property(self):
+        """Unit cost per CLB strictly decreases with device size (Table I)."""
+        rates = [d.cost_per_clb for d in XC3000_LIBRARY]
+        assert all(a > b for a, b in zip(rates, rates[1:]))
+
+    def test_capacities_match_datasheet(self):
+        expected = {
+            "XC3020": (64, 64),
+            "XC3030": (100, 80),
+            "XC3042": (144, 96),
+            "XC3064": (224, 120),
+            "XC3090": (320, 144),
+        }
+        for dev in XC3000_LIBRARY:
+            assert (dev.clbs, dev.terminals) == expected[dev.name]
+
+
+class TestLibraryEdgeCases:
+    def test_iteration_and_len(self):
+        assert len(XC3000_LIBRARY) == 5
+        names = [d.name for d in XC3000_LIBRARY]
+        assert names[0] == "XC3020" and names[-1] == "XC3090"
+
+    def test_min_clbs_with_lower_bound(self):
+        dev = Device("D", clbs=100, terminals=50, price=1, util_lower=0.33)
+        assert dev.min_clbs == 33
+
+    def test_fits_boundary_values(self):
+        dev = Device("D", clbs=100, terminals=50, price=1,
+                     util_lower=0.5, util_upper=0.9)
+        assert dev.fits(50, 50)
+        assert dev.fits(90, 50)
+        assert not dev.fits(50, 51)
+
+
+class TestXC4000Library:
+    def test_importable(self):
+        from repro.partition.devices import XC4000_LIBRARY
+
+        assert len(XC4000_LIBRARY) == 5
+        assert XC4000_LIBRARY.largest.name == "XC4010"
+
+    def test_economics(self):
+        from repro.partition.devices import XC4000_LIBRARY
+
+        rates = [d.cost_per_clb for d in XC4000_LIBRARY]
+        assert all(a > b for a, b in zip(rates, rates[1:]))
+
+    def test_usable_in_kway(self):
+        from repro.netlist.benchmarks import benchmark_circuit
+        from repro.partition.devices import XC4000_LIBRARY
+        from repro.partition.kway import KWayConfig, partition_heterogeneous
+        from repro.techmap.mapped import technology_map
+
+        mapped = technology_map(benchmark_circuit("c6288", scale=0.3, seed=3))
+        sol = partition_heterogeneous(
+            mapped,
+            KWayConfig(library=XC4000_LIBRARY, threshold=1, seed=1, seeds_per_carve=1),
+        )
+        assert sol.k >= 1
+        assert set(sol.cost.device_counts) <= {d.name for d in XC4000_LIBRARY}

@@ -1,0 +1,161 @@
+"""Tests for the experiment harness (paper tables/figures)."""
+
+import pytest
+
+from repro.experiments import figure3, table1, table2, table3, tables4to7
+from repro.experiments.common import TableResult, load_suite
+from repro.partition.devices import XC3000_LIBRARY
+
+CIRCUITS = ("c6288", "s5378")
+SCALE = 0.1
+
+
+class TestCommon:
+    def test_suite_loading_and_memoization(self):
+        a = load_suite(CIRCUITS, SCALE, seed=3)
+        b = load_suite(CIRCUITS, SCALE, seed=3)
+        assert [sc.name for sc in a] == list(CIRCUITS)
+        assert a[0].mapped is b[0].mapped  # memoized
+
+    def test_table_render(self):
+        table = TableResult("T", ["a", "b"], [[1, 2.5], ["x", "y"]], notes=["n"])
+        text = table.text()
+        assert "T" in text and "2.50" in text and "note: n" in text
+
+    def test_row_dict(self):
+        table = TableResult("T", ["a", "b"], [[1, 2]])
+        assert table.row_dict() == [{"a": 1, "b": 2}]
+
+
+class TestTable1:
+    def test_five_devices(self):
+        result = table1.run()
+        assert len(result.rows) == len(XC3000_LIBRARY)
+        assert result.headers[0] == "Device"
+
+
+class TestTable2:
+    def test_columns(self):
+        result = table2.run(CIRCUITS, SCALE)
+        assert result.headers == ["Circuit", "#CLBs", "#IOBs", "#DFF", "#NETs", "#PINs"]
+        assert len(result.rows) == len(CIRCUITS)
+        for row in result.rows:
+            assert row[1] > 0  # CLBs
+
+    def test_sequential_has_dffs(self):
+        result = table2.run(("s5378",), SCALE)
+        assert result.rows[0][3] > 0
+
+
+class TestFigure3:
+    def test_fractions_sum_to_100(self):
+        result = figure3.run(CIRCUITS, SCALE)
+        for row in result.rows:
+            assert sum(row[2:]) == pytest.approx(100.0, abs=0.5)
+
+    def test_histogram_render(self):
+        dist = figure3.distributions(("c6288",), SCALE)[0]
+        text = figure3.ascii_histogram(dist)
+        assert "c6288" in text and "%" in text
+
+    def test_majority_replicable(self):
+        # The paper's headline: most cells have psi >= 1.
+        result = figure3.run(CIRCUITS, SCALE)
+        for row in result.rows:
+            single, multi_zero = row[2], row[3]
+            assert single + multi_zero < 60.0
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table3.run(CIRCUITS, SCALE, runs=3)
+
+    def test_shape(self, result):
+        assert len(result.rows) == len(CIRCUITS) + 1  # + Avg row
+        assert result.rows[-1][0] == "Avg"
+
+    def test_replication_reduces_cut(self, result):
+        avg_row = result.rows[-1]
+        assert avg_row[-1] > 0  # average avg-cut reduction positive
+
+    def test_best_leq_avg(self, result):
+        for row in result.rows[:-1]:
+            assert row[1] <= row[2]  # FM best <= FM avg
+            assert row[3] <= row[4]  # FR best <= FR avg
+
+
+class TestTables4to7:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return tables4to7.sweep(
+            ("s5378",), 0.25, seed=3, n_solutions=1, seeds_per_carve=2
+        )
+
+    def test_sweep_keys(self, data):
+        thresholds = {t for _, t in data}
+        assert thresholds == set(tables4to7.DEFAULT_THRESHOLDS)
+
+    def test_baseline_no_replication(self, data):
+        assert data[("s5378", tables4to7.INF)].replicated_fraction == 0.0
+
+    def test_table4(self, data):
+        result = tables4to7.table4(data, 0.25)
+        assert result.rows[-1][0] == "Avg"
+        assert "T=0 %" in result.headers
+
+    def test_table5(self, data):
+        result = tables4to7.table5(data, 0.25)
+        assert "Util in [3] %" in result.headers
+        for row in result.rows:
+            assert row[1] >= 0
+
+    def test_table6(self, data):
+        result = tables4to7.table6(data, 0.25)
+        base = result.rows[0][1]
+        assert base > 0
+
+    def test_table7(self, data):
+        result = tables4to7.table7(data, 0.25)
+        assert "T=1 red %" in result.headers
+
+    def test_run_all(self):
+        tables = tables4to7.run_all(
+            ("s5378",), 0.25, seed=3, n_solutions=1, seeds_per_carve=2
+        )
+        assert len(tables) == 4
+        titles = [t.title for t in tables]
+        assert any("Table IV" in t for t in titles)
+        assert any("Table VII" in t for t in titles)
+
+
+class TestDeviceDistribution:
+    def test_table_from_synthetic_reports(self):
+        from repro.core.results import KWayReport
+
+        def report(name, t, k, devices):
+            return KWayReport(
+                circuit=name,
+                threshold=t,
+                k=k,
+                total_cost=100.0,
+                device_counts=devices,
+                avg_clb_utilization=0.8,
+                avg_iob_utilization=0.6,
+                replicated_fraction=0.0 if t == float("inf") else 0.05,
+                n_cells=100,
+                n_instances=105,
+                feasible=True,
+                elapsed_seconds=1.0,
+            )
+
+        data = {
+            ("x", float("inf")): report("x", float("inf"), 3, {"XC3090": 3}),
+            ("x", 1.0): report("x", 1.0, 3, {"XC3064": 2, "XC3090": 1}),
+        }
+        result = tables4to7.device_distribution_table(data, 1.0)
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        assert row[0] == "x"
+        assert "3090" in str(row[2])
+        assert "3064" in str(row[4])

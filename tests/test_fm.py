@@ -1,0 +1,113 @@
+"""Tests for the classic FM bipartitioner."""
+
+import pytest
+
+from repro.hypergraph.metrics import cut_size, partition_clb_sizes
+from repro.partition.fm import FMConfig, FMResult, best_of_runs, fm_bipartition
+from tests.conftest import make_cell_hypergraph
+
+
+def _two_cliques():
+    """Two 4-cell cliques joined by a single bridge net: optimal cut = 1."""
+    spec = []
+    for side, prefix in enumerate(("l", "r")):
+        for i in range(4):
+            inputs = [f"{prefix}{j}" for j in range(4) if j != i]
+            spec.append(
+                {
+                    "name": f"{prefix}c{i}",
+                    "inputs": inputs,
+                    "outputs": [f"{prefix}{i}"],
+                    "supports": [tuple(range(len(inputs)))],
+                }
+            )
+    # bridge: cell lc0's output l0 read by rc0 via an extra pin.
+    hg = make_cell_hypergraph(spec)
+    bridge = hg.nets[hg.net_index("l0")]
+    rc0 = next(n for n in hg.nodes if n.name == "rc0")
+    hg.connect_input(rc0, bridge)
+    rc0.supports = [tuple(range(len(rc0.input_nets)))]
+    return hg
+
+
+class TestOnCliques:
+    def test_finds_the_bridge_cut(self):
+        hg = _two_cliques()
+        result = fm_bipartition(hg, FMConfig(seed=1))
+        assert result.cut_size == 1
+        assert cut_size(hg, result.assignment) == 1
+
+    def test_balanced(self):
+        hg = _two_cliques()
+        result = fm_bipartition(hg, FMConfig(seed=1))
+        sizes = partition_clb_sizes(hg, result.assignment)
+        assert sizes[0] == sizes[1] == 4
+
+
+class TestInvariants:
+    def test_reported_cut_matches_metric(self, small_hg):
+        for seed in range(4):
+            result = fm_bipartition(small_hg, FMConfig(seed=seed))
+            assert cut_size(small_hg, result.assignment) == result.cut_size
+
+    def test_never_worse_than_initial(self, small_hg):
+        for seed in range(4):
+            result = fm_bipartition(small_hg, FMConfig(seed=seed))
+            assert result.cut_size <= result.initial_cut
+
+    def test_balance_tolerance_respected(self, small_hg):
+        tol = 0.02
+        total = small_hg.total_clb_weight()
+        slack = max(1, int(tol * total))
+        result = fm_bipartition(small_hg, FMConfig(seed=2, balance_tolerance=tol))
+        sizes = partition_clb_sizes(small_hg, result.assignment)
+        assert abs(sizes.get(0, 0) - total / 2) <= slack + 1
+
+    def test_deterministic(self, small_hg):
+        a = fm_bipartition(small_hg, FMConfig(seed=5))
+        b = fm_bipartition(small_hg, FMConfig(seed=5))
+        assert a.assignment == b.assignment
+        assert a.cut_size == b.cut_size
+
+    def test_seed_variation(self, small_hg):
+        cuts = {fm_bipartition(small_hg, FMConfig(seed=s)).cut_size for s in range(6)}
+        assert len(cuts) >= 2  # randomized starts explore different optima
+
+    def test_pass_gains_monotone_stop(self, small_hg):
+        result = fm_bipartition(small_hg, FMConfig(seed=0))
+        assert result.pass_gains[-1] <= 0
+        for g in result.pass_gains[:-1]:
+            assert g > 0
+
+
+class TestConstraints:
+    def test_side0_bounds(self, small_hg):
+        total = small_hg.total_clb_weight()
+        lo, hi = total // 4, total // 3
+        result = fm_bipartition(
+            small_hg, FMConfig(seed=3, side0_bounds=(lo, hi))
+        )
+        sizes = partition_clb_sizes(small_hg, result.assignment)
+        assert lo <= sizes.get(0, 0) <= hi
+
+    def test_fixed_nodes_stay(self, small_hg):
+        fixed = {0: 1, 1: 0}
+        result = fm_bipartition(small_hg, FMConfig(seed=3, fixed=fixed))
+        assert result.assignment[0] == 1
+        assert result.assignment[1] == 0
+
+    def test_initial_assignment_honoured(self, small_hg):
+        initial = [i % 2 for i in range(len(small_hg.nodes))]
+        result = fm_bipartition(small_hg, FMConfig(seed=0, max_passes=0), initial=initial)
+        assert result.assignment == initial
+
+    def test_initial_length_checked(self, small_hg):
+        with pytest.raises(ValueError):
+            fm_bipartition(small_hg, FMConfig(seed=0), initial=[0])
+
+
+class TestBestOfRuns:
+    def test_best_is_min(self, small_hg):
+        best, cuts = best_of_runs(small_hg, 5, FMConfig(seed=1))
+        assert best.cut_size == min(cuts)
+        assert len(cuts) == 5

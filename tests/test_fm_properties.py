@@ -1,0 +1,63 @@
+"""Property-based tests for the plain FM engine's gain bookkeeping."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph.metrics import cut_size
+from repro.partition.fm import FMConfig, _FMState, fm_bipartition
+from tests.test_gain_model import _random_hypergraph
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 10**9))
+def test_gain_equals_cut_delta(seed):
+    """state.gain(v) must equal the exact cut change of moving v."""
+    rng = random.Random(seed)
+    hg = _random_hypergraph(rng)
+    state = _FMState(hg, FMConfig(seed=seed % 1009), None)
+    for v in range(len(hg.nodes)):
+        gain = state.gain(v)
+        before = state.cut_size()
+        state.apply(v)
+        after = state.cut_size()
+        assert before - after == gain, v
+        state.apply(v)  # restore
+        assert state.cut_size() == before
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10**9))
+def test_final_cut_matches_metrics(seed):
+    rng = random.Random(seed)
+    hg = _random_hypergraph(rng)
+    result = fm_bipartition(hg, FMConfig(seed=seed % 1009))
+    assert cut_size(hg, result.assignment) == result.cut_size
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10**9))
+def test_fm_never_worse_than_initial(seed):
+    rng = random.Random(seed)
+    hg = _random_hypergraph(rng)
+    result = fm_bipartition(hg, FMConfig(seed=seed % 1009))
+    assert result.cut_size <= result.initial_cut
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10**9))
+def test_state_counts_consistent(seed):
+    """Pin counts stay consistent with the side assignment after moves."""
+    rng = random.Random(seed)
+    hg = _random_hypergraph(rng)
+    state = _FMState(hg, FMConfig(seed=1), None)
+    nodes = list(range(len(hg.nodes)))
+    rng.shuffle(nodes)
+    for v in nodes[: len(nodes) // 2]:
+        state.apply(v)
+    for net_idx, net in enumerate(hg.nets):
+        expect = [0, 0]
+        for node, _, _ in net.pins:
+            expect[state.side[node]] += 1
+        assert state.counts[net_idx] == expect

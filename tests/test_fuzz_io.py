@@ -1,0 +1,96 @@
+"""Failure injection and fuzzing for the netlist parsers.
+
+The parsers are the library's untrusted-input boundary; they must reject
+malformed input with a clear exception and never crash with anything else
+(no IndexError/KeyError leaks), and valid output must always round-trip.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist.bench_io import BenchParseError, dumps_bench, loads_bench
+from repro.netlist.blif_io import BlifParseError, dumps_blif, loads_blif
+from tests.conftest import random_small_netlist
+
+_ACCEPTABLE = (BenchParseError, BlifParseError, ValueError, KeyError)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(max_size=300))
+def test_bench_parser_never_crashes_unexpectedly(text):
+    try:
+        loads_bench(text)
+    except _ACCEPTABLE:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(max_size=300))
+def test_blif_parser_never_crashes_unexpectedly(text):
+    try:
+        loads_blif(text)
+    except _ACCEPTABLE:
+        pass
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.sampled_from(
+            [
+                "INPUT(a)",
+                "INPUT(b)",
+                "OUTPUT(y)",
+                "y = AND(a, b)",
+                "y = AND(a)",
+                "z = NOT(a)",
+                "w = DFF(z)",
+                "# comment",
+                "",
+                "y = FROB(a)",
+                "garbage",
+            ]
+        ),
+        max_size=12,
+    )
+)
+def test_bench_parser_structured_fuzz(lines):
+    try:
+        netlist = loads_bench("\n".join(lines))
+    except _ACCEPTABLE:
+        return
+    # If parsing succeeded the netlist must satisfy its own invariants and
+    # serialize to something that parses back identically.
+    again = loads_bench(dumps_bench(netlist))
+    assert set(again.gate_names()) == set(netlist.gate_names())
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_netlists_roundtrip_both_formats(seed):
+    netlist = random_small_netlist(seed, n_gates=30)
+    rng = random.Random(seed)
+    vec = {pi: rng.randrange(2) for pi in netlist.inputs}
+    expected = netlist.simulate([vec])[0]
+    via_bench = loads_bench(dumps_bench(netlist))
+    assert via_bench.simulate([vec])[0] == expected
+    via_blif = loads_blif(dumps_blif(netlist))
+    assert via_blif.simulate([vec])[0] == expected
+
+
+def test_truncated_bench_file():
+    with pytest.raises(_ACCEPTABLE):
+        loads_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a,")
+
+
+def test_bench_crlf_and_whitespace():
+    text = "INPUT(a)\r\n  OUTPUT( y )\r\n y = NOT( a )\r\n"
+    netlist = loads_bench(text)
+    assert netlist.outputs == ["y"]
+
+
+def test_blif_empty_model():
+    netlist = loads_blif(".model empty\n.end\n")
+    assert len(netlist) == 0

@@ -1,0 +1,177 @@
+"""Property-based cross-validation: closed-form gains vs. engine deltas.
+
+For randomly generated pin-level hypergraphs and random partition states,
+the closed-form expressions of :mod:`repro.replication.gains` (eqs. 7-11)
+must equal the engine's ground-truth cut delta for every move they model.
+This is the central correctness argument of the reproduction: the paper's
+unified cost model and our move semantics are the same object.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph.hypergraph import Hypergraph, NodeKind
+from repro.partition.fm_replication import (
+    FUNCTIONAL,
+    TRADITIONAL,
+    ReplicationConfig,
+    ReplicationEngine,
+)
+from repro.replication.gains import (
+    gain_functional_output,
+    gain_single_move,
+    gain_traditional_replication,
+)
+
+
+def _random_hypergraph(rng: random.Random) -> Hypergraph:
+    """A random DAG-ish pin-level hypergraph of 1/2-output cells."""
+    hg = Hypergraph("prop")
+    n_cells = rng.randint(3, 10)
+    output_nets = []  # nets available as input sources
+    nodes = []
+    for c in range(n_cells):
+        node = hg.add_node(f"c{c}", NodeKind.CELL)
+        nodes.append(node)
+        n_outputs = rng.choice((1, 2, 2))
+        n_inputs = rng.randint(0, min(5, len(output_nets)))
+        sources = rng.sample(output_nets, n_inputs) if n_inputs else []
+        for net in sources:
+            hg.connect_input(node, net)
+        outs = []
+        for o in range(n_outputs):
+            net = hg.add_net(f"n{c}_{o}")
+            hg.connect_output(node, net)
+            outs.append(net)
+        # Random supports covering every input at least once.
+        supports = [set() for _ in range(n_outputs)]
+        for pin in range(n_inputs):
+            owners = rng.sample(range(n_outputs), rng.randint(1, n_outputs))
+            for o in owners:
+                supports[o].add(pin)
+        node.supports = [tuple(sorted(s)) for s in supports]
+        output_nets.extend(outs)
+    # Add a couple of extra sink pins so nets have varied degrees.
+    for _ in range(rng.randint(0, 2 * n_cells)):
+        node = rng.choice(nodes)
+        net = rng.choice(output_nets)
+        if net in node.output_nets:
+            continue
+        pin = hg.connect_input(node, net)
+        o = rng.randrange(node.n_outputs)
+        node.supports[o] = tuple(sorted(set(node.supports[o]) | {pin}))
+    hg.check()
+    return hg
+
+
+def _single_pin_cells(hg):
+    """Cells touching each of their nets exactly once (the formulas' domain)."""
+    result = []
+    for node in hg.nodes:
+        nets = list(node.input_nets) + list(node.output_nets)
+        if len(set(nets)) == len(nets):
+            result.append(node.index)
+    return result
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.integers(0, 10**9))
+def test_single_move_formula_matches_engine(seed):
+    rng = random.Random(seed)
+    hg = _random_hypergraph(rng)
+    sides = [rng.randrange(2) for _ in hg.nodes]
+    engine = ReplicationEngine(
+        hg, ReplicationConfig(seed=0, threshold=0, style=FUNCTIONAL), initial=sides
+    )
+    for v in _single_pin_cells(hg):
+        mv = engine.move_vectors(v)
+        assert engine.move_gain(v, 1 - engine.side[v], None) == gain_single_move(mv)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.integers(0, 10**9))
+def test_functional_formula_matches_engine(seed):
+    rng = random.Random(seed)
+    hg = _random_hypergraph(rng)
+    sides = [rng.randrange(2) for _ in hg.nodes]
+    engine = ReplicationEngine(
+        hg, ReplicationConfig(seed=0, threshold=0, style=FUNCTIONAL), initial=sides
+    )
+    checked = 0
+    for v in _single_pin_cells(hg):
+        node = hg.nodes[v]
+        if node.n_outputs < 2:
+            continue
+        mv = engine.move_vectors(v)
+        s = engine.side[v]
+        for o in range(node.n_outputs):
+            assert engine.move_gain(v, s, (s, o)) == gain_functional_output(mv, o), (
+                seed,
+                v,
+                o,
+            )
+            checked += 1
+    # (some draws have no 2-output single-pin cells; that's fine)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.integers(0, 10**9))
+def test_traditional_formula_matches_engine(seed):
+    rng = random.Random(seed)
+    hg = _random_hypergraph(rng)
+    sides = [rng.randrange(2) for _ in hg.nodes]
+    engine = ReplicationEngine(
+        hg, ReplicationConfig(seed=0, threshold=0, style=TRADITIONAL), initial=sides
+    )
+    for v in _single_pin_cells(hg):
+        mv = engine.move_vectors(v)
+        s = engine.side[v]
+        assert engine.move_gain(v, s, (s, -1)) == gain_traditional_replication(mv), (
+            seed,
+            v,
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10**9))
+def test_unreplication_gain_is_exact(seed):
+    """Unreplication gains must equal the actual cut delta (paper III.C)."""
+    rng = random.Random(seed)
+    hg = _random_hypergraph(rng)
+    sides = [rng.randrange(2) for _ in hg.nodes]
+    engine = ReplicationEngine(
+        hg, ReplicationConfig(seed=0, threshold=0, style=FUNCTIONAL), initial=sides
+    )
+    # Replicate every eligible cell, then spot-check unreplication gains.
+    for v in list(range(len(hg.nodes))):
+        node = hg.nodes[v]
+        if node.is_cell and node.n_outputs >= 2 and rng.random() < 0.5:
+            engine.set_state(v, engine.side[v], (engine.side[v], rng.randrange(node.n_outputs)))
+    for v, (s, o) in list(engine.replicas().items()):
+        for t in (0, 1):
+            gain = engine.move_gain(v, t, None)
+            before = engine.cut_size()
+            engine.set_state(v, t, None)
+            assert before - engine.cut_size() == gain
+            engine.set_state(v, s, (s, o))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10**9))
+def test_engine_counts_consistent_after_run(seed):
+    from collections import defaultdict
+
+    rng = random.Random(seed)
+    hg = _random_hypergraph(rng)
+    engine = ReplicationEngine(
+        hg, ReplicationConfig(seed=seed % 97, threshold=0, style=FUNCTIONAL)
+    )
+    engine.run()
+    counts = defaultdict(lambda: [0, 0])
+    for v in range(len(hg.nodes)):
+        for net, side, k in engine.active_pins(v):
+            counts[net][side] += k
+    for net in range(len(hg.nets)):
+        assert engine.counts[net] == counts[net]

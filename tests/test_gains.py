@@ -1,0 +1,136 @@
+"""Unit tests for the unified gain model (eqs. 7-11)."""
+
+import pytest
+
+from repro.replication.gains import (
+    MoveVectors,
+    gain_functional_output,
+    gain_functional_replication,
+    gain_single_move,
+    gain_traditional_replication,
+    make_move_vectors,
+)
+
+#: The paper's worked example (Section III / Figure 4): the Figure 2 cell
+#: (5 inputs, 2 outputs, A_X1 = 11110, A_X2 = 00011) with input nets 4 and 5
+#: and output net X2 in the cut, everything critical.
+PAPER_MV = make_move_vectors(
+    a=[(1, 1, 1, 1, 0), (0, 0, 0, 1, 1)],
+    ci=(0, 0, 0, 1, 1),
+    qi=(1, 1, 1, 1, 1),
+    co=(0, 1),
+    qo=(1, 1),
+)
+
+
+class TestPaperNumbers:
+    def test_eq7_single_move(self):
+        # Paper: G_m = (2+1) - (3+1) = -1.
+        assert gain_single_move(PAPER_MV) == -1
+
+    def test_eq8_traditional(self):
+        # Paper: G_tr = (2+1) - 5 = -2.
+        assert gain_traditional_replication(PAPER_MV) == -2
+
+    def test_eq9_output1(self):
+        # Paper: G_X1 = -4.
+        assert gain_functional_output(PAPER_MV, 0) == -4
+
+    def test_eq10_output2(self):
+        # Paper: G_X2 = +2 (cut shrinks from 3 to 1).
+        assert gain_functional_output(PAPER_MV, 1) == 2
+
+    def test_eq11_max(self):
+        assert gain_functional_replication(PAPER_MV) == (2, 1)
+
+
+class TestSingleMove:
+    def test_all_removals(self):
+        mv = make_move_vectors(
+            a=[(1, 1)], ci=(1, 1), qi=(1, 1), co=(1,), qo=(1,)
+        )
+        assert gain_single_move(mv) == 3
+
+    def test_all_additions(self):
+        mv = make_move_vectors(
+            a=[(1, 1)], ci=(0, 0), qi=(1, 1), co=(0,), qo=(1,)
+        )
+        assert gain_single_move(mv) == -3
+
+    def test_non_critical_nets_neutral(self):
+        mv = make_move_vectors(
+            a=[(1, 1)], ci=(1, 0), qi=(0, 0), co=(1,), qo=(0,)
+        )
+        assert gain_single_move(mv) == 0
+
+
+class TestTraditional:
+    def test_figure1_case(self):
+        # Figure 1: 3 inputs (a uncut; b, c cut), outputs X uncut, Y cut ->
+        # G_tr = (2 + 1) - 3 = 0: "no reduction in the cut set".
+        mv = make_move_vectors(
+            a=[(1, 1, 0), (0, 1, 1)],
+            ci=(0, 1, 1),
+            qi=(1, 1, 1),
+            co=(0, 1),
+            qo=(1, 1),
+        )
+        assert gain_traditional_replication(mv) == 0
+
+    def test_everything_cut_is_pure_gain(self):
+        mv = make_move_vectors(
+            a=[(1, 1)], ci=(1, 1), qi=(1, 1), co=(1,), qo=(1,)
+        )
+        assert gain_traditional_replication(mv) == 1
+
+
+class TestFunctional:
+    def test_figure1_functional_beats_traditional(self):
+        mv = make_move_vectors(
+            a=[(1, 1, 0), (0, 1, 1)],
+            ci=(0, 1, 1),
+            qi=(1, 1, 1),
+            co=(0, 1),
+            qo=(1, 1),
+        )
+        gain, output = gain_functional_replication(mv)
+        assert output == 1  # take Y across
+        assert gain == 2
+        assert gain > gain_traditional_replication(mv)
+
+    def test_shared_uncut_inputs_penalized(self):
+        # Output 1's support is entirely shared and uncut: replicating it
+        # pins every shared input on the far side.
+        mv = make_move_vectors(
+            a=[(1, 1), (1, 1)],
+            ci=(0, 0),
+            qi=(1, 1),
+            co=(0, 1),
+            qo=(1, 1),
+        )
+        assert gain_functional_output(mv, 1) == -1  # +1 output, -2 inputs
+
+    def test_single_output_rejected(self):
+        mv = make_move_vectors(a=[(1,)], ci=(0,), qi=(1,), co=(0,), qo=(1,))
+        with pytest.raises(ValueError):
+            gain_functional_replication(mv)
+
+    def test_output_index_bounds(self):
+        with pytest.raises(IndexError):
+            gain_functional_output(PAPER_MV, 2)
+
+
+class TestMoveVectorsValidation:
+    def test_length_mismatches_rejected(self):
+        with pytest.raises(ValueError):
+            MoveVectors(a=((1, 0),), ci=(0,), qi=(0, 0), co=(0,), qo=(0,))
+        with pytest.raises(ValueError):
+            MoveVectors(a=((1, 0),), ci=(0, 0), qi=(0, 0), co=(0,), qo=(0, 0))
+        with pytest.raises(ValueError):
+            MoveVectors(a=((1,),), ci=(0, 0), qi=(0, 0), co=(0,), qo=(0,))
+        with pytest.raises(ValueError):
+            MoveVectors(a=(), ci=(0, 0), qi=(0, 0), co=(0,), qo=(0,))
+
+    def test_properties(self):
+        assert PAPER_MV.n_inputs == 5
+        assert PAPER_MV.n_outputs == 2

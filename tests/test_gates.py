@@ -1,0 +1,118 @@
+"""Unit tests for the primitive gate layer."""
+
+import pytest
+
+from repro.netlist.gates import (
+    Gate,
+    GateType,
+    evaluate_gate,
+    gate_truth_table,
+)
+
+
+class TestGateType:
+    def test_combinational_classification(self):
+        assert GateType.AND.is_combinational
+        assert GateType.NOT.is_combinational
+        assert not GateType.INPUT.is_combinational
+        assert not GateType.DFF.is_combinational
+        assert not GateType.CONST0.is_combinational
+
+    def test_source_classification(self):
+        assert GateType.INPUT.is_source
+        assert GateType.CONST1.is_source
+        assert not GateType.DFF.is_source
+        assert not GateType.NAND.is_source
+
+    def test_fanin_bounds_unary(self):
+        for gtype in (GateType.NOT, GateType.BUF, GateType.DFF):
+            assert gtype.min_fanin == 1
+            assert gtype.max_fanin == 1
+
+    def test_fanin_bounds_nary(self):
+        assert GateType.AND.min_fanin == 2
+        assert GateType.XOR.max_fanin > 100
+
+    def test_fanin_bounds_sources(self):
+        assert GateType.INPUT.min_fanin == 0
+        assert GateType.INPUT.max_fanin == 0
+
+
+class TestEvaluateGate:
+    @pytest.mark.parametrize(
+        "gtype,inputs,expected",
+        [
+            (GateType.AND, (1, 1, 1), 1),
+            (GateType.AND, (1, 0, 1), 0),
+            (GateType.OR, (0, 0), 0),
+            (GateType.OR, (0, 1), 1),
+            (GateType.NAND, (1, 1), 0),
+            (GateType.NAND, (0, 1), 1),
+            (GateType.NOR, (0, 0), 1),
+            (GateType.NOR, (1, 0), 0),
+            (GateType.XOR, (1, 1, 1), 1),
+            (GateType.XOR, (1, 1), 0),
+            (GateType.XNOR, (1, 1), 1),
+            (GateType.XNOR, (1, 0), 0),
+            (GateType.NOT, (0,), 1),
+            (GateType.NOT, (1,), 0),
+            (GateType.BUF, (1,), 1),
+        ],
+    )
+    def test_truth_values(self, gtype, inputs, expected):
+        assert evaluate_gate(gtype, inputs) == expected
+
+    def test_constants_ignore_inputs(self):
+        assert evaluate_gate(GateType.CONST0, ()) == 0
+        assert evaluate_gate(GateType.CONST1, ()) == 1
+
+    def test_logic_without_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.AND, ())
+
+    def test_unevaluable_types_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.DFF, (1,))
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.INPUT, (1,))
+
+
+class TestTruthTable:
+    def test_and2(self):
+        assert gate_truth_table(GateType.AND, 2) == (0, 0, 0, 1)
+
+    def test_or2(self):
+        assert gate_truth_table(GateType.OR, 2) == (0, 1, 1, 1)
+
+    def test_xor3_parity(self):
+        table = gate_truth_table(GateType.XOR, 3)
+        for row in range(8):
+            assert table[row] == bin(row).count("1") % 2
+
+    def test_not1(self):
+        assert gate_truth_table(GateType.NOT, 1) == (1, 0)
+
+    def test_negative_fanin_rejected(self):
+        with pytest.raises(ValueError):
+            gate_truth_table(GateType.AND, -1)
+
+
+class TestGate:
+    def test_repr_and_arity(self):
+        gate = Gate("g", GateType.AND, ["a", "b"])
+        gate.check_arity()
+        assert "g" in repr(gate)
+
+    def test_arity_violation(self):
+        gate = Gate("g", GateType.AND, ["a"])
+        with pytest.raises(ValueError):
+            gate.check_arity()
+
+    def test_unary_arity_violation(self):
+        gate = Gate("g", GateType.NOT, ["a", "b"])
+        with pytest.raises(ValueError):
+            gate.check_arity()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("", GateType.AND, ["a", "b"])

@@ -1,0 +1,161 @@
+"""Tests for the hypergraph structure and builder."""
+
+import pytest
+
+from repro.hypergraph.build import build_hypergraph
+from repro.hypergraph.hypergraph import Hypergraph, Net, Node, NodeKind, PIN_IN, PIN_OUT
+from repro.techmap.mapped import technology_map
+from tests.conftest import make_cell_hypergraph
+
+
+class TestStructure:
+    def test_connect_pins(self):
+        hg = Hypergraph("t")
+        node = hg.add_node("c", NodeKind.CELL)
+        net = hg.add_net("n")
+        pin = hg.connect_input(node, net)
+        assert pin == 0
+        assert net.pins == [(0, PIN_IN, 0)]
+        hg.connect_output(node, net)
+        assert node.output_nets == [0]
+
+    def test_duplicate_net_rejected(self):
+        hg = Hypergraph("t")
+        hg.add_net("n")
+        with pytest.raises(ValueError):
+            hg.add_net("n")
+
+    def test_node_weights(self):
+        hg = Hypergraph("t")
+        cell = hg.add_node("c", NodeKind.CELL)
+        pad = hg.add_node("p", NodeKind.PI)
+        assert cell.clb_weight == 1 and cell.iob_weight == 0
+        assert pad.clb_weight == 0 and pad.iob_weight == 1
+
+    def test_adjacency_and_exclusive(self):
+        hg = make_cell_hypergraph(
+            [
+                {
+                    "name": "m",
+                    "inputs": ["a", "b", "c"],
+                    "outputs": ["x", "y"],
+                    "supports": [(0, 1), (1, 2)],
+                }
+            ]
+        )
+        node = hg.nodes[0]
+        assert node.adjacency_vector(0) == (1, 1, 0)
+        assert node.adjacency_vector(1) == (0, 1, 1)
+        assert node.exclusive_inputs(0) == (0,)
+        assert node.exclusive_inputs(1) == (2,)
+
+    def test_adjacent_nets_dedup(self):
+        hg = make_cell_hypergraph(
+            [
+                {
+                    "name": "m",
+                    "inputs": ["a", "a"],
+                    "outputs": ["x"],
+                    "supports": [(0, 1)],
+                }
+            ]
+        )
+        assert len(hg.nodes[0].adjacent_nets()) == 2  # a + x
+
+    def test_check_rejects_two_drivers(self):
+        hg = Hypergraph("t")
+        n1 = hg.add_node("c1", NodeKind.CELL)
+        n2 = hg.add_node("c2", NodeKind.CELL)
+        net = hg.add_net("n")
+        hg.connect_output(n1, net)
+        hg.connect_output(n2, net)
+        n1.supports = [()]
+        n2.supports = [()]
+        with pytest.raises(ValueError, match="drivers"):
+            hg.check()
+
+    def test_check_rejects_bad_support(self):
+        hg = Hypergraph("t")
+        node = hg.add_node("c", NodeKind.CELL)
+        net = hg.add_net("n")
+        hg.connect_output(node, net)
+        node.supports = [(5,)]
+        with pytest.raises(ValueError, match="out of range"):
+            hg.check()
+
+    def test_check_rejects_cell_without_outputs(self):
+        hg = Hypergraph("t")
+        hg.add_node("c", NodeKind.CELL)
+        with pytest.raises(ValueError, match="no outputs"):
+            hg.check()
+
+
+class TestBuild:
+    def test_with_terminals(self, small_mapped):
+        hg = build_hypergraph(small_mapped, include_terminals=True)
+        assert hg.n_cells == small_mapped.n_cells
+        assert hg.n_terminals > 0
+        hg.check()
+
+    def test_without_terminals(self, small_mapped):
+        hg = build_hypergraph(small_mapped, include_terminals=False)
+        assert hg.n_cells == small_mapped.n_cells
+        assert hg.n_terminals == 0
+        # every kept (non-dead) net has >= 2 cell pins
+        for net in hg.nets:
+            if not net.name.startswith("__dead"):
+                assert len(net.pins) >= 2
+
+    def test_terminal_counts(self, small_mapped):
+        hg = build_hypergraph(small_mapped, include_terminals=True)
+        pis = [n for n in hg.nodes if n.kind is NodeKind.PI]
+        pos = [n for n in hg.nodes if n.kind is NodeKind.PO]
+        assert len(pos) == len(small_mapped.primary_outputs)
+        assert len(pis) <= len(small_mapped.primary_inputs)
+
+    def test_supports_carried_over(self, small_mapped):
+        hg = build_hypergraph(small_mapped, include_terminals=True)
+        for node in hg.nodes:
+            if node.is_cell:
+                assert len(node.supports) == node.n_outputs
+                for sup in node.supports:
+                    for pin in sup:
+                        assert 0 <= pin < node.n_inputs
+
+    def test_supports_survive_pruned_build(self, small_mapped):
+        hg = build_hypergraph(small_mapped, include_terminals=False)
+        multi = [n for n in hg.nodes if n.is_cell and n.n_outputs == 2]
+        # At least one multi-output cell must keep a non-trivial support.
+        assert any(any(len(s) > 0 for s in n.supports) for n in multi)
+
+    def test_cell_pin_structure_matches(self, tiny_netlist):
+        mapped = technology_map(tiny_netlist)
+        hg = build_hypergraph(mapped)
+        by_name = {n.name: n for n in hg.nodes if n.is_cell}
+        for cell in mapped.cells:
+            node = by_name[cell.name]
+            assert node.n_outputs == len(cell.outputs)
+
+
+class TestNodeWeights:
+    def test_default_weight(self):
+        hg = Hypergraph("w")
+        node = hg.add_node("c", NodeKind.CELL)
+        assert node.weight == 1
+        assert node.clb_weight == 1
+
+    def test_custom_weight(self):
+        hg = Hypergraph("w")
+        node = hg.add_node("c", NodeKind.CELL)
+        node.weight = 7
+        assert node.clb_weight == 7
+
+    def test_terminal_weight_ignored(self):
+        hg = Hypergraph("w")
+        node = hg.add_node("p", NodeKind.PI)
+        node.weight = 7
+        assert node.clb_weight == 0
+        assert node.iob_weight == 1
+
+    def test_total_weight(self, small_hg):
+        assert small_hg.total_clb_weight() == small_hg.n_cells

@@ -1,0 +1,87 @@
+"""One end-to-end integration narrative: netlist to verified multi-FPGA plan.
+
+Chains every stage of the reproduction on a single circuit and checks the
+cross-stage invariants in one place: functional equivalence through
+mapping, hypergraph consistency, replication-engine bookkeeping, k-way
+solution verification and the cost model.
+"""
+
+import random
+
+import pytest
+
+from repro.hypergraph.build import build_hypergraph
+from repro.hypergraph.metrics import cut_size
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.netlist.transform import clean_netlist
+from repro.netlist.validate import validate_netlist
+from repro.partition.devices import Device, DeviceLibrary
+from repro.partition.fm import FMConfig, fm_bipartition
+from repro.partition.fm_replication import ReplicationConfig, replication_bipartition
+from repro.partition.kway import KWayConfig, partition_heterogeneous
+from repro.partition.verify import verify_solution
+from repro.replication.potential import cell_distribution
+from repro.techmap.mapped import technology_map
+
+LIB = DeviceLibrary(
+    [
+        Device("T24", 24, 30, 12, util_upper=0.95),
+        Device("T48", 48, 44, 21, util_upper=0.95),
+        Device("T96", 96, 60, 38, util_upper=0.95),
+    ]
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    netlist = benchmark_circuit("s9234", scale=0.08, seed=11)
+    cleaned = clean_netlist(netlist)
+    mapped = technology_map(cleaned)
+    hg_relaxed = build_hypergraph(mapped, include_terminals=False)
+    return netlist, cleaned, mapped, hg_relaxed
+
+
+def test_stage1_netlist_valid(pipeline):
+    netlist, cleaned, _, _ = pipeline
+    assert validate_netlist(cleaned, strict=False).ok
+    rng = random.Random(0)
+    vecs = [{pi: rng.randrange(2) for pi in netlist.inputs} for _ in range(5)]
+    assert netlist.simulate(vecs) == cleaned.simulate(vecs)
+
+
+def test_stage2_mapping_equivalent(pipeline):
+    _, cleaned, mapped, _ = pipeline
+    rng = random.Random(1)
+    vecs = [{pi: rng.randrange(2) for pi in cleaned.inputs} for _ in range(5)]
+    assert cleaned.simulate(vecs) == mapped.simulate(vecs)
+    for cell in mapped.cells:
+        assert 1 <= cell.n_outputs <= 2
+        assert len(cell.inputs) <= 5
+
+
+def test_stage3_replication_candidates_exist(pipeline):
+    _, _, _, hg = pipeline
+    dist = cell_distribution(hg)
+    assert dist.cells_with_potential_at_least(1) > 0
+
+
+def test_stage4_bipartition_improves(pipeline):
+    _, _, _, hg = pipeline
+    fm = fm_bipartition(hg, FMConfig(seed=5))
+    fr = replication_bipartition(hg, ReplicationConfig(seed=5, threshold=0))
+    assert cut_size(hg, fm.assignment) == fm.cut_size
+    assert fr.cut_size <= fm.initial_cut
+    assert fr.cut_size <= fr.initial_cut
+
+
+def test_stage5_kway_solution_verifies(pipeline):
+    _, _, mapped, _ = pipeline
+    for threshold in (float("inf"), 1):
+        solution = partition_heterogeneous(
+            mapped,
+            KWayConfig(library=LIB, threshold=threshold, seed=4, seeds_per_carve=2),
+        )
+        assert verify_solution(mapped, solution) == []
+        assert solution.k >= 2
+        assert solution.cost.total_cost > 0
+        assert 0.0 < solution.cost.avg_clb_utilization <= 1.0

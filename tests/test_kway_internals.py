@@ -1,0 +1,80 @@
+"""Unit tests for k-way partitioner internals."""
+
+import pytest
+
+from repro.partition.devices import Device, DeviceLibrary, XC3000_LIBRARY
+from repro.partition.kway import (
+    _ORIGINAL,
+    _REPLICA,
+    _WHOLE,
+    _VCell,
+    _candidate_devices,
+    _instance_vcell,
+)
+
+
+class TestCandidateDevices:
+    def test_prefers_economical_devices(self):
+        cands = _candidate_devices(XC3000_LIBRARY, clbs=1000, limit=3)
+        assert len(cands) == 3
+        # With a huge remaining circuit the big devices (cheapest per CLB)
+        # come first.
+        assert cands[0].name == "XC3090"
+
+    def test_small_remainder_excludes_oversized_windows(self):
+        lib = DeviceLibrary(
+            [
+                Device("A", 10, 10, 1, util_lower=0.0),
+                Device("B", 100, 50, 5, util_lower=0.9),  # needs >= 90 CLBs
+            ]
+        )
+        cands = _candidate_devices(lib, clbs=20, limit=5)
+        assert [d.name for d in cands] == ["A"]
+
+    def test_limit_respected(self):
+        assert len(_candidate_devices(XC3000_LIBRARY, 1000, 2)) == 2
+
+
+class TestInstanceVCell:
+    @pytest.fixture()
+    def cell(self):
+        return _VCell(
+            name="m",
+            original="m",
+            inputs=["a", "b", "c", "d", "e"],
+            outputs=["x1", "x2"],
+            supports=[(0, 1, 2, 3), (3, 4)],
+        )
+
+    def test_whole(self, cell):
+        inst = _instance_vcell(cell, _WHOLE, -1, 0)
+        assert inst is cell
+
+    def test_replica_keeps_one_output(self, cell):
+        inst = _instance_vcell(cell, _REPLICA, 1, 7)
+        assert inst.outputs == ["x2"]
+        assert inst.inputs == ["d", "e"]
+        assert inst.supports == [(0, 1)]
+        assert inst.original == "m"
+        assert inst.name != cell.name
+
+    def test_original_keeps_the_rest(self, cell):
+        inst = _instance_vcell(cell, _ORIGINAL, 1, 8)
+        assert inst.outputs == ["x1"]
+        assert inst.inputs == ["a", "b", "c", "d"]
+        assert inst.supports == [(0, 1, 2, 3)]
+
+    def test_instances_partition_outputs(self, cell):
+        # For every replicated output o: replica outputs + original outputs
+        # = all outputs, disjoint.  (This is the invariant whose violation
+        # the encoding bug fixed in development would have broken.)
+        for o in range(2):
+            orig = _instance_vcell(cell, _ORIGINAL, o, 1)
+            repl = _instance_vcell(cell, _REPLICA, o, 2)
+            assert sorted(orig.outputs + repl.outputs) == sorted(cell.outputs)
+            assert not set(orig.outputs) & set(repl.outputs)
+
+    def test_unique_names_per_counter(self, cell):
+        a = _instance_vcell(cell, _REPLICA, 0, 1)
+        b = _instance_vcell(cell, _REPLICA, 0, 2)
+        assert a.name != b.name

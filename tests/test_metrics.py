@@ -1,0 +1,122 @@
+"""Tests for partition metrics: cut set, sizes and terminal counting."""
+
+from repro.hypergraph.hypergraph import Hypergraph, NodeKind
+from repro.hypergraph.metrics import (
+    balance_ratio,
+    cut_nets,
+    cut_size,
+    net_blocks,
+    partition_clb_sizes,
+    partition_terminal_counts,
+)
+from tests.conftest import make_cell_hypergraph
+
+
+def _chain_hypergraph(n_cells=4):
+    """c0 -> c1 -> c2 -> c3 chain with one PI pad and one PO pad."""
+    hg = Hypergraph("chain")
+    nets = [hg.add_net(f"n{i}") for i in range(n_cells + 1)]
+    pi = hg.add_node("pi:x", NodeKind.PI)
+    hg.connect_output(pi, nets[0])
+    for i in range(n_cells):
+        cell = hg.add_node(f"c{i}", NodeKind.CELL)
+        hg.connect_input(cell, nets[i])
+        hg.connect_output(cell, nets[i + 1])
+        cell.supports = [(0,)]
+    po = hg.add_node("po:y", NodeKind.PO)
+    hg.connect_input(po, nets[-1])
+    hg.check()
+    return hg
+
+
+class TestCut:
+    def test_uncut_chain(self):
+        hg = _chain_hypergraph()
+        assignment = [0] * len(hg.nodes)
+        assert cut_size(hg, assignment) == 0
+
+    def test_single_cut(self):
+        hg = _chain_hypergraph()
+        # pi, c0, c1 on block 0; c2, c3, po on block 1 -> only n2 crosses.
+        assignment = [0, 0, 0, 1, 1, 1]
+        assert cut_nets(hg, assignment) == [hg.net_index("n2")]
+
+    def test_net_blocks_ignores_unassigned(self):
+        hg = _chain_hypergraph()
+        assignment = [0, 0, -1, 1, 1, 1]
+        blocks = net_blocks(hg, assignment, hg.net_index("n1"))
+        assert blocks == {0}
+
+    def test_three_way_cut(self):
+        hg = _chain_hypergraph()
+        assignment = [0, 0, 1, 2, 2, 2]
+        assert cut_size(hg, assignment) == 2  # n1 and n2
+
+
+class TestSizes:
+    def test_clb_sizes_exclude_terminals(self):
+        hg = _chain_hypergraph()
+        assignment = [0, 0, 0, 1, 1, 1]
+        sizes = partition_clb_sizes(hg, assignment)
+        assert sizes == {0: 2, 1: 2}
+
+    def test_balance_ratio(self):
+        hg = _chain_hypergraph()
+        assert balance_ratio(hg, [0, 0, 0, 1, 1, 1]) == 0.5
+        assert balance_ratio(hg, [0, 0, 0, 0, 1, 1]) == 0.75
+
+
+class TestTerminals:
+    def test_crossing_net_costs_both_blocks(self):
+        hg = _chain_hypergraph()
+        assignment = [0, 0, 0, 1, 1, 1]
+        counts = partition_terminal_counts(hg, assignment)
+        # Block 0: n0 has the PI pad (1 IOB) + crossing n2 -> 2.
+        # Block 1: crossing n2 + n4 has the PO pad -> 2.
+        assert counts == {0: 2, 1: 2}
+
+    def test_internal_pad_costs_one(self):
+        hg = _chain_hypergraph()
+        assignment = [0] * len(hg.nodes)
+        counts = partition_terminal_counts(hg, assignment)
+        assert counts == {0: 2}  # the PI pad net and the PO pad net
+
+    def test_pad_on_crossing_net_counted_once(self):
+        hg = _chain_hypergraph(2)
+        # pi(n0 driver) in block 1, its reading cell c0 in block 0:
+        # net n0 crosses and carries a pad; block 1 pays exactly 1 for it.
+        assignment = [1, 0, 0, 0]
+        counts = partition_terminal_counts(hg, assignment)
+        assert counts[1] == 1
+        assert counts[0] >= 1
+
+    def test_cells_only_no_pads(self):
+        hg = make_cell_hypergraph(
+            [
+                {"name": "a", "inputs": [], "outputs": ["n1"], "supports": [()]},
+                {"name": "b", "inputs": ["n1"], "outputs": ["n2"], "supports": [(0,)]},
+                {"name": "c", "inputs": ["n2"], "outputs": ["n3"], "supports": [(0,)]},
+            ]
+        )
+        counts = partition_terminal_counts(hg, [0, 1, 1])
+        assert counts == {0: 1, 1: 1}
+
+
+class TestBalanceEdgeCases:
+    def test_empty_assignment(self):
+        hg = _chain_hypergraph()
+        from repro.hypergraph.metrics import balance_ratio
+
+        assert balance_ratio(hg, [-1] * len(hg.nodes)) == 0.0
+
+    def test_terminal_counts_empty_blocks(self):
+        hg = _chain_hypergraph()
+        counts = partition_terminal_counts(hg, [-1] * len(hg.nodes))
+        assert counts == {}
+
+    def test_unassigned_pins_ignored_in_cut(self):
+        hg = _chain_hypergraph()
+        assignment = [0, 0, -1, 1, 1, 1]
+        # n2 connects c1 (unassigned here) and c2 (block 1): with c1's pin
+        # ignored the net touches a single block, so it is not cut.
+        assert hg.net_index("n2") not in cut_nets(hg, assignment)

@@ -1,0 +1,162 @@
+"""Unit tests for the Netlist container."""
+
+import pytest
+
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+
+class TestConstruction:
+    def test_add_and_lookup(self, tiny_netlist):
+        assert "g1" in tiny_netlist
+        assert tiny_netlist.gate("g1").gtype is GateType.AND
+        assert len(tiny_netlist) == 9
+
+    def test_duplicate_names_rejected(self):
+        n = Netlist()
+        n.add_input("a")
+        with pytest.raises(ValueError):
+            n.add_gate("a", GateType.NOT, ["a"])
+
+    def test_forward_references_allowed(self):
+        n = Netlist()
+        n.add_gate("g", GateType.NOT, ["later"])
+        n.add_input("later")
+        n.check()
+
+    def test_check_catches_missing_driver(self):
+        n = Netlist()
+        n.add_gate("g", GateType.NOT, ["ghost"])
+        with pytest.raises(ValueError):
+            n.check()
+
+    def test_check_catches_missing_po(self):
+        n = Netlist()
+        n.add_input("a")
+        n.add_output("ghost")
+        with pytest.raises(ValueError):
+            n.check()
+
+    def test_output_dedup(self):
+        n = Netlist()
+        n.add_input("a")
+        n.add_output("a")
+        n.add_output("a")
+        assert n.outputs == ["a"]
+
+    def test_remove_gate(self, tiny_netlist):
+        tiny_netlist.remove_gate("g5")
+        assert "g5" not in tiny_netlist
+        assert "g5" not in tiny_netlist.outputs
+
+    def test_replace_fanin(self, tiny_netlist):
+        tiny_netlist.replace_fanin("g3", "g1", "g2")
+        assert tiny_netlist.gate("g3").fanin == ["g2", "g2"]
+
+
+class TestQueries:
+    def test_io_lists(self, tiny_netlist):
+        assert tiny_netlist.inputs == ["a", "b", "c", "d"]
+        assert tiny_netlist.outputs == ["g4", "g5"]
+
+    def test_dffs(self, seq_netlist):
+        assert sorted(seq_netlist.dffs) == ["q0", "q1"]
+
+    def test_logic_gates(self, seq_netlist):
+        assert sorted(seq_netlist.logic_gates) == ["c0", "t0", "t1"]
+
+    def test_fanout_map(self, tiny_netlist):
+        fanout = tiny_netlist.fanout_map()
+        assert sorted(fanout["g1"]) == ["g3", "g4"]
+        assert fanout["c"] == ["g2", "g4"]
+
+    def test_pin_count(self, tiny_netlist):
+        # g1..g5: fanins 2,2,2,2,1 plus one output pin each -> 9 + 5 = 14.
+        assert tiny_netlist.pin_count() == 14
+
+
+class TestOrdering:
+    def test_topological_order(self, tiny_netlist):
+        order = tiny_netlist.topological_order()
+        assert order.index("g1") < order.index("g3")
+        assert order.index("g2") < order.index("g3")
+        assert order.index("g3") < order.index("g5")
+
+    def test_sequential_loops_allowed(self, seq_netlist):
+        order = seq_netlist.topological_order()
+        assert set(order) == set(seq_netlist.gate_names())
+
+    def test_combinational_cycle_detected(self):
+        n = Netlist()
+        n.add_input("a")
+        n.add_gate("x", GateType.AND, ["a", "y"])
+        n.add_gate("y", GateType.AND, ["a", "x"])
+        with pytest.raises(ValueError, match="cycle"):
+            n.topological_order()
+
+    def test_logic_depth(self, tiny_netlist):
+        assert tiny_netlist.logic_depth() == 3  # g1 -> g3 -> g5
+
+    def test_depth_of_empty(self):
+        assert Netlist().logic_depth() == 0
+
+
+class TestSimulation:
+    def test_combinational(self, tiny_netlist):
+        out = tiny_netlist.simulate([{"a": 1, "b": 1, "c": 0, "d": 1}])[0]
+        # g1=1, g2=1, g3=0, g4=nand(1,0)=1, g5=not(0)=1
+        assert out == {"g4": 1, "g5": 1}
+
+    def test_counter_counts(self, seq_netlist):
+        outs = seq_netlist.simulate([{"en": 1}] * 4)
+        values = [o["q0"] + 2 * o["q1"] for o in outs]
+        assert values == [0, 1, 2, 3]
+
+    def test_enable_low_holds_state(self, seq_netlist):
+        outs = seq_netlist.simulate([{"en": 1}, {"en": 0}, {"en": 0}])
+        assert outs[1] == outs[2]
+
+    def test_initial_state(self, seq_netlist):
+        outs = seq_netlist.simulate([{"en": 0}], initial_state={"q0": 1, "q1": 1})
+        assert outs[0] == {"q0": 1, "q1": 1}
+
+    def test_unknown_initial_state_rejected(self, seq_netlist):
+        with pytest.raises(KeyError):
+            seq_netlist.simulate([{"en": 0}], initial_state={"zz": 1})
+
+
+class TestSupportAndCopy:
+    def test_transitive_fanin(self, tiny_netlist):
+        assert tiny_netlist.transitive_fanin("g3") == {"a", "b", "c", "d"}
+        assert tiny_netlist.transitive_fanin("g1") == {"a", "b"}
+
+    def test_transitive_fanin_stops_at_dff(self, seq_netlist):
+        assert seq_netlist.transitive_fanin("t1") == {"q0", "q1", "en"}
+
+    def test_transitive_fanin_through_dff(self, seq_netlist):
+        support = seq_netlist.transitive_fanin("t1", stop_at_state=False)
+        assert "en" in support
+
+    def test_copy_is_deep(self, tiny_netlist):
+        dup = tiny_netlist.copy("dup")
+        dup.gate("g1").fanin[0] = "c"
+        assert tiny_netlist.gate("g1").fanin[0] == "a"
+        assert dup.name == "dup"
+        assert dup.outputs == tiny_netlist.outputs
+
+    def test_copy_simulates_identically(self, seq_netlist):
+        dup = seq_netlist.copy()
+        vecs = [{"en": i % 2} for i in range(6)]
+        assert dup.simulate(vecs) == seq_netlist.simulate(vecs)
+
+
+class TestNetNames:
+    def test_net_names_match_gates(self, tiny_netlist):
+        assert set(tiny_netlist.net_names()) == set(tiny_netlist.gate_names())
+
+    def test_gate_names_iterator(self, tiny_netlist):
+        assert "g3" in list(tiny_netlist.gate_names())
+
+    def test_repr_mentions_counts(self, seq_netlist):
+        text = repr(seq_netlist)
+        assert "2 DFF" in text

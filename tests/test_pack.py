@@ -1,0 +1,141 @@
+"""Tests for CLB packing (FF merge + LUT pairing)."""
+
+import pytest
+
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+from repro.techmap.cover import cover_netlist
+from repro.techmap.decompose import decompose_netlist
+from repro.techmap.pack import CellSpec, FunctionSpec, pack_cells
+from tests.conftest import random_small_netlist
+
+
+def _pack(netlist, pair=True):
+    decomposed = decompose_netlist(netlist)
+    luts = cover_netlist(decomposed)
+    return pack_cells(decomposed, luts, pair=pair), decomposed, luts
+
+
+class TestXC3000Constraints:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_cell_limits(self, seed):
+        cells, _, _ = _pack(random_small_netlist(seed, n_gates=80))
+        for cell in cells:
+            assert 1 <= len(cell.functions) <= 2
+            assert len(cell.inputs) <= 5
+            if len(cell.functions) == 2:
+                for fn in cell.functions:
+                    assert len(fn.support) <= 4
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_every_function_emitted_once(self, seed):
+        cells, decomposed, luts = _pack(random_small_netlist(seed, n_gates=80))
+        outputs = [fn.output for cell in cells for fn in cell.functions]
+        assert len(outputs) == len(set(outputs))
+        # Outputs = FF outputs + unconsumed LUT roots.
+        ff_outputs = set(decomposed.dffs)
+        assert ff_outputs <= set(outputs)
+
+    def test_pairing_disabled(self, tiny_netlist):
+        cells, _, _ = _pack(tiny_netlist, pair=False)
+        assert all(len(c.functions) == 1 for c in cells)
+
+
+class TestFFMerge:
+    def test_private_cone_registered(self):
+        # d = AND(a, b) feeds only the DFF: the cone must merge into the FF.
+        n = Netlist("merge")
+        n.add_input("a")
+        n.add_input("b")
+        n.add_gate("d", GateType.AND, ["a", "b"])
+        n.add_gate("q", GateType.DFF, ["d"])
+        n.add_output("q")
+        cells, _, _ = _pack(n)
+        regs = [fn for c in cells for fn in c.functions if fn.registered]
+        assert len(regs) == 1
+        assert regs[0].output == "q"
+        assert sorted(regs[0].support) == ["a", "b"]
+
+    def test_shared_cone_gets_passthrough(self):
+        # d feeds the DFF and a PO: the FF becomes a pass-through register.
+        n = Netlist("shared")
+        n.add_input("a")
+        n.add_input("b")
+        n.add_gate("d", GateType.AND, ["a", "b"])
+        n.add_gate("q", GateType.DFF, ["d"])
+        n.add_output("q")
+        n.add_output("d")
+        cells, _, _ = _pack(n)
+        regs = [fn for c in cells for fn in c.functions if fn.registered]
+        assert len(regs) == 1
+        assert regs[0].support == ["d"]
+        assert regs[0].mask == 0b10  # identity
+
+    def test_pi_fed_dff(self):
+        n = Netlist("pif")
+        n.add_input("a")
+        n.add_gate("q", GateType.DFF, ["a"])
+        n.add_output("q")
+        cells, _, _ = _pack(n)
+        regs = [fn for c in cells for fn in c.functions if fn.registered]
+        assert regs[0].support == ["a"]
+
+
+class TestCellSpec:
+    def test_inputs_deduplicated(self):
+        spec = CellSpec(
+            [
+                FunctionSpec("x", ["a", "b"], 0b1000, False),
+                FunctionSpec("y", ["b", "c"], 0b1000, False),
+            ]
+        )
+        assert spec.inputs == ["a", "b", "c"]
+        assert spec.outputs == ["x", "y"]
+
+    def test_pairing_prefers_sharing(self):
+        # Two function pairs: (x1,x2) share 3 inputs; (x3) is disjoint.
+        n = Netlist("share")
+        for pi in ("a", "b", "c", "d", "e", "f", "g", "h"):
+            n.add_input(pi)
+        n.add_gate("x1", GateType.AND, ["a", "b", "c"])
+        n.add_gate("x2", GateType.OR, ["a", "b", "c", "d"])
+        n.add_gate("x3", GateType.AND, ["e", "f", "g", "h"])
+        for po in ("x1", "x2", "x3"):
+            n.add_output(po)
+        cells, _, _ = _pack(n)
+        by_output = {}
+        for i, cell in enumerate(cells):
+            for fn in cell.functions:
+                by_output[fn.output] = i
+        assert by_output["x1"] == by_output["x2"]
+        assert by_output["x3"] != by_output["x1"]
+
+
+class TestPackEdgeCases:
+    def test_five_input_function_stays_alone(self):
+        n = Netlist("five")
+        for pi in "abcde":
+            n.add_input(pi)
+        n.add_gate("t1", GateType.AND, ["a", "b", "c", "d"])
+        n.add_gate("y", GateType.AND, ["t1", "e"])
+        n.add_output("y")
+        cells, _, _ = _pack(n)
+        five_input = [c for c in cells if len(c.inputs) == 5]
+        for cell in five_input:
+            assert len(cell.functions) == 1
+
+    def test_two_ffs_can_share_a_cell(self):
+        n = Netlist("ffpair")
+        n.add_input("a")
+        n.add_input("b")
+        n.add_gate("d0", GateType.AND, ["a", "b"])
+        n.add_gate("d1", GateType.OR, ["a", "b"])
+        n.add_gate("q0", GateType.DFF, ["d0"])
+        n.add_gate("q1", GateType.DFF, ["d1"])
+        n.add_output("q0")
+        n.add_output("q1")
+        cells, _, _ = _pack(n)
+        # Both registered cones share inputs {a,b}: one CLB suffices.
+        regs_per_cell = [sum(fn.registered for fn in c.functions) for c in cells]
+        assert max(regs_per_cell) <= 2
+        assert sum(regs_per_cell) == 2

@@ -1,0 +1,191 @@
+"""End-to-end reconstructions of the paper's Figures 1, 2 and 4.
+
+These tests rebuild the exact partition states behind the paper's worked
+examples and check that the *engine's* ground-truth cut deltas equal the
+closed-form gains -- the strongest internal evidence that the implemented
+replication semantics are the paper's.
+"""
+
+import pytest
+
+from repro.hypergraph.hypergraph import Hypergraph, NodeKind
+from repro.partition.fm_replication import (
+    FUNCTIONAL,
+    TRADITIONAL,
+    ReplicationConfig,
+    ReplicationEngine,
+)
+from repro.replication.gains import (
+    gain_functional_output,
+    gain_functional_replication,
+    gain_single_move,
+    gain_traditional_replication,
+)
+from repro.replication.potential import node_potential
+
+
+def _figure4_engine(style=FUNCTIONAL):
+    """The Figure 4 scenario.
+
+    Cell M (the Figure 2 cell): inputs a1..a5, outputs X1 (support a1..a4)
+    and X2 (support a4, a5).  Side 0 holds M, the drivers of a1..a3 and the
+    sink of X1; side 1 holds the drivers of a4, a5 and the sink of X2.
+    Cut set = {a4, a5, X2}, size 3.
+    """
+    hg = Hypergraph("figure4")
+    net_names = ["a1", "a2", "a3", "a4", "a5", "x1", "x2"]
+    nets = {name: hg.add_net(name) for name in net_names}
+
+    m = hg.add_node("M", NodeKind.CELL)
+    for name in ("a1", "a2", "a3", "a4", "a5"):
+        hg.connect_input(m, nets[name])
+    hg.connect_output(m, nets["x1"])
+    hg.connect_output(m, nets["x2"])
+    m.supports = [(0, 1, 2, 3), (3, 4)]
+
+    sides = {m.index: 0}
+    for i, name in enumerate(("a1", "a2", "a3", "a4", "a5")):
+        drv = hg.add_node(f"drv_{name}", NodeKind.CELL)
+        hg.connect_output(drv, nets[name])
+        drv.supports = [()]
+        sides[drv.index] = 0 if i < 3 else 1
+
+    for name, side in (("x1", 0), ("x2", 1)):
+        snk = hg.add_node(f"snk_{name}", NodeKind.CELL)
+        hg.connect_input(snk, nets[name])
+        dead = hg.add_net(f"dead_{name}")
+        hg.connect_output(snk, dead)
+        snk.supports = [(0,)]
+        sides[snk.index] = side
+    hg.check()
+
+    initial = [sides[i] for i in range(len(hg.nodes))]
+    fixed = {i: sides[i] for i in range(len(hg.nodes)) if i != m.index}
+    engine = ReplicationEngine(
+        hg,
+        ReplicationConfig(seed=0, threshold=0, style=style, fixed=fixed),
+        initial=initial,
+    )
+    return engine, m.index
+
+
+class TestFigure2:
+    def test_replication_potential_is_4(self):
+        engine, m = _figure4_engine()
+        assert node_potential(engine.hg.nodes[m]) == 4
+        assert engine.potentials[m] == 4
+
+
+class TestFigure4:
+    def test_initial_cut_is_3(self):
+        engine, _ = _figure4_engine()
+        assert engine.cut_size() == 3
+
+    def test_extracted_vectors(self):
+        engine, m = _figure4_engine()
+        mv = engine.move_vectors(m)
+        assert mv.a == ((1, 1, 1, 1, 0), (0, 0, 0, 1, 1))
+        assert mv.ci == (0, 0, 0, 1, 1)
+        assert mv.qi == (1, 1, 1, 1, 1)
+        assert mv.co == (0, 1)
+        assert mv.qo == (1, 1)
+
+    def test_single_move_gain_minus_1(self):
+        engine, m = _figure4_engine()
+        assert engine.move_gain(m, 1, None) == -1
+        assert gain_single_move(engine.move_vectors(m)) == -1
+
+    def test_traditional_gain_minus_2(self):
+        engine, m = _figure4_engine(style=TRADITIONAL)
+        assert engine.move_gain(m, 0, (0, -1)) == -2
+        assert gain_traditional_replication(engine.move_vectors(m)) == -2
+
+    def test_functional_gains(self):
+        engine, m = _figure4_engine()
+        mv = engine.move_vectors(m)
+        # Output X1 across: -4; output X2 across: +2 (cut 3 -> 1).
+        assert engine.move_gain(m, 0, (0, 0)) == -4
+        assert gain_functional_output(mv, 0) == -4
+        assert engine.move_gain(m, 0, (0, 1)) == 2
+        assert gain_functional_output(mv, 1) == 2
+        assert gain_functional_replication(mv) == (2, 1)
+
+    def test_applying_functional_replication(self):
+        engine, m = _figure4_engine()
+        engine.set_state(m, 0, (0, 1))
+        assert engine.cut_size() == 1  # only a4 remains cut
+        assert engine.replicas() == {m: (0, 1)}
+        # Both sides now hold one instance of M.
+        assert engine.sizes[0] >= 1 and engine.sizes[1] >= 1
+
+    def test_unreplication_restores_cut(self):
+        engine, m = _figure4_engine()
+        engine.set_state(m, 0, (0, 1))
+        engine.set_state(m, 0, None)
+        assert engine.cut_size() == 3
+
+    def test_pass_picks_the_functional_replication(self):
+        engine, m = _figure4_engine()
+        gain = engine.run_pass()
+        assert gain == 2
+        assert engine.rep[m] == (0, 1)
+        assert engine.cut_size() == 1
+
+
+class TestFigure1:
+    def _engine(self, style):
+        """Figure 1: M with inputs a, b, c and outputs X (a,b), Y (b,c).
+
+        a is local (side 0, uncut); b and c are driven from side 1 (cut);
+        X's sink is on side 0, Y's on side 1.  Cut = {b, c, Y} = 3.
+        """
+        hg = Hypergraph("figure1")
+        nets = {n: hg.add_net(n) for n in ("a", "b", "c", "x", "y")}
+        m = hg.add_node("M", NodeKind.CELL)
+        for n in ("a", "b", "c"):
+            hg.connect_input(m, nets[n])
+        hg.connect_output(m, nets["x"])
+        hg.connect_output(m, nets["y"])
+        m.supports = [(0, 1), (1, 2)]
+        sides = {m.index: 0}
+        for name, side in (("a", 0), ("b", 1), ("c", 1)):
+            drv = hg.add_node(f"drv_{name}", NodeKind.CELL)
+            hg.connect_output(drv, nets[name])
+            drv.supports = [()]
+            sides[drv.index] = side
+        for name, side in (("x", 0), ("y", 1)):
+            snk = hg.add_node(f"snk_{name}", NodeKind.CELL)
+            hg.connect_input(snk, nets[name])
+            dead = hg.add_net(f"dead_{name}")
+            hg.connect_output(snk, dead)
+            snk.supports = [(0,)]
+            sides[snk.index] = side
+        hg.check()
+        initial = [sides[i] for i in range(len(hg.nodes))]
+        fixed = {i: sides[i] for i in range(len(hg.nodes)) if i != m.index}
+        engine = ReplicationEngine(
+            hg,
+            ReplicationConfig(seed=0, threshold=0, style=style, fixed=fixed),
+            initial=initial,
+        )
+        return engine, m.index
+
+    def test_cell_potential_is_2(self):
+        engine, m = self._engine(FUNCTIONAL)
+        assert engine.potentials[m] == 2
+
+    def test_traditional_replication_gains_nothing(self):
+        # The paper's point: net Y leaves the cut, net a enters it.
+        engine, m = self._engine(TRADITIONAL)
+        assert engine.cut_size() == 3
+        assert engine.move_gain(m, 0, (0, -1)) == 0
+        assert gain_traditional_replication(engine.move_vectors(m)) == 0
+
+    def test_functional_replication_wins(self):
+        # Taking Y across drops both Y and the exclusive input c: gain +2.
+        engine, m = self._engine(FUNCTIONAL)
+        mv = engine.move_vectors(m)
+        assert engine.move_gain(m, 0, (0, 1)) == 2
+        assert gain_functional_output(mv, 1) == 2
+        engine.set_state(m, 0, (0, 1))
+        assert engine.cut_size() == 1  # only b remains

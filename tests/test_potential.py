@@ -1,0 +1,139 @@
+"""Tests for replication potential (eqs. 4-6) and distributions (Figure 3)."""
+
+import pytest
+
+from repro.hypergraph.build import build_hypergraph
+from repro.replication.potential import (
+    PotentialDistribution,
+    T_INFINITY,
+    cell_distribution,
+    max_replication_factor,
+    node_potential,
+    replication_potential,
+)
+from tests.conftest import make_cell_hypergraph
+
+
+class TestEquation4:
+    def test_single_output_is_zero(self):
+        assert replication_potential([(1, 1, 1)]) == 0
+
+    def test_paper_figure1_cell(self):
+        # Figure 1: A_X = [1,1,0], A_Y = [0,1,1] -> psi = 2.
+        assert replication_potential([(1, 1, 0), (0, 1, 1)]) == 2
+
+    def test_paper_figure2_cell(self):
+        # Figure 2: A_X1 = [1,1,1,1,0], A_X2 = [0,0,0,1,1] -> psi = 4.
+        assert replication_potential([(1, 1, 1, 1, 0), (0, 0, 0, 1, 1)]) == 4
+
+    def test_fully_shared_inputs(self):
+        assert replication_potential([(1, 1), (1, 1)]) == 0
+
+    def test_fully_disjoint_inputs(self):
+        assert replication_potential([(1, 1, 0, 0), (0, 0, 1, 1)]) == 4
+
+    def test_three_outputs(self):
+        # Input 0 exclusive to out0, input 1 shared by all, input 2 exclusive
+        # to out2: psi = 2.
+        vectors = [(1, 1, 0), (0, 1, 0), (0, 1, 1)]
+        assert replication_potential(vectors) == 2
+
+    def test_no_outputs_rejected(self):
+        with pytest.raises(ValueError):
+            replication_potential([])
+
+
+class TestNodePotential:
+    def test_from_hypergraph_node(self):
+        hg = make_cell_hypergraph(
+            [
+                {
+                    "name": "m",
+                    "inputs": ["a", "b", "c", "d", "e"],
+                    "outputs": ["x", "y"],
+                    "supports": [(0, 1, 2, 3), (3, 4)],
+                }
+            ]
+        )
+        assert node_potential(hg.nodes[0]) == 4
+
+    def test_terminal_is_zero(self, small_hg_terms):
+        terminals = [n for n in small_hg_terms.nodes if not n.is_cell]
+        assert terminals
+        assert node_potential(terminals[0]) == 0
+
+
+class TestDistribution:
+    def _dist(self):
+        return PotentialDistribution(
+            name="t",
+            n_cells=10,
+            single_output_zero=4,
+            multi_output_zero=1,
+            by_potential={1: 2, 2: 2, 4: 1},
+        )
+
+    def test_fractions(self):
+        dist = self._dist()
+        assert dist.fraction(4) == 0.4
+
+    def test_eq6_threshold_zero_includes_multi_zero(self):
+        # Paper note: "T=0 includes multi-output cells with psi=0".
+        dist = self._dist()
+        assert max_replication_factor(dist, 0) == 6
+
+    def test_eq6_threshold_one(self):
+        assert max_replication_factor(self._dist(), 1) == 5
+
+    def test_eq6_threshold_three(self):
+        assert max_replication_factor(self._dist(), 3) == 1
+
+    def test_eq6_infinity_disables(self):
+        assert max_replication_factor(self._dist(), T_INFINITY) == 0
+
+    def test_rows_ordering(self):
+        rows = self._dist().rows()
+        assert rows[0][0] == "psi=0 (1-out)"
+        assert rows[1][0] == "psi=0* (m-out)"
+        assert [r[0] for r in rows[2:]] == ["psi=1", "psi=2", "psi=4"]
+
+    def test_distribution_over_real_circuit(self, small_mapped):
+        hg = build_hypergraph(small_mapped)
+        dist = cell_distribution(hg)
+        assert dist.n_cells == small_mapped.n_cells
+        total = (
+            dist.single_output_zero
+            + dist.multi_output_zero
+            + sum(dist.by_potential.values())
+        )
+        assert total == dist.n_cells
+        # Figure 3's headline property: most cells are replication candidates.
+        assert max_replication_factor(dist, 1) > 0
+
+
+class TestFigure3PaperShape:
+    """The Figure 3 claims, asserted on the full mapped suite at small scale."""
+
+    @pytest.mark.parametrize("name", ["c3540", "c6288", "s5378"])
+    def test_majority_of_cells_replicable(self, name):
+        from repro.netlist.benchmarks import benchmark_circuit
+        from repro.techmap.mapped import technology_map
+
+        hg = build_hypergraph(
+            technology_map(benchmark_circuit(name, scale=0.15, seed=2))
+        )
+        dist = cell_distribution(hg)
+        replicable = dist.cells_with_potential_at_least(1)
+        assert replicable / dist.n_cells > 0.4
+
+    def test_multiplier_is_regular(self):
+        from repro.netlist.benchmarks import benchmark_circuit
+        from repro.techmap.mapped import technology_map
+
+        hg = build_hypergraph(
+            technology_map(benchmark_circuit("c6288", scale=0.3, seed=2))
+        )
+        dist = cell_distribution(hg)
+        # Full-adder pairs dominate: psi=2 is the modal class.
+        modal = max(dist.by_potential, key=dist.by_potential.get)
+        assert modal == 2

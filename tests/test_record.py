@@ -1,0 +1,25 @@
+"""Light tests for the experiment record driver (no heavy runs)."""
+
+import os
+
+from repro.experiments.record import KWAY_SCALES, _write
+from repro.netlist.benchmarks import BENCHMARK_NAMES
+
+
+def test_kway_scales_cover_all_benchmarks():
+    assert set(KWAY_SCALES) == set(BENCHMARK_NAMES)
+    for scale in KWAY_SCALES.values():
+        assert 0.0 < scale <= 1.0
+
+
+def test_small_circuits_run_at_full_scale():
+    # The small circuits are recorded at the published sizes.
+    for name in ("c3540", "c6288"):
+        assert KWAY_SCALES[name] == 1.0
+
+
+def test_write_helper(tmp_path, capsys):
+    _write(str(tmp_path), "x.txt", "hello")
+    with open(os.path.join(str(tmp_path), "x.txt")) as handle:
+        assert handle.read() == "hello\n"
+    assert "wrote" in capsys.readouterr().out

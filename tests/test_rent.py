@@ -1,0 +1,49 @@
+"""Tests for Rent's-rule analysis (generator-fidelity check)."""
+
+import pytest
+
+from repro.hypergraph.build import build_hypergraph
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.netlist.rent import RentFit, fit_rent, rent_exponent, rent_points
+from repro.techmap.mapped import technology_map
+
+
+class TestFit:
+    def test_perfect_power_law(self):
+        points = [(b, int(round(3 * b ** 0.6))) for b in (8, 16, 32, 64, 128, 256)]
+        fit = fit_rent(points)
+        assert fit is not None
+        assert fit.exponent == pytest.approx(0.6, abs=0.05)
+        assert fit.coefficient == pytest.approx(3.0, rel=0.2)
+
+    def test_prediction(self):
+        fit = RentFit(exponent=0.5, coefficient=2.0, points=())
+        assert fit.predicted_terminals(100) == pytest.approx(20.0)
+
+    def test_underdetermined(self):
+        assert fit_rent([(10, 5)]) is None
+        assert fit_rent([]) is None
+        assert fit_rent([(10, 0), (20, 0), (40, 0)]) is None
+
+
+class TestOnCircuits:
+    @pytest.fixture(scope="class")
+    def hg(self):
+        netlist = benchmark_circuit("s5378", scale=0.15, seed=3)
+        return build_hypergraph(technology_map(netlist), include_terminals=False)
+
+    def test_points_collected(self, hg):
+        points = rent_points(hg, seed=1)
+        assert len(points) >= 3
+        for cells, terminals in points:
+            assert cells > 0 and terminals >= 0
+
+    def test_exponent_realistic(self, hg):
+        # The substitution requirement: synthetic benchmarks must show the
+        # sub-linear terminal growth of real circuits, p well below 1.
+        p = rent_exponent(hg, seed=1)
+        assert p is not None
+        assert 0.1 < p < 0.95
+
+    def test_deterministic(self, hg):
+        assert rent_points(hg, seed=5) == rent_points(hg, seed=5)

@@ -1,0 +1,47 @@
+"""Tests for the report formatting helpers."""
+
+import pytest
+
+from repro.core.results import BipartitionReport
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.partition.devices import Device, DeviceLibrary
+from repro.partition.kway import KWayConfig, partition_heterogeneous
+from repro.partition.report import bipartition_report, solution_report
+from repro.techmap.mapped import technology_map
+
+LIB = DeviceLibrary(
+    [
+        Device("T16", 16, 24, 10, util_upper=0.95),
+        Device("T64", 64, 52, 30, util_upper=0.95),
+    ]
+)
+
+
+@pytest.fixture(scope="module")
+def solution():
+    mapped = technology_map(benchmark_circuit("s5378", scale=0.1, seed=7))
+    return partition_heterogeneous(
+        mapped, KWayConfig(library=LIB, threshold=1, seed=3, seeds_per_carve=1)
+    )
+
+
+def test_solution_report_contains_blocks(solution):
+    text = solution_report(solution)
+    assert "total cost" in text
+    for block in solution.blocks:
+        assert block.device.name in text
+    assert text.count("\n") >= solution.k + 3
+
+
+def test_bipartition_report_format():
+    reports = [
+        BipartitionReport("x", "fm", 2, [10, 12], [0, 0], 0.5, 99),
+        BipartitionReport("x", "fm+functional", 2, [7, 9], [3, 4], 1.0, 99),
+    ]
+    text = bipartition_report(reports)
+    assert "fm+functional" in text
+    assert "+27.3% avg" in text  # (11 - 8) / 11
+
+
+def test_bipartition_report_empty():
+    assert "(no runs)" in bipartition_report([])

@@ -1,0 +1,77 @@
+"""Tests for result records and serialization."""
+
+import json
+
+from repro.core.results import BipartitionReport, KWayReport, dump_reports
+
+
+def _bireport():
+    return BipartitionReport(
+        circuit="x",
+        algorithm="fm",
+        runs=3,
+        cuts=[10, 8, 9],
+        replicated_counts=[0, 0, 0],
+        elapsed_seconds=1.25,
+        n_cells=100,
+    )
+
+
+def test_bipartition_aggregates():
+    report = _bireport()
+    assert report.best_cut == 8
+    assert report.avg_cut == 9.0
+    assert report.avg_replicated == 0.0
+
+
+def test_bipartition_dict():
+    data = _bireport().as_dict()
+    assert data["best_cut"] == 8
+    assert data["elapsed_s"] == 1.25
+
+
+def test_kway_report_dict():
+    report = KWayReport(
+        circuit="x",
+        threshold=float("inf"),
+        k=3,
+        total_cost=100.0,
+        device_counts={"D": 3},
+        avg_clb_utilization=0.8,
+        avg_iob_utilization=0.6,
+        replicated_fraction=0.0,
+        n_cells=10,
+        n_instances=10,
+        feasible=True,
+        elapsed_seconds=0.5,
+    )
+    data = report.as_dict()
+    assert data["threshold"] == "inf"
+    assert data["k"] == 3
+
+
+def test_kway_report_finite_threshold():
+    report = KWayReport(
+        circuit="x",
+        threshold=2.0,
+        k=1,
+        total_cost=1.0,
+        device_counts={},
+        avg_clb_utilization=0.1,
+        avg_iob_utilization=0.1,
+        replicated_fraction=0.1,
+        n_cells=1,
+        n_instances=1,
+        feasible=True,
+        elapsed_seconds=0.0,
+    )
+    assert report.as_dict()["threshold"] == 2.0
+
+
+def test_dump_reports_roundtrip(tmp_path):
+    path = str(tmp_path / "out.json")
+    dump_reports([_bireport(), _bireport()], path)
+    with open(path) as handle:
+        data = json.load(handle)
+    assert len(data) == 2
+    assert data[0]["circuit"] == "x"

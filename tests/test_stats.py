@@ -1,0 +1,46 @@
+"""Tests for circuit statistics (Table II quantities)."""
+
+from repro.netlist.stats import mapped_stats, netlist_stats
+from repro.techmap.mapped import technology_map
+
+
+def test_gate_level_stats(tiny_netlist):
+    stats = netlist_stats(tiny_netlist)
+    assert stats.n_gates == 9
+    assert stats.n_logic == 5
+    assert stats.n_inputs == 4
+    assert stats.n_outputs == 2
+    assert stats.n_dff == 0
+    assert stats.depth == 3
+    assert stats.max_fanin == 2
+    assert stats.max_fanout == 2
+
+
+def test_sequential_stats(seq_netlist):
+    stats = netlist_stats(seq_netlist)
+    assert stats.n_dff == 2
+    assert stats.n_logic == 3
+
+
+def test_stats_as_dict(tiny_netlist):
+    data = netlist_stats(tiny_netlist).as_dict()
+    assert data["name"] == "tiny"
+    assert data["PI"] == 4
+
+
+def test_mapped_stats(tiny_netlist):
+    mapped = technology_map(tiny_netlist)
+    stats = mapped_stats(mapped)
+    assert stats.n_clbs == mapped.n_cells
+    assert stats.n_iobs == 6  # 4 PI + 2 PO
+    assert stats.n_dff == 0
+    data = stats.as_dict()
+    assert data["Circuit"] == "tiny"
+    assert data["#IOBs"] == 6
+
+
+def test_mapped_stats_sequential(seq_netlist):
+    mapped = technology_map(seq_netlist)
+    stats = mapped_stats(mapped)
+    assert stats.n_dff == 2
+    assert stats.n_iobs == 3  # en + q0 + q1

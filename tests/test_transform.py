@@ -1,0 +1,163 @@
+"""Tests for netlist transformation passes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+from repro.netlist.transform import (
+    clean_netlist,
+    propagate_constants,
+    remove_dead_logic,
+    sweep_buffers,
+)
+from tests.conftest import random_small_netlist
+
+
+def _equivalent(a: Netlist, b: Netlist, seed: int = 0, cycles: int = 4) -> bool:
+    rng = random.Random(seed)
+    vecs = [
+        {pi: rng.randrange(2) for pi in a.inputs} for _ in range(cycles)
+    ]
+    return a.simulate(vecs) == b.simulate(vecs)
+
+
+class TestConstantPropagation:
+    def test_folds_constant_cone(self):
+        n = Netlist("c")
+        n.add_input("a")
+        n.add_gate("one", GateType.CONST1)
+        n.add_gate("zero", GateType.CONST0)
+        n.add_gate("g1", GateType.AND, ["one", "zero"])  # -> 0
+        n.add_gate("g2", GateType.OR, ["g1", "a"])  # -> a
+        n.add_output("g2")
+        out = propagate_constants(n)
+        assert out.gate("g1").gtype is GateType.CONST0
+        assert out.gate("g2").gtype is GateType.BUF
+        assert _equivalent(n, out)
+
+    def test_controlling_value_kills_gate(self):
+        n = Netlist("c")
+        n.add_input("a")
+        n.add_input("b")
+        n.add_gate("zero", GateType.CONST0)
+        n.add_gate("g", GateType.AND, ["a", "b", "zero"])
+        n.add_output("g")
+        out = propagate_constants(n)
+        assert out.gate("g").gtype is GateType.CONST0
+
+    def test_nand_with_controlling_zero(self):
+        n = Netlist("c")
+        n.add_input("a")
+        n.add_gate("zero", GateType.CONST0)
+        n.add_gate("g", GateType.NAND, ["a", "zero"])
+        n.add_output("g")
+        out = propagate_constants(n)
+        assert out.gate("g").gtype is GateType.CONST1
+
+    def test_xor_constant_absorption(self):
+        n = Netlist("c")
+        n.add_input("a")
+        n.add_gate("one", GateType.CONST1)
+        n.add_gate("g", GateType.XOR, ["a", "one"])
+        n.add_output("g")
+        out = propagate_constants(n)
+        assert out.gate("g").gtype is GateType.NOT
+        assert _equivalent(n, out)
+
+    def test_dff_blocks_propagation(self):
+        n = Netlist("c")
+        n.add_gate("one", GateType.CONST1)
+        n.add_gate("q", GateType.DFF, ["one"])
+        n.add_output("q")
+        out = propagate_constants(n)
+        assert out.gate("q").gtype is GateType.DFF
+        # Cycle 0 must still read the reset value 0, not the constant.
+        assert out.simulate([{}, {}]) == [{"q": 0}, {"q": 1}]
+
+
+class TestBufferSweep:
+    def test_buffers_removed(self):
+        n = Netlist("b")
+        n.add_input("a")
+        n.add_gate("b1", GateType.BUF, ["a"])
+        n.add_gate("b2", GateType.BUF, ["b1"])
+        n.add_gate("g", GateType.NOT, ["b2"])
+        n.add_output("g")
+        out = sweep_buffers(n)
+        assert "b1" not in out and "b2" not in out
+        assert out.gate("g").fanin == ["a"]
+        assert _equivalent(n, out)
+
+    def test_double_inverter_collapsed(self):
+        n = Netlist("b")
+        n.add_input("a")
+        n.add_input("x")
+        n.add_gate("n1", GateType.NOT, ["a"])
+        n.add_gate("n2", GateType.NOT, ["n1"])
+        n.add_gate("g", GateType.AND, ["n2", "x"])
+        n.add_output("g")
+        n.add_output("n1")  # n1 observable: must survive
+        out = sweep_buffers(n)
+        assert out.gate("g").fanin == ["a", "x"]
+        assert "n1" in out
+        assert _equivalent(n, out)
+
+    def test_po_buffer_kept(self):
+        n = Netlist("b")
+        n.add_input("a")
+        n.add_gate("y", GateType.BUF, ["a"])
+        n.add_output("y")
+        out = sweep_buffers(n)
+        assert "y" in out
+        assert out.outputs == ["y"]
+
+
+class TestDeadLogicRemoval:
+    def test_unobservable_gate_dropped(self):
+        n = Netlist("d")
+        n.add_input("a")
+        n.add_gate("dead", GateType.NOT, ["a"])
+        n.add_gate("live", GateType.BUF, ["a"])
+        n.add_output("live")
+        out = remove_dead_logic(n)
+        assert "dead" not in out
+        assert "live" in out
+
+    def test_state_is_live(self, seq_netlist):
+        out = remove_dead_logic(seq_netlist)
+        assert sorted(out.dffs) == sorted(seq_netlist.dffs)
+
+    def test_inputs_kept(self):
+        n = Netlist("d")
+        n.add_input("a")
+        n.add_input("unused")
+        n.add_gate("g", GateType.NOT, ["a"])
+        n.add_output("g")
+        out = remove_dead_logic(n)
+        assert "unused" in out  # interface preserved
+
+
+class TestCleanPipeline:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_preserves_function(self, seed):
+        n = random_small_netlist(seed, n_gates=50)
+        out = clean_netlist(n)
+        assert _equivalent(n, out, seed=seed + 1)
+
+    def test_sequential_preserved(self, seq_netlist):
+        out = clean_netlist(seq_netlist)
+        vecs = [{"en": i % 2} for i in range(6)]
+        assert out.simulate(vecs) == seq_netlist.simulate(vecs)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_idempotent(self, seed):
+        n = random_small_netlist(seed % 1000, n_gates=40)
+        once = clean_netlist(n)
+        twice = clean_netlist(once)
+        assert set(twice.gate_names()) == set(once.gate_names())
+        assert _equivalent(once, twice, seed=seed % 97)

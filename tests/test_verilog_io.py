@@ -1,0 +1,100 @@
+"""Tests for the structural Verilog reader/writer."""
+
+import random
+
+import pytest
+
+from repro.netlist.gates import GateType
+from repro.netlist.verilog_io import (
+    VerilogParseError,
+    dumps_verilog,
+    loads_verilog,
+)
+from tests.conftest import random_small_netlist
+
+SAMPLE = """
+// a tiny module
+module top (a, b, y, q);
+  input a, b;
+  output y, q;
+  wire n1;
+  nand g1 (n1, a, b);
+  not  g2 (y, n1);
+  dff  r1 (q, y);  /* register */
+endmodule
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        n = loads_verilog(SAMPLE)
+        assert n.name == "top"
+        assert n.inputs == ["a", "b"]
+        assert n.outputs == ["y", "q"]
+        assert n.gate("n1").gtype is GateType.NAND
+        assert n.gate("q").gtype is GateType.DFF
+
+    def test_function(self):
+        n = loads_verilog(SAMPLE)
+        outs = n.simulate([{"a": 1, "b": 1}, {"a": 0, "b": 1}])
+        assert outs[0]["y"] == 1  # not(nand(1,1)) = 1
+        assert outs[1]["q"] == 1  # registered previous y
+
+    def test_comments_stripped(self):
+        n = loads_verilog(SAMPLE)
+        assert len(n) == 5  # 2 PI + 3 gates
+
+    def test_no_module_rejected(self):
+        with pytest.raises(VerilogParseError, match="module"):
+            loads_verilog("wire x;")
+
+    def test_unsupported_primitive_rejected(self):
+        text = "module m (a, y); input a; output y; mycell u1 (y, a); endmodule"
+        with pytest.raises(VerilogParseError, match="unsupported primitive"):
+            loads_verilog(text)
+
+    def test_vector_declaration_rejected(self):
+        text = "module m (a, y); input [3:0] a; output y; endmodule"
+        with pytest.raises(VerilogParseError):
+            loads_verilog(text)
+
+    def test_garbage_statement_rejected(self):
+        text = "module m (a, y); input a; output y; assign y = a; endmodule"
+        with pytest.raises(VerilogParseError):
+            loads_verilog(text)
+
+
+class TestRoundTrip:
+    def test_sample_roundtrip(self):
+        n = loads_verilog(SAMPLE)
+        again = loads_verilog(dumps_verilog(n))
+        vecs = [{"a": i & 1, "b": (i >> 1) & 1} for i in range(4)]
+        assert again.simulate(vecs) == n.simulate(vecs)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_roundtrip(self, seed):
+        n = random_small_netlist(seed, n_gates=30)
+        again = loads_verilog(dumps_verilog(n))
+        rng = random.Random(seed)
+        vec = {pi: rng.randrange(2) for pi in n.inputs}
+        assert again.simulate([vec]) == n.simulate([vec])
+
+    def test_sequential_roundtrip(self, seq_netlist):
+        again = loads_verilog(dumps_verilog(seq_netlist))
+        vecs = [{"en": 1}] * 5
+        assert again.simulate(vecs) == seq_netlist.simulate(vecs)
+
+    def test_constants_rejected_on_dump(self):
+        from repro.netlist.netlist import Netlist
+
+        n = Netlist("c")
+        n.add_gate("one", GateType.CONST1)
+        n.add_output("one")
+        with pytest.raises(VerilogParseError, match="constant"):
+            dumps_verilog(n)
+
+    def test_name_sanitized(self):
+        n = random_small_netlist(1, n_gates=10)
+        n.name = "weird name!"
+        text = dumps_verilog(n)
+        assert "module weird_name_" in text
