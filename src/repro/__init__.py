@@ -21,8 +21,9 @@ Quick tour (see README.md for a worked example)::
 Sub-packages: ``repro.netlist`` (gate-level substrate), ``repro.techmap``
 (XC3000 mapping), ``repro.hypergraph``, ``repro.replication`` (the paper's
 cost model), ``repro.partition`` (FM / replication FM / k-way),
-``repro.core`` (end-to-end flows), ``repro.experiments`` (one module per
-paper table/figure).
+``repro.core`` (end-to-end flows), ``repro.robust`` (deadlines, retry,
+graceful degradation, fault injection), ``repro.experiments`` (one module
+per paper table/figure).
 """
 
 from repro.netlist.benchmarks import (
@@ -65,6 +66,17 @@ from repro.core.flow import (
     kway_experiment,
     map_circuit,
 )
+from repro.robust import (
+    Budget,
+    BudgetExceededError,
+    ConfigError,
+    InfeasibleError,
+    ParseError,
+    ReproError,
+    SolverTimeoutError,
+    VerificationError,
+)
+from repro.robust.runner import ResilientRunner, RunLog, RunnerConfig
 
 __version__ = "1.0.0"
 
@@ -107,5 +119,16 @@ __all__ = [
     "bipartition_experiment",
     "kway_experiment",
     "map_circuit",
+    "Budget",
+    "ReproError",
+    "ConfigError",
+    "ParseError",
+    "InfeasibleError",
+    "BudgetExceededError",
+    "SolverTimeoutError",
+    "VerificationError",
+    "ResilientRunner",
+    "RunnerConfig",
+    "RunLog",
     "__version__",
 ]

@@ -29,7 +29,14 @@ def _resolve_circuit(spec: str, scale: float, seed: int) -> Netlist:
     if spec in BENCHMARK_NAMES:
         return benchmark_circuit(spec, scale=scale, seed=seed)
     if spec.endswith(".bench"):
-        return load_bench(spec)
+        from repro.robust.errors import ParseError
+
+        try:
+            return load_bench(spec)
+        except ParseError as exc:
+            raise SystemExit(str(exc)) from exc
+        except OSError as exc:
+            raise SystemExit(f"cannot read {spec!r}: {exc}") from exc
     raise SystemExit(
         f"unknown circuit {spec!r}: expected one of {', '.join(BENCHMARK_NAMES)} "
         "or a path ending in .bench"
@@ -41,6 +48,47 @@ def _add_circuit_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--seed", type=int, default=1994)
     parser.add_argument("--json", action="store_true", help="machine-readable output")
+
+
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="overall wall-clock budget; routes through the resilient runner "
+        "and returns the best solution found in time",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="extra attempts per engine before degrading (resilient runner)",
+    )
+    parser.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="disable the fm+functional -> fm+traditional -> fm cascade",
+    )
+
+
+def _resilient_runner(args: argparse.Namespace):
+    """Build a ResilientRunner when any resilience flag was given, else None."""
+    if args.deadline is None and args.max_retries is None and not args.no_fallback:
+        return None
+    from repro.robust.errors import ConfigError
+    from repro.robust.runner import ResilientRunner
+
+    if args.deadline is not None and args.deadline < 0:
+        raise SystemExit("--deadline must be non-negative")
+    try:
+        return ResilientRunner(
+            deadline=args.deadline,
+            max_retries=2 if args.max_retries is None else args.max_retries,
+            fallback=not args.no_fallback,
+        )
+    except ConfigError as exc:
+        raise SystemExit(f"bad resilience flags: {exc}") from exc
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -71,6 +119,29 @@ def _cmd_map(args: argparse.Namespace) -> int:
 def _cmd_bipartition(args: argparse.Namespace) -> int:
     netlist = _resolve_circuit(args.circuit, args.scale, args.seed)
     mapped = technology_map(netlist)
+    runner = _resilient_runner(args)
+    if runner is not None:
+        result = runner.bipartition(
+            mapped,
+            algorithm=args.algorithm,
+            runs=args.runs,
+            threshold=args.threshold,
+            seed=args.seed,
+        )
+        report = result.report
+        if args.json:
+            payload = report.as_dict()
+            payload["engine"] = result.engine
+            payload["run_log"] = result.log.as_dicts()
+            print(json.dumps(payload, indent=2))
+        else:
+            print(
+                f"{report.circuit}: {result.engine}, {report.runs} runs -> "
+                f"best cut {report.best_cut}, avg cut {report.avg_cut:.1f} "
+                f"({result.elapsed:.2f}s, "
+                f"{len(result.log.attempts())} attempt(s))"
+            )
+        return 0
     report = bipartition_experiment(
         mapped,
         algorithm=args.algorithm,
@@ -94,6 +165,20 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     netlist = _resolve_circuit(args.circuit, args.scale, args.seed)
     mapped = technology_map(netlist)
     threshold = float("inf") if args.threshold == "inf" else float(args.threshold)
+    runner = _resilient_runner(args)
+    if runner is not None:
+        result = runner.kway(mapped, threshold=threshold, seed=args.seed)
+        solution = result.solution
+        payload = solution.summary()
+        payload["engine"] = result.engine
+        payload["run_log_summary"] = result.log.summary()
+        if args.json:
+            payload["run_log"] = result.log.as_dicts()
+            print(json.dumps(payload, indent=2, default=str))
+        else:
+            for key, value in payload.items():
+                print(f"{key:>16}: {value}")
+        return 0
     if args.verify:
         from repro.core.flow import kway_solution
         from repro.partition.verify import verify_solution
@@ -212,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bi.add_argument("--runs", type=int, default=5)
     p_bi.add_argument("--threshold", type=int, default=0)
+    _add_resilience_args(p_bi)
     p_bi.set_defaults(func=_cmd_bipartition)
 
     p_kw = sub.add_parser("partition", help="heterogeneous k-way partitioning")
@@ -223,6 +309,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the independent solution checker; non-zero exit on violations",
     )
+    _add_resilience_args(p_kw)
     p_kw.set_defaults(func=_cmd_partition)
 
     p_an = sub.add_parser(

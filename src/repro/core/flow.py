@@ -27,7 +27,12 @@ from repro.partition.fm_replication import (
     replication_bipartition,
 )
 from repro.partition.kway import KWayConfig, KWaySolution, best_heterogeneous_partition
+from repro.robust.budget import Budget
+from repro.robust.errors import ConfigError
 from repro.techmap.mapped import MappedNetlist, technology_map
+
+#: Engines accepted by :func:`bipartition_experiment`, strongest first.
+BIPARTITION_ALGORITHMS = ("fm+functional", "fm+traditional", "fm")
 
 
 def map_circuit(circuit: Union[str, Netlist], scale: float = 1.0, seed: int = 1994) -> MappedNetlist:
@@ -46,6 +51,7 @@ def bipartition_experiment(
     balance_tolerance: float = 0.02,
     max_passes: int = 16,
     max_growth: Optional[float] = None,
+    budget: Optional[Budget] = None,
 ) -> BipartitionReport:
     """Experiment 1: N equal-size min-cut bipartitioning runs.
 
@@ -53,12 +59,20 @@ def bipartition_experiment(
     (this paper) or ``"fm+traditional"`` (the [13]-style ablation).
     Terminal constraints are relaxed by building the hypergraph without
     terminal nodes, exactly as the paper's first experiment does.
+
+    A ``budget`` is threaded into every inner run (which then winds down
+    cooperatively) and checked between runs: when it expires, the report
+    covers the runs completed so far (always at least one).
     """
+    if algorithm not in BIPARTITION_ALGORITHMS:
+        raise ConfigError(f"unknown algorithm {algorithm!r}")
     hg = build_hypergraph(mapped, include_terminals=False)
     cuts = []
     replicated = []
     start = time.perf_counter()
     for run in range(runs):
+        if cuts and budget is not None and budget.expired:
+            break
         run_seed = seed * 7919 + run
         if algorithm == "fm":
             result = fm_bipartition(
@@ -67,11 +81,12 @@ def bipartition_experiment(
                     seed=run_seed,
                     balance_tolerance=balance_tolerance,
                     max_passes=max_passes,
+                    budget=budget,
                 ),
             )
             cuts.append(result.cut_size)
             replicated.append(0)
-        elif algorithm in ("fm+functional", "fm+traditional"):
+        else:
             style = FUNCTIONAL if algorithm == "fm+functional" else TRADITIONAL
             result = replication_bipartition(
                 hg,
@@ -82,17 +97,16 @@ def bipartition_experiment(
                     balance_tolerance=balance_tolerance,
                     max_passes=max_passes,
                     max_growth=max_growth,
+                    budget=budget,
                 ),
             )
             cuts.append(result.cut_size)
             replicated.append(result.n_replicated)
-        else:
-            raise ValueError(f"unknown algorithm {algorithm!r}")
     elapsed = time.perf_counter() - start
     return BipartitionReport(
         circuit=mapped.name,
         algorithm=algorithm,
-        runs=runs,
+        runs=len(cuts),
         cuts=cuts,
         replicated_counts=replicated,
         elapsed_seconds=elapsed,
@@ -109,11 +123,13 @@ def kway_experiment(
     seeds_per_carve: int = 3,
     style: str = FUNCTIONAL,
     devices_per_carve: int = 3,
+    budget: Optional[Budget] = None,
 ) -> KWayReport:
     """Experiment 2: one k-way heterogeneous partitioning data point.
 
     ``threshold=float('inf')`` reproduces the no-replication baseline
-    (the "In [3]" columns of Tables IV-VII).
+    (the "In [3]" columns of Tables IV-VII).  A graceful ``budget`` makes
+    the flow return its best (possibly truncated) solution at expiry.
     """
     if threshold == float("inf"):
         style = NONE
@@ -124,6 +140,7 @@ def kway_experiment(
         seed=seed,
         seeds_per_carve=seeds_per_carve,
         devices_per_carve=devices_per_carve,
+        budget=budget,
     )
     start = time.perf_counter()
     solution = best_heterogeneous_partition(mapped, config, n_solutions=n_solutions)
@@ -152,6 +169,7 @@ def kway_solution(
     seed: int = 0,
     seeds_per_carve: int = 3,
     style: str = FUNCTIONAL,
+    budget: Optional[Budget] = None,
 ) -> KWaySolution:
     """Like :func:`kway_experiment` but returning the full solution object."""
     if threshold == float("inf"):
@@ -162,5 +180,6 @@ def kway_solution(
         style=style,
         seed=seed,
         seeds_per_carve=seeds_per_carve,
+        budget=budget,
     )
     return best_heterogeneous_partition(mapped, config, n_solutions=n_solutions)

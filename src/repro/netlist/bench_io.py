@@ -16,10 +16,11 @@ the common aliases ``NOT``/``INV`` and ``BUF``/``BUFF``.
 from __future__ import annotations
 
 import re
-from typing import List
+from typing import List, Optional
 
 from repro.netlist.gates import GateType
 from repro.netlist.netlist import Netlist
+from repro.robust.errors import ParseError
 
 _TYPE_ALIASES = {
     "AND": GateType.AND,
@@ -43,22 +44,36 @@ _ASSIGN_RE = re.compile(
 _IO_RE = re.compile(r"^\s*(INPUT|OUTPUT)\s*\(\s*([^\s)]+)\s*\)\s*$", re.IGNORECASE)
 
 
-class BenchParseError(ValueError):
-    """Raised when a ``.bench`` file is malformed."""
+class BenchParseError(ParseError):
+    """Raised when a ``.bench`` file is malformed.
 
-    def __init__(self, lineno: int, message: str) -> None:
-        super().__init__(f"line {lineno}: {message}")
-        self.lineno = lineno
+    Always carries the offending line number (``lineno``) and, when the
+    text came from disk, the file name (``source``).
+    """
+
+    def __init__(
+        self, lineno: int, message: str, source: Optional[str] = None
+    ) -> None:
+        super().__init__(message, source=source, lineno=lineno)
 
 
-def loads_bench(text: str, name: str = "circuit") -> Netlist:
-    """Parse ``.bench`` text into a :class:`Netlist`."""
+def loads_bench(
+    text: str, name: str = "circuit", source: Optional[str] = None
+) -> Netlist:
+    """Parse ``.bench`` text into a :class:`Netlist`.
+
+    ``source`` (usually the file name) is woven into every parse error so
+    failures localize the offending input.  Empty or comment-only text is
+    rejected with a clear message rather than yielding a hollow netlist.
+    """
     netlist = Netlist(name)
     outputs: List[str] = []
+    saw_content = False
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
             continue
+        saw_content = True
         io_match = _IO_RE.match(line)
         if io_match:
             kind, net = io_match.group(1).upper(), io_match.group(2)
@@ -72,14 +87,20 @@ def loads_bench(text: str, name: str = "circuit") -> Netlist:
             target, type_name, args = assign.groups()
             gtype = _TYPE_ALIASES.get(type_name.upper())
             if gtype is None:
-                raise BenchParseError(lineno, f"unknown gate type {type_name!r}")
+                raise BenchParseError(
+                    lineno, f"unknown gate type {type_name!r}", source
+                )
             fanin = [a.strip() for a in args.split(",") if a.strip()] if args else []
             try:
                 netlist.add_gate(target, gtype, fanin)
             except ValueError as exc:
-                raise BenchParseError(lineno, str(exc)) from exc
+                raise BenchParseError(lineno, str(exc), source) from exc
             continue
-        raise BenchParseError(lineno, f"unparseable line {line!r}")
+        raise BenchParseError(lineno, f"unparseable line {line!r}", source)
+    if not saw_content:
+        raise BenchParseError(
+            1, "empty .bench source (no INPUT/OUTPUT/assignment lines)", source
+        )
     for net in outputs:
         netlist.add_output(net)
     netlist.check()
@@ -102,11 +123,11 @@ def dumps_bench(netlist: Netlist) -> str:
 
 
 def load_bench(path: str, name: str = "") -> Netlist:
-    """Read a ``.bench`` file from disk."""
+    """Read a ``.bench`` file from disk (parse errors carry the path)."""
     with open(path, "r", encoding="utf-8") as handle:
         text = handle.read()
     circuit_name = name or path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
-    return loads_bench(text, circuit_name)
+    return loads_bench(text, circuit_name, source=path)
 
 
 def save_bench(netlist: Netlist, path: str) -> None:

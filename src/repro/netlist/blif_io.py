@@ -15,10 +15,22 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.netlist.gates import GateType
 from repro.netlist.netlist import Netlist
+from repro.robust.errors import ParseError
 
 
-class BlifParseError(ValueError):
-    """Raised when a BLIF file is malformed or uses unsupported constructs."""
+class BlifParseError(ParseError):
+    """Raised when a BLIF file is malformed or uses unsupported constructs.
+
+    Carries the offending line number and source file name when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        lineno: Optional[int] = None,
+        source: Optional[str] = None,
+    ) -> None:
+        super().__init__(message, source=source, lineno=lineno)
 
 
 def _fresh(netlist: Netlist, base: str) -> str:
@@ -37,6 +49,8 @@ def _cover_to_gates(
     output: str,
     inputs: Sequence[str],
     cubes: Sequence[Tuple[str, str]],
+    lineno: Optional[int] = None,
+    source: Optional[str] = None,
 ) -> None:
     """Expand a ``.names`` cover into primitive gates driving ``output``."""
     if not inputs:
@@ -49,7 +63,9 @@ def _cover_to_gates(
         return
     out_vals = {out_val for _, out_val in cubes}
     if len(out_vals) != 1:
-        raise BlifParseError(f"mixed on/off-set cover for {output!r}")
+        raise BlifParseError(
+            f"mixed on/off-set cover for {output!r}", lineno, source
+        )
     onset = out_vals.pop() == "1"
 
     def build_cube(pattern: str, name_hint: str) -> str:
@@ -65,7 +81,9 @@ def _cover_to_gates(
                 netlist.add_gate(inv, GateType.NOT, [src])
                 literals.append(inv)
             else:
-                raise BlifParseError(f"bad cube character {bit!r} for {output!r}")
+                raise BlifParseError(
+                    f"bad cube character {bit!r} for {output!r}", lineno, source
+                )
         if not literals:
             const = _fresh(netlist, f"{name_hint}_t")
             netlist.add_gate(const, GateType.CONST1)
@@ -89,31 +107,45 @@ def _cover_to_gates(
             netlist.add_gate(output, GateType.NOR, terms)
 
 
-def loads_blif(text: str, name: str = "") -> Netlist:
-    """Parse BLIF text into a :class:`Netlist`."""
-    # Join continuation lines first.
-    logical_lines: List[str] = []
+def loads_blif(text: str, name: str = "", source: Optional[str] = None) -> Netlist:
+    """Parse BLIF text into a :class:`Netlist`.
+
+    ``source`` (usually the file name) is woven into every parse error,
+    together with the line number of the offending logical line.  Empty
+    or comment-only text is rejected with a clear message.
+    """
+    # Join continuation lines first, remembering where each logical line
+    # started so errors can localize the input.
+    logical_lines: List[Tuple[int, str]] = []
     pending = ""
-    for raw in text.splitlines():
+    pending_lineno = 0
+    for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].rstrip()
         if not line.strip():
             continue
         if line.endswith("\\"):
+            if not pending:
+                pending_lineno = lineno
             pending += line[:-1] + " "
             continue
-        logical_lines.append(pending + line)
+        logical_lines.append((pending_lineno or lineno, pending + line))
         pending = ""
+        pending_lineno = 0
     if pending.strip():
-        logical_lines.append(pending)
+        logical_lines.append((pending_lineno, pending))
+    if not logical_lines:
+        raise BlifParseError(
+            "empty BLIF source (no directives or covers)", 1, source
+        )
 
     model_name = name
     inputs: List[str] = []
     outputs: List[str] = []
-    latches: List[Tuple[str, str]] = []
-    covers: List[Tuple[str, List[str], List[Tuple[str, str]]]] = []
-    current: Optional[Tuple[str, List[str], List[Tuple[str, str]]]] = None
+    latches: List[Tuple[int, str, str]] = []
+    covers: List[Tuple[int, str, List[str], List[Tuple[str, str]]]] = []
+    current: Optional[Tuple[int, str, List[str], List[Tuple[str, str]]]] = None
 
-    for line in logical_lines:
+    for lineno, line in logical_lines:
         tokens = line.split()
         if tokens[0].startswith("."):
             directive = tokens[0]
@@ -127,34 +159,50 @@ def loads_blif(text: str, name: str = "") -> Netlist:
                 outputs.extend(tokens[1:])
             elif directive == ".names":
                 if len(tokens) < 2:
-                    raise BlifParseError(".names with no signals")
-                current = (tokens[-1], tokens[1:-1], [])
+                    raise BlifParseError(".names with no signals", lineno, source)
+                current = (lineno, tokens[-1], tokens[1:-1], [])
                 covers.append(current)
             elif directive == ".latch":
                 if len(tokens) < 3:
-                    raise BlifParseError(".latch needs input and output")
-                latches.append((tokens[1], tokens[2]))
+                    raise BlifParseError(
+                        ".latch needs input and output", lineno, source
+                    )
+                latches.append((lineno, tokens[1], tokens[2]))
             elif directive == ".end":
                 break
             else:
-                raise BlifParseError(f"unsupported directive {directive}")
+                raise BlifParseError(
+                    f"unsupported directive {directive}", lineno, source
+                )
         else:
             if current is None:
-                raise BlifParseError(f"cube line outside .names: {line!r}")
-            if len(tokens) == 1 and not current[1]:
-                current[2].append(("", tokens[0]))
+                raise BlifParseError(
+                    f"cube line outside .names: {line!r}", lineno, source
+                )
+            if len(tokens) == 1 and not current[2]:
+                current[3].append(("", tokens[0]))
             elif len(tokens) == 2:
-                current[2].append((tokens[0], tokens[1]))
+                current[3].append((tokens[0], tokens[1]))
             else:
-                raise BlifParseError(f"malformed cube line {line!r}")
+                raise BlifParseError(
+                    f"malformed cube line {line!r}", lineno, source
+                )
 
     netlist = Netlist(model_name or "blif_circuit")
     for pi in inputs:
         netlist.add_input(pi)
-    for data_in, q_out in latches:
-        netlist.add_gate(q_out, GateType.DFF, [data_in])
-    for output, cover_in, cubes in covers:
-        _cover_to_gates(netlist, output, cover_in, cubes)
+    for lineno, data_in, q_out in latches:
+        try:
+            netlist.add_gate(q_out, GateType.DFF, [data_in])
+        except ValueError as exc:
+            raise BlifParseError(str(exc), lineno, source) from exc
+    for lineno, output, cover_in, cubes in covers:
+        try:
+            _cover_to_gates(netlist, output, cover_in, cubes, lineno, source)
+        except BlifParseError:
+            raise
+        except ValueError as exc:
+            raise BlifParseError(str(exc), lineno, source) from exc
     for po in outputs:
         netlist.add_output(po)
     netlist.check()

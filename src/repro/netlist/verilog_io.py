@@ -20,10 +20,11 @@ parser raises on them rather than guessing).
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.netlist.gates import GateType
 from repro.netlist.netlist import Netlist
+from repro.robust.errors import ParseError
 
 _PRIMITIVES: Dict[str, GateType] = {
     "and": GateType.AND,
@@ -40,37 +41,71 @@ _PRIMITIVES: Dict[str, GateType] = {
 _IDENT = r"[A-Za-z_][A-Za-z0-9_$]*"
 
 
-class VerilogParseError(ValueError):
-    """Raised for malformed or out-of-scope Verilog."""
+class VerilogParseError(ParseError):
+    """Raised for malformed or out-of-scope Verilog.
+
+    Carries the offending line number and source file name when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        lineno: Optional[int] = None,
+        source: Optional[str] = None,
+    ) -> None:
+        super().__init__(message, source=source, lineno=lineno)
 
 
 def _strip_comments(text: str) -> str:
-    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.DOTALL)
+    """Blank out comments, preserving newlines so line numbers survive."""
+    text = re.sub(
+        r"/\*.*?\*/",
+        lambda m: "\n" * m.group(0).count("\n") + " ",
+        text,
+        flags=re.DOTALL,
+    )
     text = re.sub(r"//[^\n]*", " ", text)
     return text
 
 
-def loads_verilog(text: str, name: str = "") -> Netlist:
-    """Parse one flat structural module into a :class:`Netlist`."""
+def loads_verilog(text: str, name: str = "", source: Optional[str] = None) -> Netlist:
+    """Parse one flat structural module into a :class:`Netlist`.
+
+    ``source`` (usually the file name) and the statement's line number
+    are woven into every parse error.  Empty or comment-only text is
+    rejected with a clear message.
+    """
     text = _strip_comments(text)
+    if not text.strip():
+        raise VerilogParseError("empty Verilog source", 1, source)
     module = re.search(
         rf"module\s+({_IDENT})\s*\((.*?)\)\s*;(.*?)endmodule",
         text,
         flags=re.DOTALL,
     )
     if not module:
-        raise VerilogParseError("no module ... endmodule found")
+        raise VerilogParseError(
+            "no module ... endmodule found (truncated file?)", None, source
+        )
     mod_name, _, body = module.groups()
+    body_start = module.start(3)
     netlist = Netlist(name or mod_name)
+
+    def line_of(offset_in_body: int) -> int:
+        return text.count("\n", 0, body_start + offset_in_body) + 1
 
     inputs: List[str] = []
     outputs: List[str] = []
-    statements = [s.strip() for s in body.split(";") if s.strip()]
-    instances: List[Tuple[str, List[str]]] = []
-    for stmt in statements:
-        head = stmt.split(None, 1)
-        if not head:
+    instances: List[Tuple[int, str, List[str]]] = []
+    offset = 0
+    for chunk in body.split(";"):
+        start = offset
+        offset += len(chunk) + 1
+        stmt = chunk.strip()
+        if not stmt:
             continue
+        lineno = line_of(start + (len(chunk) - len(chunk.lstrip())))
+        head = stmt.split(None, 1)
         keyword = head[0]
         rest = head[1] if len(head) > 1 else ""
         if keyword in ("input", "output", "wire"):
@@ -79,7 +114,9 @@ def loads_verilog(text: str, name: str = "") -> Netlist:
                 if not re.fullmatch(_IDENT, net):
                     raise VerilogParseError(
                         f"unsupported declaration {stmt!r} (vectors/escapes "
-                        "are out of scope)"
+                        "are out of scope)",
+                        lineno,
+                        source,
                     )
             if keyword == "input":
                 inputs.extend(names)
@@ -90,23 +127,30 @@ def loads_verilog(text: str, name: str = "") -> Netlist:
             rf"({_IDENT})\s+({_IDENT})?\s*\(\s*(.*?)\s*\)", stmt, flags=re.DOTALL
         )
         if not match:
-            raise VerilogParseError(f"unparseable statement {stmt!r}")
+            raise VerilogParseError(f"unparseable statement {stmt!r}", lineno, source)
         prim, _inst_name, ports = match.group(1), match.group(2), match.group(3)
         if prim not in _PRIMITIVES:
             raise VerilogParseError(
-                f"unsupported primitive {prim!r} (hierarchy/assign are out of scope)"
+                f"unsupported primitive {prim!r} (hierarchy/assign are out of scope)",
+                lineno,
+                source,
             )
         nets = [p.strip() for p in ports.split(",") if p.strip()]
         if len(nets) < 2:
-            raise VerilogParseError(f"primitive {stmt!r} needs >= 2 ports")
-        instances.append((prim, nets))
+            raise VerilogParseError(
+                f"primitive {stmt!r} needs >= 2 ports", lineno, source
+            )
+        instances.append((lineno, prim, nets))
 
     for pi in inputs:
         netlist.add_input(pi)
-    for prim, nets in instances:
+    for lineno, prim, nets in instances:
         gtype = _PRIMITIVES[prim]
         out, ins = nets[0], nets[1:]
-        netlist.add_gate(out, gtype, ins)
+        try:
+            netlist.add_gate(out, gtype, ins)
+        except ValueError as exc:
+            raise VerilogParseError(str(exc), lineno, source) from exc
     for po in outputs:
         netlist.add_output(po)
     netlist.check()

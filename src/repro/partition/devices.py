@@ -21,6 +21,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro.robust.errors import ConfigError
+
 
 @dataclass(frozen=True)
 class Device:
@@ -35,11 +37,11 @@ class Device:
 
     def __post_init__(self) -> None:
         if self.clbs <= 0 or self.terminals <= 0:
-            raise ValueError(f"device {self.name!r}: capacity fields must be positive")
+            raise ConfigError(f"device {self.name!r}: capacity fields must be positive")
         if self.price < 0:
-            raise ValueError(f"device {self.name!r}: price must be non-negative")
+            raise ConfigError(f"device {self.name!r}: price must be non-negative")
         if not 0.0 <= self.util_lower <= self.util_upper <= 1.0:
-            raise ValueError(f"device {self.name!r}: need 0 <= l <= u <= 1")
+            raise ConfigError(f"device {self.name!r}: need 0 <= l <= u <= 1")
 
     @property
     def cost_per_clb(self) -> float:
@@ -65,10 +67,10 @@ class DeviceLibrary:
 
     def __init__(self, devices: Sequence[Device], name: str = "library") -> None:
         if not devices:
-            raise ValueError("device library cannot be empty")
+            raise ConfigError("device library cannot be empty")
         names = [d.name for d in devices]
         if len(set(names)) != len(names):
-            raise ValueError("duplicate device names in library")
+            raise ConfigError("duplicate device names in library")
         self.name = name
         self.devices: List[Device] = sorted(devices, key=lambda d: d.clbs)
 

@@ -31,6 +31,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.robust import faults
+from repro.robust.budget import Budget
+
+#: How many accepted moves between budget polls inside a pass; keeps the
+#: cooperative deadline check off the per-move hot path.
+_BUDGET_POLL_MOVES = 128
 
 
 @dataclass
@@ -42,6 +48,9 @@ class FMConfig:
     max_passes: int = 16
     side0_bounds: Optional[Tuple[int, int]] = None
     fixed: Dict[int, int] = field(default_factory=dict)
+    #: Optional wall-clock budget; when it expires the run stops refining
+    #: at the next checkpoint and returns its best state so far.
+    budget: Optional[Budget] = None
 
 
 @dataclass
@@ -189,11 +198,14 @@ def fm_bipartition(
 ) -> FMResult:
     """Run FM on ``hg``; returns the best bipartition found."""
     config = config or FMConfig()
+    faults.maybe_fire("fm.run", seed=config.seed)
     state = _FMState(hg, config, initial)
     initial_cut = state.cut_size()
     pass_gains: List[int] = []
 
     for _ in range(config.max_passes):
+        if config.budget is not None and config.budget.expired:
+            break
         gain_of_pass = _run_pass(state)
         pass_gains.append(gain_of_pass)
         if gain_of_pass <= 0:
@@ -274,6 +286,14 @@ def _run_pass(state: _FMState) -> int:
             best_gain = cumulative
             best_index = len(moves)
 
+        budget = state.config.budget
+        if (
+            budget is not None
+            and len(moves) % _BUDGET_POLL_MOVES == 0
+            and budget.expired
+        ):
+            break  # rollback below still lands on the best prefix
+
         # Inadmissible entries may have become admissible: restore them.
         for s, entry in deferred:
             node_idx = entry[2]
@@ -314,12 +334,19 @@ def best_of_runs(
     best: Optional[FMResult] = None
     cuts: List[int] = []
     for run in range(runs):
+        if (
+            best is not None
+            and base_config.budget is not None
+            and base_config.budget.expired
+        ):
+            break
         config = FMConfig(
             seed=base_config.seed * 7919 + run,
             balance_tolerance=base_config.balance_tolerance,
             max_passes=base_config.max_passes,
             side0_bounds=base_config.side0_bounds,
             fixed=dict(base_config.fixed),
+            budget=base_config.budget,
         )
         result = fm_bipartition(hg, config)
         cuts.append(result.cut_size)

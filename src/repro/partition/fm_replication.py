@@ -34,11 +34,17 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.replication.gains import MoveVectors
 from repro.replication.potential import node_potential
+from repro.robust import faults
+from repro.robust.budget import Budget
+from repro.robust.errors import ConfigError
 
 #: Replication styles accepted by :class:`ReplicationConfig`.
 FUNCTIONAL = "functional"
 TRADITIONAL = "traditional"
 NONE = "none"
+
+#: How many committed moves between budget polls inside a pass.
+_BUDGET_POLL_MOVES = 128
 
 # Move kinds (internal).
 _MOVE = 0
@@ -76,10 +82,13 @@ class ReplicationConfig:
     #: start its high-gain replications lock cells prematurely and strand
     #: the partition in poor local optima.
     warm_start_moves_only: bool = True
+    #: Optional wall-clock budget; when it expires the engine stops
+    #: refining at the next checkpoint and returns its best state so far.
+    budget: Optional[Budget] = None
 
     def __post_init__(self) -> None:
         if self.style not in (FUNCTIONAL, TRADITIONAL, NONE):
-            raise ValueError(f"unknown replication style {self.style!r}")
+            raise ConfigError(f"unknown replication style {self.style!r}")
 
 
 @dataclass
@@ -514,6 +523,14 @@ class ReplicationEngine:
                 best_gain = cumulative
                 best_index = len(undo)
 
+            budget = self.config.budget
+            if (
+                budget is not None
+                and len(undo) % _BUDGET_POLL_MOVES == 0
+                and budget.expired
+            ):
+                break  # rollback below still lands on the best prefix
+
             for parked in deferred:
                 pv = parked[2]
                 if not self.locked[pv] and parked[3] == self.stamp[pv]:
@@ -533,18 +550,26 @@ class ReplicationEngine:
         return best_gain
 
     def run(self) -> ReplicationResult:
+        faults.maybe_fire(
+            "engine.run", style=self.config.style, seed=self.config.seed
+        )
+        budget = self.config.budget
         initial_cut = self.cut_size()
         pass_gains: List[int] = []
         replication_on = self.config.style != NONE
         if replication_on and self.config.warm_start_moves_only:
             self._moves_only = True
             for _ in range(self.config.max_passes):
+                if budget is not None and budget.expired:
+                    break
                 gain = self.run_pass()
                 pass_gains.append(gain)
                 if gain <= 0:
                     break
             self._moves_only = False
         for _ in range(self.config.max_passes):
+            if budget is not None and budget.expired:
+                break
             gain = self.run_pass()
             pass_gains.append(gain)
             if gain <= 0:
@@ -579,6 +604,8 @@ def best_of_runs(
     best: Optional[ReplicationResult] = None
     cuts: List[int] = []
     for run in range(runs):
+        if best is not None and base.budget is not None and base.budget.expired:
+            break
         config = ReplicationConfig(
             seed=base.seed * 7919 + run,
             threshold=base.threshold,
@@ -590,6 +617,7 @@ def best_of_runs(
             allow_single_output_traditional=base.allow_single_output_traditional,
             max_growth=base.max_growth,
             warm_start_moves_only=base.warm_start_moves_only,
+            budget=base.budget,
         )
         result = replication_bipartition(hg, config)
         cuts.append(result.cut_size)

@@ -23,7 +23,7 @@ Feasibility (paper's definition): block j on device D_i requires
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.hypergraph.hypergraph import Hypergraph, NodeKind
@@ -35,6 +35,9 @@ from repro.partition.fm_replication import (
     ReplicationConfig,
     ReplicationEngine,
 )
+from repro.robust import faults
+from repro.robust.budget import Budget
+from repro.robust.errors import InfeasibleError
 from repro.techmap.mapped import MappedNetlist
 
 #: Threshold value disabling replication entirely (the "[3]" baseline).
@@ -105,6 +108,12 @@ class KWayConfig:
     #: plays the role of the lower utilization bound l_i of the paper's
     #: device model during search.
     carve_fill_levels: Tuple[float, ...] = (0.85, 0.65, 0.45, 0.25)
+    #: Optional wall-clock budget.  A *graceful* budget (the default)
+    #: makes the carve loop stop at its next checkpoint and dump the
+    #: remaining circuit into one best-effort final block, yielding a
+    #: structurally valid (``truncated``, possibly infeasible) solution;
+    #: a strict budget raises ``SolverTimeoutError`` there instead.
+    budget: Optional[Budget] = None
 
     @property
     def replication_enabled(self) -> bool:
@@ -121,6 +130,9 @@ class KWaySolution:
     n_original_cells: int
     replicated_cells: Set[str]
     feasible: bool
+    #: True when a wall-clock budget expired mid-search and the remaining
+    #: circuit was dumped into one best-effort final block.
+    truncated: bool = False
 
     @property
     def k(self) -> int:
@@ -144,6 +156,7 @@ class KWaySolution:
                 "replicated_%": round(100 * self.replicated_fraction, 2),
                 "instances": self.n_instances,
                 "cells": self.n_original_cells,
+                "truncated": self.truncated,
             }
         )
         return data
@@ -358,10 +371,20 @@ def partition_heterogeneous(
     blocks: List[BlockResult] = []
     carved_nets: Set[str] = set()
     instance_counter = 0
+    budget = config.budget
+    truncated = False
 
     while True:
+        faults.maybe_fire("kway.carve", index=len(blocks), style=config.style)
         if len(blocks) >= config.max_blocks:
-            raise RuntimeError("block limit exceeded; circuit cannot be carved")
+            raise InfeasibleError(
+                "block limit exceeded; circuit cannot be carved"
+            )
+        exhausted = budget is not None and budget.expired
+        if exhausted:
+            # Strict budgets raise here; graceful ones fall through and
+            # dump the remainder into one best-effort final block.
+            budget.check("k-way carve loop")
         clbs = len(cells)
         present_nets: Set[str] = set()
         pad_nets: Set[str] = {t.net for t in terms}
@@ -373,8 +396,10 @@ def partition_heterogeneous(
             1 for net in present_nets if net in carved_nets or net in pad_nets
         )
         final_dev = library.cheapest_fit(clbs, t_all)
-        if final_dev is not None or clbs <= 1:
+        if final_dev is not None or clbs <= 1 or exhausted:
             if final_dev is None:
+                # Only an expired budget forces this exit with > 1 CLB left.
+                truncated = truncated or (exhausted and clbs > 1)
                 final_dev = library.largest  # best effort; marked infeasible
             blocks.append(
                 BlockResult(
@@ -396,6 +421,7 @@ def partition_heterogeneous(
         hg, fixed, pseudo = _build_hg(cells, terms, carved_nets)
         best: Optional[Tuple[Tuple, Device, ReplicationEngine]] = None
         fallback: Optional[Tuple[Tuple, Device, ReplicationEngine]] = None
+        out_of_time = False
         for fill in config.carve_fill_levels:
             for device in candidates:
                 hi0 = min(device.max_clbs, clbs - 1)
@@ -403,6 +429,9 @@ def partition_heterogeneous(
                 if lo0 > hi0:
                     continue
                 for _ in range(config.seeds_per_carve):
+                    if budget is not None and budget.expired:
+                        out_of_time = True
+                        break
                     engine = ReplicationEngine(
                         hg,
                         ReplicationConfig(
@@ -412,6 +441,7 @@ def partition_heterogeneous(
                             side0_bounds=(lo0, hi0),
                             max_passes=config.max_passes,
                             fixed=dict(fixed),
+                            budget=budget,
                         ),
                     )
                     engine.run()
@@ -436,11 +466,18 @@ def partition_heterogeneous(
                         fb_key = (violation,) + key
                         if fallback is None or fb_key < fallback[0]:
                             fallback = (fb_key, device, engine)
-            if best is not None:
+                if out_of_time:
+                    break
+            if best is not None or out_of_time:
                 break  # highest workable fill band wins
         chosen = best or fallback
         if chosen is None:
-            raise RuntimeError(
+            if out_of_time:
+                # Expired mid-evaluation with nothing usable: loop back so
+                # the exhausted check above finalizes (or raises, when the
+                # budget is strict).
+                continue
+            raise InfeasibleError(
                 f"no carve candidate for {clbs} CLBs; library too small"
             )
         _, device, engine = chosen
@@ -507,11 +544,11 @@ def partition_heterogeneous(
         cells = new_cells
         terms = new_terms
 
-    return _finalize(mapped.name, blocks, n_original)
+    return _finalize(mapped.name, blocks, n_original, truncated=truncated)
 
 
 def _finalize(
-    name: str, blocks: List[BlockResult], n_original: int
+    name: str, blocks: List[BlockResult], n_original: int, truncated: bool = False
 ) -> KWaySolution:
     """Global terminal accounting + objective computation."""
     net_blocks: Dict[str, Set[int]] = {}
@@ -541,6 +578,7 @@ def _finalize(
         n_original_cells=n_original,
         replicated_cells=replicated,
         feasible=cost.feasible,
+        truncated=truncated,
     )
 
 
@@ -558,16 +596,13 @@ def best_heterogeneous_partition(
     config = config or KWayConfig()
     best: Optional[KWaySolution] = None
     for i in range(max(1, n_solutions)):
-        run_cfg = KWayConfig(
-            library=config.library,
-            threshold=config.threshold,
-            style=config.style,
-            seed=config.seed * 9973 + i,
-            seeds_per_carve=config.seeds_per_carve,
-            devices_per_carve=config.devices_per_carve,
-            max_passes=config.max_passes,
-            max_blocks=config.max_blocks,
-        )
+        if (
+            best is not None
+            and config.budget is not None
+            and config.budget.expired
+        ):
+            break
+        run_cfg = replace(config, seed=config.seed * 9973 + i)
         sol = partition_heterogeneous(mapped, run_cfg)
         if best is None:
             best = sol

@@ -29,11 +29,23 @@ from collections import defaultdict
 from typing import Dict, List, Set
 
 from repro.partition.kway import KWaySolution
+from repro.robust.errors import VerificationError
 from repro.techmap.mapped import MappedNetlist
 
 
-def verify_solution(mapped: MappedNetlist, solution: KWaySolution) -> List[str]:
-    """Return a list of violation descriptions (empty = solution verified)."""
+def verify_solution(
+    mapped: MappedNetlist,
+    solution: KWaySolution,
+    raise_on_violation: bool = False,
+) -> List[str]:
+    """Return a list of violation descriptions (empty = solution verified).
+
+    With ``raise_on_violation=True`` a non-empty list raises
+    :class:`~repro.robust.errors.VerificationError` carrying the full
+    violation list, which is how
+    :class:`~repro.robust.runner.ResilientRunner` uses this checker as a
+    post-run gate (reject-and-retry on corrupt solutions).
+    """
     problems: List[str] = []
     cell_by_name = {cell.name: cell for cell in mapped.cells}
 
@@ -165,4 +177,6 @@ def verify_solution(mapped: MappedNetlist, solution: KWaySolution) -> List[str]:
         if pi in live_nets and pad_placements.get(f"pi:{pi}", 0) != 1:
             problems.append(f"primary input pad pi:{pi} not placed exactly once")
 
+    if problems and raise_on_violation:
+        raise VerificationError(problems, circuit=solution.name)
     return problems

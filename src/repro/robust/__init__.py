@@ -1,0 +1,76 @@
+"""Resilient solver orchestration: budgets, retries, degradation, faults.
+
+This package wraps the partitioning entry points in budgeted,
+fault-tolerant execution:
+
+* :mod:`repro.robust.errors` -- the structured exception taxonomy
+  (:class:`ReproError` and friends) every module of the library raises;
+* :mod:`repro.robust.budget` -- wall-clock :class:`Budget` objects the
+  solvers poll cooperatively;
+* :mod:`repro.robust.runner` -- the :class:`ResilientRunner` that adds
+  deadlines, retry with seed perturbation, a graceful-degradation
+  cascade (``fm+functional -> fm+traditional -> fm``) and best-so-far
+  checkpointing on top of the raw flows, recording every decision in a
+  machine-readable :class:`RunLog`;
+* :mod:`repro.robust.faults` -- a deterministic fault-injection harness
+  used by the tests to prove every degradation path fires.
+
+``errors``, ``budget`` and ``faults`` are import-light (the low-level
+solvers import them), while ``runner`` pulls in the whole partitioning
+stack -- it is therefore loaded lazily on first attribute access to keep
+``repro.partition`` -> ``repro.robust`` imports cycle-free.
+"""
+
+from __future__ import annotations
+
+from repro.robust.budget import Budget
+from repro.robust.errors import (
+    BudgetExceededError,
+    ConfigError,
+    InfeasibleError,
+    ParseError,
+    ReproError,
+    SolverTimeoutError,
+    VerificationError,
+)
+from repro.robust.faults import Fault, FaultError, FaultPlan, inject, maybe_fire
+
+__all__ = [
+    "Budget",
+    "ReproError",
+    "ConfigError",
+    "InfeasibleError",
+    "BudgetExceededError",
+    "SolverTimeoutError",
+    "ParseError",
+    "VerificationError",
+    "Fault",
+    "FaultError",
+    "FaultPlan",
+    "inject",
+    "maybe_fire",
+    # lazily resolved from repro.robust.runner:
+    "ResilientRunner",
+    "RunnerConfig",
+    "RunLog",
+    "RunEvent",
+    "KWayRunResult",
+    "BipartitionRunResult",
+]
+
+_RUNNER_EXPORTS = {
+    "ResilientRunner",
+    "RunnerConfig",
+    "RunLog",
+    "RunEvent",
+    "KWayRunResult",
+    "BipartitionRunResult",
+}
+
+
+def __getattr__(name: str):
+    if name in _RUNNER_EXPORTS:
+        from repro.robust import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,113 @@
+"""Wall-clock budgets for cooperative solver deadlines.
+
+A :class:`Budget` is a small monotonic-clock deadline object threaded
+through ``FMConfig`` / ``ReplicationConfig`` / ``KWayConfig``.  The
+solvers poll it at cheap checkpoints (between passes, every few hundred
+moves inside a pass, at every carve of the k-way flow) and wind down
+when it expires:
+
+* **graceful** budgets (the default) make each solver stop refining and
+  return its best state so far -- a timed-out k-way run still yields a
+  structurally valid (possibly infeasible, ``truncated``) solution;
+* **strict** budgets (``graceful=False``) make the k-way carve loop
+  raise :class:`~repro.robust.errors.SolverTimeoutError` at the next
+  checkpoint instead.
+
+Budgets nest: :meth:`Budget.child` returns a sub-budget clamped to the
+parent's deadline, which is how the
+:class:`~repro.robust.runner.ResilientRunner` splits one overall
+deadline into exponentially sized per-attempt slices.  The clock is
+injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.robust.errors import ConfigError, SolverTimeoutError
+
+
+class Budget:
+    """A wall-clock deadline with cooperative check points.
+
+    ``seconds=None`` means unlimited: :attr:`expired` is always False
+    and :meth:`remaining` returns ``inf``, so threading a default budget
+    through a solver changes nothing.
+    """
+
+    __slots__ = ("_clock", "start", "seconds", "deadline", "graceful")
+
+    def __init__(
+        self,
+        seconds: Optional[float] = None,
+        *,
+        graceful: bool = True,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if seconds is not None and seconds < 0:
+            raise ConfigError("budget seconds must be non-negative")
+        self._clock = clock
+        self.start = clock()
+        self.seconds = seconds
+        self.deadline = None if seconds is None else self.start + seconds
+        self.graceful = graceful
+
+    @classmethod
+    def unlimited(cls) -> "Budget":
+        """A budget that never expires (the default everywhere)."""
+        return cls(None)
+
+    # ------------------------------------------------------------------
+    def elapsed(self) -> float:
+        """Seconds since the budget was created."""
+        return self._clock() - self.start
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (``inf`` when unlimited, >= 0)."""
+        if self.deadline is None:
+            return float("inf")
+        return max(0.0, self.deadline - self._clock())
+
+    @property
+    def expired(self) -> bool:
+        """True once the deadline has passed."""
+        return self.deadline is not None and self._clock() >= self.deadline
+
+    def check(self, where: str = "solver") -> None:
+        """Raise :class:`SolverTimeoutError` if expired and not graceful.
+
+        Graceful budgets never raise here; callers are expected to test
+        :attr:`expired` and wind down on their own.
+        """
+        if not self.graceful and self.expired:
+            raise SolverTimeoutError(
+                f"deadline of {self.seconds:.3f}s expired in {where} "
+                f"after {self.elapsed():.3f}s",
+                elapsed=self.elapsed(),
+            )
+
+    # ------------------------------------------------------------------
+    def child(
+        self, seconds: Optional[float] = None, *, graceful: bool = True
+    ) -> "Budget":
+        """A sub-budget clamped to this budget's own deadline.
+
+        ``seconds=None`` inherits the parent's remaining time exactly.
+        The child shares the parent's clock, so fake clocks in tests
+        govern the whole tree.
+        """
+        remaining = self.remaining()
+        if seconds is None:
+            allot = None if remaining == float("inf") else remaining
+        else:
+            allot = seconds if remaining == float("inf") else min(seconds, remaining)
+        return Budget(allot, graceful=graceful, clock=self._clock)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.deadline is None:
+            return "Budget(unlimited)"
+        return (
+            f"Budget({self.seconds:.3f}s, remaining={self.remaining():.3f}s, "
+            f"graceful={self.graceful})"
+        )

@@ -1,0 +1,150 @@
+"""Deterministic fault injection for the solver stack.
+
+The resilience machinery (retry, degradation, best-so-far checkpoints)
+is worthless unless every path is provably exercised, so the solvers
+expose named *fault sites* -- :func:`maybe_fire` calls that are no-ops
+in production (an empty-list check) but consult the active
+:class:`FaultPlan` under test:
+
+``kway.carve``
+    start of every carve iteration of
+    :func:`repro.partition.kway.partition_heterogeneous`
+    (context: ``index``, ``style``);
+``engine.run``
+    start of every :meth:`repro.partition.fm_replication.ReplicationEngine.run`
+    (context: ``style``);
+``fm.run``
+    start of every :func:`repro.partition.fm.fm_bipartition` run.
+
+A :class:`Fault` matches a site (plus optional context filters), skips
+the first ``after`` matching calls, then fires up to ``times`` times --
+raising a configured exception and/or sleeping ``delay`` seconds to
+simulate a stuck pass.  Everything is counter-based, so a given plan
+replays identically on every run.
+
+Usage::
+
+    from repro.robust import faults
+
+    with faults.inject(
+        faults.Fault("engine.run", error=RuntimeError("boom"),
+                     match={"style": "functional"}, times=1),
+    ):
+        ...  # first functional-replication engine run raises
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.robust.errors import ReproError
+
+
+class FaultError(ReproError, RuntimeError):
+    """Default exception raised by an injected fault."""
+
+
+class Fault:
+    """One deterministic fault: where, when and how to fire."""
+
+    def __init__(
+        self,
+        site: str,
+        *,
+        error: Optional[Union[BaseException, type]] = None,
+        delay: float = 0.0,
+        match: Optional[Dict[str, object]] = None,
+        after: int = 0,
+        times: Optional[int] = None,
+    ) -> None:
+        if error is None and delay <= 0.0:
+            raise ValueError("a fault needs an error, a delay, or both")
+        self.site = site
+        self.error = error
+        self.delay = delay
+        self.match = dict(match or {})
+        self.after = after
+        self.times = times
+        self.hits = 0  # matching calls seen
+        self.fires = 0  # times actually fired
+
+    def _matches(self, site: str, ctx: Dict[str, object]) -> bool:
+        if site != self.site:
+            return False
+        return all(ctx.get(key) == value for key, value in self.match.items())
+
+    def _make_error(self) -> BaseException:
+        if isinstance(self.error, BaseException):
+            return self.error
+        assert self.error is not None
+        return self.error(f"injected fault at {self.site!r} (hit {self.hits})")
+
+    def fire(self, site: str, ctx: Dict[str, object]) -> None:
+        """Fire if this call matches; raises the configured error."""
+        if not self._matches(site, ctx):
+            return
+        self.hits += 1
+        if self.hits - 1 < self.after:
+            return
+        if self.times is not None and self.fires >= self.times:
+            return
+        self.fires += 1
+        if self.delay > 0.0:
+            time.sleep(self.delay)
+        if self.error is not None:
+            raise self._make_error()
+
+
+class FaultPlan:
+    """An ordered collection of faults active for one ``inject`` scope."""
+
+    def __init__(self, *faults: Fault) -> None:
+        self.faults: List[Fault] = list(faults)
+
+    def fire(self, site: str, ctx: Dict[str, object]) -> None:
+        for fault in self.faults:
+            fault.fire(site, ctx)
+
+    def total_fires(self) -> int:
+        """How many faults actually fired (for test assertions)."""
+        return sum(fault.fires for fault in self.faults)
+
+
+#: Active plans (a stack, so scopes nest).  Empty in production: the
+#: :func:`maybe_fire` fast path is a single falsy check.
+_ACTIVE: List[FaultPlan] = []
+
+
+def maybe_fire(site: str, **ctx: object) -> None:
+    """Fault-site hook called by the solvers; no-op unless injecting."""
+    if not _ACTIVE:
+        return
+    for plan in list(_ACTIVE):
+        plan.fire(site, ctx)
+
+
+@contextmanager
+def inject(*faults: Union[Fault, FaultPlan]) -> Iterator[FaultPlan]:
+    """Activate a fault plan for the dynamic extent of the block."""
+    if len(faults) == 1 and isinstance(faults[0], FaultPlan):
+        plan = faults[0]
+    else:
+        flat: List[Fault] = []
+        for item in faults:
+            if isinstance(item, FaultPlan):
+                flat.extend(item.faults)
+            else:
+                flat.append(item)
+        plan = FaultPlan(*flat)
+    _ACTIVE.append(plan)
+    try:
+        yield plan
+    finally:
+        _ACTIVE.remove(plan)
+
+
+def active() -> bool:
+    """True when at least one fault plan is installed (test helper)."""
+    return bool(_ACTIVE)

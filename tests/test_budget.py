@@ -1,0 +1,107 @@
+"""Wall-clock budgets, driven by an injected fake clock."""
+
+import pytest
+
+from repro.robust.budget import Budget
+from repro.robust.errors import SolverTimeoutError
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestUnlimited:
+    def test_never_expires(self):
+        clock = FakeClock()
+        budget = Budget(None, clock=clock)
+        clock.advance(1e9)
+        assert not budget.expired
+        assert budget.remaining() == float("inf")
+        budget.check()  # no raise
+
+    def test_unlimited_constructor(self):
+        assert not Budget.unlimited().expired
+
+    def test_elapsed_tracks_clock(self):
+        clock = FakeClock(5.0)
+        budget = Budget(None, clock=clock)
+        clock.advance(2.5)
+        assert budget.elapsed() == 2.5
+
+
+class TestExpiry:
+    def test_expires_at_deadline(self):
+        clock = FakeClock()
+        budget = Budget(1.0, clock=clock)
+        assert not budget.expired
+        clock.advance(0.999)
+        assert not budget.expired
+        clock.advance(0.001)
+        assert budget.expired
+
+    def test_remaining_clamps_to_zero(self):
+        clock = FakeClock()
+        budget = Budget(1.0, clock=clock)
+        clock.advance(5.0)
+        assert budget.remaining() == 0.0
+
+    def test_zero_budget_expires_immediately(self):
+        assert Budget(0.0, clock=FakeClock()).expired
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(-1.0)
+
+
+class TestCheck:
+    def test_graceful_never_raises(self):
+        clock = FakeClock()
+        budget = Budget(0.5, graceful=True, clock=clock)
+        clock.advance(1.0)
+        budget.check("anywhere")  # graceful: caller polls .expired instead
+
+    def test_strict_raises_with_elapsed(self):
+        clock = FakeClock()
+        budget = Budget(0.5, graceful=False, clock=clock)
+        budget.check("early")  # not yet expired
+        clock.advance(2.0)
+        with pytest.raises(SolverTimeoutError) as err:
+            budget.check("carve loop")
+        assert "carve loop" in str(err.value)
+        assert err.value.elapsed == 2.0
+
+
+class TestChild:
+    def test_child_clamped_to_parent_remaining(self):
+        clock = FakeClock()
+        parent = Budget(1.0, clock=clock)
+        clock.advance(0.75)
+        child = parent.child(10.0)
+        assert child.seconds == pytest.approx(0.25)
+
+    def test_child_inherits_remaining_when_unspecified(self):
+        clock = FakeClock()
+        parent = Budget(2.0, clock=clock)
+        clock.advance(0.5)
+        child = parent.child()
+        assert child.seconds == pytest.approx(1.5)
+
+    def test_child_of_unlimited_parent(self):
+        parent = Budget(None, clock=FakeClock())
+        assert parent.child().seconds is None
+        assert parent.child(3.0).seconds == 3.0
+
+    def test_child_shares_clock(self):
+        clock = FakeClock()
+        child = Budget(10.0, clock=clock).child(1.0)
+        clock.advance(1.5)
+        assert child.expired

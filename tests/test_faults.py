@@ -1,0 +1,154 @@
+"""The deterministic fault-injection harness."""
+
+import pytest
+
+from repro.robust import faults
+from repro.robust.faults import Fault, FaultError, FaultPlan
+
+
+class TestFault:
+    def test_needs_error_or_delay(self):
+        with pytest.raises(ValueError):
+            Fault("site")
+
+    def test_fires_default_error_class(self):
+        fault = Fault("site", error=FaultError)
+        with pytest.raises(FaultError, match="injected fault"):
+            fault.fire("site", {})
+        assert fault.hits == 1 and fault.fires == 1
+
+    def test_fires_exception_instance(self):
+        boom = RuntimeError("boom")
+        fault = Fault("site", error=boom)
+        with pytest.raises(RuntimeError) as err:
+            fault.fire("site", {})
+        assert err.value is boom
+
+    def test_other_site_ignored(self):
+        fault = Fault("site", error=FaultError)
+        fault.fire("elsewhere", {})
+        assert fault.hits == 0 and fault.fires == 0
+
+    def test_match_filters_on_context(self):
+        fault = Fault("site", error=FaultError, match={"style": "functional"})
+        fault.fire("site", {"style": "traditional"})
+        assert fault.fires == 0
+        with pytest.raises(FaultError):
+            fault.fire("site", {"style": "functional"})
+
+    def test_after_skips_first_hits(self):
+        fault = Fault("site", error=FaultError, after=2)
+        fault.fire("site", {})
+        fault.fire("site", {})
+        assert fault.fires == 0
+        with pytest.raises(FaultError):
+            fault.fire("site", {})
+
+    def test_times_caps_fires(self):
+        fault = Fault("site", error=FaultError, times=1)
+        with pytest.raises(FaultError):
+            fault.fire("site", {})
+        fault.fire("site", {})  # exhausted: silent
+        assert fault.hits == 2 and fault.fires == 1
+
+    def test_replay_is_deterministic(self):
+        """The same plan fires at the same hit counts on every run."""
+        for _ in range(2):
+            fault = Fault("site", error=FaultError, after=1, times=2)
+            fired_at = []
+            for i in range(5):
+                try:
+                    fault.fire("site", {})
+                except FaultError:
+                    fired_at.append(i)
+            assert fired_at == [1, 2]
+
+
+class TestInjectScope:
+    def test_noop_without_active_plan(self):
+        assert not faults.active()
+        faults.maybe_fire("site", style="functional")  # no raise
+
+    def test_inject_activates_and_deactivates(self):
+        with faults.inject(Fault("site", error=FaultError)) as plan:
+            assert faults.active()
+            with pytest.raises(FaultError):
+                faults.maybe_fire("site")
+            assert plan.total_fires() == 1
+        assert not faults.active()
+        faults.maybe_fire("site")  # plan removed
+
+    def test_deactivates_even_after_error(self):
+        with pytest.raises(RuntimeError):
+            with faults.inject(Fault("site", error=RuntimeError("x"))):
+                faults.maybe_fire("site")
+        assert not faults.active()
+
+    def test_scopes_nest(self):
+        with faults.inject(Fault("a", error=FaultError)):
+            with faults.inject(Fault("b", error=FaultError)):
+                with pytest.raises(FaultError):
+                    faults.maybe_fire("a")  # outer plan still consulted
+                with pytest.raises(FaultError):
+                    faults.maybe_fire("b")
+            with pytest.raises(FaultError):
+                faults.maybe_fire("a")
+            faults.maybe_fire("b")  # inner scope gone
+
+    def test_plan_collects_faults(self):
+        plan = FaultPlan(
+            Fault("a", error=FaultError, times=1),
+            Fault("b", error=FaultError, times=1),
+        )
+        with faults.inject(plan):
+            with pytest.raises(FaultError):
+                faults.maybe_fire("a")
+            with pytest.raises(FaultError):
+                faults.maybe_fire("b")
+        assert plan.total_fires() == 2
+
+
+@pytest.fixture(scope="module")
+def tiny_hg():
+    from repro.hypergraph.build import build_hypergraph
+    from repro.netlist.benchmarks import benchmark_circuit
+    from repro.techmap.mapped import technology_map
+
+    mapped = technology_map(benchmark_circuit("s5378", scale=0.05, seed=1))
+    return build_hypergraph(mapped, include_terminals=False)
+
+
+class TestSolverSites:
+    """The documented fault sites are live inside the real solvers."""
+
+    def test_fm_run_site(self, tiny_hg):
+        from repro.partition.fm import FMConfig, fm_bipartition
+
+        with faults.inject(Fault("fm.run", error=FaultError)):
+            with pytest.raises(FaultError):
+                fm_bipartition(tiny_hg, FMConfig(seed=1))
+
+    def test_engine_run_site_matches_style(self, tiny_hg):
+        from repro.partition.fm_replication import (
+            FUNCTIONAL,
+            TRADITIONAL,
+            ReplicationConfig,
+            replication_bipartition,
+        )
+
+        # A fault scoped to the traditional style must not hit the
+        # functional engine...
+        with faults.inject(
+            Fault("engine.run", error=FaultError, match={"style": TRADITIONAL})
+        ):
+            replication_bipartition(
+                tiny_hg, ReplicationConfig(style=FUNCTIONAL, seed=1)
+            )
+        # ...and must hit the matching one.
+        with faults.inject(
+            Fault("engine.run", error=FaultError, match={"style": FUNCTIONAL})
+        ):
+            with pytest.raises(FaultError):
+                replication_bipartition(
+                    tiny_hg, ReplicationConfig(style=FUNCTIONAL, seed=1)
+                )

@@ -60,6 +60,11 @@ def test_version():
         "repro.experiments.tables4to7",
         "repro.experiments.figure3",
         "repro.experiments.record",
+        "repro.robust",
+        "repro.robust.errors",
+        "repro.robust.budget",
+        "repro.robust.faults",
+        "repro.robust.runner",
         "repro.cli",
     ],
 )

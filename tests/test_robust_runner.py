@@ -1,0 +1,261 @@
+"""End-to-end tests of the resilient orchestration layer.
+
+Every resilience path is driven deterministically with the fault
+harness: crashes recover via perturbed-seed retries, persistent engine
+failures walk the degradation cascade down to plain FM, expired budgets
+return verified best-so-far solutions, and only a total wipe-out raises
+:class:`BudgetExceededError`.
+"""
+
+import json
+
+import pytest
+
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.partition.devices import Device, DeviceLibrary
+from repro.partition.fm_replication import FUNCTIONAL, TRADITIONAL
+from repro.partition.kway import KWayConfig, KWaySolution, partition_heterogeneous
+from repro.robust import faults
+from repro.robust.budget import Budget
+from repro.robust.errors import (
+    BudgetExceededError,
+    ConfigError,
+    SolverTimeoutError,
+)
+from repro.robust.faults import Fault, FaultError
+from repro.robust.runner import (
+    ENGINE_LADDER,
+    ResilientRunner,
+    RunnerConfig,
+    engine_cascade,
+)
+from repro.techmap.mapped import technology_map
+
+TINY_LIBRARY = DeviceLibrary(
+    [
+        Device("T16", clbs=16, terminals=24, price=10, util_upper=0.95),
+        Device("T32", clbs=32, terminals=36, price=17, util_upper=0.95),
+        Device("T64", clbs=64, terminals=52, price=30, util_upper=0.95),
+    ],
+    name="tiny",
+)
+
+#: Small solver knobs so each attempt stays cheap.
+FAST = dict(
+    threshold=1,
+    library=TINY_LIBRARY,
+    seed=3,
+    seeds_per_carve=2,
+    devices_per_carve=2,
+    max_passes=8,
+)
+
+
+@pytest.fixture(scope="module")
+def mapped():
+    return technology_map(benchmark_circuit("s5378", scale=0.12, seed=7))
+
+
+def all_cells_placed(mapped, solution):
+    placed = set()
+    for block in solution.blocks:
+        placed.update(block.originals)
+    return placed == {c.name for c in mapped.cells}
+
+
+class TestCascadeSpec:
+    def test_full_ladder(self):
+        assert engine_cascade("fm+functional") == list(ENGINE_LADDER)
+
+    def test_ladder_from_middle(self):
+        assert engine_cascade("fm+traditional") == ["fm+traditional", "fm"]
+
+    def test_no_fallback(self):
+        assert engine_cascade("fm+functional", fallback=False) == ["fm+functional"]
+
+    def test_unknown_engine(self):
+        with pytest.raises(ConfigError):
+            engine_cascade("simulated-annealing")
+
+
+class TestRunnerConfig:
+    def test_config_and_overrides_conflict(self):
+        with pytest.raises(ConfigError):
+            ResilientRunner(RunnerConfig(), deadline=1.0)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ConfigError):
+            ResilientRunner(max_retries=-1)
+
+
+class TestHappyPath:
+    def test_unlimited_run_succeeds_first_try(self, mapped):
+        runner = ResilientRunner(max_retries=0)
+        result = runner.kway(mapped, **FAST)
+        assert isinstance(result.solution, KWaySolution)
+        assert result.engine == "fm+functional"
+        assert result.log.outcomes()[-1] == "ok"
+        assert result.log.degradations() == []
+        assert not result.degraded
+        assert all_cells_placed(mapped, result.solution)
+
+    def test_log_is_json_serializable(self, mapped):
+        runner = ResilientRunner(max_retries=0)
+        result = runner.kway(mapped, **FAST)
+        payload = json.dumps(result.log.as_dicts())
+        assert "attempt" in payload
+        summary = result.log.summary()
+        assert summary["attempts"] >= 1 and summary["degradations"] == []
+
+
+class TestDeadline:
+    def test_tight_deadline_returns_best_so_far(self, mapped):
+        """A deadline far below the solve time still yields a verified,
+        fully populated solution instead of raising."""
+        # A delay at every carve makes the budget expire mid-search
+        # regardless of machine speed.
+        with faults.inject(Fault("kway.carve", delay=0.02)):
+            runner = ResilientRunner(deadline=0.1, max_retries=0)
+            result = runner.kway(mapped, **FAST)
+        assert isinstance(result.solution, KWaySolution)
+        assert all_cells_placed(mapped, result.solution)
+        assert result.log.attempts()  # something was tried and logged
+
+    def test_graceful_zero_budget_truncates(self, mapped):
+        """An already-expired graceful budget dumps everything into one
+        best-effort block."""
+        solution = partition_heterogeneous(
+            mapped, KWayConfig(budget=Budget(0.0), **FAST)
+        )
+        assert solution.truncated
+        assert solution.k == 1
+        assert all_cells_placed(mapped, solution)
+        assert solution.summary()["truncated"] is True
+
+    def test_strict_budget_raises(self, mapped):
+        with pytest.raises(SolverTimeoutError):
+            partition_heterogeneous(
+                mapped,
+                KWayConfig(budget=Budget(0.0, graceful=False), **FAST),
+            )
+
+
+class TestRetry:
+    def test_recovers_from_injected_crash_with_new_seed(self, mapped):
+        with faults.inject(
+            Fault("engine.run", error=FaultError, match={"style": FUNCTIONAL}, times=1)
+        ):
+            runner = ResilientRunner(max_retries=2)
+            result = runner.kway(mapped, **FAST)
+        outcomes = result.log.outcomes()
+        assert outcomes[0] == "error"
+        assert outcomes[-1] == "ok"
+        attempts = result.log.attempts()
+        assert attempts[0].seed != attempts[1].seed  # perturbed retry
+        assert result.engine == "fm+functional"  # no degradation needed
+        assert "FaultError" in attempts[0].detail
+
+
+class TestDegradation:
+    def test_cascade_ends_at_plain_fm(self, mapped):
+        """Persistent failures of both replication styles drive the run
+        down to the plain-FM baseline."""
+        with faults.inject(
+            Fault("engine.run", error=FaultError, match={"style": FUNCTIONAL}),
+            Fault("engine.run", error=FaultError, match={"style": TRADITIONAL}),
+        ):
+            runner = ResilientRunner(max_retries=0)
+            result = runner.kway(mapped, **FAST)
+        assert result.log.degradations() == ["fm+traditional", "fm"]
+        assert result.engine == "fm"
+        assert result.degraded
+        assert result.log.outcomes()[-1] == "ok"
+        assert all_cells_placed(mapped, result.solution)
+
+    def test_no_fallback_disables_cascade(self, mapped):
+        with faults.inject(
+            Fault("engine.run", error=FaultError, match={"style": FUNCTIONAL})
+        ):
+            runner = ResilientRunner(max_retries=0, fallback=False)
+            with pytest.raises(BudgetExceededError):
+                runner.kway(mapped, **FAST)
+
+
+class TestGiveUp:
+    def test_total_failure_raises_with_log(self, mapped):
+        with faults.inject(Fault("kway.carve", error=FaultError)):
+            runner = ResilientRunner(max_retries=1)
+            with pytest.raises(BudgetExceededError) as err:
+                runner.kway(mapped, **FAST)
+        log = err.value.log
+        assert log is not None
+        # 2 attempts on each of the 3 cascade rungs, all failed.
+        assert len(log.attempts()) == 6
+        assert set(log.outcomes()) == {"error"}
+        assert log.degradations() == ["fm+traditional", "fm"]
+
+
+class TestBipartition:
+    def test_happy_path(self, mapped):
+        runner = ResilientRunner(max_retries=0)
+        result = runner.bipartition(mapped, runs=2, seed=5)
+        assert result.report.runs == 2
+        assert result.report.best_cut >= 0
+        assert result.log.outcomes() == ["ok"]
+
+    def test_crash_then_recover(self, mapped):
+        with faults.inject(
+            Fault("engine.run", error=FaultError, match={"style": FUNCTIONAL}, times=1)
+        ):
+            runner = ResilientRunner(max_retries=1)
+            result = runner.bipartition(mapped, runs=2, seed=5)
+        assert result.log.outcomes() == ["error", "ok"]
+        assert result.report.runs == 2
+
+    def test_deadline_truncates_runs(self, mapped):
+        with faults.inject(Fault("engine.run", delay=0.05)):
+            runner = ResilientRunner(deadline=0.12, max_retries=0)
+            result = runner.bipartition(mapped, runs=40, seed=5)
+        assert 1 <= result.report.runs < 40
+        assert result.log.outcomes() == ["truncated"]
+
+
+class TestCli:
+    def test_partition_with_deadline(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "partition",
+                "s5378",
+                "--scale",
+                "0.08",
+                "--deadline",
+                "60",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] in ENGINE_LADDER
+        assert payload["run_log_summary"]["attempts"] >= 1
+        assert isinstance(payload["run_log"], list)
+
+    def test_bipartition_with_deadline(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "bipartition",
+                "s5378",
+                "--scale",
+                "0.08",
+                "--runs",
+                "2",
+                "--deadline",
+                "60",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "attempt(s)" in out
