@@ -1,0 +1,233 @@
+#!/usr/bin/env python
+"""Hot-path perf bench: optimized partitioning core vs reference engines.
+
+Runs as a plain script (no pytest plugins needed)::
+
+    PYTHONPATH=src python benchmarks/bench_fm_hot.py [--gate] [--out PATH]
+
+For each bench circuit (``REPRO_BENCH_CIRCUITS``, default the quick
+subset) at ``REPRO_BENCH_SCALE`` (default 0.25) it times, in one process:
+
+* plain FM multi-start (``fm_bipartition`` vs ``reference_fm_bipartition``);
+* replication-aware FM (``replication_bipartition`` vs reference);
+* the full k-way carve (``engine="fast"`` vs ``engine="reference"``);
+
+asserts that fast and reference produce **identical** results (cut sizes,
+replica sets, device assignment, total cost, verification status), writes
+``BENCH_partition.json``, and with ``--gate`` fails (exit 1) when the
+machine-normalized wall-clock regresses more than 30% against the
+checked-in ``benchmarks/BENCH_partition.baseline.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))  # for conftest helpers
+
+from conftest import bench_circuits, bench_scale  # noqa: E402
+
+from repro.core.flow import map_circuit  # noqa: E402
+from repro.hypergraph.build import build_hypergraph  # noqa: E402
+from repro.partition.fm import FMConfig, best_of_runs as fm_best_of_runs  # noqa: E402
+from repro.partition.fm_replication import (  # noqa: E402
+    ReplicationConfig,
+    ReplicationTables,
+    replication_bipartition,
+)
+from repro.partition.kway import KWayConfig, partition_heterogeneous  # noqa: E402
+from repro.partition.reference import (  # noqa: E402
+    reference_fm_bipartition,
+    reference_replication_bipartition,
+)
+from repro.partition.verify import verify_solution  # noqa: E402
+from repro.perf.bench import (  # noqa: E402
+    DEFAULT_THRESHOLD,
+    REPORT_NAME,
+    best_of,
+    check_regressions,
+    load_report,
+    make_report,
+    speedup,
+    time_call,
+    write_report,
+)
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_partition.baseline.json")
+
+SEED = 3
+FM_RUNS = 4
+# The fm/replication sections are short enough to be noisy on loaded
+# machines; take the best of a few repeats (deterministic workloads, so
+# results are identical across repeats).  The k-way carve is long enough
+# to time once.
+REPEATS = 3
+KWAY_REPEATS = 2
+
+
+def _fm_section(hg):
+    base = FMConfig(seed=SEED)
+
+    def fast():
+        best, cuts = fm_best_of_runs(hg, runs=FM_RUNS, base_config=base)
+        return best, cuts
+
+    def ref():
+        results = [
+            reference_fm_bipartition(
+                hg, FMConfig(seed=base.seed * 7919 + run)
+            )
+            for run in range(FM_RUNS)
+        ]
+        cuts = [r.cut_size for r in results]
+        best = min(results, key=lambda r: r.cut_size)
+        return best, cuts
+
+    fast_seconds, (fast_best, fast_cuts) = best_of(fast, REPEATS)
+    ref_seconds, (ref_best, ref_cuts) = best_of(ref, REPEATS)
+    assert fast_cuts == ref_cuts, "FM multi-start diverged from reference"
+    assert fast_best.assignment == ref_best.assignment
+    return {
+        "fast_seconds": round(fast_seconds, 4),
+        "ref_seconds": round(ref_seconds, 4),
+        "speedup": round(speedup(ref_seconds, fast_seconds), 3),
+        "cut": fast_best.cut_size,
+    }
+
+
+def _replication_section(hg):
+    tables = ReplicationTables(hg)
+
+    def config(run):
+        return ReplicationConfig(seed=SEED * 7919 + run, threshold=1)
+
+    def fast():
+        return [
+            replication_bipartition(hg, config(run), tables=tables)
+            for run in range(FM_RUNS)
+        ]
+
+    def ref():
+        return [
+            reference_replication_bipartition(hg, config(run))
+            for run in range(FM_RUNS)
+        ]
+
+    fast_seconds, fast_results = best_of(fast, REPEATS)
+    ref_seconds, ref_results = best_of(ref, REPEATS)
+    for a, b in zip(fast_results, ref_results):
+        assert a.sides == b.sides, "replication FM diverged from reference"
+        assert a.replicas == b.replicas
+        assert a.cut_size == b.cut_size
+    return {
+        "fast_seconds": round(fast_seconds, 4),
+        "ref_seconds": round(ref_seconds, 4),
+        "speedup": round(speedup(ref_seconds, fast_seconds), 3),
+        "cut": min(r.cut_size for r in fast_results),
+    }
+
+
+def _kway_section(mapped):
+    fast_seconds, fast = best_of(
+        lambda: partition_heterogeneous(
+            mapped, KWayConfig(seed=SEED, engine="fast")
+        ),
+        KWAY_REPEATS,
+    )
+    ref_seconds, ref = best_of(
+        lambda: partition_heterogeneous(
+            mapped, KWayConfig(seed=SEED, engine="reference")
+        ),
+        KWAY_REPEATS,
+    )
+
+    def shape(solution):
+        return [
+            (b.device.name, sorted(b.cells), sorted(b.pads))
+            for b in solution.blocks
+        ]
+
+    assert shape(fast) == shape(ref), "k-way carve diverged from reference"
+    assert fast.cost.total_cost == ref.cost.total_cost
+    violations = verify_solution(mapped, fast)
+    assert not violations, f"solution failed verification: {violations}"
+    return {
+        "fast_seconds": round(fast_seconds, 4),
+        "ref_seconds": round(ref_seconds, 4),
+        "speedup": round(speedup(ref_seconds, fast_seconds), 3),
+        "k": fast.k,
+        "total_cost": fast.cost.total_cost,
+        "feasible": fast.cost.feasible,
+    }
+
+
+def run_bench(scale, circuits):
+    per_circuit = {}
+    for name in circuits:
+        mapped = map_circuit(name, scale=scale)
+        hg = build_hypergraph(mapped, include_terminals=False)
+        entry = {
+            "fm": _fm_section(hg),
+            "replication": _replication_section(hg),
+            "kway": _kway_section(mapped),
+        }
+        per_circuit[name] = entry
+        print(
+            f"{name:8s} fm {entry['fm']['speedup']:5.2f}x  "
+            f"repl {entry['replication']['speedup']:5.2f}x  "
+            f"kway {entry['kway']['speedup']:5.2f}x "
+            f"(fast {entry['kway']['fast_seconds']:.2f}s / "
+            f"ref {entry['kway']['ref_seconds']:.2f}s)"
+        )
+    return make_report(scale, per_circuit)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=REPORT_NAME, help="report path")
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help=f"fail when slower than {BASELINE_PATH} beyond the threshold",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed relative slowdown before --gate fails (default 0.30)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="also refresh the checked-in baseline with this run",
+    )
+    args = parser.parse_args(argv)
+
+    scale = bench_scale()
+    circuits = bench_circuits()
+    report = run_bench(scale, circuits)
+    write_report(args.out, report)
+    print(f"wrote {args.out}")
+    if args.write_baseline:
+        write_report(BASELINE_PATH, report)
+        print(f"wrote {BASELINE_PATH}")
+
+    if args.gate:
+        if not os.path.exists(BASELINE_PATH):
+            print(f"no baseline at {BASELINE_PATH}; skipping gate")
+            return 0
+        problems = check_regressions(
+            report, load_report(BASELINE_PATH), threshold=args.threshold
+        )
+        if problems:
+            for problem in problems:
+                print(f"PERF REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -50,6 +50,17 @@ def _add_circuit_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--json", action="store_true", help="machine-readable output")
 
 
+def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the multi-start/candidate scans "
+        "(1 = sequential, 0 = all cores; results are identical per seed)",
+    )
+
+
 def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--deadline",
@@ -148,6 +159,7 @@ def _cmd_bipartition(args: argparse.Namespace) -> int:
         runs=args.runs,
         threshold=args.threshold,
         seed=args.seed,
+        jobs=args.jobs,
     )
     if args.json:
         print(json.dumps(report.as_dict(), indent=2))
@@ -184,7 +196,11 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         from repro.partition.verify import verify_solution
 
         solution = kway_solution(
-            mapped, threshold=threshold, n_solutions=args.solutions, seed=args.seed
+            mapped,
+            threshold=threshold,
+            n_solutions=args.solutions,
+            seed=args.seed,
+            jobs=args.jobs,
         )
         problems = verify_solution(mapped, solution)
         payload = solution.summary()
@@ -200,6 +216,7 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         threshold=threshold,
         n_solutions=args.solutions,
         seed=args.seed,
+        jobs=args.jobs,
     )
     if args.json:
         print(json.dumps(report.as_dict(), indent=2))
@@ -297,6 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bi.add_argument("--runs", type=int, default=5)
     p_bi.add_argument("--threshold", type=int, default=0)
+    _add_jobs_arg(p_bi)
     _add_resilience_args(p_bi)
     p_bi.set_defaults(func=_cmd_bipartition)
 
@@ -309,6 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the independent solution checker; non-zero exit on violations",
     )
+    _add_jobs_arg(p_kw)
     _add_resilience_args(p_kw)
     p_kw.set_defaults(func=_cmd_partition)
 

@@ -52,6 +52,7 @@ def bipartition_experiment(
     max_passes: int = 16,
     max_growth: Optional[float] = None,
     budget: Optional[Budget] = None,
+    jobs: int = 1,
 ) -> BipartitionReport:
     """Experiment 1: N equal-size min-cut bipartitioning runs.
 
@@ -63,6 +64,10 @@ def bipartition_experiment(
     A ``budget`` is threaded into every inner run (which then winds down
     cooperatively) and checked between runs: when it expires, the report
     covers the runs completed so far (always at least one).
+
+    ``jobs > 1`` fans the runs out over a process pool; run seeds and the
+    result order are identical to the sequential loop, so the report is
+    deterministic per seed (as long as no budget expires mid-sweep).
     """
     if algorithm not in BIPARTITION_ALGORITHMS:
         raise ConfigError(f"unknown algorithm {algorithm!r}")
@@ -70,6 +75,45 @@ def bipartition_experiment(
     cuts = []
     replicated = []
     start = time.perf_counter()
+    if jobs > 1:
+        from repro.perf.parallel import (
+            parallel_fm_results,
+            parallel_replication_results,
+        )
+
+        seeds = [seed * 7919 + run for run in range(runs)]
+        if algorithm == "fm":
+            base = FMConfig(
+                balance_tolerance=balance_tolerance,
+                max_passes=max_passes,
+                budget=budget,
+            )
+            results = parallel_fm_results(hg, base, seeds, jobs)
+            cuts = [r.cut_size for r in results]
+            replicated = [0] * len(results)
+        else:
+            style = FUNCTIONAL if algorithm == "fm+functional" else TRADITIONAL
+            base = ReplicationConfig(
+                threshold=threshold,
+                style=style,
+                balance_tolerance=balance_tolerance,
+                max_passes=max_passes,
+                max_growth=max_growth,
+                budget=budget,
+            )
+            results = parallel_replication_results(hg, base, seeds, jobs)
+            cuts = [r.cut_size for r in results]
+            replicated = [r.n_replicated for r in results]
+        elapsed = time.perf_counter() - start
+        return BipartitionReport(
+            circuit=mapped.name,
+            algorithm=algorithm,
+            runs=len(cuts),
+            cuts=cuts,
+            replicated_counts=replicated,
+            elapsed_seconds=elapsed,
+            n_cells=hg.n_cells,
+        )
     for run in range(runs):
         if cuts and budget is not None and budget.expired:
             break
@@ -124,12 +168,15 @@ def kway_experiment(
     style: str = FUNCTIONAL,
     devices_per_carve: int = 3,
     budget: Optional[Budget] = None,
+    jobs: int = 1,
 ) -> KWayReport:
     """Experiment 2: one k-way heterogeneous partitioning data point.
 
     ``threshold=float('inf')`` reproduces the no-replication baseline
     (the "In [3]" columns of Tables IV-VII).  A graceful ``budget`` makes
     the flow return its best (possibly truncated) solution at expiry.
+    ``jobs > 1`` fans each carve level's candidate scan over a process
+    pool (deterministic per seed).
     """
     if threshold == float("inf"):
         style = NONE
@@ -141,6 +188,7 @@ def kway_experiment(
         seeds_per_carve=seeds_per_carve,
         devices_per_carve=devices_per_carve,
         budget=budget,
+        jobs=jobs,
     )
     start = time.perf_counter()
     solution = best_heterogeneous_partition(mapped, config, n_solutions=n_solutions)
@@ -170,6 +218,7 @@ def kway_solution(
     seeds_per_carve: int = 3,
     style: str = FUNCTIONAL,
     budget: Optional[Budget] = None,
+    jobs: int = 1,
 ) -> KWaySolution:
     """Like :func:`kway_experiment` but returning the full solution object."""
     if threshold == float("inf"):
@@ -181,5 +230,6 @@ def kway_solution(
         seed=seed,
         seeds_per_carve=seeds_per_carve,
         budget=budget,
+        jobs=jobs,
     )
     return best_heterogeneous_partition(mapped, config, n_solutions=n_solutions)

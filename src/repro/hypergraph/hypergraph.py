@@ -32,13 +32,17 @@ class NodeKind(enum.Enum):
     PO = "po"
 
 
-@dataclass
+@dataclass(slots=True)
 class Node:
     """One hypergraph node (cell or terminal).
 
     ``weight`` is the CLB count of one instance; it is 1 for mapped cells
     and larger for the coarse super-nodes built by
     :mod:`repro.partition.clustering`.
+
+    ``__slots__`` (via ``slots=True``) keeps the per-node memory footprint
+    flat and attribute access fast; these objects number in the tens of
+    thousands on large circuits and sit on every traversal path.
     """
 
     index: int
@@ -96,7 +100,7 @@ class Node:
         return list(seen)
 
 
-@dataclass
+@dataclass(slots=True)
 class Net:
     """One hyperedge; pins are ``(node_index, direction, pin_index)``."""
 

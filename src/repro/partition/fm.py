@@ -10,13 +10,22 @@ Differences from the textbook presentation, forced by the pin-level model:
 
 * a node may contribute several pins to one net (e.g. a CLB output feeding
   back to its own input); gains use pin *counts* per net per side;
-* gain maintenance recomputes the gains of nodes on affected nets instead of
-  the classic delta rules, but only when a net's side counts pass through
-  the "critical window" (counts small enough to matter), which preserves
-  exactness at near-linear cost;
-* instead of the fixed gain-bucket array we use two lazy max-heaps (one per
-  side) with update stamps, which keeps the max-gain admissible-move
-  selection O(log n) without bounding gains a priori.
+* gain maintenance uses exact delta updates on move: when a net's side
+  counts pass through the "critical window" (counts small enough to
+  matter), the gains of the nodes on that net are adjusted by the
+  contribution difference in O(1) each, which preserves exactness at
+  near-linear cost; the cut size is maintained incrementally the same way;
+* move selection uses bounded gain-bucket arrays (one per side) indexed by
+  gain, each bucket ordered by push counter, with stamp-based lazy
+  invalidation.  Selection order -- highest gain, ties broken by earliest
+  push, side 0 preferred on cross-side ties -- reproduces the original
+  lazy-heap engine (kept verbatim in :mod:`repro.partition.reference`)
+  bit for bit; ``tests/test_fm_equivalence.py`` enforces this.
+
+The hypergraph is traversed through a shared read-only
+:class:`~repro.hypergraph.compact.CompactHypergraph` (flat CSR incidence
+arrays); callers that run FM many times on one hypergraph -- multi-start,
+the k-way carver -- build it once and pass it to every run.
 
 Balance is expressed either as a tolerance around the perfect 50/50 CLB
 split or as explicit ``side0_bounds``; zero-weight nodes (terminals) move
@@ -27,9 +36,10 @@ from __future__ import annotations
 
 import heapq
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.hypergraph.compact import CompactHypergraph
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.robust import faults
 from repro.robust.budget import Budget
@@ -68,45 +78,96 @@ class FMResult:
         return self.initial_cut - self.cut_size
 
 
-class _FMState:
-    """Mutable run state shared by the pass loop."""
+class _GainBuckets:
+    """Bounded gain-bucket array for one side.
 
-    def __init__(self, hg: Hypergraph, config: FMConfig, initial: Optional[Sequence[int]]):
+    ``buckets[g + offset]`` holds the pending entries of gain ``g`` as a
+    min-heap on ``(push counter, node, stamp)``, so within one gain level
+    the earliest push wins -- the same total order as the reference
+    engine's ``(-gain, counter)`` heap key.  Entries are invalidated
+    lazily via the per-node stamp; ``hi`` tracks the highest possibly
+    non-empty bucket and only ever descends between pushes.
+    """
+
+    __slots__ = ("offset", "buckets", "hi")
+
+    def __init__(self, max_gain: int) -> None:
+        self.offset = max_gain
+        self.buckets: List[List[Tuple[int, int, int]]] = [
+            [] for _ in range(2 * max_gain + 1)
+        ]
+        self.hi = -1
+
+    def push(self, gain: int, counter: int, node: int, stamp: int) -> None:
+        i = gain + self.offset
+        heapq.heappush(self.buckets[i], (counter, node, stamp))
+        if i > self.hi:
+            self.hi = i
+
+    def peek(
+        self, locked: List[bool], stamps: List[int], sides: List[int], want: int
+    ) -> Optional[Tuple[int, int, int, int]]:
+        """Best live entry as ``(gain, counter, node, stamp)``; purges stale."""
+        hi = self.hi
+        buckets = self.buckets
+        while hi >= 0:
+            bucket = buckets[hi]
+            while bucket:
+                counter, node, stamp = bucket[0]
+                if (
+                    locked[node]
+                    or stamp != stamps[node]
+                    or sides[node] != want
+                ):
+                    heapq.heappop(bucket)
+                    continue
+                self.hi = hi
+                return (hi - self.offset, counter, node, stamp)
+            hi -= 1
+        self.hi = -1
+        return None
+
+    def pop_top(self) -> None:
+        """Remove the entry last returned by :meth:`peek`."""
+        heapq.heappop(self.buckets[self.hi])
+
+
+class _FMState:
+    """Mutable run state shared by the pass loop.
+
+    Net side counts, the cut size and every node's exact move gain are
+    maintained incrementally by :meth:`apply`; :meth:`gain` and
+    :meth:`cut_size` are O(1) reads.
+    """
+
+    def __init__(
+        self,
+        hg: Hypergraph,
+        config: FMConfig,
+        initial: Optional[Sequence[int]],
+        compact: Optional[CompactHypergraph] = None,
+    ):
         self.hg = hg
         self.config = config
+        self.compact = compact or CompactHypergraph.from_hypergraph(hg)
+        cp = self.compact
         rng = random.Random(config.seed)
-        n_nodes = len(hg.nodes)
+        n_nodes = cp.n_nodes
 
-        # (net, pin count) pairs per node, distinct nets.
-        self.node_net_pins: List[List[Tuple[int, int]]] = []
-        for node in hg.nodes:
-            counts: Dict[int, int] = {}
-            for net in node.input_nets:
-                counts[net] = counts.get(net, 0) + 1
-            for net in node.output_nets:
-                counts[net] = counts.get(net, 0) + 1
-            self.node_net_pins.append(list(counts.items()))
-
-        # Critical window per net: the largest per-node pin count.
-        self.net_maxk: List[int] = [0] * len(hg.nets)
-        self.net_nodes: List[List[int]] = [[] for _ in hg.nets]
-        for node_idx, pairs in enumerate(self.node_net_pins):
-            for net, k in pairs:
-                self.net_nodes[net].append(node_idx)
-                if k > self.net_maxk[net]:
-                    self.net_maxk[net] = k
-
+        self.weights = cp.weights  # shared read-only
         self.side: List[int] = self._initial_sides(rng, initial)
-        self.counts: List[List[int]] = [[0, 0] for _ in hg.nets]
-        for node_idx, pairs in enumerate(self.node_net_pins):
-            s = self.side[node_idx]
-            for net, k in pairs:
-                self.counts[net][s] += k
 
-        self.weights = [node.clb_weight for node in hg.nodes]
+        self._counts0 = [0] * cp.n_nets
+        self._counts1 = [0] * cp.n_nets
+        nns, nn, nnc = cp.node_net_start, cp.node_nets, cp.node_net_counts
+        for v in range(n_nodes):
+            row = self._counts0 if self.side[v] == 0 else self._counts1
+            for i in range(nns[v], nns[v + 1]):
+                row[nn[i]] += nnc[i]
+
         self.sizes = [0, 0]
-        for node_idx, w in enumerate(self.weights):
-            self.sizes[self.side[node_idx]] += w
+        for v, w in enumerate(self.weights):
+            self.sizes[self.side[v]] += w
 
         self.total_weight = sum(self.weights)
         if config.side0_bounds is not None:
@@ -123,26 +184,59 @@ class _FMState:
         self.stamp = [0] * n_nodes
         self._push_counter = 0
 
+        # Incrementally maintained cut size and exact per-node gains.  The
+        # pass loop refreshes only the gains it will read (unlocked nodes)
+        # and re-derives the full array at pass boundaries when needed.
+        self._cut = sum(
+            1
+            for e in range(cp.n_nets)
+            if self._counts0[e] > 0 and self._counts1[e] > 0
+        )
+        self.gains = [0] * n_nodes
+        self._gains_dirty = False
+        self._recompute_gains()
+
+    def _recompute_gains(self) -> None:
+        """Re-derive every node's exact gain from the current counts."""
+        cp = self.compact
+        c0, c1 = self._counts0, self._counts1
+        side, gains = self.side, self.gains
+        nns, nn, nnc = cp.node_net_start, cp.node_nets, cp.node_net_counts
+        for v in range(cp.n_nodes):
+            s = side[v]
+            total = 0
+            for i in range(nns[v], nns[v + 1]):
+                net = nn[i]
+                k = nnc[i]
+                f, t = (c0[net], c1[net]) if s == 0 else (c1[net], c0[net])
+                if t == 0:
+                    if f > k:
+                        total -= 1
+                elif f == k:
+                    total += 1
+            gains[v] = total
+        self._gains_dirty = False
+
     def _initial_sides(
         self, rng: random.Random, initial: Optional[Sequence[int]]
     ) -> List[int]:
-        hg, config = self.hg, self.config
+        cp, config = self.compact, self.config
         if initial is not None:
             sides = list(initial)
-            if len(sides) != len(hg.nodes):
+            if len(sides) != cp.n_nodes:
                 raise ValueError("initial assignment length mismatch")
         else:
-            order = list(range(len(hg.nodes)))
+            order = list(range(cp.n_nodes))
             rng.shuffle(order)
-            total = sum(node.clb_weight for node in hg.nodes)
+            total = sum(cp.weights)
             if config.side0_bounds is not None:
                 target0 = (config.side0_bounds[0] + config.side0_bounds[1]) / 2.0
             else:
                 target0 = total / 2.0
-            sides = [1] * len(hg.nodes)
+            sides = [1] * cp.n_nodes
             acc = 0
             for idx in order:
-                w = hg.nodes[idx].clb_weight
+                w = cp.weights[idx]
                 if w == 0:
                     sides[idx] = rng.randrange(2)
                 elif acc + w <= target0:
@@ -153,22 +247,17 @@ class _FMState:
         return sides
 
     # ------------------------------------------------------------------
+    @property
+    def counts(self) -> List[List[int]]:
+        """Per-net ``[side0, side1]`` pin counts (materialized view)."""
+        return [list(pair) for pair in zip(self._counts0, self._counts1)]
+
     def gain(self, node_idx: int) -> int:
         """Exact cut delta of moving ``node_idx`` to the other side."""
-        s = self.side[node_idx]
-        total = 0
-        for net, k in self.node_net_pins[node_idx]:
-            f = self.counts[net][s]
-            t = self.counts[net][1 - s]
-            if t == 0:
-                if f > k:
-                    total -= 1
-            elif f == k:
-                total += 1
-        return total
+        return self.gains[node_idx]
 
     def cut_size(self) -> int:
-        return sum(1 for c in self.counts if c[0] > 0 and c[1] > 0)
+        return self._cut
 
     def admissible(self, node_idx: int) -> bool:
         w = self.weights[node_idx]
@@ -181,25 +270,129 @@ class _FMState:
         return self.lo0 <= new0 <= self.hi0
 
     def apply(self, node_idx: int) -> None:
-        s = self.side[node_idx]
-        for net, k in self.node_net_pins[node_idx]:
-            self.counts[net][s] -= k
-            self.counts[net][1 - s] += k
-        self.side[node_idx] = 1 - s
-        w = self.weights[node_idx]
-        self.sizes[s] -= w
-        self.sizes[1 - s] += w
+        """Move ``node_idx`` to the other side, updating counts, the cut
+        size and every affected node's gain by exact deltas."""
+        cp = self.compact
+        c0, c1 = self._counts0, self._counts1
+        side, gains = self.side, self.gains
+        nns, nn, nnc = cp.node_net_start, cp.node_nets, cp.node_net_counts
+        ens, en, enc = cp.net_node_start, cp.net_nodes, cp.net_node_counts
+        maxk = cp.net_maxk
+        v = node_idx
+        s = side[v]
+        gain_v = gains[v]
+        cut = self._cut
+        for i in range(nns[v], nns[v + 1]):
+            net = nn[i]
+            k = nnc[i]
+            f, t = (c0[net], c1[net]) if s == 0 else (c1[net], c0[net])
+            nf = f - k
+            nt = t + k
+            # Delta-update gains of the other nodes on nets whose counts
+            # stay inside the critical window (outside it no contribution
+            # can change, so skipping is exact).
+            w = maxk[net]
+            if not (f > w and t > w and nf > w and nt > w):
+                for j in range(ens[net], ens[net + 1]):
+                    u = en[j]
+                    if u == v:
+                        continue
+                    ku = enc[j]
+                    if side[u] == s:
+                        fb, tb, fa, ta = f, t, nf, nt
+                    else:
+                        fb, tb, fa, ta = t, f, nt, nf
+                    if tb == 0:
+                        cb = -1 if fb > ku else 0
+                    elif fb == ku:
+                        cb = 1
+                    else:
+                        cb = 0
+                    if ta == 0:
+                        ca = -1 if fa > ku else 0
+                    elif fa == ku:
+                        ca = 1
+                    else:
+                        ca = 0
+                    if ca != cb:
+                        gains[u] += ca - cb
+            # Write back counts and maintain the cut incrementally: the
+            # net was cut iff the (non-mover) side count was positive, and
+            # is cut afterwards iff the mover left pins behind.
+            if s == 0:
+                c0[net] = nf
+                c1[net] = nt
+            else:
+                c1[net] = nf
+                c0[net] = nt
+            if t > 0:
+                if nf == 0:
+                    cut -= 1
+            elif nf > 0:
+                cut += 1
+        self._cut = cut
+        side[v] = 1 - s
+        w_v = self.weights[v]
+        self.sizes[s] -= w_v
+        self.sizes[1 - s] += w_v
+        # Moving back undoes exactly this cut delta.
+        gains[v] = -gain_v
+
+    def _apply_counts(self, node_idx: int) -> None:
+        """Move ``node_idx`` updating counts, cut and sizes only.
+
+        Leaves ``gains`` stale (marked dirty); the pass loop re-derives
+        them at the next pass boundary.  Used for rollback, where no gain
+        is ever read before the recompute.
+        """
+        cp = self.compact
+        c0, c1 = self._counts0, self._counts1
+        side = self.side
+        nns, nn, nnc = cp.node_net_start, cp.node_nets, cp.node_net_counts
+        v = node_idx
+        s = side[v]
+        cut = self._cut
+        for i in range(nns[v], nns[v + 1]):
+            net = nn[i]
+            k = nnc[i]
+            if s == 0:
+                f = c0[net]
+                t = c1[net]
+                c0[net] = nf = f - k
+                c1[net] = t + k
+            else:
+                f = c1[net]
+                t = c0[net]
+                c1[net] = nf = f - k
+                c0[net] = t + k
+            if t > 0:
+                if nf == 0:
+                    cut -= 1
+            elif nf > 0:
+                cut += 1
+        self._cut = cut
+        side[v] = 1 - s
+        w_v = self.weights[v]
+        self.sizes[s] -= w_v
+        self.sizes[1 - s] += w_v
+        self._gains_dirty = True
 
 
 def fm_bipartition(
     hg: Hypergraph,
     config: Optional[FMConfig] = None,
     initial: Optional[Sequence[int]] = None,
+    compact: Optional[CompactHypergraph] = None,
 ) -> FMResult:
-    """Run FM on ``hg``; returns the best bipartition found."""
+    """Run FM on ``hg``; returns the best bipartition found.
+
+    ``compact`` optionally supplies a pre-built
+    :class:`~repro.hypergraph.compact.CompactHypergraph` of ``hg`` so
+    multi-start callers pay the flattening cost once.
+    """
     config = config or FMConfig()
     faults.maybe_fire("fm.run", seed=config.seed)
-    state = _FMState(hg, config, initial)
+    state = _FMState(hg, config, initial, compact)
     initial_cut = state.cut_size()
     pass_gains: List[int] = []
 
@@ -221,106 +414,180 @@ def fm_bipartition(
 
 
 def _run_pass(state: _FMState) -> int:
-    """One FM pass; returns the gain of the accepted prefix."""
-    for idx in range(len(state.locked)):
+    """One FM pass; returns the gain of the accepted prefix.
+
+    The hot loop is fused: one traversal per accepted move updates the
+    mover's net counts, the cut, and the exact gains of the *unlocked*
+    members of window nets, re-queueing each member as its gain settles.
+    Locked members are skipped -- they can never be selected again this
+    pass -- which leaves their gains stale; the next pass re-derives the
+    full gain array before its initial pushes.  The last push per node
+    always carries the exact post-move gain (a node's gain only depends
+    on its own nets, and each shared net's delta lands before that net's
+    push), and earlier pushes are stamp-invalidated exactly as in the
+    reference engine, so selection order is preserved bit for bit.
+    """
+    if state._gains_dirty:
+        state._recompute_gains()
+    locked = state.locked
+    fixed_set = state.fixed_set
+    for idx in range(len(locked)):
         # Fixed nodes stay locked so neighbour refreshes cannot requeue them.
-        state.locked[idx] = idx in state.fixed_set
-    heaps: List[List[Tuple[int, int, int, int]]] = [[], []]
+        locked[idx] = idx in fixed_set
+    cp = state.compact
+    side, stamps, gains = state.side, state.stamp, state.gains
+    weights, sizes = state.weights, state.sizes
+    c0, c1 = state._counts0, state._counts1
+    nns, nn, nnc = cp.node_net_start, cp.node_nets, cp.node_net_counts
+    ens, en, enc = cp.net_node_start, cp.net_nodes, cp.net_node_counts
+    maxk = cp.net_maxk
+    lo0, hi0 = state.lo0, state.hi0
+    buckets = (_GainBuckets(cp.max_degree), _GainBuckets(cp.max_degree))
+    push0, push1 = buckets[0].push, buckets[1].push
+    peek0, peek1 = buckets[0].peek, buckets[1].peek
 
-    def push(node_idx: int) -> None:
-        state.stamp[node_idx] += 1
-        state._push_counter += 1
-        heapq.heappush(
-            heaps[state.side[node_idx]],
-            (-state.gain(node_idx), state._push_counter, node_idx, state.stamp[node_idx]),
-        )
-
-    for node_idx in state.movable:
-        push(node_idx)
+    pc = state._push_counter
+    for u in state.movable:
+        stamps[u] = st = stamps[u] + 1
+        pc += 1
+        (push0 if side[u] == 0 else push1)(gains[u], pc, u, st)
 
     moves: List[int] = []
+    n_moves = 0
     cumulative = 0
     best_gain = 0
     best_index = 0
-    deferred: List[Tuple[int, Tuple[int, int, int, int]]] = []
+    budget = state.config.budget
+    # Balance-blocked entries parked by the direction of the side-0 size
+    # change that could re-admit them; each holds (entry side, entry).
+    needs_grow0: List[Tuple[int, Tuple[int, int, int, int]]] = []
+    needs_shrink0: List[Tuple[int, Tuple[int, int, int, int]]] = []
 
     while True:
-        # Pick the best valid, admissible entry across both heaps.
+        # Pick the best live, admissible entry across both sides: highest
+        # gain, ties by earliest push, side 0 preferred on cross-side ties
+        # (matching the reference engine's heap comparison).
         chosen = -1
         while chosen < 0:
-            best_side = -1
-            for s in (0, 1):
-                heap = heaps[s]
-                while heap:
-                    neg_gain, _, node_idx, stamp = heap[0]
-                    if (
-                        state.locked[node_idx]
-                        or stamp != state.stamp[node_idx]
-                        or state.side[node_idx] != s
-                    ):
-                        heapq.heappop(heap)
-                        continue
-                    break
-                if not heap:
-                    continue
-                if best_side < 0 or heap[0][0] < heaps[best_side][0][0]:
-                    best_side = s
-            if best_side < 0:
+            e0 = peek0(locked, stamps, side, 0)
+            e1 = peek1(locked, stamps, side, 1)
+            if e0 is None and e1 is None:
                 chosen = -2
                 break
-            entry = heapq.heappop(heaps[best_side])
-            node_idx = entry[2]
-            if state.admissible(node_idx):
-                chosen = node_idx
+            if e1 is None or (e0 is not None and e0[0] >= e1[0]):
+                sel, entry = 0, e0
             else:
-                deferred.append((best_side, entry))
+                sel, entry = 1, e1
+            buckets[sel].pop_top()
+            node_idx = entry[2]
+            w = weights[node_idx]
+            if side[node_idx] == 0:
+                new0 = sizes[0] - w
+            else:
+                new0 = sizes[0] + w
+            if w == 0 or lo0 <= new0 <= hi0:
+                chosen = node_idx
+            elif new0 < lo0:
+                # Park by which direction of side-0 movement re-admits it.
+                needs_grow0.append((sel, entry))
+            else:
+                needs_shrink0.append((sel, entry))
         if chosen == -2:
             break
 
-        gain = state.gain(chosen)
-        state.apply(chosen)
-        state.locked[chosen] = True
+        gain = gains[chosen]
+        s = side[chosen]
+        locked[chosen] = True
+        # Fused move: counts + cut + delta-gains + pushes in one traversal.
+        cut = state._cut
+        for i in range(nns[chosen], nns[chosen + 1]):
+            net = nn[i]
+            k = nnc[i]
+            if s == 0:
+                f = c0[net]
+                t = c1[net]
+                c0[net] = nf = f - k
+                c1[net] = nt = t + k
+            else:
+                f = c1[net]
+                t = c0[net]
+                c1[net] = nf = f - k
+                c0[net] = nt = t + k
+            if t > 0:
+                if nf == 0:
+                    cut -= 1
+            elif nf > 0:
+                cut += 1
+            w = maxk[net]
+            if f > w and t > w and nf > w and nt > w:
+                continue
+            for j in range(ens[net], ens[net + 1]):
+                u = en[j]
+                if locked[u]:
+                    continue
+                ku = enc[j]
+                if side[u] == s:
+                    fb, tb, fa, ta = f, t, nf, nt
+                    su = s
+                else:
+                    fb, tb, fa, ta = t, f, nt, nf
+                    su = 1 - s
+                if tb == 0:
+                    cb = -1 if fb > ku else 0
+                elif fb == ku:
+                    cb = 1
+                else:
+                    cb = 0
+                if ta == 0:
+                    ca = -1 if fa > ku else 0
+                elif fa == ku:
+                    ca = 1
+                else:
+                    ca = 0
+                if ca != cb:
+                    gains[u] += ca - cb
+                stamps[u] = st = stamps[u] + 1
+                pc += 1
+                (push0 if su == 0 else push1)(gains[u], pc, u, st)
+        state._cut = cut
+        side[chosen] = 1 - s
+        w_v = weights[chosen]
+        sizes[s] -= w_v
+        sizes[1 - s] += w_v
+
         moves.append(chosen)
+        n_moves += 1
         cumulative += gain
         if cumulative > best_gain:
             best_gain = cumulative
-            best_index = len(moves)
+            best_index = n_moves
 
-        budget = state.config.budget
         if (
             budget is not None
-            and len(moves) % _BUDGET_POLL_MOVES == 0
+            and n_moves % _BUDGET_POLL_MOVES == 0
             and budget.expired
         ):
             break  # rollback below still lands on the best prefix
 
-        # Inadmissible entries may have become admissible: restore them.
-        for s, entry in deferred:
-            node_idx = entry[2]
-            if not state.locked[node_idx] and entry[3] == state.stamp[node_idx]:
-                heapq.heappush(heaps[s], entry)
-        deferred.clear()
+        # Restore parked entries only when this move changed side-0 size in
+        # the direction that can re-admit them; parked entries are exactly
+        # as inadmissible as before otherwise.
+        if w_v > 0:
+            thawed = needs_shrink0 if s == 0 else needs_grow0
+            if thawed:
+                for sel, entry in thawed:
+                    node_idx = entry[2]
+                    if not locked[node_idx] and entry[3] == stamps[node_idx]:
+                        buckets[sel].push(entry[0], entry[1], node_idx, entry[3])
+                thawed.clear()
 
-        # Refresh gains of neighbours on nets whose critical window moved.
-        new_side = state.side[chosen]
-        for net, k in state.node_net_pins[chosen]:
-            f_after = state.counts[net][new_side]
-            t_after = state.counts[net][1 - new_side]
-            f_before = f_after - k
-            t_before = t_after + k
-            window = state.net_maxk[net]
-            if (
-                min(f_before, t_before) > window
-                and min(f_after, t_after) > window
-            ):
-                continue
-            for other in state.net_nodes[net]:
-                if other != chosen and not state.locked[other]:
-                    push(other)
-
-    # Roll back to the best prefix.
+    state._push_counter = pc
+    if moves:
+        state._gains_dirty = True
+    # Roll back to the best prefix (counts-only; gains re-derived next pass).
+    apply_counts = state._apply_counts
     for node_idx in reversed(moves[best_index:]):
-        state.apply(node_idx)
+        apply_counts(node_idx)
     return best_gain
 
 
@@ -328,11 +595,23 @@ def best_of_runs(
     hg: Hypergraph,
     runs: int,
     base_config: Optional[FMConfig] = None,
+    jobs: int = 1,
 ) -> Tuple[FMResult, List[int]]:
-    """Run FM ``runs`` times with derived seeds; return (best result, all cuts)."""
+    """Run FM ``runs`` times with derived seeds; return (best result, all cuts).
+
+    Derived configs share the base config's ``fixed`` mapping and
+    ``budget`` object (both are read-only to the runs); only the seed
+    differs.  ``jobs > 1`` fans the runs out over a process pool with a
+    deterministic ordered reduction, so the winner matches ``jobs=1``.
+    """
     base_config = base_config or FMConfig()
+    if jobs > 1:
+        from repro.perf.parallel import parallel_best_of_runs_fm
+
+        return parallel_best_of_runs_fm(hg, runs, base_config, jobs)
     best: Optional[FMResult] = None
     cuts: List[int] = []
+    compact = CompactHypergraph.from_hypergraph(hg)
     for run in range(runs):
         if (
             best is not None
@@ -340,15 +619,8 @@ def best_of_runs(
             and base_config.budget.expired
         ):
             break
-        config = FMConfig(
-            seed=base_config.seed * 7919 + run,
-            balance_tolerance=base_config.balance_tolerance,
-            max_passes=base_config.max_passes,
-            side0_bounds=base_config.side0_bounds,
-            fixed=dict(base_config.fixed),
-            budget=base_config.budget,
-        )
-        result = fm_bipartition(hg, config)
+        config = replace(base_config, seed=base_config.seed * 7919 + run)
+        result = fm_bipartition(hg, config, compact=compact)
         cuts.append(result.cut_size)
         if best is None or result.cut_size < best.cut_size:
             best = result

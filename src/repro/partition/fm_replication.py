@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import heapq
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.hypergraph.hypergraph import Hypergraph
@@ -123,29 +123,43 @@ class ReplicationResult:
         return sizes[0], sizes[1]
 
 
-class ReplicationEngine:
-    """The mutable partition state and move machinery.
+class ReplicationTables:
+    """Static per-node pin tables of one hypergraph, engine-independent.
 
-    Exposed as a class (rather than only the :func:`replication_bipartition`
-    driver) so tests and the k-way carver can drive and inspect it directly.
+    Building these is O(total pins) and was profiled as a significant
+    fraction of short runs when done per :class:`ReplicationEngine`; the
+    multi-start drivers and the k-way carver build one instance per
+    hypergraph and hand it to every candidate engine.  All fields are
+    read-only to the engines.
+
+    * ``all_pins[v]``: ``list[(net, count)]`` of the full cell;
+    * ``orig_pins[v][o]`` / ``repl_pins[v][o]``: the two instances' pin
+      tables when output ``o`` is taken by the replica (functional style);
+    * ``potentials[v]``: the paper's replication potential psi;
+    * ``net_nodes`` / ``net_maxk``: net incidence and critical-window
+      bounds for the refresh scans.
     """
 
-    def __init__(
-        self,
-        hg: Hypergraph,
-        config: Optional[ReplicationConfig] = None,
-        initial: Optional[Sequence[int]] = None,
-    ) -> None:
-        self.hg = hg
-        self.config = config or ReplicationConfig()
-        self.rng = random.Random(self.config.seed)
-        n_nodes = len(hg.nodes)
-        n_nets = len(hg.nets)
+    __slots__ = (
+        "hg",
+        "all_pins",
+        "orig_pins",
+        "repl_pins",
+        "merged_pins",
+        "trad_pins",
+        "potentials",
+        "net_nodes",
+        "net_node_counts",
+        "net_maxk",
+        "weights",
+        "is_cell",
+        "n_outputs",
+        "output_nets",
+    )
 
-        # --- static per-node pin tables -------------------------------
-        # all_pins[v]: list[(net, count)] of the full cell.
-        # orig_pins[v][o] / repl_pins[v][o]: the two instances' pin tables
-        # when output o is taken by the replica (functional style).
+    def __init__(self, hg: Hypergraph) -> None:
+        self.hg = hg
+        n_nets = len(hg.nets)
         self.all_pins: List[List[Tuple[int, int]]] = []
         self.orig_pins: List[List[List[Tuple[int, int]]]] = []
         self.repl_pins: List[List[List[Tuple[int, int]]]] = []
@@ -184,13 +198,92 @@ class ReplicationEngine:
             self.repl_pins.append(per_output_repl)
             self.potentials.append(node_potential(node) if node.is_cell else 0)
 
+        # Merged per-(cell, output) pin views for the specialized
+        # replication gain paths: every net of the cell with its full,
+        # original-instance and replica-instance pin counts, in all_pins
+        # order.  (Original and replica nets are always subsets of the
+        # cell's nets, so one flat list covers both instances.)
+        self.merged_pins: List[List[List[Tuple[int, int, int, int]]]] = []
+        # Traditional-style view per cell: (net, full count, split delta),
+        # the split delta counting the cell's output pins on that net.
+        self.trad_pins: List[List[Tuple[int, int, int]]] = []
+        for v, node in enumerate(hg.nodes):
+            merged: List[List[Tuple[int, int, int, int]]] = []
+            for o in range(len(self.orig_pins[v])):
+                od = dict(self.orig_pins[v][o])
+                rd = dict(self.repl_pins[v][o])
+                merged.append(
+                    [
+                        (net, k, od.get(net, 0), rd.get(net, 0))
+                        for net, k in self.all_pins[v]
+                    ]
+                )
+            self.merged_pins.append(merged)
+            if node.is_cell:
+                out_count: Dict[int, int] = {}
+                for net in node.output_nets:
+                    out_count[net] = out_count.get(net, 0) + 1
+                self.trad_pins.append(
+                    [
+                        (net, k, out_count.get(net, 0))
+                        for net, k in self.all_pins[v]
+                    ]
+                )
+            else:
+                self.trad_pins.append([])
+
         self.net_nodes: List[List[int]] = [[] for _ in range(n_nets)]
+        self.net_node_counts: List[List[int]] = [[] for _ in range(n_nets)]
         self.net_maxk: List[int] = [0] * n_nets
         for v, pairs in enumerate(self.all_pins):
             for net, k in pairs:
                 self.net_nodes[net].append(v)
+                self.net_node_counts[net].append(k)
                 if k > self.net_maxk[net]:
                     self.net_maxk[net] = k
+
+        self.weights = [node.clb_weight for node in hg.nodes]
+        self.is_cell = [node.is_cell for node in hg.nodes]
+        self.n_outputs = [node.n_outputs for node in hg.nodes]
+        self.output_nets = [list(node.output_nets) for node in hg.nodes]
+
+
+class ReplicationEngine:
+    """The mutable partition state and move machinery.
+
+    Exposed as a class (rather than only the :func:`replication_bipartition`
+    driver) so tests and the k-way carver can drive and inspect it directly.
+    Pass a pre-built :class:`ReplicationTables` when running many engines
+    on one hypergraph to pay the static-table cost once.
+    """
+
+    def __init__(
+        self,
+        hg: Hypergraph,
+        config: Optional[ReplicationConfig] = None,
+        initial: Optional[Sequence[int]] = None,
+        tables: Optional[ReplicationTables] = None,
+    ) -> None:
+        self.hg = hg
+        self.config = config or ReplicationConfig()
+        self.rng = random.Random(self.config.seed)
+        n_nodes = len(hg.nodes)
+        n_nets = len(hg.nets)
+
+        if tables is None:
+            tables = ReplicationTables(hg)
+        elif tables.hg is not hg:
+            raise ValueError("tables were built for a different hypergraph")
+        self.tables = tables
+        self.all_pins = tables.all_pins
+        self.orig_pins = tables.orig_pins
+        self.repl_pins = tables.repl_pins
+        self.potentials = tables.potentials
+        self.net_nodes = tables.net_nodes
+        self.net_node_counts = tables.net_node_counts
+        self.merged_pins = tables.merged_pins
+        self.trad_pins = tables.trad_pins
+        self.net_maxk = tables.net_maxk
 
         # --- dynamic state --------------------------------------------
         self.side: List[int] = self._initial_sides(initial)
@@ -203,7 +296,7 @@ class ReplicationEngine:
             for net, k in self.all_pins[v]:
                 self.counts[net][s] += k
 
-        self.weights = [node.clb_weight for node in hg.nodes]
+        self.weights = tables.weights  # shared read-only
         self.sizes = [0, 0]
         for v, w in enumerate(self.weights):
             self.sizes[self.side[v]] += w
@@ -228,6 +321,49 @@ class ReplicationEngine:
         self.stamp = [0] * n_nodes
         self._push_counter = 0
         self._moves_only = False
+
+        # Maintained single-move gains: while a pass runs, ``sgain[v]`` is
+        # the exact cut gain of moving an *unreplicated, unlocked* node v
+        # to the far side, kept fresh by delta updates in set_state.
+        # Outside a pass the array is stale and ``_maintain_sgain`` is
+        # False, so the public query paths recompute from scratch.
+        self.sgain = [0] * n_nodes
+        self._maintain_sgain = False
+
+        # _repl_arity[v]: replication candidate shape for SINGLE cells --
+        # n_outputs > 0 (functional: one candidate per output), -1
+        # (traditional: one full-copy candidate), 0 (ineligible).  The
+        # warm-start move-only phase still gates candidates at push time.
+        cfg = self.config
+        self._repl_arity = [0] * n_nodes
+        if cfg.style != NONE:
+            for v in range(n_nodes):
+                if tables.is_cell[v] and tables.potentials[v] >= cfg.threshold:
+                    n_out = tables.n_outputs[v]
+                    if cfg.style == FUNCTIONAL and n_out >= 2:
+                        self._repl_arity[v] = n_out
+                    elif cfg.style == TRADITIONAL and (
+                        n_out >= 2 or cfg.allow_single_output_traditional
+                    ):
+                        self._repl_arity[v] = -1
+
+        # Scratch arrays for delta accumulation (replacing per-call dicts
+        # on the gain/commit hot path): per-net side-0/side-1/split deltas
+        # plus a token-marked first-touch list.  Zeroed again after use.
+        self._d0 = [0] * n_nets
+        self._d1 = [0] * n_nets
+        self._dsplit = [0] * n_nets
+        self._mark = [0] * n_nets
+        self._mark_token = 0
+
+        # Incrementally maintained cut size (see set_state).
+        self._cut = sum(
+            1
+            for net in range(n_nets)
+            if self.split[net] == 0
+            and self.counts[net][0] > 0
+            and self.counts[net][1] > 0
+        )
 
     # ------------------------------------------------------------------
     # Setup helpers
@@ -263,13 +399,8 @@ class ReplicationEngine:
     # State inspection
     # ------------------------------------------------------------------
     def cut_size(self) -> int:
-        return sum(
-            1
-            for net in range(len(self.counts))
-            if self.split[net] == 0
-            and self.counts[net][0] > 0
-            and self.counts[net][1] > 0
-        )
+        """Current cut size, maintained incrementally by :meth:`set_state`."""
+        return self._cut
 
     def is_cut(self, net: int) -> bool:
         return (
@@ -326,7 +457,13 @@ class ReplicationEngine:
         new_side: int,
         new_rep: Optional[Tuple[int, int]],
     ) -> Dict[int, List[int]]:
-        """Per-net pin deltas [d_side0, d_side1, d_split] of a state change."""
+        """Per-net pin deltas [d_side0, d_side1, d_split] of a state change.
+
+        Kept as a dict-returning inspection helper; the hot paths
+        (:meth:`move_gain`, :meth:`set_state`) use the scratch-array
+        :meth:`_fill_deltas` instead, which accumulates into preallocated
+        per-net arrays and records first-touch order.
+        """
         deltas: Dict[int, List[int]] = {}
         for net, s, k in self.active_pins(v):
             d = deltas.setdefault(net, [0, 0, 0])
@@ -343,49 +480,396 @@ class ReplicationEngine:
                 deltas.setdefault(net, [0, 0, 0])[2] += 1
         return deltas
 
+    def _fill_deltas(
+        self, v: int, new_side: int, new_rep: Optional[Tuple[int, int]]
+    ) -> List[int]:
+        """Accumulate the state change's per-net deltas into the scratch
+        arrays ``_d0``/``_d1``/``_dsplit``; returns the touched nets in
+        first-touch order (the same order :meth:`_net_delta` yields keys,
+        which the pass loop's refresh scan depends on).  The caller must
+        zero the scratch entries of every returned net when done.
+        """
+        d0, d1, ds = self._d0, self._d1, self._dsplit
+        mark = self._mark
+        token = self._mark_token = self._mark_token + 1
+        touched: List[int] = []
+        append = touched.append
+
+        # Remove the current state's pins.
+        r = self.rep[v]
+        if r is None:
+            s = self.side[v]
+            dfrom = d0 if s == 0 else d1
+            for net, k in self.all_pins[v]:
+                if mark[net] != token:
+                    mark[net] = token
+                    append(net)
+                dfrom[net] -= k
+        else:
+            s, o = r
+            if o < 0:  # traditional: full copies on both sides + splits
+                for net, k in self.all_pins[v]:
+                    if mark[net] != token:
+                        mark[net] = token
+                        append(net)
+                    d0[net] -= k
+                    d1[net] -= k
+                for net in self.tables.output_nets[v]:
+                    if mark[net] != token:
+                        mark[net] = token
+                        append(net)
+                    ds[net] -= 1
+            else:
+                dorig = d0 if s == 0 else d1
+                drepl = d1 if s == 0 else d0
+                for net, k in self.orig_pins[v][o]:
+                    if mark[net] != token:
+                        mark[net] = token
+                        append(net)
+                    dorig[net] -= k
+                for net, k in self.repl_pins[v][o]:
+                    if mark[net] != token:
+                        mark[net] = token
+                        append(net)
+                    drepl[net] -= k
+
+        # Add the new state's pins.
+        if new_rep is None:
+            dto = d0 if new_side == 0 else d1
+            for net, k in self.all_pins[v]:
+                if mark[net] != token:
+                    mark[net] = token
+                    append(net)
+                dto[net] += k
+        else:
+            s, o = new_rep
+            if o < 0:
+                for net, k in self.all_pins[v]:
+                    if mark[net] != token:
+                        mark[net] = token
+                        append(net)
+                    d0[net] += k
+                    d1[net] += k
+                for net in self.tables.output_nets[v]:
+                    if mark[net] != token:
+                        mark[net] = token
+                        append(net)
+                    ds[net] += 1
+            else:
+                dorig = d0 if s == 0 else d1
+                drepl = d1 if s == 0 else d0
+                for net, k in self.orig_pins[v][o]:
+                    if mark[net] != token:
+                        mark[net] = token
+                        append(net)
+                    dorig[net] += k
+                for net, k in self.repl_pins[v][o]:
+                    if mark[net] != token:
+                        mark[net] = token
+                        append(net)
+                    drepl[net] += k
+        return touched
+
     def move_gain(self, v: int, new_side: int, new_rep: Optional[Tuple[int, int]]) -> int:
-        """Exact cut delta (positive = improvement) of a state change."""
+        """Exact cut delta (positive = improvement) of a state change.
+
+        Each (current state, target state) combination has a specialized
+        flat loop over a precomputed pin view; state changes outside the
+        move repertoire (replicated -> replicated) fall back to the
+        generic scratch-array delta accumulation.
+        """
+        counts, split = self.counts, self.split
+        r = self.rep[v]
+        if r is None:
+            s = self.side[v]
+            if new_rep is None:
+                # Plain single-node move: deltas are +/-k on the two
+                # sides of each of the node's nets.
+                gain = 0
+                for net, k in self.all_pins[v]:
+                    if split[net]:
+                        continue  # split nets stay uncut under any move
+                    c = counts[net]
+                    c0 = c[0]
+                    c1 = c[1]
+                    if s == 0:
+                        a0 = c0 - k
+                        a1 = c1 + k
+                    else:
+                        a0 = c0 + k
+                        a1 = c1 - k
+                    if c0 > 0 and c1 > 0:
+                        gain += 1
+                    if a0 > 0 and a1 > 0:
+                        gain -= 1
+                return gain
+            rs, o = new_rep
+            if o >= 0:
+                # Functional replicate: the original keeps side ``rs``
+                # with its reduced pins, the replica lands opposite.
+                gain = 0
+                for net, ka, ko, kr in self.merged_pins[v][o]:
+                    if split[net]:
+                        continue
+                    c = counts[net]
+                    c0 = c[0]
+                    c1 = c[1]
+                    if s == 0:
+                        a0 = c0 - ka
+                        a1 = c1
+                    else:
+                        a0 = c0
+                        a1 = c1 - ka
+                    if rs == 0:
+                        a0 += ko
+                        a1 += kr
+                    else:
+                        a0 += kr
+                        a1 += ko
+                    if c0 > 0 and c1 > 0:
+                        gain += 1
+                    if a0 > 0 and a1 > 0:
+                        gain -= 1
+                return gain
+            # Traditional replicate: a full copy appears on the far side
+            # and every output net becomes split (uncut by definition).
+            gain = 0
+            for net, ka, dsp in self.trad_pins[v]:
+                c = counts[net]
+                c0 = c[0]
+                c1 = c[1]
+                sp = split[net]
+                if s == 0:
+                    a0 = c0
+                    a1 = c1 + ka
+                else:
+                    a0 = c0 + ka
+                    a1 = c1
+                if sp == 0 and c0 > 0 and c1 > 0:
+                    gain += 1
+                if sp + dsp == 0 and a0 > 0 and a1 > 0:
+                    gain -= 1
+            return gain
+        if new_rep is None:
+            s, o = r
+            t = new_side
+            if o >= 0:
+                # Functional un-replicate: collapse both instances into
+                # one full copy on side ``t``.
+                gain = 0
+                for net, ka, ko, kr in self.merged_pins[v][o]:
+                    if split[net]:
+                        continue
+                    c = counts[net]
+                    c0 = c[0]
+                    c1 = c[1]
+                    if s == 0:
+                        a0 = c0 - ko
+                        a1 = c1 - kr
+                    else:
+                        a0 = c0 - kr
+                        a1 = c1 - ko
+                    if t == 0:
+                        a0 += ka
+                    else:
+                        a1 += ka
+                    if c0 > 0 and c1 > 0:
+                        gain += 1
+                    if a0 > 0 and a1 > 0:
+                        gain -= 1
+                return gain
+            # Traditional un-replicate: drop the copy opposite ``t`` and
+            # un-split the output nets.
+            gain = 0
+            for net, ka, dsp in self.trad_pins[v]:
+                c = counts[net]
+                c0 = c[0]
+                c1 = c[1]
+                sp = split[net]
+                if t == 0:
+                    a0 = c0
+                    a1 = c1 - ka
+                else:
+                    a0 = c0 - ka
+                    a1 = c1
+                if sp == 0 and c0 > 0 and c1 > 0:
+                    gain += 1
+                if sp - dsp == 0 and a0 > 0 and a1 > 0:
+                    gain -= 1
+            return gain
+        d0, d1, ds = self._d0, self._d1, self._dsplit
+        touched = self._fill_deltas(v, new_side, new_rep)
         gain = 0
-        for net, (d0, d1, dsplit) in self._net_delta(v, new_side, new_rep).items():
-            c0, c1 = self.counts[net]
-            before = self.split[net] == 0 and c0 > 0 and c1 > 0
-            after = (
-                self.split[net] + dsplit == 0
-                and c0 + d0 > 0
-                and c1 + d1 > 0
-            )
-            gain += int(before) - int(after)
+        for net in touched:
+            c = counts[net]
+            c0 = c[0]
+            c1 = c[1]
+            sp = split[net]
+            if sp == 0 and c0 > 0 and c1 > 0:
+                gain += 1
+            if sp + ds[net] == 0 and c0 + d0[net] > 0 and c1 + d1[net] > 0:
+                gain -= 1
+            d0[net] = 0
+            d1[net] = 0
+            ds[net] = 0
         return gain
+
+    def _set_side_single(self, v: int, new_side: int) -> List[int]:
+        """Specialized :meth:`set_state` for a plain single-node move
+        (the overwhelmingly common commit): no split changes, touched
+        nets are exactly the node's nets in ``all_pins`` order -- the
+        same first-touch order the generic path yields."""
+        counts, split = self.counts, self.split
+        s = self.side[v]
+        cut = self._cut
+        maintain = self._maintain_sgain
+        if maintain:
+            sgain, side, rep, locked = self.sgain, self.side, self.rep, self.locked
+            net_nodes, net_counts = self.net_nodes, self.net_node_counts
+            net_maxk = self.net_maxk
+        touched: List[int] = []
+        append = touched.append
+        for net, k in self.all_pins[v]:
+            append(net)
+            c = counts[net]
+            b0 = c[0]
+            b1 = c[1]
+            if s == 0:
+                a0 = b0 - k
+                a1 = b1
+            else:
+                a0 = b0
+                a1 = b1 - k
+            if new_side == 0:
+                a0 += k
+            else:
+                a1 += k
+            c[0] = a0
+            c[1] = a1
+            if split[net]:
+                continue  # split nets never change cut status or gains
+            bc = b0 > 0 and b1 > 0
+            ac = a0 > 0 and a1 > 0
+            if bc:
+                cut -= 1
+            if ac:
+                cut += 1
+            if maintain:
+                w = net_maxk[net]
+                if b0 <= w or b1 <= w or a0 <= w or a1 <= w:
+                    for u, k_u in zip(net_nodes[net], net_counts[net]):
+                        if u == v or locked[u] or rep[u] is not None:
+                            continue
+                        if side[u] == 0:
+                            bs = b0
+                            as_ = a0
+                        else:
+                            bs = b1
+                            as_ = a1
+                        cb = (1 if bc else 0) - (1 if bs > k_u else 0)
+                        ca = (1 if ac else 0) - (1 if as_ > k_u else 0)
+                        if ca != cb:
+                            sgain[u] += ca - cb
+        self._cut = cut
+        if s != new_side:
+            w_v = self.weights[v]
+            self.sizes[s] -= w_v
+            self.sizes[new_side] += w_v
+            self.side[v] = new_side
+        return touched
 
     def set_state(
         self, v: int, new_side: int, new_rep: Optional[Tuple[int, int]]
     ) -> List[int]:
         """Commit a state change; returns the affected net indices."""
-        deltas = self._net_delta(v, new_side, new_rep)
-        for net, (d0, d1, dsplit) in deltas.items():
-            self.counts[net][0] += d0
-            self.counts[net][1] += d1
-            self.split[net] += dsplit
+        if new_rep is None and self.rep[v] is None:
+            return self._set_side_single(v, new_side)
+        counts, split = self.counts, self.split
+        d0, d1, ds = self._d0, self._d1, self._dsplit
+        touched = self._fill_deltas(v, new_side, new_rep)
+        cut = self._cut
+        maintain = self._maintain_sgain
+        if maintain:
+            sgain, side, rep, locked = self.sgain, self.side, self.rep, self.locked
+            net_nodes, net_counts = self.net_nodes, self.net_node_counts
+            net_maxk = self.net_maxk
+        for net in touched:
+            c = counts[net]
+            sp = split[net]
+            b0 = c[0]
+            b1 = c[1]
+            bc = sp == 0 and b0 > 0 and b1 > 0
+            if bc:
+                cut -= 1
+            a0 = b0 + d0[net]
+            a1 = b1 + d1[net]
+            nsp = sp + ds[net]
+            c[0] = a0
+            c[1] = a1
+            split[net] = nsp
+            ac = nsp == 0 and a0 > 0 and a1 > 0
+            if ac:
+                cut += 1
+            d0[net] = 0
+            d1[net] = 0
+            ds[net] = 0
+            if maintain:
+                # A member's single-move gain contribution from this net is
+                #   [net is cut] - [sp == 0 and c_(member side) > k_member]
+                # (moving it leaves k on the far side, so the far side stays
+                # populated).  Both predicates are unchanged when the split
+                # flag did not flip and both side counts stay above the
+                # net's max per-node pin count before *and* after -- the
+                # exact critical window, so the skip loses nothing.
+                w = net_maxk[net]
+                if (
+                    nsp != sp
+                    or b0 <= w
+                    or b1 <= w
+                    or a0 <= w
+                    or a1 <= w
+                ):
+                    for u, k_u in zip(net_nodes[net], net_counts[net]):
+                        if u == v or locked[u] or rep[u] is not None:
+                            continue
+                        if side[u] == 0:
+                            bs = b0
+                            as_ = a0
+                        else:
+                            bs = b1
+                            as_ = a1
+                        cb = (1 if bc else 0) - (
+                            1 if (sp == 0 and bs > k_u) else 0
+                        )
+                        ca = (1 if ac else 0) - (
+                            1 if (nsp == 0 and as_ > k_u) else 0
+                        )
+                        if ca != cb:
+                            sgain[u] += ca - cb
+        self._cut = cut
         old_w = self._state_weight(v, self.rep[v])
         self.side[v] = new_side
         self.rep[v] = new_rep
         new_w = self._state_weight(v, new_rep)
         self.sizes[0] += new_w[0] - old_w[0]
         self.sizes[1] += new_w[1] - old_w[1]
-        return list(deltas)
+        return touched
 
     # ------------------------------------------------------------------
     # Candidate moves
     # ------------------------------------------------------------------
     def _balance_ok(self, v: int, new_rep: Optional[Tuple[int, int]], new_side: int) -> bool:
-        old_w = self._state_weight(v, self.rep[v])
         w = self.weights[v]
-        if new_rep is None:
-            new_w = (w, 0) if new_side == 0 else (0, w)
+        if self.rep[v] is None:
+            o0, o1 = (w, 0) if self.side[v] == 0 else (0, w)
         else:
-            new_w = (w, w)
-        s0 = self.sizes[0] + new_w[0] - old_w[0]
-        s1 = self.sizes[1] + new_w[1] - old_w[1]
+            o0 = o1 = w
+        if new_rep is None:
+            n0, n1 = (w, 0) if new_side == 0 else (0, w)
+        else:
+            n0 = n1 = w
+        s0 = self.sizes[0] + n0 - o0
+        s1 = self.sizes[1] + n1 - o1
         if self.instance_cap is not None and s0 + s1 > self.instance_cap:
             return False
         if self.lo0 is not None:
@@ -425,11 +909,71 @@ class ReplicationEngine:
                 moves.append((self.move_gain(v, t, None), t, None))
         return moves
 
+    def _recompute_sgains(self) -> None:
+        """Re-derive ``sgain`` for every movable unreplicated node.
+
+        Same arithmetic as :meth:`move_gain`'s single-move fast path; run
+        at pass start, after which :meth:`set_state` keeps the values
+        exact for unlocked nodes by delta updates.
+        """
+        counts, split = self.counts, self.split
+        side, rep = self.side, self.rep
+        sgain, all_pins = self.sgain, self.all_pins
+        for v in self.movable:
+            if rep[v] is not None:
+                continue
+            s = side[v]
+            g = 0
+            for net, k in all_pins[v]:
+                if split[net]:
+                    continue
+                c = counts[net]
+                c0 = c[0]
+                c1 = c[1]
+                if s == 0:
+                    a0 = c0 - k
+                    a1 = c1 + k
+                else:
+                    a0 = c0 + k
+                    a1 = c1 - k
+                if c0 > 0 and c1 > 0:
+                    g += 1
+                if a0 > 0 and a1 > 0:
+                    g -= 1
+            sgain[v] = g
+
     def best_move(self, v: int) -> Optional[Tuple[int, int, Optional[Tuple[int, int]]]]:
-        moves = self.candidate_moves(v)
-        if not moves:
-            return None
-        return max(moves, key=lambda m: m[0])
+        """Highest-gain legal move of ``v``; ties resolve in candidate order
+        (single move, then replications by output, then un-replicate to
+        side 0 before side 1 -- ``max()``'s first-wins semantics over
+        :meth:`candidate_moves`, without building the list)."""
+        r = self.rep[v]
+        if r is not None:
+            g0 = self.move_gain(v, 0, None)
+            g1 = self.move_gain(v, 1, None)
+            if g0 >= g1:
+                return (g0, 0, None)
+            return (g1, 1, None)
+        s = self.side[v]
+        if self._maintain_sgain:
+            best_gain = self.sgain[v]
+        else:
+            best_gain = self.move_gain(v, 1 - s, None)
+        best: Tuple[int, int, Optional[Tuple[int, int]]] = (best_gain, 1 - s, None)
+        arity = 0 if self._moves_only else self._repl_arity[v]
+        if arity > 0:
+            for o in range(arity):
+                rep = (s, o)
+                g = self.move_gain(v, s, rep)
+                if g > best_gain:
+                    best_gain = g
+                    best = (g, s, rep)
+        elif arity < 0:
+            rep = (s, -1)
+            g = self.move_gain(v, s, rep)
+            if g > best_gain:
+                best = (g, s, rep)
+        return best
 
     # ------------------------------------------------------------------
     # Paper vector extraction (for the unified-cost-model tests)
@@ -490,9 +1034,43 @@ class ReplicationEngine:
         for v in range(len(self.locked)):
             # Fixed nodes stay locked so neighbour refreshes cannot requeue them.
             self.locked[v] = v in self.fixed_set
+        self._recompute_sgains()
+        self._maintain_sgain = True
+        try:
+            return self._run_pass_body()
+        finally:
+            self._maintain_sgain = False
+
+    def _run_pass_body(self) -> int:
         heap: List = []
+        # Hot loop: localize attribute lookups and inline _push plus the
+        # single-move balance check (the overwhelmingly common cases).
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        best_move = self.best_move
+        move_gain = self.move_gain
+        set_state = self.set_state
+        locked = self.locked
+        stamp = self.stamp
+        sgain = self.sgain
+        rep = self.rep
+        side = self.side
+        sizes = self.sizes
+        weights = self.weights
+        counts = self.counts
+        net_maxk = self.net_maxk
+        net_nodes = self.net_nodes
+        lo0, hi0 = self.lo0, self.hi0
+        max_imb = self.max_imbalance
+        budget = self.config.budget
+        pc = self._push_counter
+
         for v in self.movable:
-            self._push(heap, v)
+            best = best_move(v)
+            if best is not None:
+                stamp[v] += 1
+                pc += 1
+                heappush(heap, (-best[0], pc, v, stamp[v], best[1], best[2]))
 
         undo: List[Tuple[int, int, Optional[Tuple[int, int]]]] = []
         deferred: List[Tuple] = []
@@ -501,29 +1079,52 @@ class ReplicationEngine:
         best_index = 0
 
         while heap:
-            entry = heapq.heappop(heap)
-            neg_gain, _, v, stamp, new_side, new_rep = entry
-            if self.locked[v] or stamp != self.stamp[v]:
+            entry = heappop(heap)
+            neg_gain, _, v, st, new_side, new_rep = entry
+            if locked[v] or st != stamp[v]:
                 continue
-            if not self._balance_ok(v, new_rep, new_side):
+            if new_rep is None and rep[v] is None:
+                # Single move: total instances are unchanged, so the growth
+                # cap cannot newly fail; only the side balance matters.  The
+                # maintained sgain *is* the exact gain.
+                w = weights[v]
+                if new_side == 0:
+                    s0 = sizes[0] + w
+                    s1 = sizes[1] - w
+                else:
+                    s0 = sizes[0] - w
+                    s1 = sizes[1] + w
+                if lo0 is not None:
+                    ok = lo0 <= s0 <= hi0 and s1 >= 0
+                else:
+                    ok = w == 0 or abs(s0 - s1) <= max_imb
+                gain = sgain[v]
+            else:
+                ok = self._balance_ok(v, new_rep, new_side)
+                # The stored gain may be stale; verify and refresh if needed.
+                gain = move_gain(v, new_side, new_rep) if ok else 0
+            if not ok:
                 # Balance-blocked: park the entry; retried after each move.
                 deferred.append(entry)
                 continue
-            # The stored gain may be stale; verify and refresh if needed.
-            gain = self.move_gain(v, new_side, new_rep)
             if gain != -neg_gain:
-                self._push(heap, v)
+                best = best_move(v)
+                if best is not None:
+                    stamp[v] += 1
+                    pc += 1
+                    heappush(
+                        heap, (-best[0], pc, v, stamp[v], best[1], best[2])
+                    )
                 continue
 
-            undo.append((v, self.side[v], self.rep[v]))
-            changed = self.set_state(v, new_side, new_rep)
-            self.locked[v] = True
+            undo.append((v, side[v], rep[v]))
+            changed = set_state(v, new_side, new_rep)
+            locked[v] = True
             cumulative += gain
             if cumulative > best_gain:
                 best_gain = cumulative
                 best_index = len(undo)
 
-            budget = self.config.budget
             if (
                 budget is not None
                 and len(undo) % _BUDGET_POLL_MOVES == 0
@@ -531,22 +1132,40 @@ class ReplicationEngine:
             ):
                 break  # rollback below still lands on the best prefix
 
-            for parked in deferred:
-                pv = parked[2]
-                if not self.locked[pv] and parked[3] == self.stamp[pv]:
-                    heapq.heappush(heap, parked)
-            deferred.clear()
+            if deferred:
+                for parked in deferred:
+                    pv = parked[2]
+                    if not locked[pv] and parked[3] == stamp[pv]:
+                        heappush(heap, parked)
+                deferred.clear()
 
             for net in changed:
-                c0, c1 = self.counts[net]
-                if min(c0, c1) > self.net_maxk[net] * 2 + 1:
+                c = counts[net]
+                window = net_maxk[net] * 2 + 1
+                if c[0] > window and c[1] > window:
                     continue
-                for other in self.net_nodes[net]:
-                    if other != v and not self.locked[other]:
-                        self._push(heap, other)
+                for other in net_nodes[net]:
+                    if other != v and not locked[other]:
+                        best = best_move(other)
+                        if best is not None:
+                            stamp[other] += 1
+                            pc += 1
+                            heappush(
+                                heap,
+                                (
+                                    -best[0],
+                                    pc,
+                                    other,
+                                    stamp[other],
+                                    best[1],
+                                    best[2],
+                                ),
+                            )
 
+        self._push_counter = pc
+        self._maintain_sgain = False  # rollback needs no gain upkeep
         for v, old_side, old_rep in reversed(undo[best_index:]):
-            self.set_state(v, old_side, old_rep)
+            set_state(v, old_side, old_rep)
         return best_gain
 
     def run(self) -> ReplicationResult:
@@ -589,37 +1208,38 @@ def replication_bipartition(
     hg: Hypergraph,
     config: Optional[ReplicationConfig] = None,
     initial: Optional[Sequence[int]] = None,
+    tables: Optional[ReplicationTables] = None,
 ) -> ReplicationResult:
     """Run one replication-aware FM bipartitioning on ``hg``."""
-    return ReplicationEngine(hg, config, initial).run()
+    return ReplicationEngine(hg, config, initial, tables=tables).run()
 
 
 def best_of_runs(
     hg: Hypergraph,
     runs: int,
     base_config: Optional[ReplicationConfig] = None,
+    jobs: int = 1,
 ) -> Tuple[ReplicationResult, List[int]]:
-    """Run ``runs`` seeded runs; return (best result, all final cut sizes)."""
+    """Run ``runs`` seeded runs; return (best result, all final cut sizes).
+
+    Derived configs are :func:`dataclasses.replace` copies sharing the
+    base config's ``fixed`` mapping and ``budget`` object (read-only to
+    the runs); only the seed differs.  ``jobs > 1`` fans the runs out
+    over a process pool with a deterministic ordered reduction.
+    """
     base = base_config or ReplicationConfig()
+    if jobs > 1:
+        from repro.perf.parallel import parallel_best_of_runs_replication
+
+        return parallel_best_of_runs_replication(hg, runs, base, jobs)
     best: Optional[ReplicationResult] = None
     cuts: List[int] = []
+    tables = ReplicationTables(hg)
     for run in range(runs):
         if best is not None and base.budget is not None and base.budget.expired:
             break
-        config = ReplicationConfig(
-            seed=base.seed * 7919 + run,
-            threshold=base.threshold,
-            style=base.style,
-            balance_tolerance=base.balance_tolerance,
-            max_passes=base.max_passes,
-            side0_bounds=base.side0_bounds,
-            fixed=dict(base.fixed),
-            allow_single_output_traditional=base.allow_single_output_traditional,
-            max_growth=base.max_growth,
-            warm_start_moves_only=base.warm_start_moves_only,
-            budget=base.budget,
-        )
-        result = replication_bipartition(hg, config)
+        config = replace(base, seed=base.seed * 7919 + run)
+        result = replication_bipartition(hg, config, tables=tables)
         cuts.append(result.cut_size)
         if best is None or result.cut_size < best.cut_size:
             best = result

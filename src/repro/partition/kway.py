@@ -34,17 +34,18 @@ from repro.partition.fm_replication import (
     NONE,
     ReplicationConfig,
     ReplicationEngine,
+    ReplicationTables,
 )
 from repro.robust import faults
 from repro.robust.budget import Budget
-from repro.robust.errors import InfeasibleError
+from repro.robust.errors import ConfigError, InfeasibleError
 from repro.techmap.mapped import MappedNetlist
 
 #: Threshold value disabling replication entirely (the "[3]" baseline).
 T_OFF = float("inf")
 
 
-@dataclass
+@dataclass(slots=True)
 class _VCell:
     """A (possibly reduced) cell instance during recursive carving."""
 
@@ -55,7 +56,7 @@ class _VCell:
     supports: List[Tuple[int, ...]]
 
 
-@dataclass
+@dataclass(slots=True)
 class _VTerm:
     """An I/O pad during recursive carving."""
 
@@ -114,6 +115,22 @@ class KWayConfig:
     #: structurally valid (``truncated``, possibly infeasible) solution;
     #: a strict budget raises ``SolverTimeoutError`` there instead.
     budget: Optional[Budget] = None
+    #: Bipartitioning engine: ``"fast"`` (the CSR/bucket engines) or
+    #: ``"reference"`` (the pre-optimization engines preserved in
+    #: :mod:`repro.partition.reference`).  The reference path exists for
+    #: the benchmark harness's same-process baseline and for equivalence
+    #: tests; both produce identical solutions for a given seed.
+    engine: str = "fast"
+    #: Process fan-out of the carve candidate scan: each fill band's
+    #: ``devices_per_carve x seeds_per_carve`` candidate runs are mapped
+    #: over a worker pool and reduced in sequential order, so the chosen
+    #: carve matches ``jobs=1`` for a given seed.  ``1`` stays in-process;
+    #: ``0`` or negative means all cores.
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("fast", "reference"):
+            raise ConfigError(f"unknown k-way engine {self.engine!r}")
 
     @property
     def replication_enabled(self) -> bool:
@@ -282,8 +299,11 @@ _ORIGINAL = "orig"
 _REPLICA = "repl"
 
 
-def _side_instances(
-    engine: ReplicationEngine, side: int
+def _side_instances_of(
+    hg: Hypergraph,
+    sides: Sequence[int],
+    reps: Sequence[Optional[Tuple[int, int]]],
+    side: int,
 ) -> List[Tuple[int, str, int]]:
     """Cell instances on ``side`` as ``(node, kind, output)``.
 
@@ -293,12 +313,12 @@ def _side_instances(
     outputs *other than* ``output``.
     """
     out: List[Tuple[int, str, int]] = []
-    for v in range(len(engine.side)):
-        if not engine.hg.nodes[v].is_cell:
+    for v in range(len(sides)):
+        if not hg.nodes[v].is_cell:
             continue
-        r = engine.rep[v]
+        r = reps[v]
         if r is None:
-            if engine.side[v] == side:
+            if sides[v] == side:
                 out.append((v, _WHOLE, -1))
         else:
             s, o = r
@@ -307,6 +327,52 @@ def _side_instances(
             if 1 - s == side:
                 out.append((v, _REPLICA, o))
     return out
+
+
+def _side_instances(
+    engine: ReplicationEngine, side: int
+) -> List[Tuple[int, str, int]]:
+    """Engine-state view of :func:`_side_instances_of`."""
+    return _side_instances_of(engine.hg, engine.side, engine.rep, side)
+
+
+@dataclass(slots=True)
+class _CarveOutcome:
+    """Lightweight record of one finished carve candidate.
+
+    Everything the carve reduction and commit need, without keeping (or
+    pickling, in the parallel scan) the whole engine: the final
+    side/replication state plus the evaluation metrics.
+    """
+
+    device_index: int
+    sides: List[int]
+    reps: List[Optional[Tuple[int, int]]]
+    clbs0: int
+    n_rep: int
+    t0: int
+    cut: int
+
+
+def _engine_outcome(
+    engine, pseudo: Set[int], device_index: int
+) -> Optional[_CarveOutcome]:
+    """Evaluate a finished candidate engine; ``None`` when it made no
+    progress (empty or replication-only side 0)."""
+    clbs0 = len(_side_instances(engine, 0))
+    n_rep = len(engine.replicas())
+    if clbs0 == 0 or clbs0 <= n_rep:
+        return None
+    t0 = _carve_terminals(engine.hg, engine, pseudo)
+    return _CarveOutcome(
+        device_index=device_index,
+        sides=list(engine.side),
+        reps=list(engine.rep),
+        clbs0=clbs0,
+        n_rep=n_rep,
+        t0=t0,
+        cut=engine.cut_size(),
+    )
 
 
 def _instance_vcell(vc: _VCell, kind: str, o: int, counter: int) -> _VCell:
@@ -350,6 +416,122 @@ def _candidate_devices(
     ]
     usable.sort(key=lambda d: (d.price / max(1, min(d.max_clbs, clbs - 1)), d.price))
     return usable[: max(1, limit)]
+
+
+def _scan_carve_candidates(
+    hg: Hypergraph,
+    fixed: Dict[int, int],
+    pseudo: Set[int],
+    candidates: List[Device],
+    clbs: int,
+    config: "KWayConfig",
+    rng: random.Random,
+) -> Tuple[Optional[Tuple[Device, _CarveOutcome]], bool]:
+    """Scan the fill-band ladder for the best carve candidate.
+
+    Runs ``devices_per_carve x seeds_per_carve`` candidate bipartitions
+    per fill band -- in-process for ``jobs=1``, over a
+    :class:`~repro.perf.parallel.CarveBandPool` otherwise -- and reduces
+    them in sequential scan order, so the chosen carve is identical for
+    any job count given the same seed.  Returns ``((device, outcome) or
+    None, out_of_time)``; the first band producing a feasible candidate
+    wins and lower bands are not evaluated.
+    """
+    budget = config.budget
+    library = config.library
+    best: Optional[Tuple[Tuple, Device, _CarveOutcome]] = None
+    fallback: Optional[Tuple[Tuple, Device, _CarveOutcome]] = None
+    out_of_time = False
+
+    def consider(outcome: Optional[_CarveOutcome]) -> None:
+        nonlocal best, fallback
+        if outcome is None:  # no-progress guard
+            return
+        device = candidates[outcome.device_index]
+        remaining_clbs = clbs + outcome.n_rep - outcome.clbs0
+        est_cost = device.price + library.lower_bound_cost(remaining_clbs)
+        key = (est_cost, outcome.t0, outcome.cut)
+        if device.fits(outcome.clbs0, outcome.t0):
+            if best is None or key < best[0]:
+                best = (key, device, outcome)
+        else:
+            violation = (
+                max(0, outcome.t0 - device.terminals)
+                + max(0, device.min_clbs - outcome.clbs0)
+                + max(0, outcome.clbs0 - device.max_clbs)
+            )
+            fb_key = (violation,) + key
+            if fallback is None or fb_key < fallback[0]:
+                fallback = (fb_key, device, outcome)
+
+    use_reference = config.engine == "reference"
+    if config.jobs != 1 and not use_reference:
+        from repro.perf.parallel import CarveBandPool
+
+        proto = dict(
+            threshold=config.threshold,
+            style=config.style,
+            max_passes=config.max_passes,
+            fixed=dict(fixed),
+        )
+        with CarveBandPool(hg, pseudo, proto, budget, config.jobs) as pool:
+            for fill in config.carve_fill_levels:
+                if budget is not None and budget.expired:
+                    out_of_time = True
+                    break
+                plan: List[Tuple[int, int, int, int]] = []
+                for di, device in enumerate(candidates):
+                    hi0 = min(device.max_clbs, clbs - 1)
+                    lo0 = max(1, device.min_clbs, int(fill * hi0))
+                    if lo0 > hi0:
+                        continue
+                    for _ in range(config.seeds_per_carve):
+                        plan.append((di, rng.randrange(1 << 30), lo0, hi0))
+                for outcome in pool.evaluate(plan):
+                    consider(outcome)
+                if best is not None:
+                    break  # highest workable fill band wins
+    else:
+        tables: Optional[ReplicationTables] = None
+        for fill in config.carve_fill_levels:
+            for di, device in enumerate(candidates):
+                hi0 = min(device.max_clbs, clbs - 1)
+                lo0 = max(1, device.min_clbs, int(fill * hi0))
+                if lo0 > hi0:
+                    continue
+                for _ in range(config.seeds_per_carve):
+                    if budget is not None and budget.expired:
+                        out_of_time = True
+                        break
+                    rcfg = ReplicationConfig(
+                        seed=rng.randrange(1 << 30),
+                        threshold=config.threshold,
+                        style=config.style,
+                        side0_bounds=(lo0, hi0),
+                        max_passes=config.max_passes,
+                        fixed=dict(fixed),
+                        budget=budget,
+                    )
+                    if use_reference:
+                        from repro.partition.reference import (
+                            ReferenceReplicationEngine,
+                        )
+
+                        engine = ReferenceReplicationEngine(hg, rcfg)
+                    else:
+                        if tables is None:
+                            tables = ReplicationTables(hg)
+                        engine = ReplicationEngine(hg, rcfg, tables=tables)
+                    engine.run()
+                    consider(_engine_outcome(engine, pseudo, di))
+                if out_of_time:
+                    break
+            if best is not None or out_of_time:
+                break  # highest workable fill band wins
+    chosen = best or fallback
+    if chosen is None:
+        return None, out_of_time
+    return (chosen[1], chosen[2]), out_of_time
 
 
 # ---------------------------------------------------------------------------
@@ -419,58 +601,10 @@ def partition_heterogeneous(
         # ---- evaluate carve candidates ---------------------------------
         candidates = _candidate_devices(library, clbs, config.devices_per_carve)
         hg, fixed, pseudo = _build_hg(cells, terms, carved_nets)
-        best: Optional[Tuple[Tuple, Device, ReplicationEngine]] = None
-        fallback: Optional[Tuple[Tuple, Device, ReplicationEngine]] = None
-        out_of_time = False
-        for fill in config.carve_fill_levels:
-            for device in candidates:
-                hi0 = min(device.max_clbs, clbs - 1)
-                lo0 = max(1, device.min_clbs, int(fill * hi0))
-                if lo0 > hi0:
-                    continue
-                for _ in range(config.seeds_per_carve):
-                    if budget is not None and budget.expired:
-                        out_of_time = True
-                        break
-                    engine = ReplicationEngine(
-                        hg,
-                        ReplicationConfig(
-                            seed=rng.randrange(1 << 30),
-                            threshold=config.threshold,
-                            style=config.style,
-                            side0_bounds=(lo0, hi0),
-                            max_passes=config.max_passes,
-                            fixed=dict(fixed),
-                            budget=budget,
-                        ),
-                    )
-                    engine.run()
-                    side0 = _side_instances(engine, 0)
-                    clbs0 = len(side0)
-                    n_rep = len(engine.replicas())
-                    if clbs0 == 0 or clbs0 <= n_rep:  # no-progress guard
-                        continue
-                    t0 = _carve_terminals(hg, engine, pseudo)
-                    remaining_clbs = clbs + n_rep - clbs0
-                    est_cost = device.price + library.lower_bound_cost(remaining_clbs)
-                    key = (est_cost, t0, engine.cut_size())
-                    if device.fits(clbs0, t0):
-                        if best is None or key < best[0]:
-                            best = (key, device, engine)
-                    else:
-                        violation = (
-                            max(0, t0 - device.terminals)
-                            + max(0, device.min_clbs - clbs0)
-                            + max(0, clbs0 - device.max_clbs)
-                        )
-                        fb_key = (violation,) + key
-                        if fallback is None or fb_key < fallback[0]:
-                            fallback = (fb_key, device, engine)
-                if out_of_time:
-                    break
-            if best is not None or out_of_time:
-                break  # highest workable fill band wins
-        chosen = best or fallback
+        chosen_pair = _scan_carve_candidates(
+            hg, fixed, pseudo, candidates, clbs, config, rng
+        )
+        chosen, out_of_time = chosen_pair
         if chosen is None:
             if out_of_time:
                 # Expired mid-evaluation with nothing usable: loop back so
@@ -480,7 +614,7 @@ def partition_heterogeneous(
             raise InfeasibleError(
                 f"no carve candidate for {clbs} CLBs; library too small"
             )
-        _, device, engine = chosen
+        device, outcome = chosen
 
         # ---- commit the carve ------------------------------------------
         name_to_vcell = {c.name: c for c in cells}
@@ -488,7 +622,7 @@ def partition_heterogeneous(
         block_originals: List[str] = []
         block_cell_inputs: List[List[str]] = []
         block_cell_outputs: List[List[str]] = []
-        for v, kind, o in _side_instances(engine, 0):
+        for v, kind, o in _side_instances_of(hg, outcome.sides, outcome.reps, 0):
             inst = _instance_vcell(
                 name_to_vcell[hg.nodes[v].name], kind, o, instance_counter
             )
@@ -498,7 +632,7 @@ def partition_heterogeneous(
             block_cell_inputs.append(list(inst.inputs))
             block_cell_outputs.append(list(inst.outputs))
         new_cells: List[_VCell] = []
-        for v, kind, o in _side_instances(engine, 1):
+        for v, kind, o in _side_instances_of(hg, outcome.sides, outcome.reps, 1):
             inst = _instance_vcell(
                 name_to_vcell[hg.nodes[v].name], kind, o, instance_counter
             )
@@ -513,7 +647,7 @@ def partition_heterogeneous(
             if node.is_cell or node.index in pseudo:
                 continue
             term = term_by_name[node.name]
-            if engine.side[node.index] == 0:
+            if outcome.sides[node.index] == 0:
                 block_pads.append(term.name)
                 block_pad_nets.add(term.net)
             else:

@@ -1,0 +1,16 @@
+"""Performance layer: parallel multi-start fan-out and benchmarking.
+
+:mod:`repro.perf.parallel`
+    Deterministic :class:`concurrent.futures.ProcessPoolExecutor` fan-out
+    for the multi-start drivers (``best_of_runs``) and the k-way carve
+    candidate scan, with ordered reductions that reproduce the sequential
+    winner for a given seed.
+
+:mod:`repro.perf.bench`
+    Timing helpers and the ``BENCH_partition.json`` writer used by
+    ``benchmarks/bench_fm_hot.py`` and the CI perf-smoke job.
+"""
+
+from repro.perf.parallel import resolve_jobs
+
+__all__ = ["resolve_jobs"]

@@ -1,0 +1,121 @@
+"""Timing helpers and the ``BENCH_partition.json`` report format.
+
+The perf harness (``benchmarks/bench_fm_hot.py``) times the optimized
+partitioning core against the frozen reference engines
+(:mod:`repro.partition.reference`) *in the same process*, so the speedup
+ratios are machine-fair.  Results are written as ``BENCH_partition.json``
+and gated against a checked-in baseline.
+
+**Regression gating.**  Raw wall-clock is not comparable across machines,
+so the gate normalizes by the reference engine measured in the same run:
+a circuit regresses when its *speedup ratio* (reference seconds / fast
+seconds) drops more than ``threshold`` below the baseline ratio.  This is
+equivalent to gating machine-speed-corrected wall-clock:
+
+    fast_now <= fast_base * (1 + threshold) * (ref_now / ref_base)
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Default allowed relative slowdown before the perf gate fails.
+DEFAULT_THRESHOLD = 0.30
+
+#: Default report filename (written to the working directory by the bench).
+REPORT_NAME = "BENCH_partition.json"
+
+
+def time_call(fn: Callable[[], Any]) -> Tuple[float, Any]:
+    """Wall-clock one call; returns ``(seconds, result)``."""
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def best_of(fn: Callable[[], Any], repeats: int = 1) -> Tuple[float, Any]:
+    """Minimum wall-clock over ``repeats`` calls (noise floor estimator)."""
+    best_seconds: Optional[float] = None
+    result = None
+    for _ in range(max(1, repeats)):
+        seconds, result = time_call(fn)
+        if best_seconds is None or seconds < best_seconds:
+            best_seconds = seconds
+    assert best_seconds is not None
+    return best_seconds, result
+
+
+def speedup(ref_seconds: float, fast_seconds: float) -> float:
+    """Reference-over-fast ratio; > 1 means the fast path wins."""
+    if fast_seconds <= 0.0:
+        return float("inf")
+    return ref_seconds / fast_seconds
+
+
+def make_report(
+    scale: float,
+    circuits: Dict[str, Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Assemble the ``BENCH_partition.json`` payload."""
+    return {
+        "schema": "repro-bench-partition/1",
+        "scale": scale,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "circuits": circuits,
+    }
+
+
+def write_report(path: str, report: Dict[str, Any]) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def check_regressions(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[str]:
+    """Compare a fresh report against the baseline; returns violations.
+
+    Only circuits present in both reports with a meaningful reference
+    timing are gated (sub-10ms carves are all noise).  An empty list
+    means the gate passes.
+    """
+    problems: List[str] = []
+    if current.get("scale") != baseline.get("scale"):
+        return [
+            f"scale mismatch: current {current.get('scale')} vs "
+            f"baseline {baseline.get('scale')}; refresh the baseline"
+        ]
+    base_circuits = baseline.get("circuits", {})
+    for name, entry in current.get("circuits", {}).items():
+        base = base_circuits.get(name)
+        if base is None:
+            continue
+        for section in ("kway", "fm", "replication"):
+            cur_sec = entry.get(section)
+            base_sec = base.get(section)
+            if not cur_sec or not base_sec:
+                continue
+            if base_sec["ref_seconds"] < 0.01 or cur_sec["ref_seconds"] < 0.01:
+                continue  # too fast to measure reliably
+            base_ratio = speedup(base_sec["ref_seconds"], base_sec["fast_seconds"])
+            cur_ratio = speedup(cur_sec["ref_seconds"], cur_sec["fast_seconds"])
+            floor = base_ratio / (1.0 + threshold)
+            if cur_ratio < floor:
+                problems.append(
+                    f"{name}/{section}: speedup {cur_ratio:.2f}x fell below "
+                    f"{floor:.2f}x (baseline {base_ratio:.2f}x, "
+                    f"threshold {threshold:.0%})"
+                )
+    return problems

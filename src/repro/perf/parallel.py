@@ -1,0 +1,252 @@
+"""Deterministic process-pool fan-out for the multi-start partitioners.
+
+Three fan-out points, all with the same contract:
+
+* :func:`parallel_best_of_runs_fm` -- plain FM multi-start;
+* :func:`parallel_best_of_runs_replication` -- replication-aware multi-start;
+* :class:`CarveBandPool` -- the k-way carver's per-fill-band candidate scan.
+
+**Determinism.**  Work items (derived seeds, carve candidates) are
+generated in exactly the order the sequential loop would generate them,
+dispatched to a :class:`concurrent.futures.ProcessPoolExecutor`, and
+reduced *in submission order* with the same comparison the sequential
+loop uses.  For a given seed the winner is therefore identical to
+``jobs=1`` -- parallelism changes wall-clock, never results -- as long as
+no deadline expires mid-scan (an expired :class:`~repro.robust.budget.Budget`
+truncates the sequential scan at a timing-dependent point, so no mode is
+deterministic then).
+
+**Budgets.**  Monotonic-clock deadlines are process-local, so a parent
+``Budget`` object cannot be shipped to workers.  Instead each fan-out
+captures ``budget.remaining()`` once at dispatch and every worker builds
+a fresh budget with that allotment; workers then wind down cooperatively
+on their own clocks, within a second-order skew of the parent deadline.
+
+Workers receive the (picklable) hypergraph once via the pool initializer
+and rebuild the shared read-only tables
+(:class:`~repro.hypergraph.compact.CompactHypergraph`,
+:class:`~repro.partition.fm_replication.ReplicationTables`) locally, so
+per-task payloads stay a few dozen bytes.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.robust.budget import Budget
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0``/negative mean "all cores"."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _budget_allotment(budget: Optional[Budget]) -> Tuple[Optional[float], bool]:
+    """Capture a budget as picklable (remaining seconds, graceful) state."""
+    if budget is None:
+        return None, True
+    remaining = budget.remaining()
+    return (None if remaining == float("inf") else remaining), budget.graceful
+
+
+def _rebuild_budget(
+    remaining: Optional[float], graceful: bool, limited: bool
+) -> Optional[Budget]:
+    """Worker-side budget from the captured allotment."""
+    if not limited:
+        return None
+    return Budget(remaining, graceful=graceful)
+
+
+# ---------------------------------------------------------------------------
+# FM multi-start
+# ---------------------------------------------------------------------------
+
+_FM_CTX: Optional[Tuple[Any, Any, Any, Optional[float], bool, bool]] = None
+
+
+def _fm_init(hg, base_config, remaining, graceful, limited) -> None:
+    from repro.hypergraph.compact import CompactHypergraph
+
+    global _FM_CTX
+    compact = CompactHypergraph.from_hypergraph(hg)
+    _FM_CTX = (hg, compact, base_config, remaining, graceful, limited)
+
+
+def _fm_task(seed: int):
+    from repro.partition.fm import fm_bipartition
+
+    assert _FM_CTX is not None
+    hg, compact, base, remaining, graceful, limited = _FM_CTX
+    config = replace(
+        base, seed=seed, budget=_rebuild_budget(remaining, graceful, limited)
+    )
+    return fm_bipartition(hg, config, compact=compact)
+
+
+def parallel_fm_results(hg, base_config, seeds: Sequence[int], jobs: int) -> List[Any]:
+    """Run one FM per seed over a process pool; results in seed order."""
+    remaining, graceful = _budget_allotment(base_config.budget)
+    limited = base_config.budget is not None
+    ship = replace(base_config, budget=None)
+    workers = max(1, min(resolve_jobs(jobs), len(seeds)))
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_fm_init,
+        initargs=(hg, ship, remaining, graceful, limited),
+    ) as ex:
+        return list(ex.map(_fm_task, seeds))
+
+
+def parallel_best_of_runs_fm(hg, runs: int, base_config, jobs: int):
+    """Process-pool counterpart of :func:`repro.partition.fm.best_of_runs`.
+
+    Returns ``(best FMResult, all cut sizes)`` with the winner the
+    sequential loop would pick (ordered reduction, ``<`` on cut size).
+    """
+    seeds = [base_config.seed * 7919 + run for run in range(runs)]
+    results = parallel_fm_results(hg, base_config, seeds, jobs)
+    best = None
+    cuts: List[int] = []
+    for result in results:
+        cuts.append(result.cut_size)
+        if best is None or result.cut_size < best.cut_size:
+            best = result
+    assert best is not None
+    return best, cuts
+
+
+# ---------------------------------------------------------------------------
+# Replication multi-start
+# ---------------------------------------------------------------------------
+
+_REPL_CTX: Optional[Tuple[Any, Any, Any, Optional[float], bool, bool]] = None
+
+
+def _repl_init(hg, base_config, remaining, graceful, limited) -> None:
+    from repro.partition.fm_replication import ReplicationTables
+
+    global _REPL_CTX
+    tables = ReplicationTables(hg)
+    _REPL_CTX = (hg, tables, base_config, remaining, graceful, limited)
+
+
+def _repl_task(seed: int):
+    from repro.partition.fm_replication import replication_bipartition
+
+    assert _REPL_CTX is not None
+    hg, tables, base, remaining, graceful, limited = _REPL_CTX
+    config = replace(
+        base, seed=seed, budget=_rebuild_budget(remaining, graceful, limited)
+    )
+    return replication_bipartition(hg, config, tables=tables)
+
+
+def parallel_replication_results(
+    hg, base_config, seeds: Sequence[int], jobs: int
+) -> List[Any]:
+    """Run one replication-FM per seed over a process pool, in seed order."""
+    remaining, graceful = _budget_allotment(base_config.budget)
+    limited = base_config.budget is not None
+    ship = replace(base_config, budget=None)
+    workers = max(1, min(resolve_jobs(jobs), len(seeds)))
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_repl_init,
+        initargs=(hg, ship, remaining, graceful, limited),
+    ) as ex:
+        return list(ex.map(_repl_task, seeds))
+
+
+def parallel_best_of_runs_replication(hg, runs: int, base_config, jobs: int):
+    """Process-pool counterpart of
+    :func:`repro.partition.fm_replication.best_of_runs`."""
+    seeds = [base_config.seed * 7919 + run for run in range(runs)]
+    results = parallel_replication_results(hg, base_config, seeds, jobs)
+    best = None
+    cuts: List[int] = []
+    for result in results:
+        cuts.append(result.cut_size)
+        if best is None or result.cut_size < best.cut_size:
+            best = result
+    assert best is not None
+    return best, cuts
+
+
+# ---------------------------------------------------------------------------
+# K-way carve candidate scan
+# ---------------------------------------------------------------------------
+
+_CARVE_CTX: Optional[
+    Tuple[Any, Any, frozenset, Dict[str, Any], Optional[float], bool, bool]
+] = None
+
+
+def _carve_init(hg, pseudo, proto, remaining, graceful, limited) -> None:
+    from repro.partition.fm_replication import ReplicationTables
+
+    global _CARVE_CTX
+    tables = ReplicationTables(hg)
+    _CARVE_CTX = (hg, tables, frozenset(pseudo), proto, remaining, graceful, limited)
+
+
+def _carve_task(task: Tuple[int, int, int, int]):
+    from repro.partition.fm_replication import ReplicationConfig, ReplicationEngine
+    from repro.partition.kway import _engine_outcome
+
+    assert _CARVE_CTX is not None
+    hg, tables, pseudo, proto, remaining, graceful, limited = _CARVE_CTX
+    device_index, seed, lo0, hi0 = task
+    config = ReplicationConfig(
+        seed=seed,
+        side0_bounds=(lo0, hi0),
+        budget=_rebuild_budget(remaining, graceful, limited),
+        **proto,
+    )
+    engine = ReplicationEngine(hg, config, tables=tables)
+    engine.run()
+    return _engine_outcome(engine, pseudo, device_index)
+
+
+class CarveBandPool:
+    """A per-carve-level worker pool for the candidate scan.
+
+    Built once per carve level (the hypergraph changes between levels);
+    :meth:`evaluate` maps a band's candidate plan -- ``(device index,
+    seed, lo0, hi0)`` tuples in sequential scan order -- to
+    :class:`~repro.partition.kway._CarveOutcome` records (or ``None`` for
+    no-progress candidates) *in plan order*, so the caller's reduction
+    sees exactly the sequential sequence.
+    """
+
+    def __init__(
+        self,
+        hg,
+        pseudo: Sequence[int],
+        proto: Dict[str, Any],
+        budget: Optional[Budget],
+        jobs: int,
+    ) -> None:
+        remaining, graceful = _budget_allotment(budget)
+        self._ex = ProcessPoolExecutor(
+            max_workers=resolve_jobs(jobs),
+            initializer=_carve_init,
+            initargs=(hg, tuple(pseudo), proto, remaining, graceful, budget is not None),
+        )
+
+    def evaluate(self, plan: Sequence[Tuple[int, int, int, int]]) -> List[Any]:
+        return list(self._ex.map(_carve_task, plan))
+
+    def close(self) -> None:
+        self._ex.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "CarveBandPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,104 @@
+"""Regenerate the FM / replication-engine golden files.
+
+The goldens freeze the *reference* engines' outputs (which are themselves
+frozen pre-optimization behavior, see :mod:`repro.partition.reference`) on a
+deterministic family of random hypergraphs.  The optimized engines must
+reproduce every case bit-identically; ``tests/test_fm_equivalence.py``
+enforces this.
+
+Run from the repo root::
+
+    PYTHONPATH=src:. python tests/golden/regenerate.py
+
+Only regenerate when a behavior change is *intended* and has already been
+applied to both the optimized and the reference engines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+
+from repro.partition.fm import FMConfig
+from repro.partition.reference import (
+    reference_fm_bipartition,
+    reference_replication_bipartition,
+)
+from repro.partition.fm_replication import ReplicationConfig
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "fm_golden.json")
+
+#: (case generator seed, engine seed) pairs; mixed so neither is degenerate.
+N_CASES = 24
+
+
+def case_hypergraph(case_seed: int):
+    from tests.test_gain_model import _random_hypergraph
+
+    return _random_hypergraph(random.Random(case_seed * 7919 + 13))
+
+
+def fm_case_configs(case_seed: int, total_weight: int):
+    lo, hi = max(1, total_weight // 4), max(1, total_weight // 2)
+    return {
+        "plain": FMConfig(seed=case_seed),
+        "bounds": FMConfig(seed=case_seed + 1, side0_bounds=(lo, hi)),
+        "fixed": FMConfig(seed=case_seed + 2, fixed={0: 1}),
+        "tight": FMConfig(seed=case_seed + 3, balance_tolerance=0.001),
+    }
+
+
+def replication_case_configs(case_seed: int, total_weight: int):
+    lo, hi = max(1, total_weight // 4), max(1, total_weight // 2)
+    return {
+        "functional": ReplicationConfig(seed=case_seed, threshold=0),
+        "traditional": ReplicationConfig(
+            seed=case_seed + 1, style="traditional", threshold=1
+        ),
+        "none": ReplicationConfig(seed=case_seed + 2, style="none"),
+        "bounds_fixed": ReplicationConfig(
+            seed=case_seed + 3,
+            threshold=1,
+            side0_bounds=(lo, hi),
+            fixed={0: 1},
+        ),
+        "growth_cap": ReplicationConfig(
+            seed=case_seed + 4, threshold=0, max_growth=0.1
+        ),
+        "cold_start": ReplicationConfig(
+            seed=case_seed + 5, threshold=0, warm_start_moves_only=False
+        ),
+    }
+
+
+def main() -> None:
+    cases = []
+    for case_seed in range(N_CASES):
+        hg = case_hypergraph(case_seed)
+        total = hg.total_clb_weight()
+        record = {"case_seed": case_seed, "fm": {}, "replication": {}}
+        for label, config in fm_case_configs(case_seed, total).items():
+            result = reference_fm_bipartition(hg, config)
+            record["fm"][label] = {
+                "assignment": result.assignment,
+                "cut_size": result.cut_size,
+                "passes": result.passes,
+            }
+        for label, config in replication_case_configs(case_seed, total).items():
+            result = reference_replication_bipartition(hg, config)
+            record["replication"][label] = {
+                "sides": result.sides,
+                "replicas": sorted(
+                    [v, s, o] for v, (s, o) in result.replicas.items()
+                ),
+                "cut_size": result.cut_size,
+            }
+        cases.append(record)
+    with open(GOLDEN_PATH, "w") as fh:
+        json.dump({"n_cases": N_CASES, "cases": cases}, fh, indent=1)
+    print(f"wrote {GOLDEN_PATH} ({N_CASES} cases)")
+
+
+if __name__ == "__main__":
+    main()

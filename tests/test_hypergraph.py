@@ -159,3 +159,29 @@ class TestNodeWeights:
 
     def test_total_weight(self, small_hg):
         assert small_hg.total_clb_weight() == small_hg.n_cells
+
+
+class TestSlots:
+    """Node and Net are slotted: tens of thousands of instances sit on the
+    partitioners' traversal paths, so accidental ``__dict__`` growth (and
+    the ad-hoc attributes it invites) must stay impossible."""
+
+    def test_node_rejects_new_attributes(self):
+        node = Node(index=0, name="n", kind=NodeKind.CELL)
+        with pytest.raises(AttributeError):
+            node.scratch = 1
+        assert not hasattr(node, "__dict__")
+
+    def test_net_rejects_new_attributes(self):
+        net = Net(index=0, name="e")
+        with pytest.raises(AttributeError):
+            net.scratch = 1
+        assert not hasattr(net, "__dict__")
+
+    def test_declared_fields_still_writable(self):
+        node = Node(index=0, name="n", kind=NodeKind.CELL)
+        # The fields other modules legitimately assign post-construction
+        # (clustering rewrites weight/supports, kway rewrites supports).
+        node.weight = 5
+        node.supports = [(0,)]
+        assert node.clb_weight == 5

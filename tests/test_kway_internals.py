@@ -8,6 +8,7 @@ from repro.partition.kway import (
     _REPLICA,
     _WHOLE,
     _VCell,
+    _VTerm,
     _candidate_devices,
     _instance_vcell,
 )
@@ -78,3 +79,20 @@ class TestInstanceVCell:
         a = _instance_vcell(cell, _REPLICA, 0, 1)
         b = _instance_vcell(cell, _REPLICA, 0, 2)
         assert a.name != b.name
+
+
+class TestVirtualNodeSlots:
+    """_VCell/_VTerm are slotted; the carver builds one per instance per
+    level, so they must stay dict-free and closed to stray attributes."""
+
+    def test_vcell_rejects_new_attributes(self):
+        cell = _VCell(name="c", original="c", inputs=[], outputs=["o"], supports=[()])
+        with pytest.raises(AttributeError):
+            cell.scratch = 1
+        assert not hasattr(cell, "__dict__")
+
+    def test_vterm_rejects_new_attributes(self):
+        term = _VTerm(name="t", net="n", kind="pi")
+        with pytest.raises(AttributeError):
+            term.scratch = 1
+        assert not hasattr(term, "__dict__")

@@ -1,0 +1,176 @@
+"""The parallel fan-out layer and multi-start config derivation.
+
+Determinism of the parallel winners (``jobs N`` == ``jobs 1``) is covered
+end to end in ``tests/test_fm_equivalence.py``; this module tests the
+plumbing: jobs resolution, cross-process budget capture, clean ``jobs=1``
+degradation, and the :func:`dataclasses.replace`-based config derivation
+of the multi-start drivers (derived runs must *share* the base config's
+budget object and fixed mapping, never copy them).
+"""
+
+import random
+
+import pytest
+
+import repro.partition.fm as fm_mod
+import repro.partition.fm_replication as repl_mod
+from repro.partition.fm import FMConfig
+from repro.partition.fm_replication import ReplicationConfig
+from repro.perf.parallel import (
+    _budget_allotment,
+    _rebuild_budget,
+    resolve_jobs,
+)
+from repro.robust.budget import Budget
+from tests.test_gain_model import _random_hypergraph
+
+
+class TestResolveJobs:
+    def test_explicit(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(1) == 1
+
+    def test_all_cores(self):
+        import os
+
+        cores = os.cpu_count() or 1
+        assert resolve_jobs(None) == cores
+        assert resolve_jobs(0) == cores
+        assert resolve_jobs(-1) == cores
+
+
+class TestBudgetCapture:
+    def test_no_budget(self):
+        assert _budget_allotment(None) == (None, True)
+        assert _rebuild_budget(None, True, limited=False) is None
+
+    def test_unlimited_budget(self):
+        remaining, graceful = _budget_allotment(Budget(None))
+        assert remaining is None and graceful is True
+        rebuilt = _rebuild_budget(remaining, graceful, limited=True)
+        assert rebuilt is not None and not rebuilt.expired
+
+    def test_limited_budget(self):
+        remaining, graceful = _budget_allotment(Budget(30.0, graceful=False))
+        assert remaining is not None and 0 < remaining <= 30.0
+        assert graceful is False
+        rebuilt = _rebuild_budget(remaining, graceful, limited=True)
+        assert rebuilt is not None
+        assert rebuilt.graceful is False
+        assert rebuilt.remaining() <= remaining
+
+    def test_expired_budget_rebuilds_expired(self):
+        budget = Budget(0.0)
+        remaining, graceful = _budget_allotment(budget)
+        rebuilt = _rebuild_budget(remaining, graceful, limited=True)
+        assert rebuilt is not None and rebuilt.expired
+
+
+class TestDerivedConfigs:
+    """`best_of_runs` derives per-run configs with ``dataclasses.replace``:
+    only the seed differs, and mutable members are shared, not copied."""
+
+    def test_fm_runs_share_budget_and_fixed(self, monkeypatch):
+        hg = _random_hypergraph(random.Random(17))
+        budget = Budget(None)
+        fixed = {0: 1}
+        base = FMConfig(seed=2, budget=budget, fixed=fixed)
+        seen = []
+        real = fm_mod.fm_bipartition
+
+        def spy(hg_, config=None, initial=None, compact=None):
+            seen.append(config)
+            return real(hg_, config, initial, compact=compact)
+
+        monkeypatch.setattr(fm_mod, "fm_bipartition", spy)
+        fm_mod.best_of_runs(hg, runs=3, base_config=base)
+        assert len(seen) == 3
+        assert all(cfg.budget is budget for cfg in seen)
+        assert all(cfg.fixed is fixed for cfg in seen)
+        assert [cfg.seed for cfg in seen] == [base.seed * 7919 + r for r in range(3)]
+        assert base.seed == 2  # the base config itself is untouched
+
+    def test_replication_runs_share_budget_and_fixed(self, monkeypatch):
+        hg = _random_hypergraph(random.Random(18))
+        budget = Budget(None)
+        fixed = {0: 0}
+        base = ReplicationConfig(seed=3, threshold=1, budget=budget, fixed=fixed)
+        seen = []
+        real = repl_mod.replication_bipartition
+
+        def spy(hg_, config=None, initial=None, tables=None):
+            seen.append(config)
+            return real(hg_, config, initial, tables=tables)
+
+        monkeypatch.setattr(repl_mod, "replication_bipartition", spy)
+        repl_mod.best_of_runs(hg, runs=3, base_config=base)
+        assert len(seen) == 3
+        assert all(cfg.budget is budget for cfg in seen)
+        assert all(cfg.fixed is fixed for cfg in seen)
+        assert [cfg.seed for cfg in seen] == [base.seed * 7919 + r for r in range(3)]
+
+
+class TestDegradation:
+    def test_jobs_1_never_touches_the_pool(self, monkeypatch):
+        import repro.perf.parallel as par
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("jobs=1 must stay sequential")
+
+        monkeypatch.setattr(par, "parallel_best_of_runs_fm", boom)
+        monkeypatch.setattr(par, "parallel_best_of_runs_replication", boom)
+        hg = _random_hypergraph(random.Random(19))
+        best, cuts = fm_mod.best_of_runs(hg, runs=2, base_config=FMConfig(seed=1))
+        assert len(cuts) == 2 and best.cut_size == min(cuts)
+        best, cuts = repl_mod.best_of_runs(
+            hg, runs=2, base_config=ReplicationConfig(seed=1, threshold=1)
+        )
+        assert len(cuts) == 2 and best.cut_size == min(cuts)
+
+    def test_parallel_with_expired_budget_still_returns(self):
+        hg = _random_hypergraph(random.Random(20))
+        base = FMConfig(seed=1, budget=Budget(0.0))
+        best, cuts = fm_mod.best_of_runs(hg, runs=2, base_config=base, jobs=2)
+        assert best is not None
+        assert len(cuts) == 2  # every dispatched run reports, however briefly
+
+
+class TestBalanceBounds:
+    """Satellite of the bucket rewrite: balance-blocked entries are parked
+    and only re-queued when a mover actually changes side-0 size in the
+    re-admitting direction.  The observable contract is that explicit
+    bounds hold in the final assignment and behavior matches the
+    reference engine exactly (the equivalence suite); here we pin the
+    bounds invariant under configurations tight enough to force parking.
+    """
+
+    @pytest.mark.parametrize("case_seed", range(6))
+    def test_side0_bounds_hold(self, case_seed):
+        hg = _random_hypergraph(random.Random(case_seed * 31 + 7))
+        total = hg.total_clb_weight()
+        lo = max(1, total // 3)
+        hi = max(lo, total // 2)
+        result = fm_mod.fm_bipartition(
+            hg, FMConfig(seed=case_seed, side0_bounds=(lo, hi))
+        )
+        s0 = sum(
+            hg.nodes[v].clb_weight
+            for v, s in enumerate(result.assignment)
+            if s == 0
+        )
+        assert lo <= s0 <= hi
+
+    def test_blocked_node_moves_once_capacity_frees(self):
+        """A high-gain mover that starts inadmissible must still land once
+        another move frees capacity, not be dropped for the pass."""
+        for case_seed in range(8):
+            hg = _random_hypergraph(random.Random(case_seed * 13 + 3))
+            total = hg.total_clb_weight()
+            half = total // 2
+            config = FMConfig(seed=case_seed, side0_bounds=(half, half + 1))
+            fast = fm_mod.fm_bipartition(hg, config)
+            from repro.partition.reference import reference_fm_bipartition
+
+            ref = reference_fm_bipartition(hg, config)
+            assert fast.assignment == ref.assignment
+            assert fast.pass_gains == ref.pass_gains
