@@ -31,7 +31,11 @@ from conftest import bench_circuits, bench_scale  # noqa: E402
 
 from repro.core.flow import map_circuit  # noqa: E402
 from repro.hypergraph.build import build_hypergraph  # noqa: E402
-from repro.partition.fm import FMConfig, best_of_runs as fm_best_of_runs  # noqa: E402
+from repro.partition.fm import (  # noqa: E402
+    FMConfig,
+    best_of_runs as fm_best_of_runs,
+    fm_bipartition,
+)
 from repro.partition.fm_replication import (  # noqa: E402
     ReplicationConfig,
     ReplicationTables,
@@ -45,9 +49,9 @@ from repro.partition.reference import (  # noqa: E402
 from repro.partition.verify import verify_solution  # noqa: E402
 from repro.perf.bench import (  # noqa: E402
     DEFAULT_THRESHOLD,
-    REPORT_NAME,
     best_of,
     check_regressions,
+    default_report_path,
     load_report,
     make_report,
     speedup,
@@ -59,6 +63,9 @@ BASELINE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_partition.baselin
 
 SEED = 3
 FM_RUNS = 4
+# Disabled-mode observability must stay in the noise: the estimated cost
+# of the hooks, as a fraction of solver wall-clock, is gated at 3%.
+OBS_OVERHEAD_LIMIT = 0.03
 # The fm/replication sections are short enough to be noisy on loaded
 # machines; take the best of a few repeats (deterministic workloads, so
 # results are identical across repeats).  The k-way carve is long enough
@@ -163,8 +170,95 @@ def _kway_section(mapped):
     }
 
 
+def _obs_section(hg, mapped):
+    """Observability costs: traced-run equivalence + disabled-mode overhead.
+
+    Tracing must never change results, so a fully traced FM / replication
+    / k-way run is checked bit-identical against the untraced one.  The
+    disabled-mode gate then estimates the price of the instrumentation
+    left in the hot path (one ``registry.enabled`` attribute check per
+    hook site, tallies included) by micro-timing a check and multiplying
+    by the hook executions counted in the traced run; that estimate must
+    stay under ``OBS_OVERHEAD_LIMIT`` of the untraced solver wall-clock.
+    """
+    import time as _time
+
+    from repro.obs.events import ListEmitter
+    from repro.obs.metrics import MetricsRegistry, get_registry, use_registry
+
+    fm_cfg = FMConfig(seed=SEED)
+    repl_cfg = ReplicationConfig(seed=SEED, threshold=1)
+    kway_cfg = KWayConfig(seed=SEED)
+
+    fm_sec, plain_fm = time_call(lambda: fm_bipartition(hg, fm_cfg))
+    repl_sec, plain_repl = time_call(lambda: replication_bipartition(hg, repl_cfg))
+    kway_sec, plain_kway = time_call(
+        lambda: partition_heterogeneous(mapped, kway_cfg)
+    )
+
+    registry = MetricsRegistry(enabled=True, emitter=ListEmitter())
+    with use_registry(registry):
+        traced_fm = fm_bipartition(hg, fm_cfg)
+        traced_repl = replication_bipartition(hg, repl_cfg)
+        traced_kway = partition_heterogeneous(mapped, kway_cfg)
+
+    assert traced_fm.assignment == plain_fm.assignment, "tracing changed FM"
+    assert traced_fm.cut_size == plain_fm.cut_size
+    assert traced_repl.sides == plain_repl.sides, "tracing changed replication FM"
+    assert traced_repl.replicas == plain_repl.replicas
+    assert traced_repl.cut_size == plain_repl.cut_size
+
+    def shape(solution):
+        return [
+            (b.device.name, sorted(b.cells), sorted(b.pads))
+            for b in solution.blocks
+        ]
+
+    assert shape(traced_kway) == shape(plain_kway), "tracing changed k-way carve"
+    assert traced_kway.cost.total_cost == plain_kway.cost.total_cost
+
+    # Price of one disabled hook: an attribute check plus a tally add.
+    null_registry = get_registry()
+    assert not null_registry.enabled
+    checks = 200_000
+    acc = 0
+    start = _time.perf_counter()
+    for _ in range(checks):
+        if null_registry.enabled:
+            acc += 1
+    per_check = (_time.perf_counter() - start) / checks
+
+    counters = registry.snapshot().get("counters", {})
+    hooks = (
+        counters.get("fm.moves", 0)
+        + counters.get("repl.moves.single", 0)
+        + counters.get("repl.moves.replicate", 0)
+        + counters.get("repl.moves.unreplicate", 0)
+        + counters.get("repl.sgain_updates", 0)
+        + 4 * (counters.get("fm.passes", 0) + counters.get("repl.passes", 0))
+        + 8 * (counters.get("fm.runs", 0) + counters.get("repl.runs", 0))
+        + 8 * counters.get("kway.candidates", 0)
+    )
+    solver_seconds = fm_sec + repl_sec + kway_sec
+    overhead = per_check * hooks / max(solver_seconds, 1e-9)
+    assert overhead < OBS_OVERHEAD_LIMIT, (
+        f"disabled-mode observability overhead {overhead:.2%} exceeds "
+        f"{OBS_OVERHEAD_LIMIT:.0%} ({hooks} hooks x {per_check * 1e9:.1f}ns "
+        f"over {solver_seconds:.3f}s of solver time)"
+    )
+    return {
+        "per_check_ns": round(per_check * 1e9, 2),
+        "hooks": hooks,
+        "solver_seconds": round(solver_seconds, 4),
+        "overhead_fraction": round(overhead, 6),
+        "limit": OBS_OVERHEAD_LIMIT,
+        "traced_identical": True,
+    }
+
+
 def run_bench(scale, circuits):
     per_circuit = {}
+    obs_entry = None
     for name in circuits:
         mapped = map_circuit(name, scale=scale)
         hg = build_hypergraph(mapped, include_terminals=False)
@@ -174,6 +268,15 @@ def run_bench(scale, circuits):
             "kway": _kway_section(mapped),
         }
         per_circuit[name] = entry
+        if obs_entry is None:
+            obs_entry = _obs_section(hg, mapped)
+            print(
+                f"{name:8s} obs: {obs_entry['hooks']} hooks x "
+                f"{obs_entry['per_check_ns']:.1f}ns = "
+                f"{100 * obs_entry['overhead_fraction']:.3f}% of "
+                f"{obs_entry['solver_seconds']:.2f}s (limit "
+                f"{100 * obs_entry['limit']:.0f}%), traced run identical"
+            )
         print(
             f"{name:8s} fm {entry['fm']['speedup']:5.2f}x  "
             f"repl {entry['replication']['speedup']:5.2f}x  "
@@ -181,12 +284,19 @@ def run_bench(scale, circuits):
             f"(fast {entry['kway']['fast_seconds']:.2f}s / "
             f"ref {entry['kway']['ref_seconds']:.2f}s)"
         )
-    return make_report(scale, per_circuit)
+    report = make_report(scale, per_circuit)
+    if obs_entry is not None:
+        report["obs"] = obs_entry
+    return report
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default=REPORT_NAME, help="report path")
+    parser.add_argument(
+        "--out",
+        default=default_report_path(),
+        help="report path (default: BENCH_partition.json at the repo root)",
+    )
     parser.add_argument(
         "--gate",
         action="store_true",

@@ -5,7 +5,14 @@ A from-scratch reproduction of R. Kuznar, F. Brglez and B. Zajc,
 Total Device Cost and Interconnect", 31st ACM/IEEE Design Automation
 Conference (DAC), 1994.
 
-Quick tour (see README.md for a worked example)::
+Quick tour -- :mod:`repro.api` is the recommended entry point::
+
+    from repro import api
+
+    result = api.partition("s5378", scale=0.5, threshold=1)
+    result.solution.cost.total_cost            # the paper's eq. (1) objective
+
+The lower-level building blocks remain exported for direct use::
 
     from repro import (
         benchmark_circuit, technology_map, build_hypergraph,
@@ -22,8 +29,9 @@ Sub-packages: ``repro.netlist`` (gate-level substrate), ``repro.techmap``
 (XC3000 mapping), ``repro.hypergraph``, ``repro.replication`` (the paper's
 cost model), ``repro.partition`` (FM / replication FM / k-way),
 ``repro.core`` (end-to-end flows), ``repro.robust`` (deadlines, retry,
-graceful degradation, fault injection), ``repro.experiments`` (one module
-per paper table/figure).
+graceful degradation, fault injection), ``repro.obs`` (metrics, tracing,
+JSONL event streams), ``repro.api`` (the stable facade),
+``repro.experiments`` (one module per paper table/figure).
 """
 
 from repro.netlist.benchmarks import (
@@ -77,6 +85,16 @@ from repro.robust import (
     VerificationError,
 )
 from repro.robust.runner import ResilientRunner, RunLog, RunnerConfig
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.events import JsonlEmitter, ListEmitter
+from repro import api
+from repro.api import SCHEMA_VERSION, RunResult
 
 __version__ = "1.0.0"
 
@@ -130,5 +148,15 @@ __all__ = [
     "ResilientRunner",
     "RunnerConfig",
     "RunLog",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "JsonlEmitter",
+    "ListEmitter",
+    "api",
+    "SCHEMA_VERSION",
+    "RunResult",
     "__version__",
 ]

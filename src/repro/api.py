@@ -1,0 +1,306 @@
+"""The stable, versioned entry point to the partitioning stack.
+
+``repro.api`` is the recommended way to drive the reproduction
+programmatically.  It wraps the end-to-end flows of :mod:`repro.core.flow`
+and the resilient orchestration of :mod:`repro.robust.runner` behind five
+verbs with one consistent parameter vocabulary::
+
+    from repro import api
+
+    result = api.partition("s5378", scale=0.5, threshold=1, seed=7)
+    result.solution.cost.total_cost      # the paper's eq. (1) objective
+    result.metrics                       # observability snapshot (if tracing)
+    result.run_log                       # orchestration log (if resilient)
+
+* :func:`load` -- resolve a benchmark name / ``.bench`` path / netlist;
+* :func:`map` -- technology-map a circuit into XC3000 CLBs;
+* :func:`bipartition` -- the paper's experiment 1 (Table III);
+* :func:`partition` -- the k-way heterogeneous flow (Tables IV-VII);
+* :func:`analyze` -- validate and summarize an observability trace.
+
+Every verb returns a :class:`RunResult` stamped with
+``schema_version`` so downstream consumers can detect shape changes.
+Passing any of ``deadline`` / ``max_retries`` / ``fallback`` to
+:func:`bipartition` or :func:`partition` routes the run through
+:class:`~repro.robust.runner.ResilientRunner` (deadline splitting, retry
+with seed perturbation, engine degradation, checkpointing) and attaches
+the :class:`~repro.robust.runner.RunLog` to the result.
+
+Parameter vocabulary, shared by every verb that accepts them:
+``circuit`` (name, path or object), ``scale``, ``seed``, ``algorithm``
+(``"fm+functional"`` | ``"fm+traditional"`` | ``"fm"``), ``jobs``,
+``deadline`` (seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, Optional, Union
+
+from repro.core.flow import (
+    bipartition_experiment,
+    kway_solution,
+    map_circuit,
+)
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.netlist.bench_io import load_bench
+from repro.netlist.netlist import Netlist
+from repro.obs.events import validate_jsonl_file
+from repro.obs.metrics import get_registry
+from repro.obs.summary import summarize_events
+from repro.partition.devices import DeviceLibrary
+from repro.robust.runner import ResilientRunner, RunLog
+from repro.techmap.mapped import MappedNetlist
+
+#: Version of the :class:`RunResult` shape.  Bumped on any breaking
+#: change to the dataclass fields or their meaning.
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class RunResult:
+    """Uniform envelope returned by every ``repro.api`` verb.
+
+    ``solution`` holds the verb's primary artifact (a
+    :class:`~repro.netlist.netlist.Netlist`, a
+    :class:`~repro.techmap.mapped.MappedNetlist`, a
+    :class:`~repro.core.results.BipartitionReport`, a
+    :class:`~repro.partition.kway.KWaySolution`, or the analyze verdict
+    dict).  ``run_log`` is populated only when the run went through the
+    resilient runner; ``metrics`` is the active observability registry's
+    snapshot (empty when tracing is disabled).
+    """
+
+    kind: str  # "load" | "map" | "bipartition" | "partition" | "analyze"
+    solution: Any
+    run_log: Optional[RunLog] = None
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    schema_version: int = SCHEMA_VERSION
+
+    @property
+    def ok(self) -> bool:
+        """True unless the solution itself reports a failure state."""
+        feasible = getattr(self.solution, "feasible", True)
+        truncated = getattr(self.solution, "truncated", False)
+        return bool(feasible) and not truncated
+
+
+def _metrics_snapshot() -> Dict[str, Any]:
+    reg = get_registry()
+    return reg.snapshot() if reg.enabled else {}
+
+
+def _wants_runner(
+    deadline: Optional[float],
+    max_retries: Optional[int],
+    fallback: Optional[bool],
+) -> bool:
+    return deadline is not None or max_retries is not None or fallback is not None
+
+
+def _make_runner(
+    deadline: Optional[float],
+    max_retries: Optional[int],
+    fallback: Optional[bool],
+) -> ResilientRunner:
+    return ResilientRunner(
+        deadline=deadline,
+        max_retries=2 if max_retries is None else max_retries,
+        fallback=True if fallback is None else fallback,
+    )
+
+
+def load(
+    circuit: Union[str, Netlist],
+    scale: float = 1.0,
+    seed: int = 1994,
+) -> RunResult:
+    """Resolve ``circuit`` into a gate-level netlist.
+
+    Accepts a benchmark name (see ``repro.BENCHMARK_NAMES``), a path to
+    an ISCAS ``.bench`` file, or an already-built
+    :class:`~repro.netlist.netlist.Netlist` (returned unchanged).
+    """
+    start = perf_counter()
+    if isinstance(circuit, Netlist):
+        netlist = circuit
+    elif circuit.endswith(".bench"):
+        netlist = load_bench(circuit)
+    else:
+        netlist = benchmark_circuit(circuit, scale=scale, seed=seed)
+    return RunResult(
+        kind="load",
+        solution=netlist,
+        metrics=_metrics_snapshot(),
+        elapsed_seconds=perf_counter() - start,
+    )
+
+
+def map(  # noqa: A001 - deliberate: api.map reads naturally at call sites
+    circuit: Union[str, Netlist, MappedNetlist],
+    scale: float = 1.0,
+    seed: int = 1994,
+) -> RunResult:
+    """Technology-map ``circuit`` into XC3000 CLBs."""
+    start = perf_counter()
+    if isinstance(circuit, MappedNetlist):
+        mapped = circuit
+    elif isinstance(circuit, Netlist):
+        mapped = map_circuit(circuit, scale=scale, seed=seed)
+    else:
+        mapped = map_circuit(
+            load(circuit, scale=scale, seed=seed).solution, scale=scale, seed=seed
+        )
+    return RunResult(
+        kind="map",
+        solution=mapped,
+        metrics=_metrics_snapshot(),
+        elapsed_seconds=perf_counter() - start,
+    )
+
+
+def bipartition(
+    circuit: Union[str, Netlist, MappedNetlist],
+    scale: float = 1.0,
+    seed: int = 0,
+    algorithm: str = "fm+functional",
+    runs: int = 20,
+    threshold: Union[int, float] = 0,
+    balance_tolerance: float = 0.02,
+    max_passes: int = 16,
+    max_growth: Optional[float] = None,
+    jobs: int = 1,
+    deadline: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    fallback: Optional[bool] = None,
+) -> RunResult:
+    """Experiment 1: ``runs`` equal-size min-cut bipartitionings.
+
+    With any of ``deadline`` / ``max_retries`` / ``fallback`` set, the
+    run goes through the resilient runner and ``run_log`` records every
+    attempt, degradation and checkpoint.
+    """
+    start = perf_counter()
+    mapped = map(circuit, scale=scale, seed=seed or 1994).solution
+    log: Optional[RunLog] = None
+    if _wants_runner(deadline, max_retries, fallback):
+        outcome = _make_runner(deadline, max_retries, fallback).bipartition(
+            mapped,
+            algorithm=algorithm,
+            runs=runs,
+            threshold=threshold,
+            seed=seed,
+            balance_tolerance=balance_tolerance,
+            max_passes=max_passes,
+            max_growth=max_growth,
+            jobs=jobs,
+        )
+        report, log = outcome.report, outcome.log
+    else:
+        report = bipartition_experiment(
+            mapped,
+            algorithm=algorithm,
+            runs=runs,
+            threshold=threshold,
+            seed=seed,
+            balance_tolerance=balance_tolerance,
+            max_passes=max_passes,
+            max_growth=max_growth,
+            jobs=jobs,
+        )
+    return RunResult(
+        kind="bipartition",
+        solution=report,
+        run_log=log,
+        metrics=_metrics_snapshot(),
+        elapsed_seconds=perf_counter() - start,
+    )
+
+
+def partition(
+    circuit: Union[str, Netlist, MappedNetlist],
+    scale: float = 1.0,
+    seed: int = 0,
+    algorithm: str = "fm+functional",
+    threshold: Union[int, float] = 1,
+    library: Optional[DeviceLibrary] = None,
+    n_solutions: int = 2,
+    seeds_per_carve: int = 3,
+    devices_per_carve: int = 3,
+    jobs: int = 1,
+    deadline: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    fallback: Optional[bool] = None,
+) -> RunResult:
+    """Experiment 2: k-way partitioning into heterogeneous devices.
+
+    ``threshold=float('inf')`` reproduces the no-replication DAC'93
+    baseline.  With any of ``deadline`` / ``max_retries`` / ``fallback``
+    set, the run goes through the resilient runner (verification gate,
+    retry, engine degradation) and ``run_log`` is attached.
+    """
+    start = perf_counter()
+    mapped = map(circuit, scale=scale, seed=seed or 1994).solution
+    log: Optional[RunLog] = None
+    if _wants_runner(deadline, max_retries, fallback):
+        outcome = _make_runner(deadline, max_retries, fallback).kway(
+            mapped,
+            threshold=threshold,
+            library=library,
+            algorithm=algorithm,
+            seed=seed,
+            seeds_per_carve=seeds_per_carve,
+            devices_per_carve=devices_per_carve,
+            jobs=jobs,
+        )
+        solution, log = outcome.solution, outcome.log
+    else:
+        solution = kway_solution(
+            mapped,
+            threshold=threshold,
+            library=library,
+            n_solutions=n_solutions,
+            seed=seed,
+            seeds_per_carve=seeds_per_carve,
+            algorithm=algorithm,
+            devices_per_carve=devices_per_carve,
+            jobs=jobs,
+        )
+    return RunResult(
+        kind="partition",
+        solution=solution,
+        run_log=log,
+        metrics=_metrics_snapshot(),
+        elapsed_seconds=perf_counter() - start,
+    )
+
+
+def analyze(metrics_path: str) -> RunResult:
+    """Validate a JSONL observability trace and summarize it.
+
+    ``solution`` is a dict with ``events`` (parsed event dicts),
+    ``problems`` (schema violations, empty for a conforming stream) and
+    ``summary`` (the human-readable report).
+    """
+    start = perf_counter()
+    events, problems = validate_jsonl_file(metrics_path)
+    summary = summarize_events(events) if events else ""
+    return RunResult(
+        kind="analyze",
+        solution={"events": events, "problems": problems, "summary": summary},
+        metrics=_metrics_snapshot(),
+        elapsed_seconds=perf_counter() - start,
+    )
+
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RunResult",
+    "load",
+    "map",
+    "bipartition",
+    "partition",
+    "analyze",
+]

@@ -12,9 +12,10 @@ experiment   Regenerate a paper table/figure (table1..table7, figure3).
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from repro.core.flow import bipartition_experiment, kway_experiment
 from repro.netlist.bench_io import load_bench
@@ -83,6 +84,44 @@ def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record metrics/spans/events for this run as JSONL "
+        "(see docs/OBSERVABILITY.md)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="JSONL trace destination (implies --trace; default trace.jsonl)",
+    )
+
+
+@contextlib.contextmanager
+def _observability(args: argparse.Namespace) -> Iterator[Optional[str]]:
+    """Install an enabled registry writing JSONL when tracing was requested.
+
+    Yields the trace path (``None`` when tracing is off) and guarantees the
+    final metric values are flushed and the file closed on the way out.
+    """
+    if not getattr(args, "trace", False) and getattr(args, "metrics_out", None) is None:
+        yield None
+        return
+    from repro.obs.events import JsonlEmitter
+    from repro.obs.metrics import MetricsRegistry, use_registry
+
+    path = args.metrics_out or "trace.jsonl"
+    registry = MetricsRegistry(enabled=True, emitter=JsonlEmitter(path))
+    registry.emit_meta()
+    try:
+        with use_registry(registry):
+            yield path
+    finally:
+        registry.close()
+
+
 def _resilient_runner(args: argparse.Namespace):
     """Build a ResilientRunner when any resilience flag was given, else None."""
     if args.deadline is None and args.max_retries is None and not args.no_fallback:
@@ -128,6 +167,14 @@ def _cmd_map(args: argparse.Namespace) -> int:
 
 
 def _cmd_bipartition(args: argparse.Namespace) -> int:
+    with _observability(args) as trace_path:
+        code = _run_bipartition(args)
+    if trace_path is not None:
+        print(f"trace written to {trace_path}", file=sys.stderr)
+    return code
+
+
+def _run_bipartition(args: argparse.Namespace) -> int:
     netlist = _resolve_circuit(args.circuit, args.scale, args.seed)
     mapped = technology_map(netlist)
     runner = _resilient_runner(args)
@@ -138,6 +185,7 @@ def _cmd_bipartition(args: argparse.Namespace) -> int:
             runs=args.runs,
             threshold=args.threshold,
             seed=args.seed,
+            jobs=args.jobs,
         )
         report = result.report
         if args.json:
@@ -174,12 +222,22 @@ def _cmd_bipartition(args: argparse.Namespace) -> int:
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
+    with _observability(args) as trace_path:
+        code = _run_partition(args)
+    if trace_path is not None:
+        print(f"trace written to {trace_path}", file=sys.stderr)
+    return code
+
+
+def _run_partition(args: argparse.Namespace) -> int:
     netlist = _resolve_circuit(args.circuit, args.scale, args.seed)
     mapped = technology_map(netlist)
     threshold = float("inf") if args.threshold == "inf" else float(args.threshold)
     runner = _resilient_runner(args)
     if runner is not None:
-        result = runner.kway(mapped, threshold=threshold, seed=args.seed)
+        result = runner.kway(
+            mapped, threshold=threshold, seed=args.seed, jobs=args.jobs
+        )
         solution = result.solution
         payload = solution.summary()
         payload["engine"] = result.engine
@@ -233,6 +291,10 @@ def _cmd_partition(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.metrics is not None:
+        return _analyze_metrics(args)
+    if args.circuit is None:
+        raise SystemExit("analyze: provide a circuit or --metrics PATH")
     from repro.hypergraph.build import build_hypergraph
     from repro.netlist.rent import fit_rent, rent_points
     from repro.replication.potential import cell_distribution
@@ -260,6 +322,29 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                   f"(coefficient {fit.coefficient:.2f}, "
                   f"{len(fit.points)} sample blocks)")
     return 0
+
+
+def _analyze_metrics(args: argparse.Namespace) -> int:
+    """Validate a JSONL observability trace and print a summary."""
+    from repro.obs.events import validate_jsonl_file
+    from repro.obs.summary import summarize_events
+
+    try:
+        events, problems = validate_jsonl_file(args.metrics)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.metrics!r}: {exc}") from exc
+    if args.json:
+        print(
+            json.dumps(
+                {"path": args.metrics, "events": len(events), "problems": problems},
+                indent=2,
+            )
+        )
+    else:
+        print(summarize_events(events) if events else "(empty trace)")
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+    return 0 if not problems else 1
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -316,6 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bi.add_argument("--threshold", type=int, default=0)
     _add_jobs_arg(p_bi)
     _add_resilience_args(p_bi)
+    _add_obs_args(p_bi)
     p_bi.set_defaults(func=_cmd_bipartition)
 
     p_kw = sub.add_parser("partition", help="heterogeneous k-way partitioning")
@@ -329,12 +415,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_arg(p_kw)
     _add_resilience_args(p_kw)
+    _add_obs_args(p_kw)
     p_kw.set_defaults(func=_cmd_partition)
 
     p_an = sub.add_parser(
-        "analyze", help="replication-potential distribution + Rent exponent"
+        "analyze",
+        help="replication-potential distribution + Rent exponent, "
+        "or validate an observability trace (--metrics)",
     )
-    _add_circuit_args(p_an)
+    p_an.add_argument(
+        "circuit", nargs="?", default=None, help="benchmark name or .bench file"
+    )
+    p_an.add_argument("--scale", type=float, default=1.0)
+    p_an.add_argument("--seed", type=int, default=1994)
+    p_an.add_argument("--json", action="store_true", help="machine-readable output")
+    p_an.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="validate and summarize a JSONL trace instead of a circuit",
+    )
     p_an.set_defaults(func=_cmd_analyze)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")

@@ -11,6 +11,7 @@
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Optional, Union
 
 from repro.core.results import BipartitionReport, KWayReport
@@ -33,6 +34,29 @@ from repro.techmap.mapped import MappedNetlist, technology_map
 
 #: Engines accepted by :func:`bipartition_experiment`, strongest first.
 BIPARTITION_ALGORITHMS = ("fm+functional", "fm+traditional", "fm")
+
+#: Canonical algorithm name -> replication style of the inner engine.
+_ALGORITHM_STYLE = {
+    "fm+functional": FUNCTIONAL,
+    "fm+traditional": TRADITIONAL,
+    "fm": NONE,
+}
+
+
+def _resolve_style(algorithm: str, style: Optional[str], caller: str) -> str:
+    """Map the canonical ``algorithm`` name to an engine style, honouring
+    the deprecated ``style=`` keyword when a caller still passes it."""
+    if style is not None:
+        warnings.warn(
+            f"{caller}(style=...) is deprecated; use "
+            "algorithm='fm+functional'|'fm+traditional'|'fm'",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return style
+    if algorithm not in _ALGORITHM_STYLE:
+        raise ConfigError(f"unknown algorithm {algorithm!r}")
+    return _ALGORITHM_STYLE[algorithm]
 
 
 def map_circuit(circuit: Union[str, Netlist], scale: float = 1.0, seed: int = 1994) -> MappedNetlist:
@@ -165,10 +189,11 @@ def kway_experiment(
     n_solutions: int = 2,
     seed: int = 0,
     seeds_per_carve: int = 3,
-    style: str = FUNCTIONAL,
+    algorithm: str = "fm+functional",
     devices_per_carve: int = 3,
     budget: Optional[Budget] = None,
     jobs: int = 1,
+    style: Optional[str] = None,
 ) -> KWayReport:
     """Experiment 2: one k-way heterogeneous partitioning data point.
 
@@ -177,13 +202,18 @@ def kway_experiment(
     the flow return its best (possibly truncated) solution at expiry.
     ``jobs > 1`` fans each carve level's candidate scan over a process
     pool (deterministic per seed).
+
+    ``algorithm`` takes the same names as :func:`bipartition_experiment`
+    (``"fm+functional"``, ``"fm+traditional"``, ``"fm"``); ``style=`` is
+    a deprecated alias taking raw engine styles.
     """
+    resolved = _resolve_style(algorithm, style, "kway_experiment")
     if threshold == float("inf"):
-        style = NONE
+        resolved = NONE
     config = KWayConfig(
         library=library or XC3000_LIBRARY,
         threshold=threshold,
-        style=style,
+        style=resolved,
         seed=seed,
         seeds_per_carve=seeds_per_carve,
         devices_per_carve=devices_per_carve,
@@ -216,19 +246,27 @@ def kway_solution(
     n_solutions: int = 2,
     seed: int = 0,
     seeds_per_carve: int = 3,
-    style: str = FUNCTIONAL,
+    algorithm: str = "fm+functional",
+    devices_per_carve: int = 3,
     budget: Optional[Budget] = None,
     jobs: int = 1,
+    style: Optional[str] = None,
 ) -> KWaySolution:
-    """Like :func:`kway_experiment` but returning the full solution object."""
+    """Like :func:`kway_experiment` but returning the full solution object.
+
+    ``style=`` is a deprecated alias of ``algorithm=`` taking raw engine
+    styles.
+    """
+    resolved = _resolve_style(algorithm, style, "kway_solution")
     if threshold == float("inf"):
-        style = NONE
+        resolved = NONE
     config = KWayConfig(
         library=library or XC3000_LIBRARY,
         threshold=threshold,
-        style=style,
+        style=resolved,
         seed=seed,
         seeds_per_carve=seeds_per_carve,
+        devices_per_carve=devices_per_carve,
         budget=budget,
         jobs=jobs,
     )

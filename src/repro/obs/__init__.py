@@ -1,0 +1,83 @@
+"""Observability: metrics, hierarchical tracing and JSONL event streams.
+
+``repro.obs`` is the process-local instrumentation layer threaded
+through the partitioning stack (FM passes, replication moves, k-way
+carve levels, resilient-runner decisions, process-pool workers):
+
+* :mod:`repro.obs.metrics` -- :class:`MetricsRegistry` with counters,
+  gauges and explicit-bucket histograms, plus snapshot/merge for
+  cross-process aggregation;
+* :mod:`repro.obs.trace` -- hierarchical ``span()`` timing (wall clock
+  via ``perf_counter``, optional ``process_time`` profiling);
+* :mod:`repro.obs.events` -- the ``repro-obs-events/1`` JSON-lines
+  schema, emitters and validators;
+* :mod:`repro.obs.summary` -- the human-readable rendering behind
+  ``repro-fpga analyze --metrics``.
+
+The default registry is **disabled**: every instrumentation site costs a
+single attribute check (``if reg.enabled:``), measured at well under the
+3% overhead gate in ``benchmarks/bench_fm_hot.py``.  Enable collection
+for a scope with::
+
+    from repro.obs import MetricsRegistry, use_registry
+
+    reg = MetricsRegistry(enabled=True)
+    with use_registry(reg):
+        partition_heterogeneous(mapped, config)
+    print(reg.snapshot()["counters"])
+
+or from the CLI with ``--trace`` / ``--metrics-out PATH``.  Tracing
+never changes solver results: the golden-equivalence tests run the
+engines bit-identical with tracing on.
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    EVENT_SCHEMA_NAME,
+    EVENT_SCHEMA_VERSION,
+    JsonlEmitter,
+    ListEmitter,
+    meta_event,
+    read_jsonl,
+    validate_event,
+    validate_events,
+    validate_jsonl_file,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.summary import summarize_events
+from repro.obs.trace import NULL_SPAN, Span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "Span",
+    "NULL_SPAN",
+    "EVENT_KINDS",
+    "EVENT_SCHEMA_NAME",
+    "EVENT_SCHEMA_VERSION",
+    "JsonlEmitter",
+    "ListEmitter",
+    "meta_event",
+    "read_jsonl",
+    "validate_event",
+    "validate_events",
+    "validate_jsonl_file",
+    "summarize_events",
+]

@@ -1,0 +1,333 @@
+"""Process-local metrics: counters, gauges, histograms, and the registry.
+
+Design constraints, in order:
+
+1. **Disabled mode is near-free.**  The default process-wide registry is
+   disabled; instrumented code follows the pattern::
+
+       reg = get_registry()
+       if reg.enabled:
+           ...  # allocate instruments, time things, record
+
+   so a disabled registry costs one attribute check at each
+   instrumentation site (the sites themselves sit at pass/run/carve
+   boundaries, never inside per-move loops).  ``reg.counter(...)`` on a
+   disabled registry returns a shared null instrument whose ``inc`` is a
+   no-op, so code that holds an instrument needs no further checks.
+2. **Snapshots merge.**  Worker processes build their own enabled
+   registries and ship :meth:`MetricsRegistry.snapshot` dicts back; the
+   parent folds them in with :meth:`MetricsRegistry.merge_snapshot`
+   (counters add, gauges last-write-wins, histograms merge bucket-wise).
+   This is how :mod:`repro.perf.parallel` aggregates per-worker metrics.
+3. **Everything serializes.**  :meth:`MetricsRegistry.flush_metrics`
+   emits final metric values to the attached JSONL emitter using the
+   schema of :mod:`repro.obs.events`.
+
+The active registry is managed with :func:`get_registry` /
+:func:`set_registry` / the :func:`use_registry` context manager; it is
+process-local (worker processes start with the disabled default).
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.obs.events import meta_event
+from repro.obs.trace import NULL_SPAN, Span, _NullSpan
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-value-wins numeric metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A distribution metric with explicit upper-bound buckets.
+
+    ``buckets`` are the finite upper bounds, in increasing order; one
+    implicit overflow bucket catches everything above the last bound.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, buckets: Sequence[float]) -> None:
+        bounds = tuple(buckets)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"histogram {name!r} buckets must be strictly increasing")
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def bucket_pairs(self) -> List[List[Any]]:
+        """``[upper_bound, count]`` pairs; the overflow bound is ``None``."""
+        return [[b, c] for b, c in zip(self.bounds, self.counts)] + [
+            [None, self.counts[-1]]
+        ]
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """A process-local bundle of metrics, trace state and an emitter.
+
+    ``enabled=False`` builds the null registry used as the process
+    default: every instrument accessor returns a shared no-op object and
+    :meth:`span` returns the shared null span, so instrumented code pays
+    one boolean attribute check and nothing else.
+
+    ``profile=True`` adds ``time.process_time`` deltas (``cpu_s``) to
+    finished spans -- the "profiling hooks" mode, a little dearer per
+    span but still cheap.
+    """
+
+    __slots__ = (
+        "enabled",
+        "profile",
+        "emitter",
+        "_counters",
+        "_gauges",
+        "_histograms",
+        "finished_spans",
+        "_span_stack",
+        "_next_span_id",
+    )
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        emitter: Optional[Any] = None,
+        profile: bool = False,
+    ) -> None:
+        self.enabled = enabled
+        self.profile = profile
+        self.emitter = emitter
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        #: Finished span records (dicts in event-schema shape), kept even
+        #: without an emitter so summaries work in-process.
+        self.finished_spans: List[Dict[str, Any]] = []
+        self._span_stack: List[Span] = []
+        self._next_span_id = 0
+
+    # -- instruments ----------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL_COUNTER  # type: ignore[return-value]
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL_GAUGE  # type: ignore[return-value]
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str, buckets: Sequence[float]) -> Histogram:
+        if not self.enabled:
+            return _NULL_HISTOGRAM  # type: ignore[return-value]
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name, buckets)
+        return h
+
+    # -- tracing --------------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> "Span | _NullSpan":
+        """A context manager timing a hierarchical trace span."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attrs)
+
+    # -- events ---------------------------------------------------------
+    def emit_event(self, name: str, **fields: Any) -> None:
+        """Emit an ad-hoc structured event (no-op when disabled)."""
+        if not self.enabled or self.emitter is None:
+            return
+        self.emitter.emit(
+            {
+                "v": 1,
+                "ts": time.time(),
+                "kind": "event",
+                "name": name,
+                "fields": fields,
+            }
+        )
+
+    def emit_meta(self) -> None:
+        """Write the stream header line (call once, first)."""
+        if self.enabled and self.emitter is not None:
+            self.emitter.emit(meta_event())
+
+    def flush_metrics(self) -> None:
+        """Emit every metric's final value to the emitter."""
+        if not self.enabled or self.emitter is None:
+            return
+        now = time.time()
+        for name in sorted(self._counters):
+            self.emitter.emit(
+                {"v": 1, "ts": now, "kind": "counter", "name": name,
+                 "value": self._counters[name].value}
+            )
+        for name in sorted(self._gauges):
+            self.emitter.emit(
+                {"v": 1, "ts": now, "kind": "gauge", "name": name,
+                 "value": self._gauges[name].value}
+            )
+        for name in sorted(self._histograms):
+            h = self._histograms[name]
+            self.emitter.emit(
+                {"v": 1, "ts": now, "kind": "histogram", "name": name,
+                 "count": h.count, "sum": h.sum, "min": h.min, "max": h.max,
+                 "buckets": h.bucket_pairs()}
+            )
+
+    # -- snapshots ------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A picklable dict of every metric's current value."""
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "histograms": {
+                n: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "sum": h.sum,
+                    "min": h.min,
+                    "max": h.max,
+                }
+                for n, h in self._histograms.items()
+            },
+        }
+
+    def merge_snapshot(self, snap: Dict[str, Any]) -> None:
+        """Fold a worker snapshot into this registry.
+
+        Counters add, gauges take the snapshot's value, histograms merge
+        bucket-wise (bucket bounds must match an existing histogram of
+        the same name, else the snapshot's bounds are adopted).
+        """
+        if not self.enabled or not snap:
+            return
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snap.get("histograms", {}).items():
+            h = self.histogram(name, data["bounds"])
+            if list(h.bounds) != list(data["bounds"]):
+                raise ValueError(
+                    f"histogram {name!r} bucket bounds differ between "
+                    "registry and snapshot"
+                )
+            for i, c in enumerate(data["counts"]):
+                h.counts[i] += c
+            h.count += data["count"]
+            h.sum += data["sum"]
+            for bound_field, pick in (("min", min), ("max", max)):
+                other = data.get(bound_field)
+                if other is None:
+                    continue
+                mine = getattr(h, bound_field)
+                setattr(h, bound_field, other if mine is None else pick(mine, other))
+
+    def close(self) -> None:
+        """Flush metrics and close the emitter, if any."""
+        self.flush_metrics()
+        if self.emitter is not None:
+            self.emitter.close()
+
+
+#: The always-disabled registry every process starts with.
+NULL_REGISTRY = MetricsRegistry(enabled=False)
+
+_ACTIVE: MetricsRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-local active registry (the disabled default, usually)."""
+    return _ACTIVE
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install ``registry`` (``None`` restores the disabled default)."""
+    global _ACTIVE
+    _ACTIVE = registry if registry is not None else NULL_REGISTRY
+    return _ACTIVE
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scoped :func:`set_registry`: restores the previous registry on exit."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry
+    try:
+        yield registry
+    finally:
+        _ACTIVE = previous

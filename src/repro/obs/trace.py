@@ -1,0 +1,103 @@
+"""Hierarchical trace spans.
+
+A :class:`Span` is a context manager that times a region with
+``time.perf_counter`` (and ``time.process_time`` in profiling mode),
+tracks nesting through the owning registry's span stack, and -- on exit
+-- appends a schema-shaped record to ``registry.finished_spans`` and
+emits it to the registry's JSONL emitter when one is attached.
+
+Spans are created through :meth:`repro.obs.metrics.MetricsRegistry.span`;
+on a disabled registry that returns the shared :data:`NULL_SPAN`, whose
+enter/exit do nothing, so disabled-mode tracing allocates nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+
+class _NullSpan:
+    """Shared no-op span returned by disabled registries (reentrant)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed region of a trace; nest freely via ``with`` blocks."""
+
+    __slots__ = (
+        "registry",
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "depth",
+        "_wall_start",
+        "_perf_start",
+        "_cpu_start",
+    )
+
+    def __init__(self, registry: Any, name: str, attrs: Dict[str, Any]) -> None:
+        self.registry = registry
+        self.name = name
+        self.attrs = attrs
+        self.span_id = -1
+        self.parent_id: Optional[int] = None
+        self.depth = 0
+        self._wall_start = 0.0
+        self._perf_start = 0.0
+        self._cpu_start = 0.0
+
+    def __enter__(self) -> "Span":
+        reg = self.registry
+        stack = reg._span_stack
+        self.span_id = reg._next_span_id
+        reg._next_span_id += 1
+        if stack:
+            self.parent_id = stack[-1].span_id
+            self.depth = stack[-1].depth + 1
+        stack.append(self)
+        self._wall_start = time.time()
+        if reg.profile:
+            self._cpu_start = time.process_time()
+        self._perf_start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        dur = time.perf_counter() - self._perf_start
+        reg = self.registry
+        record: Dict[str, Any] = {
+            "v": 1,
+            "ts": self._wall_start,
+            "kind": "span",
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "depth": self.depth,
+            "dur_s": dur,
+            "attrs": self.attrs,
+        }
+        if reg.profile:
+            record["cpu_s"] = time.process_time() - self._cpu_start
+        stack = reg._span_stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        else:  # defensive: unbalanced exits must not corrupt the stack
+            try:
+                stack.remove(self)
+            except ValueError:
+                pass
+        reg.finished_spans.append(record)
+        if reg.emitter is not None:
+            reg.emitter.emit(record)
+        return False

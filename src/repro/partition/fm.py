@@ -36,17 +36,22 @@ from __future__ import annotations
 
 import heapq
 import random
+import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.hypergraph.compact import CompactHypergraph
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.obs.metrics import get_registry
 from repro.robust import faults
 from repro.robust.budget import Budget
 
 #: How many accepted moves between budget polls inside a pass; keeps the
 #: cooperative deadline check off the per-move hot path.
 _BUDGET_POLL_MOVES = 128
+
+#: Upper bounds for the ``fm.pass_seconds`` histogram.
+_PASS_SECONDS_BUCKETS = (0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0)
 
 
 @dataclass
@@ -179,6 +184,9 @@ class _FMState:
             self.hi0 = min(self.total_weight, int(half + 0.5) + slack)
 
         self.locked = [False] * n_nodes
+        # Observability tallies, written only at pass boundaries.
+        self.moves_total = 0
+        self.thaws_total = 0
         self.fixed_set = set(config.fixed)
         self.movable = [i for i in range(n_nodes) if i not in self.fixed_set]
         self.stamp = [0] * n_nodes
@@ -394,15 +402,13 @@ def fm_bipartition(
     faults.maybe_fire("fm.run", seed=config.seed)
     state = _FMState(hg, config, initial, compact)
     initial_cut = state.cut_size()
-    pass_gains: List[int] = []
 
-    for _ in range(config.max_passes):
-        if config.budget is not None and config.budget.expired:
-            break
-        gain_of_pass = _run_pass(state)
-        pass_gains.append(gain_of_pass)
-        if gain_of_pass <= 0:
-            break
+    reg = get_registry()
+    if reg.enabled:
+        with reg.span("fm.run", seed=config.seed, nodes=state.compact.n_nodes):
+            pass_gains = _run_passes(state, config, reg)
+    else:
+        pass_gains = _run_passes(state, config, None)
 
     return FMResult(
         assignment=list(state.side),
@@ -411,6 +417,33 @@ def fm_bipartition(
         passes=len(pass_gains),
         pass_gains=pass_gains,
     )
+
+
+def _run_passes(state: _FMState, config: FMConfig, reg) -> List[int]:
+    """The pass loop, with per-pass timing when a registry is active."""
+    pass_gains: List[int] = []
+    hist = reg.histogram("fm.pass_seconds", _PASS_SECONDS_BUCKETS) if reg else None
+    moves0, thaws0 = state.moves_total, state.thaws_total
+
+    for _ in range(config.max_passes):
+        if config.budget is not None and config.budget.expired:
+            break
+        if hist is not None:
+            t0 = time.perf_counter()
+            gain_of_pass = _run_pass(state)
+            hist.observe(time.perf_counter() - t0)
+        else:
+            gain_of_pass = _run_pass(state)
+        pass_gains.append(gain_of_pass)
+        if gain_of_pass <= 0:
+            break
+
+    if reg is not None:
+        reg.counter("fm.runs").inc()
+        reg.counter("fm.passes").inc(len(pass_gains))
+        reg.counter("fm.moves").inc(state.moves_total - moves0)
+        reg.counter("fm.thaws").inc(state.thaws_total - thaws0)
+    return pass_gains
 
 
 def _run_pass(state: _FMState) -> int:
@@ -579,9 +612,11 @@ def _run_pass(state: _FMState) -> int:
                     node_idx = entry[2]
                     if not locked[node_idx] and entry[3] == stamps[node_idx]:
                         buckets[sel].push(entry[0], entry[1], node_idx, entry[3])
+                        state.thaws_total += 1
                 thawed.clear()
 
     state._push_counter = pc
+    state.moves_total += n_moves
     if moves:
         state._gains_dirty = True
     # Roll back to the best prefix (counts-only; gains re-derived next pass).

@@ -28,10 +28,12 @@ from __future__ import annotations
 
 import heapq
 import random
+import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.obs.metrics import get_registry
 from repro.replication.gains import MoveVectors
 from repro.replication.potential import node_potential
 from repro.robust import faults
@@ -45,6 +47,9 @@ NONE = "none"
 
 #: How many committed moves between budget polls inside a pass.
 _BUDGET_POLL_MOVES = 128
+
+#: Upper bounds for the ``repl.pass_seconds`` histogram.
+_PASS_SECONDS_BUCKETS = (0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0)
 
 # Move kinds (internal).
 _MOVE = 0
@@ -321,6 +326,15 @@ class ReplicationEngine:
         self.stamp = [0] * n_nodes
         self._push_counter = 0
         self._moves_only = False
+
+        # Observability tallies: committed moves by kind, sgain-maintenance
+        # work.  Accumulated unconditionally (cheap: one add per commit /
+        # recompute), read at run boundaries by :meth:`run`.
+        self.n_single_moves = 0
+        self.n_replicates = 0
+        self.n_unreplicates = 0
+        self.n_sgain_updates = 0
+        self.n_sgain_recomputes = 0
 
         # Maintained single-move gains: while a pass runs, ``sgain[v]`` is
         # the exact cut gain of moving an *unreplicated, unlocked* node v
@@ -727,6 +741,7 @@ class ReplicationEngine:
             sgain, side, rep, locked = self.sgain, self.side, self.rep, self.locked
             net_nodes, net_counts = self.net_nodes, self.net_node_counts
             net_maxk = self.net_maxk
+        nupd = 0
         touched: List[int] = []
         append = touched.append
         for net, k in self.all_pins[v]:
@@ -770,7 +785,9 @@ class ReplicationEngine:
                         ca = (1 if ac else 0) - (1 if as_ > k_u else 0)
                         if ca != cb:
                             sgain[u] += ca - cb
+                            nupd += 1
         self._cut = cut
+        self.n_sgain_updates += nupd
         if s != new_side:
             w_v = self.weights[v]
             self.sizes[s] -= w_v
@@ -793,6 +810,7 @@ class ReplicationEngine:
             sgain, side, rep, locked = self.sgain, self.side, self.rep, self.locked
             net_nodes, net_counts = self.net_nodes, self.net_node_counts
             net_maxk = self.net_maxk
+        nupd = 0
         for net in touched:
             c = counts[net]
             sp = split[net]
@@ -846,7 +864,9 @@ class ReplicationEngine:
                         )
                         if ca != cb:
                             sgain[u] += ca - cb
+                            nupd += 1
         self._cut = cut
+        self.n_sgain_updates += nupd
         old_w = self._state_weight(v, self.rep[v])
         self.side[v] = new_side
         self.rep[v] = new_rep
@@ -941,6 +961,7 @@ class ReplicationEngine:
                 if a0 > 0 and a1 > 0:
                     g -= 1
             sgain[v] = g
+        self.n_sgain_recomputes += 1
 
     def best_move(self, v: int) -> Optional[Tuple[int, int, Optional[Tuple[int, int]]]]:
         """Highest-gain legal move of ``v``; ties resolve in candidate order
@@ -1077,6 +1098,7 @@ class ReplicationEngine:
         cumulative = 0
         best_gain = 0
         best_index = 0
+        n_single = n_repl = n_unrep = 0
 
         while heap:
             entry = heappop(heap)
@@ -1117,9 +1139,16 @@ class ReplicationEngine:
                     )
                 continue
 
-            undo.append((v, side[v], rep[v]))
+            old_rep = rep[v]
+            undo.append((v, side[v], old_rep))
             changed = set_state(v, new_side, new_rep)
             locked[v] = True
+            if new_rep is not None:
+                n_repl += 1
+            elif old_rep is not None:
+                n_unrep += 1
+            else:
+                n_single += 1
             cumulative += gain
             if cumulative > best_gain:
                 best_gain = cumulative
@@ -1164,6 +1193,9 @@ class ReplicationEngine:
 
         self._push_counter = pc
         self._maintain_sgain = False  # rollback needs no gain upkeep
+        self.n_single_moves += n_single
+        self.n_replicates += n_repl
+        self.n_unreplicates += n_unrep
         for v, old_side, old_rep in reversed(undo[best_index:]):
             set_state(v, old_side, old_rep)
         return best_gain
@@ -1172,16 +1204,49 @@ class ReplicationEngine:
         faults.maybe_fire(
             "engine.run", style=self.config.style, seed=self.config.seed
         )
+        reg = get_registry()
+        if reg.enabled:
+            with reg.span(
+                "repl.run",
+                seed=self.config.seed,
+                style=self.config.style,
+                nodes=len(self.hg.nodes),
+            ):
+                return self._run_inner(reg)
+        return self._run_inner(None)
+
+    def _run_inner(self, reg) -> ReplicationResult:
         budget = self.config.budget
         initial_cut = self.cut_size()
         pass_gains: List[int] = []
+        hist = (
+            reg.histogram("repl.pass_seconds", _PASS_SECONDS_BUCKETS)
+            if reg
+            else None
+        )
+        base = (
+            self.n_single_moves,
+            self.n_replicates,
+            self.n_unreplicates,
+            self.n_sgain_updates,
+            self.n_sgain_recomputes,
+        )
+
+        def one_pass() -> int:
+            if hist is None:
+                return self.run_pass()
+            t0 = time.perf_counter()
+            gain = self.run_pass()
+            hist.observe(time.perf_counter() - t0)
+            return gain
+
         replication_on = self.config.style != NONE
         if replication_on and self.config.warm_start_moves_only:
             self._moves_only = True
             for _ in range(self.config.max_passes):
                 if budget is not None and budget.expired:
                     break
-                gain = self.run_pass()
+                gain = one_pass()
                 pass_gains.append(gain)
                 if gain <= 0:
                     break
@@ -1189,10 +1254,23 @@ class ReplicationEngine:
         for _ in range(self.config.max_passes):
             if budget is not None and budget.expired:
                 break
-            gain = self.run_pass()
+            gain = one_pass()
             pass_gains.append(gain)
             if gain <= 0:
                 break
+
+        if reg is not None:
+            reg.counter("repl.runs").inc()
+            reg.counter("repl.passes").inc(len(pass_gains))
+            reg.counter("repl.moves.single").inc(self.n_single_moves - base[0])
+            reg.counter("repl.moves.replicate").inc(self.n_replicates - base[1])
+            reg.counter("repl.moves.unreplicate").inc(
+                self.n_unreplicates - base[2]
+            )
+            reg.counter("repl.sgain_updates").inc(self.n_sgain_updates - base[3])
+            reg.counter("repl.sgain_recomputes").inc(
+                self.n_sgain_recomputes - base[4]
+            )
         return ReplicationResult(
             sides=list(self.side),
             replicas=self.replicas(),

@@ -27,6 +27,8 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.hypergraph.hypergraph import Hypergraph, NodeKind
+from repro.obs.metrics import get_registry
+from repro.obs.trace import NULL_SPAN
 from repro.partition.cost import SolutionCost, solution_cost
 from repro.partition.devices import Device, DeviceLibrary, XC3000_LIBRARY
 from repro.partition.fm_replication import (
@@ -442,6 +444,9 @@ def _scan_carve_candidates(
     best: Optional[Tuple[Tuple, Device, _CarveOutcome]] = None
     fallback: Optional[Tuple[Tuple, Device, _CarveOutcome]] = None
     out_of_time = False
+    reg = get_registry()
+    n_bands = 0
+    n_cand = 0
 
     def consider(outcome: Optional[_CarveOutcome]) -> None:
         nonlocal best, fallback
@@ -487,6 +492,8 @@ def _scan_carve_candidates(
                         continue
                     for _ in range(config.seeds_per_carve):
                         plan.append((di, rng.randrange(1 << 30), lo0, hi0))
+                n_bands += 1
+                n_cand += len(plan)
                 for outcome in pool.evaluate(plan):
                     consider(outcome)
                 if best is not None:
@@ -494,6 +501,7 @@ def _scan_carve_candidates(
     else:
         tables: Optional[ReplicationTables] = None
         for fill in config.carve_fill_levels:
+            n_bands += 1
             for di, device in enumerate(candidates):
                 hi0 = min(device.max_clbs, clbs - 1)
                 lo0 = max(1, device.min_clbs, int(fill * hi0))
@@ -523,11 +531,15 @@ def _scan_carve_candidates(
                             tables = ReplicationTables(hg)
                         engine = ReplicationEngine(hg, rcfg, tables=tables)
                     engine.run()
+                    n_cand += 1
                     consider(_engine_outcome(engine, pseudo, di))
                 if out_of_time:
                     break
             if best is not None or out_of_time:
                 break  # highest workable fill band wins
+    if reg.enabled:
+        reg.counter("kway.fill_bands").inc(n_bands)
+        reg.counter("kway.candidates").inc(n_cand)
     chosen = best or fallback
     if chosen is None:
         return None, out_of_time
@@ -545,6 +557,24 @@ def partition_heterogeneous(
 ) -> KWaySolution:
     """Partition a mapped netlist into heterogeneous devices (eqs. 1-2)."""
     config = config or KWayConfig()
+    reg = get_registry()
+    if reg.enabled:
+        with reg.span(
+            "kway.partition",
+            circuit=mapped.name,
+            style=config.style,
+            threshold=str(config.threshold),
+            seed=config.seed,
+        ):
+            return _partition_heterogeneous(mapped, config, reg)
+    return _partition_heterogeneous(mapped, config, None)
+
+
+def _partition_heterogeneous(
+    mapped: MappedNetlist,
+    config: KWayConfig,
+    reg,
+) -> KWaySolution:
     library = config.library
     rng = random.Random(config.seed)
 
@@ -596,14 +626,34 @@ def partition_heterogeneous(
                     cell_outputs=[list(c.outputs) for c in cells],
                 )
             )
+            if reg is not None:
+                reg.counter("kway.carve_levels").inc()
+                reg.emit_event(
+                    "kway.final_block",
+                    level=len(blocks) - 1,
+                    device=final_dev.name,
+                    clbs=clbs,
+                    truncated=truncated,
+                )
             break
 
         # ---- evaluate carve candidates ---------------------------------
         candidates = _candidate_devices(library, clbs, config.devices_per_carve)
         hg, fixed, pseudo = _build_hg(cells, terms, carved_nets)
-        chosen_pair = _scan_carve_candidates(
-            hg, fixed, pseudo, candidates, clbs, config, rng
+        carve_span = (
+            reg.span(
+                "kway.carve",
+                level=len(blocks),
+                clbs=clbs,
+                candidates=len(candidates),
+            )
+            if reg is not None
+            else NULL_SPAN
         )
+        with carve_span:
+            chosen_pair = _scan_carve_candidates(
+                hg, fixed, pseudo, candidates, clbs, config, rng
+            )
         chosen, out_of_time = chosen_pair
         if chosen is None:
             if out_of_time:
@@ -677,6 +727,17 @@ def partition_heterogeneous(
         carved_nets |= block_nets
         cells = new_cells
         terms = new_terms
+        if reg is not None:
+            reg.counter("kway.carve_levels").inc()
+            reg.emit_event(
+                "kway.carve_committed",
+                level=len(blocks) - 1,
+                device=device.name,
+                clbs0=outcome.clbs0,
+                terminals=outcome.t0,
+                cut=outcome.cut,
+                replicated=outcome.n_rep,
+            )
 
     return _finalize(mapped.name, blocks, n_original, truncated=truncated)
 

@@ -18,6 +18,7 @@ equivalent to gating machine-speed-corrected wall-clock:
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -25,8 +26,27 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 #: Default allowed relative slowdown before the perf gate fails.
 DEFAULT_THRESHOLD = 0.30
 
-#: Default report filename (written to the working directory by the bench).
+#: Default report filename.
 REPORT_NAME = "BENCH_partition.json"
+
+
+def default_report_path(anchor: Optional[str] = None) -> str:
+    """Default destination for ``BENCH_partition.json``: the repo root.
+
+    Walks up from ``anchor`` (default: this file) looking for
+    ``pyproject.toml`` so the report lands in a predictable place no
+    matter where the bench was launched from; falls back to the current
+    working directory when no project root is found.
+    """
+    here = os.path.dirname(os.path.abspath(anchor or __file__))
+    probe = here
+    while True:
+        if os.path.isfile(os.path.join(probe, "pyproject.toml")):
+            return os.path.join(probe, REPORT_NAME)
+        parent = os.path.dirname(probe)
+        if parent == probe:
+            return os.path.join(os.getcwd(), REPORT_NAME)
+        probe = parent
 
 
 def time_call(fn: Callable[[], Any]) -> Tuple[float, Any]:

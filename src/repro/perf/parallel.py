@@ -64,29 +64,80 @@ def _rebuild_budget(
 
 
 # ---------------------------------------------------------------------------
+# Per-worker metric aggregation
+# ---------------------------------------------------------------------------
+#
+# Worker processes start with the disabled default registry, so solver
+# metrics recorded inside a worker would be lost.  When the *parent's*
+# registry is enabled at dispatch, each task runs under a fresh enabled
+# worker-local registry and ships its picklable snapshot back with the
+# result; the parent folds the snapshots into its active registry in
+# submission order (counters add, gauges last-write-wins, histograms
+# bucket-wise), so ``jobs=N`` metrics match ``jobs=1`` up to span records
+# (worker spans stay in the worker; only metric values travel).
+
+
+def _parent_obs_enabled() -> bool:
+    from repro.obs.metrics import get_registry
+
+    return get_registry().enabled
+
+
+def _call_with_obs(obs_on: bool, fn):
+    """Run ``fn`` in a worker; returns ``(result, snapshot-or-None)``."""
+    if not obs_on:
+        return fn(), None
+    from repro.obs.metrics import MetricsRegistry, use_registry
+
+    reg = MetricsRegistry(enabled=True)
+    with use_registry(reg):
+        result = fn()
+    return result, reg.snapshot()
+
+
+def _merge_worker_pairs(pairs: List[Tuple[Any, Optional[Dict[str, Any]]]]) -> List[Any]:
+    """Unwrap ``(result, snapshot)`` pairs, folding snapshots into the
+    parent's active registry in submission order."""
+    from repro.obs.metrics import get_registry
+
+    reg = get_registry()
+    merge = reg.enabled
+    results: List[Any] = []
+    for result, snap in pairs:
+        results.append(result)
+        if merge and snap:
+            reg.merge_snapshot(snap)
+    if merge:
+        reg.counter("parallel.tasks").inc(len(results))
+    return results
+
+
+# ---------------------------------------------------------------------------
 # FM multi-start
 # ---------------------------------------------------------------------------
 
-_FM_CTX: Optional[Tuple[Any, Any, Any, Optional[float], bool, bool]] = None
+_FM_CTX: Optional[Tuple[Any, Any, Any, Optional[float], bool, bool, bool]] = None
 
 
-def _fm_init(hg, base_config, remaining, graceful, limited) -> None:
+def _fm_init(hg, base_config, remaining, graceful, limited, obs_on) -> None:
     from repro.hypergraph.compact import CompactHypergraph
 
     global _FM_CTX
     compact = CompactHypergraph.from_hypergraph(hg)
-    _FM_CTX = (hg, compact, base_config, remaining, graceful, limited)
+    _FM_CTX = (hg, compact, base_config, remaining, graceful, limited, obs_on)
 
 
 def _fm_task(seed: int):
     from repro.partition.fm import fm_bipartition
 
     assert _FM_CTX is not None
-    hg, compact, base, remaining, graceful, limited = _FM_CTX
+    hg, compact, base, remaining, graceful, limited, obs_on = _FM_CTX
     config = replace(
         base, seed=seed, budget=_rebuild_budget(remaining, graceful, limited)
     )
-    return fm_bipartition(hg, config, compact=compact)
+    return _call_with_obs(
+        obs_on, lambda: fm_bipartition(hg, config, compact=compact)
+    )
 
 
 def parallel_fm_results(hg, base_config, seeds: Sequence[int], jobs: int) -> List[Any]:
@@ -98,9 +149,9 @@ def parallel_fm_results(hg, base_config, seeds: Sequence[int], jobs: int) -> Lis
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_fm_init,
-        initargs=(hg, ship, remaining, graceful, limited),
+        initargs=(hg, ship, remaining, graceful, limited, _parent_obs_enabled()),
     ) as ex:
-        return list(ex.map(_fm_task, seeds))
+        return _merge_worker_pairs(list(ex.map(_fm_task, seeds)))
 
 
 def parallel_best_of_runs_fm(hg, runs: int, base_config, jobs: int):
@@ -125,26 +176,28 @@ def parallel_best_of_runs_fm(hg, runs: int, base_config, jobs: int):
 # Replication multi-start
 # ---------------------------------------------------------------------------
 
-_REPL_CTX: Optional[Tuple[Any, Any, Any, Optional[float], bool, bool]] = None
+_REPL_CTX: Optional[Tuple[Any, Any, Any, Optional[float], bool, bool, bool]] = None
 
 
-def _repl_init(hg, base_config, remaining, graceful, limited) -> None:
+def _repl_init(hg, base_config, remaining, graceful, limited, obs_on) -> None:
     from repro.partition.fm_replication import ReplicationTables
 
     global _REPL_CTX
     tables = ReplicationTables(hg)
-    _REPL_CTX = (hg, tables, base_config, remaining, graceful, limited)
+    _REPL_CTX = (hg, tables, base_config, remaining, graceful, limited, obs_on)
 
 
 def _repl_task(seed: int):
     from repro.partition.fm_replication import replication_bipartition
 
     assert _REPL_CTX is not None
-    hg, tables, base, remaining, graceful, limited = _REPL_CTX
+    hg, tables, base, remaining, graceful, limited, obs_on = _REPL_CTX
     config = replace(
         base, seed=seed, budget=_rebuild_budget(remaining, graceful, limited)
     )
-    return replication_bipartition(hg, config, tables=tables)
+    return _call_with_obs(
+        obs_on, lambda: replication_bipartition(hg, config, tables=tables)
+    )
 
 
 def parallel_replication_results(
@@ -158,9 +211,9 @@ def parallel_replication_results(
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_repl_init,
-        initargs=(hg, ship, remaining, graceful, limited),
+        initargs=(hg, ship, remaining, graceful, limited, _parent_obs_enabled()),
     ) as ex:
-        return list(ex.map(_repl_task, seeds))
+        return _merge_worker_pairs(list(ex.map(_repl_task, seeds)))
 
 
 def parallel_best_of_runs_replication(hg, runs: int, base_config, jobs: int):
@@ -183,16 +236,18 @@ def parallel_best_of_runs_replication(hg, runs: int, base_config, jobs: int):
 # ---------------------------------------------------------------------------
 
 _CARVE_CTX: Optional[
-    Tuple[Any, Any, frozenset, Dict[str, Any], Optional[float], bool, bool]
+    Tuple[Any, Any, frozenset, Dict[str, Any], Optional[float], bool, bool, bool]
 ] = None
 
 
-def _carve_init(hg, pseudo, proto, remaining, graceful, limited) -> None:
+def _carve_init(hg, pseudo, proto, remaining, graceful, limited, obs_on) -> None:
     from repro.partition.fm_replication import ReplicationTables
 
     global _CARVE_CTX
     tables = ReplicationTables(hg)
-    _CARVE_CTX = (hg, tables, frozenset(pseudo), proto, remaining, graceful, limited)
+    _CARVE_CTX = (
+        hg, tables, frozenset(pseudo), proto, remaining, graceful, limited, obs_on,
+    )
 
 
 def _carve_task(task: Tuple[int, int, int, int]):
@@ -200,7 +255,7 @@ def _carve_task(task: Tuple[int, int, int, int]):
     from repro.partition.kway import _engine_outcome
 
     assert _CARVE_CTX is not None
-    hg, tables, pseudo, proto, remaining, graceful, limited = _CARVE_CTX
+    hg, tables, pseudo, proto, remaining, graceful, limited, obs_on = _CARVE_CTX
     device_index, seed, lo0, hi0 = task
     config = ReplicationConfig(
         seed=seed,
@@ -208,9 +263,13 @@ def _carve_task(task: Tuple[int, int, int, int]):
         budget=_rebuild_budget(remaining, graceful, limited),
         **proto,
     )
-    engine = ReplicationEngine(hg, config, tables=tables)
-    engine.run()
-    return _engine_outcome(engine, pseudo, device_index)
+
+    def run():
+        engine = ReplicationEngine(hg, config, tables=tables)
+        engine.run()
+        return _engine_outcome(engine, pseudo, device_index)
+
+    return _call_with_obs(obs_on, run)
 
 
 class CarveBandPool:
@@ -236,11 +295,14 @@ class CarveBandPool:
         self._ex = ProcessPoolExecutor(
             max_workers=resolve_jobs(jobs),
             initializer=_carve_init,
-            initargs=(hg, tuple(pseudo), proto, remaining, graceful, budget is not None),
+            initargs=(
+                hg, tuple(pseudo), proto, remaining, graceful,
+                budget is not None, _parent_obs_enabled(),
+            ),
         )
 
     def evaluate(self, plan: Sequence[Tuple[int, int, int, int]]) -> List[Any]:
-        return list(self._ex.map(_carve_task, plan))
+        return _merge_worker_pairs(list(self._ex.map(_carve_task, plan)))
 
     def close(self) -> None:
         self._ex.shutdown(wait=False, cancel_futures=True)

@@ -31,10 +31,12 @@ from __future__ import annotations
 
 import math
 import time
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.results import BipartitionReport
+from repro.obs.metrics import get_registry
 from repro.partition.devices import DeviceLibrary, XC3000_LIBRARY
 from repro.partition.fm_replication import FUNCTIONAL, NONE, TRADITIONAL
 from repro.partition.kway import KWayConfig, KWaySolution, partition_heterogeneous
@@ -113,6 +115,12 @@ class RunLog:
 
     def record(self, event: RunEvent) -> RunEvent:
         self.events.append(event)
+        reg = get_registry()
+        if reg.enabled:
+            # Mirror every orchestration decision into the observability
+            # stream so traces line up with the runner's own log.
+            reg.counter(f"runner.{event.kind}").inc()
+            reg.emit_event(f"runner.{event.kind}", **event.as_dict())
         return event
 
     # -- queries used by callers and tests -----------------------------
@@ -267,11 +275,13 @@ class ResilientRunner:
         mapped: MappedNetlist,
         threshold: float = 1,
         library: Optional[DeviceLibrary] = None,
-        engine: str = "fm+functional",
+        algorithm: str = "fm+functional",
         seed: int = 0,
         seeds_per_carve: int = 3,
         devices_per_carve: int = 3,
         max_passes: int = 12,
+        jobs: int = 1,
+        engine: Optional[str] = None,
     ) -> KWayRunResult:
         """Resilient heterogeneous k-way partitioning.
 
@@ -280,11 +290,21 @@ class ResilientRunner:
         the :class:`RunLog`; raises
         :class:`~repro.robust.errors.BudgetExceededError` only when
         every attempt failed and no checkpoint exists.
+
+        ``engine=`` is a deprecated alias of ``algorithm=``.
         """
+        if engine is not None:
+            warnings.warn(
+                "ResilientRunner.kway(engine=...) is deprecated; "
+                "use algorithm=...",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            algorithm = engine
         cfg = self.config
         total = Budget(cfg.deadline, clock=cfg.clock)
         log = RunLog()
-        cascade = engine_cascade(engine, cfg.fallback)
+        cascade = engine_cascade(algorithm, cfg.fallback)
         attempts_per_rung = 1 + cfg.max_retries
         planned = attempts_per_rung * len(cascade)
         done = 0
@@ -329,6 +349,7 @@ class ResilientRunner:
                         devices_per_carve=devices_per_carve,
                         max_passes=max_passes,
                         budget=attempt_budget,
+                        jobs=jobs,
                     ),
                     rung,
                 )
@@ -411,13 +432,25 @@ class ResilientRunner:
         balance_tolerance: float = 0.02,
         max_passes: int = 16,
         max_growth: Optional[float] = None,
+        jobs: int = 1,
+        engine: Optional[str] = None,
     ) -> BipartitionRunResult:
         """Resilient experiment-1 bipartitioning.
 
         The budget is threaded into every inner FM run (a timed-out
         experiment reports the runs it completed); crashes are retried
         with perturbed seeds and degraded down the engine cascade.
+
+        ``engine=`` is a deprecated alias of ``algorithm=``.
         """
+        if engine is not None:
+            warnings.warn(
+                "ResilientRunner.bipartition(engine=...) is deprecated; "
+                "use algorithm=...",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            algorithm = engine
         cfg = self.config
         total = Budget(cfg.deadline, clock=cfg.clock)
         log = RunLog()
@@ -461,6 +494,7 @@ class ResilientRunner:
                         max_passes=max_passes,
                         max_growth=max_growth,
                         budget=total.child(allot, graceful=True),
+                        jobs=jobs,
                     )
                 except FATAL:
                     raise

@@ -65,6 +65,12 @@ def test_version():
         "repro.robust.budget",
         "repro.robust.faults",
         "repro.robust.runner",
+        "repro.obs",
+        "repro.obs.events",
+        "repro.obs.metrics",
+        "repro.obs.trace",
+        "repro.obs.summary",
+        "repro.api",
         "repro.cli",
     ],
 )
@@ -83,6 +89,47 @@ def test_public_callables_have_docstrings():
             if not inspect.getdoc(obj):
                 undocumented.append(name)
     assert not undocumented, undocumented
+
+
+def test_api_surface_is_locked():
+    """The ``repro.api`` facade is a stability contract: verbs and the
+    result schema version only change deliberately."""
+    from repro import api
+
+    assert api.__all__ == [
+        "SCHEMA_VERSION",
+        "RunResult",
+        "load",
+        "map",
+        "bipartition",
+        "partition",
+        "analyze",
+    ]
+    assert api.SCHEMA_VERSION == 1
+    assert api.RunResult.schema_version == 1  # dataclass default
+    fields = set(api.RunResult.__dataclass_fields__)
+    assert {
+        "kind", "solution", "run_log", "metrics",
+        "elapsed_seconds", "schema_version",
+    } <= fields
+    # the facade and its envelope are re-exported from the package root
+    assert repro.api is api
+    assert repro.RunResult is api.RunResult
+
+
+def test_api_facade_quickstart():
+    """The README's recommended entry point works end to end."""
+    from repro import api
+
+    result = api.partition("s5378", scale=0.08, threshold=1, seed=2)
+    assert result.kind == "partition"
+    assert result.schema_version == api.SCHEMA_VERSION
+    assert result.solution.cost.total_cost > 0
+    assert result.run_log is None and result.metrics == {}
+
+    resilient = api.partition("s5378", scale=0.08, threshold=1, seed=2, deadline=60)
+    assert resilient.run_log is not None
+    assert resilient.solution.cost.total_cost == result.solution.cost.total_cost
 
 
 def test_readme_quickstart_runs():
