@@ -51,6 +51,7 @@ from repro.perf.bench import (  # noqa: E402
     DEFAULT_THRESHOLD,
     best_of,
     check_regressions,
+    default_history_path,
     default_report_path,
     load_report,
     make_report,
@@ -313,13 +314,27 @@ def main(argv=None):
         action="store_true",
         help="also refresh the checked-in baseline with this run",
     )
+    parser.add_argument(
+        "--history",
+        default=default_history_path(),
+        help="bench trajectory JSONL to append to "
+        "(default: BENCH_partition_history.jsonl at the repo root)",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="skip appending to the bench trajectory",
+    )
     args = parser.parse_args(argv)
 
     scale = bench_scale()
     circuits = bench_circuits()
     report = run_bench(scale, circuits)
-    write_report(args.out, report)
+    history_path = None if args.no_history else args.history
+    write_report(args.out, report, history_path=history_path)
     print(f"wrote {args.out}")
+    if history_path:
+        print(f"appended history entry to {history_path}")
     if args.write_baseline:
         write_report(BASELINE_PATH, report)
         print(f"wrote {BASELINE_PATH}")

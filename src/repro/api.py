@@ -46,6 +46,7 @@ from repro.core.flow import (
 from repro.netlist.benchmarks import benchmark_circuit
 from repro.netlist.bench_io import load_bench
 from repro.netlist.netlist import Netlist
+from repro.obs import ledger as obs_ledger
 from repro.obs.events import validate_jsonl_file
 from repro.obs.metrics import get_registry
 from repro.obs.summary import summarize_events
@@ -78,6 +79,10 @@ class RunResult:
     metrics: Dict[str, Any] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
     schema_version: int = SCHEMA_VERSION
+    #: The quality record appended to the run ledger, when one was
+    #: enabled (``repro.obs.ledger``); ``None`` otherwise.  Additive
+    #: field -- existing consumers of the version-1 shape are unaffected.
+    run_record: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -181,41 +186,77 @@ def bipartition(
     With any of ``deadline`` / ``max_retries`` / ``fallback`` set, the
     run goes through the resilient runner and ``run_log`` records every
     attempt, degradation and checkpoint.
+
+    When a run ledger is enabled (:func:`repro.obs.ledger.resolve_ledger`:
+    an installed ledger or the ``REPRO_LEDGER`` environment variable), the
+    quality vector and convergence series are appended to it and attached
+    to the result as ``run_record``.
     """
     start = perf_counter()
+    ledger = obs_ledger.resolve_ledger()
     mapped = map(circuit, scale=scale, seed=seed or 1994).solution
     log: Optional[RunLog] = None
-    if _wants_runner(deadline, max_retries, fallback):
-        outcome = _make_runner(deadline, max_retries, fallback).bipartition(
-            mapped,
-            algorithm=algorithm,
-            runs=runs,
-            threshold=threshold,
-            seed=seed,
-            balance_tolerance=balance_tolerance,
-            max_passes=max_passes,
-            max_growth=max_growth,
-            jobs=jobs,
-        )
-        report, log = outcome.report, outcome.log
-    else:
-        report = bipartition_experiment(
-            mapped,
-            algorithm=algorithm,
-            runs=runs,
-            threshold=threshold,
-            seed=seed,
-            balance_tolerance=balance_tolerance,
-            max_passes=max_passes,
-            max_growth=max_growth,
-            jobs=jobs,
+    with obs_ledger.capture_events(enabled=ledger is not None) as events:
+        if _wants_runner(deadline, max_retries, fallback):
+            outcome = _make_runner(deadline, max_retries, fallback).bipartition(
+                mapped,
+                algorithm=algorithm,
+                runs=runs,
+                threshold=threshold,
+                seed=seed,
+                balance_tolerance=balance_tolerance,
+                max_passes=max_passes,
+                max_growth=max_growth,
+                jobs=jobs,
+            )
+            report, log = outcome.report, outcome.log
+        else:
+            report = bipartition_experiment(
+                mapped,
+                algorithm=algorithm,
+                runs=runs,
+                threshold=threshold,
+                seed=seed,
+                balance_tolerance=balance_tolerance,
+                max_passes=max_passes,
+                max_growth=max_growth,
+                jobs=jobs,
+            )
+    elapsed = perf_counter() - start
+    record = None
+    if ledger is not None:
+        record = ledger.append(
+            obs_ledger.build_record(
+                kind="bipartition",
+                circuit=mapped.name,
+                mapped=mapped,
+                config={
+                    "verb": "bipartition",
+                    "algorithm": algorithm,
+                    "runs": runs,
+                    "threshold": threshold,
+                    "balance_tolerance": balance_tolerance,
+                    "max_passes": max_passes,
+                    "max_growth": max_growth,
+                    "scale": scale,
+                    "deadline": deadline,
+                    "max_retries": max_retries,
+                    "fallback": fallback,
+                },
+                seed=seed,
+                quality=obs_ledger.quality_from_bipartition(report),
+                convergence=obs_ledger.distill_convergence(events),
+                elapsed_seconds=elapsed,
+                runner_summary=log.as_record() if log is not None else None,
+            )
         )
     return RunResult(
         kind="bipartition",
         solution=report,
         run_log=log,
         metrics=_metrics_snapshot(),
-        elapsed_seconds=perf_counter() - start,
+        elapsed_seconds=elapsed,
+        run_record=record,
     )
 
 
@@ -240,40 +281,76 @@ def partition(
     baseline.  With any of ``deadline`` / ``max_retries`` / ``fallback``
     set, the run goes through the resilient runner (verification gate,
     retry, engine degradation) and ``run_log`` is attached.
+
+    When a run ledger is enabled (:func:`repro.obs.ledger.resolve_ledger`),
+    the quality vector (cost, utilizations, replication, feasibility) and
+    the per-carve convergence series are appended to it and attached to
+    the result as ``run_record``.
     """
     start = perf_counter()
+    ledger = obs_ledger.resolve_ledger()
     mapped = map(circuit, scale=scale, seed=seed or 1994).solution
     log: Optional[RunLog] = None
-    if _wants_runner(deadline, max_retries, fallback):
-        outcome = _make_runner(deadline, max_retries, fallback).kway(
-            mapped,
-            threshold=threshold,
-            library=library,
-            algorithm=algorithm,
-            seed=seed,
-            seeds_per_carve=seeds_per_carve,
-            devices_per_carve=devices_per_carve,
-            jobs=jobs,
-        )
-        solution, log = outcome.solution, outcome.log
-    else:
-        solution = kway_solution(
-            mapped,
-            threshold=threshold,
-            library=library,
-            n_solutions=n_solutions,
-            seed=seed,
-            seeds_per_carve=seeds_per_carve,
-            algorithm=algorithm,
-            devices_per_carve=devices_per_carve,
-            jobs=jobs,
+    with obs_ledger.capture_events(enabled=ledger is not None) as events:
+        if _wants_runner(deadline, max_retries, fallback):
+            outcome = _make_runner(deadline, max_retries, fallback).kway(
+                mapped,
+                threshold=threshold,
+                library=library,
+                algorithm=algorithm,
+                seed=seed,
+                seeds_per_carve=seeds_per_carve,
+                devices_per_carve=devices_per_carve,
+                jobs=jobs,
+            )
+            solution, log = outcome.solution, outcome.log
+        else:
+            solution = kway_solution(
+                mapped,
+                threshold=threshold,
+                library=library,
+                n_solutions=n_solutions,
+                seed=seed,
+                seeds_per_carve=seeds_per_carve,
+                algorithm=algorithm,
+                devices_per_carve=devices_per_carve,
+                jobs=jobs,
+            )
+    elapsed = perf_counter() - start
+    record = None
+    if ledger is not None:
+        record = ledger.append(
+            obs_ledger.build_record(
+                kind="partition",
+                circuit=mapped.name,
+                mapped=mapped,
+                config={
+                    "verb": "partition",
+                    "algorithm": algorithm,
+                    "threshold": threshold,
+                    "library": getattr(library, "name", None) or "XC3000",
+                    "n_solutions": n_solutions,
+                    "seeds_per_carve": seeds_per_carve,
+                    "devices_per_carve": devices_per_carve,
+                    "scale": scale,
+                    "deadline": deadline,
+                    "max_retries": max_retries,
+                    "fallback": fallback,
+                },
+                seed=seed,
+                quality=obs_ledger.quality_from_kway(solution),
+                convergence=obs_ledger.distill_convergence(events),
+                elapsed_seconds=elapsed,
+                runner_summary=log.as_record() if log is not None else None,
+            )
         )
     return RunResult(
         kind="partition",
         solution=solution,
         run_log=log,
         metrics=_metrics_snapshot(),
-        elapsed_seconds=perf_counter() - start,
+        elapsed_seconds=elapsed,
+        run_record=record,
     )
 
 

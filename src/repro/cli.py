@@ -7,6 +7,12 @@ map          Technology-map a circuit and report CLB/IOB/net counts.
 bipartition  Min-cut bipartitioning with or without functional replication.
 partition    Heterogeneous k-way partitioning (cost + interconnect).
 experiment   Regenerate a paper table/figure (table1..table7, figure3).
+runs         Inspect the persistent run ledger (list/show/diff/report).
+
+``bipartition`` and ``partition`` accept ``--ledger [PATH]`` to append
+the run's quality record to the ledger (``results/ledger`` by default);
+``repro-fpga runs diff`` then gates quality drift between any two
+records with per-metric tolerances.
 """
 
 from __future__ import annotations
@@ -15,7 +21,7 @@ import argparse
 import contextlib
 import json
 import sys
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Tuple
 
 from repro.core.flow import bipartition_experiment, kway_experiment
 from repro.netlist.bench_io import load_bench
@@ -97,29 +103,94 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="JSONL trace destination (implies --trace; default trace.jsonl)",
     )
+    from repro.obs.ledger import DEFAULT_LEDGER_DIR
+
+    parser.add_argument(
+        "--ledger",
+        nargs="?",
+        const=DEFAULT_LEDGER_DIR,
+        default=None,
+        metavar="PATH",
+        help="append this run's quality record to the run ledger "
+        f"(directory or .jsonl file; bare flag = {DEFAULT_LEDGER_DIR}; "
+        "REPRO_LEDGER env var also enables it)",
+    )
+
+
+def _cli_ledger(args: argparse.Namespace):
+    """The Ledger in effect for this invocation, or ``None``."""
+    from repro.obs.ledger import resolve_ledger
+
+    return resolve_ledger(getattr(args, "ledger", None))
 
 
 @contextlib.contextmanager
-def _observability(args: argparse.Namespace) -> Iterator[Optional[str]]:
-    """Install an enabled registry writing JSONL when tracing was requested.
+def _observability(
+    args: argparse.Namespace, capture: bool = False
+) -> Iterator[Tuple[Optional[str], List[dict]]]:
+    """Install an enabled registry when tracing or ledger capture is on.
 
-    Yields the trace path (``None`` when tracing is off) and guarantees the
-    final metric values are flushed and the file closed on the way out.
+    Yields ``(trace_path, events)``: the JSONL destination (``None`` when
+    tracing is off) and the live in-memory event list feeding the ledger's
+    convergence distillation (empty and inert when ``capture`` is off).
+    With both active, a :class:`~repro.obs.events.TeeEmitter` fans the
+    stream out to the file and the list.  Final metric values are flushed
+    and the file closed on the way out.
     """
-    if not getattr(args, "trace", False) and getattr(args, "metrics_out", None) is None:
-        yield None
+    trace = bool(
+        getattr(args, "trace", False) or getattr(args, "metrics_out", None)
+    )
+    if not trace and not capture:
+        yield None, []
         return
-    from repro.obs.events import JsonlEmitter
+    from repro.obs.events import JsonlEmitter, ListEmitter, TeeEmitter
     from repro.obs.metrics import MetricsRegistry, use_registry
 
-    path = args.metrics_out or "trace.jsonl"
-    registry = MetricsRegistry(enabled=True, emitter=JsonlEmitter(path))
+    path = (args.metrics_out or "trace.jsonl") if trace else None
+    collector = ListEmitter() if capture else None
+    if trace and capture:
+        emitter = TeeEmitter(JsonlEmitter(path), collector)
+    elif trace:
+        emitter = JsonlEmitter(path)
+    else:
+        emitter = collector
+    registry = MetricsRegistry(enabled=True, emitter=emitter)
     registry.emit_meta()
     try:
         with use_registry(registry):
-            yield path
+            yield path, (collector.events if collector is not None else [])
     finally:
         registry.close()
+
+
+def _ledger_log(
+    ledger,
+    events: List[dict],
+    kind: str,
+    mapped,
+    config: dict,
+    seed: int,
+    quality: dict,
+    elapsed_seconds: Optional[float] = None,
+    runner_summary: Optional[dict] = None,
+) -> None:
+    """Append one record to ``ledger`` and announce it on stderr."""
+    from repro.obs import ledger as obs_ledger
+
+    record = ledger.append(
+        obs_ledger.build_record(
+            kind=kind,
+            circuit=mapped.name,
+            mapped=mapped,
+            config=config,
+            seed=seed,
+            quality=quality,
+            convergence=obs_ledger.distill_convergence(events),
+            elapsed_seconds=elapsed_seconds,
+            runner_summary=runner_summary,
+        )
+    )
+    print(f"logged run {record['run_id']} to {ledger.path}", file=sys.stderr)
 
 
 def _resilient_runner(args: argparse.Namespace):
@@ -167,16 +238,26 @@ def _cmd_map(args: argparse.Namespace) -> int:
 
 
 def _cmd_bipartition(args: argparse.Namespace) -> int:
-    with _observability(args) as trace_path:
-        code = _run_bipartition(args)
+    ledger = _cli_ledger(args)
+    with _observability(args, capture=ledger is not None) as (trace_path, events):
+        code = _run_bipartition(args, ledger, events)
     if trace_path is not None:
         print(f"trace written to {trace_path}", file=sys.stderr)
     return code
 
 
-def _run_bipartition(args: argparse.Namespace) -> int:
+def _run_bipartition(args: argparse.Namespace, ledger=None, events=()) -> int:
+    from repro.obs.ledger import quality_from_bipartition
+
     netlist = _resolve_circuit(args.circuit, args.scale, args.seed)
     mapped = technology_map(netlist)
+    config = {
+        "verb": "bipartition",
+        "algorithm": args.algorithm,
+        "runs": args.runs,
+        "threshold": args.threshold,
+        "scale": args.scale,
+    }
     runner = _resilient_runner(args)
     if runner is not None:
         result = runner.bipartition(
@@ -188,6 +269,18 @@ def _run_bipartition(args: argparse.Namespace) -> int:
             jobs=args.jobs,
         )
         report = result.report
+        if ledger is not None:
+            _ledger_log(
+                ledger,
+                list(events),
+                kind="bipartition",
+                mapped=mapped,
+                config=config,
+                seed=args.seed,
+                quality=quality_from_bipartition(report),
+                elapsed_seconds=result.elapsed,
+                runner_summary=result.log.as_record(),
+            )
         if args.json:
             payload = report.as_dict()
             payload["engine"] = result.engine
@@ -209,6 +302,17 @@ def _run_bipartition(args: argparse.Namespace) -> int:
         seed=args.seed,
         jobs=args.jobs,
     )
+    if ledger is not None:
+        _ledger_log(
+            ledger,
+            list(events),
+            kind="bipartition",
+            mapped=mapped,
+            config=config,
+            seed=args.seed,
+            quality=quality_from_bipartition(report),
+            elapsed_seconds=report.elapsed_seconds,
+        )
     if args.json:
         print(json.dumps(report.as_dict(), indent=2))
     else:
@@ -222,23 +326,44 @@ def _run_bipartition(args: argparse.Namespace) -> int:
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
-    with _observability(args) as trace_path:
-        code = _run_partition(args)
+    ledger = _cli_ledger(args)
+    with _observability(args, capture=ledger is not None) as (trace_path, events):
+        code = _run_partition(args, ledger, events)
     if trace_path is not None:
         print(f"trace written to {trace_path}", file=sys.stderr)
     return code
 
 
-def _run_partition(args: argparse.Namespace) -> int:
+def _run_partition(args: argparse.Namespace, ledger=None, events=()) -> int:
+    from repro.obs.ledger import quality_from_kway, quality_from_kway_report
+
     netlist = _resolve_circuit(args.circuit, args.scale, args.seed)
     mapped = technology_map(netlist)
     threshold = float("inf") if args.threshold == "inf" else float(args.threshold)
+    config = {
+        "verb": "partition",
+        "threshold": threshold,
+        "solutions": args.solutions,
+        "scale": args.scale,
+    }
     runner = _resilient_runner(args)
     if runner is not None:
         result = runner.kway(
             mapped, threshold=threshold, seed=args.seed, jobs=args.jobs
         )
         solution = result.solution
+        if ledger is not None:
+            _ledger_log(
+                ledger,
+                list(events),
+                kind="partition",
+                mapped=mapped,
+                config=config,
+                seed=args.seed,
+                quality=quality_from_kway(solution),
+                elapsed_seconds=result.elapsed,
+                runner_summary=result.log.as_record(),
+            )
         payload = solution.summary()
         payload["engine"] = result.engine
         payload["run_log_summary"] = result.log.summary()
@@ -261,6 +386,16 @@ def _run_partition(args: argparse.Namespace) -> int:
             jobs=args.jobs,
         )
         problems = verify_solution(mapped, solution)
+        if ledger is not None:
+            _ledger_log(
+                ledger,
+                list(events),
+                kind="partition",
+                mapped=mapped,
+                config=config,
+                seed=args.seed,
+                quality=quality_from_kway(solution),
+            )
         payload = solution.summary()
         payload["violations"] = problems
         if args.json:
@@ -276,6 +411,17 @@ def _run_partition(args: argparse.Namespace) -> int:
         seed=args.seed,
         jobs=args.jobs,
     )
+    if ledger is not None:
+        _ledger_log(
+            ledger,
+            list(events),
+            kind="partition",
+            mapped=mapped,
+            config=config,
+            seed=args.seed,
+            quality=quality_from_kway_report(report),
+            elapsed_seconds=report.elapsed_seconds,
+        )
     if args.json:
         print(json.dumps(report.as_dict(), indent=2))
     else:
@@ -375,6 +521,156 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# runs: the persistent ledger
+# ---------------------------------------------------------------------------
+
+
+def _runs_ledger(args: argparse.Namespace):
+    """Ledger for the ``runs`` subcommands (always resolves to one)."""
+    from repro.obs.ledger import Ledger, resolve_ledger
+
+    return resolve_ledger(getattr(args, "ledger", None)) or Ledger()
+
+
+def _quality_brief(record: dict) -> str:
+    """One-line quality summary keyed by record kind."""
+    quality = record.get("quality") or {}
+    if record.get("kind") == "bipartition":
+        return (
+            f"best_cut={quality.get('best_cut')} "
+            f"avg_cut={quality.get('avg_cut')}"
+        )
+    if "table" in quality:
+        return f"table={quality.get('table')}"
+    return (
+        f"k={quality.get('k')} cost={quality.get('total_cost')} "
+        f"feasible={quality.get('feasible')}"
+    )
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    ledger = _runs_ledger(args)
+    rows = ledger.records()
+    if args.kind:
+        rows = [r for r in rows if r.get("kind") == args.kind]
+    if args.circuit:
+        rows = [r for r in rows if r.get("circuit") == args.circuit]
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "run_id": r.get("run_id"),
+                        "run_key": r.get("run_key"),
+                        "kind": r.get("kind"),
+                        "circuit": r.get("circuit"),
+                        "seed": r.get("seed"),
+                        "iso_ts": r.get("iso_ts"),
+                        "git_rev": r.get("git_rev"),
+                        "quality": r.get("quality"),
+                    }
+                    for r in rows
+                ],
+                indent=2,
+            )
+        )
+        return 0
+    if not rows:
+        print(f"(no records in {ledger.path})")
+        return 0
+    for i, record in enumerate(rows):
+        print(
+            f"{i:>3}  {record.get('run_id')}  {record.get('iso_ts')}  "
+            f"{record.get('kind'):<11} {str(record.get('circuit')):<10} "
+            f"seed={record.get('seed')}  {_quality_brief(record)}"
+        )
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    from repro.obs.compare import flatten
+
+    ledger = _runs_ledger(args)
+    try:
+        record = ledger.find(args.token)
+    except (LookupError, ValueError) as exc:
+        raise SystemExit(str(exc)) from exc
+    if args.json:
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
+    for key in ("run_id", "run_key", "kind", "circuit", "seed", "iso_ts",
+                "git_rev", "netlist_hash", "config_fingerprint"):
+        print(f"{key:>18}: {record.get(key)}")
+    print(f"{'config':>18}: {json.dumps(record.get('config'), sort_keys=True)}")
+    for metric, value in sorted(flatten(record.get("quality") or {}).items()):
+        print(f"{'quality.' + metric:>40}: {value}")
+    carves = (record.get("convergence") or {}).get("carves") or []
+    for carve in carves:
+        print(
+            f"{'carve':>18}: level={carve.get('level')} "
+            f"device={carve.get('device')} clbs={carve.get('clbs')} "
+            f"cut={carve.get('cut')} terminals={carve.get('terminals')}"
+        )
+    return 0
+
+
+def _parse_tolerances(specs: List[str]) -> dict:
+    from repro.obs.compare import parse_tolerance
+
+    tolerances = {}
+    for spec in specs:
+        try:
+            metric, tol = parse_tolerance(spec)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
+        tolerances[metric] = tol
+    return tolerances
+
+
+def _cmd_runs_diff(args: argparse.Namespace) -> int:
+    from repro.obs.compare import diff_records, gate_exit_code, render_text
+
+    ledger = _runs_ledger(args)
+    try:
+        baseline = ledger.find(args.baseline)
+        current = ledger.find(args.current)
+    except (LookupError, ValueError) as exc:
+        raise SystemExit(str(exc)) from exc
+    diff = diff_records(baseline, current, _parse_tolerances(args.tolerance))
+    if args.json:
+        print(json.dumps(diff.as_dict(), indent=2))
+    else:
+        print(render_text(diff, show_same=args.show_same))
+    return gate_exit_code(diff, strict=args.strict)
+
+
+def _cmd_runs_report(args: argparse.Namespace) -> int:
+    from repro.obs.compare import diff_records, render_html
+
+    ledger = _runs_ledger(args)
+    try:
+        if args.tokens:
+            records = [ledger.find(token) for token in args.tokens]
+        else:
+            records = ledger.records()[-args.last:]
+        baseline = ledger.find(args.baseline) if args.baseline else None
+    except (LookupError, ValueError) as exc:
+        raise SystemExit(str(exc)) from exc
+    if not records:
+        raise SystemExit(f"no records to report on in {ledger.path}")
+    diffs = [
+        diff_records(baseline, record, _parse_tolerances(args.tolerance))
+        for record in records
+    ] if baseline is not None else []
+    page = render_html(records, diffs, title=f"Run ledger report: {ledger.path}")
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(page)
+    print(f"report written to {args.out} "
+          f"({len(records)} run(s), {len(diffs)} diff(s))")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-fpga",
@@ -456,6 +752,87 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--seed", type=int, default=1994)
     p_exp.add_argument("--runs", type=int, default=20)
     p_exp.set_defaults(func=_cmd_experiment)
+
+    p_runs = sub.add_parser(
+        "runs", help="inspect the persistent run ledger (quality drift)"
+    )
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+
+    def _ledger_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--ledger",
+            metavar="PATH",
+            default=None,
+            help="ledger directory or .jsonl file (default results/ledger, "
+            "or the REPRO_LEDGER env var)",
+        )
+
+    p_rl = runs_sub.add_parser("list", help="list ledger records")
+    _ledger_arg(p_rl)
+    p_rl.add_argument("--kind", default=None, help="filter by record kind")
+    p_rl.add_argument("--circuit", default=None, help="filter by circuit")
+    p_rl.add_argument("--json", action="store_true")
+    p_rl.set_defaults(func=_cmd_runs_list)
+
+    p_rs = runs_sub.add_parser("show", help="show one record in full")
+    p_rs.add_argument(
+        "token",
+        help="record selector: index, run_id prefix, 'latest', or a JSONL path",
+    )
+    _ledger_arg(p_rs)
+    p_rs.add_argument("--json", action="store_true")
+    p_rs.set_defaults(func=_cmd_runs_show)
+
+    p_rd = runs_sub.add_parser(
+        "diff",
+        help="diff two records; non-zero exit on drift/regression",
+    )
+    p_rd.add_argument("baseline", help="baseline record selector")
+    p_rd.add_argument(
+        "current", nargs="?", default="latest", help="current record selector"
+    )
+    _ledger_arg(p_rd)
+    p_rd.add_argument(
+        "--tolerance",
+        action="append",
+        default=[],
+        metavar="METRIC=BAND",
+        help="per-metric band, e.g. total_cost=5%% or avg_cut=2%%+0.5 "
+        "(repeatable)",
+    )
+    p_rd.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on improvements (golden-determinism gating)",
+    )
+    p_rd.add_argument(
+        "--show-same", action="store_true", help="print unchanged metrics too"
+    )
+    p_rd.add_argument("--json", action="store_true")
+    p_rd.set_defaults(func=_cmd_runs_diff)
+
+    p_rr = runs_sub.add_parser(
+        "report", help="self-contained HTML report with convergence curves"
+    )
+    p_rr.add_argument(
+        "tokens", nargs="*", help="record selectors (default: the last --last)"
+    )
+    _ledger_arg(p_rr)
+    p_rr.add_argument(
+        "--baseline",
+        default=None,
+        help="also diff every reported run against this record",
+    )
+    p_rr.add_argument(
+        "--tolerance",
+        action="append",
+        default=[],
+        metavar="METRIC=BAND",
+        help="per-metric band for --baseline diffs (repeatable)",
+    )
+    p_rr.add_argument("--last", type=int, default=5, metavar="N")
+    p_rr.add_argument("--out", default="runs_report.html", metavar="PATH")
+    p_rr.set_defaults(func=_cmd_runs_report)
     return parser
 
 

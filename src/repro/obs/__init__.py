@@ -12,7 +12,14 @@ carve levels, resilient-runner decisions, process-pool workers):
 * :mod:`repro.obs.events` -- the ``repro-obs-events/1`` JSON-lines
   schema, emitters and validators;
 * :mod:`repro.obs.summary` -- the human-readable rendering behind
-  ``repro-fpga analyze --metrics``.
+  ``repro-fpga analyze --metrics``;
+* :mod:`repro.obs.ledger` -- the persistent, append-only run ledger
+  (``results/ledger/runs.jsonl``): one schema-versioned quality record
+  per solver/experiment run, keyed by netlist hash + config fingerprint
+  + seed + git rev;
+* :mod:`repro.obs.compare` -- run diffing with per-metric tolerances,
+  machine-readable drift verdicts and the self-contained HTML report
+  behind ``repro-fpga runs report``.
 
 The default registry is **disabled**: every instrumentation site costs a
 single attribute check (``if reg.enabled:``), measured at well under the
@@ -33,17 +40,38 @@ engines bit-identical with tracing on.
 
 from __future__ import annotations
 
+from repro.obs.compare import (
+    RunDiff,
+    Tolerance,
+    diff_records,
+    gate_exit_code,
+    render_html,
+    render_text,
+)
 from repro.obs.events import (
     EVENT_KINDS,
     EVENT_SCHEMA_NAME,
     EVENT_SCHEMA_VERSION,
     JsonlEmitter,
     ListEmitter,
+    TeeEmitter,
     meta_event,
     read_jsonl,
     validate_event,
     validate_events,
     validate_jsonl_file,
+)
+from repro.obs.ledger import (
+    LEDGER_SCHEMA_NAME,
+    LEDGER_SCHEMA_VERSION,
+    Ledger,
+    build_record,
+    distill_convergence,
+    get_ledger,
+    netlist_fingerprint,
+    resolve_ledger,
+    set_ledger,
+    use_ledger,
 )
 from repro.obs.metrics import (
     Counter,
@@ -74,10 +102,27 @@ __all__ = [
     "EVENT_SCHEMA_VERSION",
     "JsonlEmitter",
     "ListEmitter",
+    "TeeEmitter",
     "meta_event",
     "read_jsonl",
     "validate_event",
     "validate_events",
     "validate_jsonl_file",
     "summarize_events",
+    "LEDGER_SCHEMA_NAME",
+    "LEDGER_SCHEMA_VERSION",
+    "Ledger",
+    "build_record",
+    "distill_convergence",
+    "get_ledger",
+    "netlist_fingerprint",
+    "resolve_ledger",
+    "set_ledger",
+    "use_ledger",
+    "RunDiff",
+    "Tolerance",
+    "diff_records",
+    "gate_exit_code",
+    "render_html",
+    "render_text",
 ]

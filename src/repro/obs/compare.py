@@ -1,0 +1,498 @@
+"""Run diffing: per-metric tolerances, drift verdicts and reports.
+
+The other half of the run ledger (:mod:`repro.obs.ledger`): given two
+records -- or a fresh run against a stored golden baseline --
+:func:`diff_records` flattens both quality vectors into dotted scalar
+metrics, applies per-metric :class:`Tolerance` rules (relative + absolute
+band, and a *direction*: is an increase or a decrease the bad way?) and
+produces a machine-readable :class:`RunDiff` whose ``verdict`` drives the
+CI gate:
+
+* ``identical`` -- every compared metric equal;
+* ``ok``        -- differences exist but all inside tolerance;
+* ``improved``  -- out-of-tolerance change, all in the good direction;
+* ``drift``     -- out-of-tolerance change with no bad direction defined;
+* ``regression``-- at least one out-of-tolerance change in the bad
+  direction (or a structural change such as a removed metric).
+
+:func:`render_text` prints the human view; :func:`render_html` writes a
+self-contained (no-JS, no-CDN) HTML report with inline-SVG convergence
+curves for ``repro-fpga runs report``.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.ledger import stable_view
+
+#: Directions a metric can regress in.
+INCREASE_BAD = "increase"
+DECREASE_BAD = "decrease"
+
+#: Per-metric statuses, ordered from benign to fatal.
+STATUS_ORDER = ("same", "within", "improved", "drift", "regression")
+
+#: Diff verdicts, ordered from benign to fatal.
+VERDICT_ORDER = ("identical", "ok", "improved", "drift", "regression")
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Allowed movement for one metric before it counts as drift.
+
+    A delta is inside the band when ``|cur - base| <= max(abs_tol,
+    rel_tol * |base|)``.  ``worse`` names the direction that counts as a
+    regression once outside the band (``None`` = any out-of-band change
+    is direction-less "drift").
+    """
+
+    rel_tol: float = 0.0
+    abs_tol: float = 0.0
+    worse: Optional[str] = None  # INCREASE_BAD | DECREASE_BAD | None
+
+
+#: Default tolerances by metric basename.  The solvers are deterministic
+#: per seed, so the defaults are exact (zero-width bands) with the
+#: paper-objective directions wired in: device cost (eq. 1), IOB
+#: utilization (eq. 2), cut sizes and replication are better *down*;
+#: CLB utilization and feasibility are better *up*.
+DEFAULT_TOLERANCES: Dict[str, Tolerance] = {
+    "total_cost": Tolerance(worse=INCREASE_BAD),
+    "k": Tolerance(worse=INCREASE_BAD),
+    "avg_iob_utilization": Tolerance(abs_tol=1e-9, worse=INCREASE_BAD),
+    "avg_clb_utilization": Tolerance(abs_tol=1e-9, worse=DECREASE_BAD),
+    "replicated_fraction": Tolerance(abs_tol=1e-9, worse=INCREASE_BAD),
+    "best_cut": Tolerance(worse=INCREASE_BAD),
+    "avg_cut": Tolerance(abs_tol=1e-9, worse=INCREASE_BAD),
+    "avg_replicated": Tolerance(abs_tol=1e-9, worse=INCREASE_BAD),
+    "cut": Tolerance(worse=INCREASE_BAD),
+    "terminals": Tolerance(worse=INCREASE_BAD),
+    "n_instances": Tolerance(worse=INCREASE_BAD),
+}
+
+
+def parse_tolerance(spec: str) -> Tuple[str, Tolerance]:
+    """Parse a CLI tolerance override ``metric=REL%|+ABS|REL%+ABS``.
+
+    Examples: ``total_cost=5%`` (5 % relative band),
+    ``avg_iob_utilization=+0.01`` (absolute band),
+    ``avg_cut=2%+0.5`` (both).  The metric keeps its default direction.
+    """
+    if "=" not in spec:
+        raise ValueError(f"bad tolerance {spec!r}: expected metric=BAND")
+    metric, band = spec.split("=", 1)
+    metric = metric.strip()
+    rel = abs_ = 0.0
+    for part in band.replace("+", " ").split():
+        if part.endswith("%"):
+            rel = float(part[:-1]) / 100.0
+        else:
+            abs_ = float(part)
+    base = DEFAULT_TOLERANCES.get(metric.rsplit(".", 1)[-1], Tolerance())
+    return metric, Tolerance(rel_tol=rel, abs_tol=abs_, worse=base.worse)
+
+
+def flatten(value: Any, prefix: str = "") -> Dict[str, Any]:
+    """Flatten nested dicts/lists into dotted scalar leaves."""
+    out: Dict[str, Any] = {}
+    if isinstance(value, dict):
+        for key in sorted(value):
+            out.update(flatten(value[key], f"{prefix}.{key}" if prefix else str(key)))
+    elif isinstance(value, list):
+        for i, item in enumerate(value):
+            out.update(flatten(item, f"{prefix}.{i}" if prefix else str(i)))
+    else:
+        out[prefix] = value
+    return out
+
+
+def _tolerance_for(
+    metric: str, tolerances: Optional[Dict[str, Tolerance]]
+) -> Tolerance:
+    merged = dict(DEFAULT_TOLERANCES)
+    if tolerances:
+        merged.update(tolerances)
+    if metric in merged:
+        return merged[metric]
+    basename = metric.rsplit(".", 1)[-1]
+    return merged.get(basename, Tolerance())
+
+
+@dataclass
+class MetricDelta:
+    """One compared metric."""
+
+    metric: str
+    baseline: Any
+    current: Any
+    status: str  # one of STATUS_ORDER, or "added" / "removed"
+    delta: Optional[float] = None
+    rel_delta: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "current": self.current,
+            "delta": self.delta,
+            "rel_delta": self.rel_delta,
+            "status": self.status,
+        }
+
+
+@dataclass
+class RunDiff:
+    """The machine-readable outcome of comparing two ledger records."""
+
+    baseline_id: str
+    current_id: str
+    metrics: List[MetricDelta] = field(default_factory=list)
+    #: Identity mismatches (netlist hash / config / seed) -- context, not
+    #: failures: diffing across configs is legitimate, but the reader
+    #: should know the runs were not answering the same question.
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def verdict(self) -> str:
+        worst = "identical"
+        for delta in self.metrics:
+            status = delta.status
+            if status in ("added", "removed"):
+                status = "regression" if status == "removed" else "drift"
+            elif status == "within":
+                status = "ok"
+            elif status == "same":
+                status = "identical"
+            if VERDICT_ORDER.index(status) > VERDICT_ORDER.index(worst):
+                worst = status
+        return worst
+
+    def changed(self) -> List[MetricDelta]:
+        return [d for d in self.metrics if d.status != "same"]
+
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.metrics if d.status in ("regression", "removed")]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "baseline": self.baseline_id,
+            "current": self.current_id,
+            "verdict": self.verdict,
+            "warnings": list(self.warnings),
+            "changed": [d.as_dict() for d in self.changed()],
+            "metrics_compared": len(self.metrics),
+        }
+
+
+def _compare_leaf(
+    metric: str, base: Any, cur: Any, tol: Tolerance
+) -> MetricDelta:
+    numeric = isinstance(base, (int, float)) and isinstance(cur, (int, float)) \
+        and not isinstance(base, bool) and not isinstance(cur, bool)
+    if not numeric:
+        if base == cur:
+            return MetricDelta(metric, base, cur, "same")
+        # False-where-baseline-True feasibility is the one boolean with a
+        # built-in bad direction.
+        if isinstance(base, bool) and isinstance(cur, bool):
+            status = "regression" if base and not cur else "improved"
+            return MetricDelta(metric, base, cur, status)
+        return MetricDelta(metric, base, cur, "drift")
+    delta = cur - base
+    rel = (delta / abs(base)) if base else None
+    if delta == 0:
+        return MetricDelta(metric, base, cur, "same", 0.0, 0.0)
+    band = max(tol.abs_tol, tol.rel_tol * abs(base))
+    if abs(delta) <= band:
+        return MetricDelta(metric, base, cur, "within", delta, rel)
+    if tol.worse is None:
+        return MetricDelta(metric, base, cur, "drift", delta, rel)
+    worse = delta > 0 if tol.worse == INCREASE_BAD else delta < 0
+    return MetricDelta(
+        metric, base, cur, "regression" if worse else "improved", delta, rel
+    )
+
+
+#: Record sections compared by :func:`diff_records` (quality vector plus
+#: the deterministic carve-level convergence series).
+COMPARED_SECTIONS = ("quality", "convergence.carves")
+
+
+def diff_records(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    tolerances: Optional[Dict[str, Tolerance]] = None,
+) -> RunDiff:
+    """Diff two ledger records metric by metric."""
+    diff = RunDiff(
+        baseline_id=str(baseline.get("run_id", "?")),
+        current_id=str(current.get("run_id", "?")),
+    )
+    for ident in ("netlist_hash", "config_fingerprint", "seed", "kind", "circuit"):
+        a, b = baseline.get(ident), current.get(ident)
+        if a != b:
+            diff.warnings.append(
+                f"{ident} differs: baseline {a!r} vs current {b!r}"
+            )
+    base_stable, cur_stable = stable_view(baseline), stable_view(current)
+
+    def section(record: Dict[str, Any], dotted: str) -> Any:
+        node: Any = record
+        for part in dotted.split("."):
+            node = node.get(part, {}) if isinstance(node, dict) else {}
+        return node
+
+    for dotted in COMPARED_SECTIONS:
+        base_flat = flatten(section(base_stable, dotted), dotted)
+        cur_flat = flatten(section(cur_stable, dotted), dotted)
+        for metric in sorted(set(base_flat) | set(cur_flat)):
+            if metric not in cur_flat:
+                diff.metrics.append(
+                    MetricDelta(metric, base_flat[metric], None, "removed")
+                )
+            elif metric not in base_flat:
+                diff.metrics.append(
+                    MetricDelta(metric, None, cur_flat[metric], "added")
+                )
+            else:
+                diff.metrics.append(
+                    _compare_leaf(
+                        metric,
+                        base_flat[metric],
+                        cur_flat[metric],
+                        _tolerance_for(metric, tolerances),
+                    )
+                )
+    return diff
+
+
+def gate_exit_code(diff: RunDiff, strict: bool = False) -> int:
+    """CI gate semantics: non-zero on quality drift.
+
+    ``drift`` and ``regression`` always fail; ``strict`` additionally
+    fails ``improved`` (golden-determinism gates want *any* movement
+    flagged so the golden gets refreshed deliberately).
+    """
+    failing = ("drift", "regression", "improved") if strict else (
+        "drift", "regression"
+    )
+    return 1 if diff.verdict in failing else 0
+
+
+# ---------------------------------------------------------------------------
+# Text rendering
+# ---------------------------------------------------------------------------
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_text(diff: RunDiff, show_same: bool = False) -> str:
+    """Terminal rendering of a :class:`RunDiff`."""
+    lines = [f"diff {diff.baseline_id} -> {diff.current_id}: {diff.verdict}"]
+    for warning in diff.warnings:
+        lines.append(f"  warning: {warning}")
+    rows = diff.metrics if show_same else diff.changed()
+    if not rows:
+        lines.append(f"  {len(diff.metrics)} metrics compared, all identical")
+    for delta in rows:
+        extra = ""
+        if delta.delta is not None and delta.status != "same":
+            rel = f" ({delta.rel_delta:+.2%})" if delta.rel_delta is not None else ""
+            extra = f"  delta {_fmt(delta.delta)}{rel}"
+        lines.append(
+            f"  [{delta.status:>10}] {delta.metric}: "
+            f"{_fmt(delta.baseline)} -> {_fmt(delta.current)}{extra}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# HTML report with inline-SVG convergence curves
+# ---------------------------------------------------------------------------
+
+_SVG_W, _SVG_H, _SVG_PAD = 420, 160, 28
+
+
+def _svg_curve(points: Sequence[Tuple[float, float]], label: str) -> str:
+    """One self-contained SVG line chart (no JS, no external assets)."""
+    if not points:
+        return f"<p class='empty'>no convergence series for {html.escape(label)}</p>"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xr = (x1 - x0) or 1.0
+    yr = (y1 - y0) or 1.0
+    inner_w = _SVG_W - 2 * _SVG_PAD
+    inner_h = _SVG_H - 2 * _SVG_PAD
+
+    def sx(x: float) -> float:
+        return _SVG_PAD + (x - x0) / xr * inner_w
+
+    def sy(y: float) -> float:
+        return _SVG_H - _SVG_PAD - (y - y0) / yr * inner_h
+
+    path = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in points)
+    dots = "".join(
+        f"<circle cx='{sx(x):.1f}' cy='{sy(y):.1f}' r='2.5' fill='#2563eb'/>"
+        for x, y in points
+    )
+    return (
+        f"<svg viewBox='0 0 {_SVG_W} {_SVG_H}' width='{_SVG_W}' height='{_SVG_H}' "
+        "role='img'>"
+        f"<title>{html.escape(label)}</title>"
+        f"<rect width='{_SVG_W}' height='{_SVG_H}' fill='#f8fafc'/>"
+        f"<line x1='{_SVG_PAD}' y1='{_SVG_H - _SVG_PAD}' x2='{_SVG_W - _SVG_PAD}' "
+        f"y2='{_SVG_H - _SVG_PAD}' stroke='#94a3b8'/>"
+        f"<line x1='{_SVG_PAD}' y1='{_SVG_PAD}' x2='{_SVG_PAD}' "
+        f"y2='{_SVG_H - _SVG_PAD}' stroke='#94a3b8'/>"
+        f"<polyline points='{path}' fill='none' stroke='#2563eb' "
+        "stroke-width='1.5'/>"
+        f"{dots}"
+        f"<text x='{_SVG_PAD}' y='{_SVG_PAD - 10}' font-size='11' "
+        f"fill='#334155'>{html.escape(label)}</text>"
+        f"<text x='{_SVG_PAD - 4}' y='{_SVG_PAD + 4}' font-size='10' "
+        f"text-anchor='end' fill='#64748b'>{_fmt(y1)}</text>"
+        f"<text x='{_SVG_PAD - 4}' y='{_SVG_H - _SVG_PAD}' font-size='10' "
+        f"text-anchor='end' fill='#64748b'>{_fmt(y0)}</text>"
+        "</svg>"
+    )
+
+
+def _record_curves(record: Dict[str, Any]) -> str:
+    conv = record.get("convergence") or {}
+    charts: List[str] = []
+    carves = conv.get("carves") or []
+    cut_points = [
+        (float(c.get("level", i)), float(c.get("cut", 0) or 0))
+        for i, c in enumerate(carves)
+    ]
+    if cut_points:
+        charts.append(_svg_curve(cut_points, "cut per carve level"))
+        term_points = [
+            (float(c.get("level", i)), float(c["terminals"]))
+            for i, c in enumerate(carves)
+            if c.get("terminals") is not None
+        ]
+        if term_points:
+            charts.append(_svg_curve(term_points, "terminals per carve level"))
+    for series in (conv.get("pass_series") or [])[:3]:
+        gains = series.get("gains") or []
+        if gains:
+            charts.append(
+                _svg_curve(
+                    [(float(i), float(g)) for i, g in enumerate(gains)],
+                    f"{series.get('engine', '?')} pass gains "
+                    f"(seed {series.get('seed')})",
+                )
+            )
+    return "\n".join(charts) if charts else "<p class='empty'>no curves</p>"
+
+
+def _quality_rows(record: Dict[str, Any]) -> str:
+    rows = []
+    for key, value in sorted((record.get("quality") or {}).items()):
+        if isinstance(value, (dict, list)):
+            value = json.dumps(value, sort_keys=True)
+        rows.append(
+            f"<tr><td>{html.escape(str(key))}</td>"
+            f"<td>{html.escape(_fmt(value))}</td></tr>"
+        )
+    return "".join(rows)
+
+
+def render_html(
+    records: Sequence[Dict[str, Any]],
+    diffs: Sequence[RunDiff] = (),
+    title: str = "Run ledger report",
+) -> str:
+    """A self-contained HTML quality report over ledger records."""
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title>",
+        "<style>",
+        "body{font-family:system-ui,sans-serif;margin:2rem;color:#0f172a}",
+        "table{border-collapse:collapse;margin:.5rem 0}",
+        "td,th{border:1px solid #cbd5e1;padding:.2rem .6rem;font-size:13px;"
+        "text-align:left}",
+        "h2{margin-top:2rem;border-bottom:1px solid #e2e8f0}",
+        ".meta{color:#64748b;font-size:12px}",
+        ".empty{color:#94a3b8;font-style:italic}",
+        ".verdict-regression{color:#dc2626;font-weight:600}",
+        ".verdict-drift{color:#d97706;font-weight:600}",
+        ".verdict-improved{color:#16a34a;font-weight:600}",
+        ".verdict-ok,.verdict-identical{color:#16a34a}",
+        "svg{margin:.4rem .8rem .4rem 0}",
+        "</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f"<p class='meta'>{len(records)} run(s), {len(diffs)} diff(s)</p>",
+    ]
+    for diff in diffs:
+        parts.append(
+            f"<h2>diff {html.escape(diff.baseline_id)} &rarr; "
+            f"{html.escape(diff.current_id)}: "
+            f"<span class='verdict-{diff.verdict}'>{diff.verdict}</span></h2>"
+        )
+        changed = diff.changed()
+        if changed:
+            parts.append(
+                "<table><tr><th>metric</th><th>baseline</th><th>current</th>"
+                "<th>delta</th><th>status</th></tr>"
+            )
+            for d in changed:
+                parts.append(
+                    f"<tr><td>{html.escape(d.metric)}</td>"
+                    f"<td>{html.escape(_fmt(d.baseline))}</td>"
+                    f"<td>{html.escape(_fmt(d.current))}</td>"
+                    f"<td>{html.escape(_fmt(d.delta)) if d.delta is not None else ''}"
+                    f"</td><td>{html.escape(d.status)}</td></tr>"
+                )
+            parts.append("</table>")
+        else:
+            parts.append("<p class='empty'>all compared metrics identical</p>")
+        for warning in diff.warnings:
+            parts.append(f"<p class='meta'>warning: {html.escape(warning)}</p>")
+    for record in records:
+        parts.append(
+            f"<h2>{html.escape(str(record.get('kind')))} "
+            f"{html.escape(str(record.get('circuit')))} "
+            f"<span class='meta'>run {html.escape(str(record.get('run_id')))} "
+            f"seed {record.get('seed')} "
+            f"{html.escape(str(record.get('iso_ts', '')))}</span></h2>"
+        )
+        parts.append(
+            f"<p class='meta'>netlist {html.escape(str(record.get('netlist_hash')))}"
+            f" · config {html.escape(str(record.get('config_fingerprint')))}"
+            f" · git {html.escape(str(record.get('git_rev') or 'n/a'))}</p>"
+        )
+        parts.append("<table><tr><th>quality metric</th><th>value</th></tr>")
+        parts.append(_quality_rows(record))
+        parts.append("</table>")
+        parts.append(_record_curves(record))
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+__all__ = [
+    "DEFAULT_TOLERANCES",
+    "INCREASE_BAD",
+    "DECREASE_BAD",
+    "COMPARED_SECTIONS",
+    "MetricDelta",
+    "RunDiff",
+    "Tolerance",
+    "diff_records",
+    "flatten",
+    "gate_exit_code",
+    "parse_tolerance",
+    "render_html",
+    "render_text",
+]

@@ -59,6 +59,27 @@ class ListEmitter:
         pass
 
 
+class TeeEmitter:
+    """Fan one event stream out to several emitters (e.g. JSONL + list).
+
+    The CLI uses this when a run is both traced (``--trace``) and
+    ledger-logged (``--ledger``): the JSONL file gets the full stream
+    while an in-memory :class:`ListEmitter` feeds the ledger's
+    convergence distillation.
+    """
+
+    def __init__(self, *emitters: Any) -> None:
+        self.emitters = list(emitters)
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        for emitter in self.emitters:
+            emitter.emit(event)
+
+    def close(self) -> None:
+        for emitter in self.emitters:
+            emitter.close()
+
+
 class JsonlEmitter:
     """Append events to a file (or file-like object) as JSON lines."""
 
@@ -174,8 +195,14 @@ def validate_events(events: Iterable[Any]) -> List[str]:
     return problems
 
 
-def read_jsonl(path: str) -> List[Dict[str, Any]]:
-    """Parse a JSONL file into event dicts (raises ValueError on bad JSON)."""
+def read_jsonl(path: str, skip_invalid: bool = False) -> List[Dict[str, Any]]:
+    """Parse a JSONL file into event dicts.
+
+    Raises ``ValueError`` on a malformed line unless ``skip_invalid`` is
+    set, in which case bad lines (e.g. a torn tail left by a crashed
+    writer) are dropped -- the run ledger reads in this mode so one
+    interrupted append cannot poison the whole history.
+    """
     events: List[Dict[str, Any]] = []
     with open(path, encoding="utf-8") as fh:
         for n, line in enumerate(fh, start=1):
@@ -185,6 +212,8 @@ def read_jsonl(path: str) -> List[Dict[str, Any]]:
             try:
                 events.append(json.loads(line))
             except json.JSONDecodeError as exc:
+                if skip_invalid:
+                    continue
                 raise ValueError(f"{path}:{n}: not valid JSON: {exc}") from exc
     return events
 

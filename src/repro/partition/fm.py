@@ -443,6 +443,14 @@ def _run_passes(state: _FMState, config: FMConfig, reg) -> List[int]:
         reg.counter("fm.passes").inc(len(pass_gains))
         reg.counter("fm.moves").inc(state.moves_total - moves0)
         reg.counter("fm.thaws").inc(state.thaws_total - thaws0)
+        # Per-run convergence series for the run ledger (one event per
+        # run, outside the pass loop -- no hot-path cost).
+        reg.emit_event(
+            "fm.run_gains",
+            seed=config.seed,
+            final_cut=state.cut_size(),
+            gains=list(pass_gains),
+        )
     return pass_gains
 
 

@@ -1271,6 +1271,16 @@ class ReplicationEngine:
             reg.counter("repl.sgain_recomputes").inc(
                 self.n_sgain_recomputes - base[4]
             )
+            # Per-run convergence series for the run ledger (one event
+            # per run, outside the pass loop -- no hot-path cost).
+            reg.emit_event(
+                "repl.run_gains",
+                seed=self.config.seed,
+                style=self.config.style,
+                initial_cut=initial_cut,
+                final_cut=self.cut_size(),
+                gains=list(pass_gains),
+            )
         return ReplicationResult(
             sides=list(self.side),
             replicas=self.replicas(),

@@ -29,24 +29,38 @@ DEFAULT_THRESHOLD = 0.30
 #: Default report filename.
 REPORT_NAME = "BENCH_partition.json"
 
+#: Append-only bench trajectory (one JSONL entry per bench run).
+HISTORY_NAME = "BENCH_partition_history.jsonl"
 
-def default_report_path(anchor: Optional[str] = None) -> str:
-    """Default destination for ``BENCH_partition.json``: the repo root.
+#: Schema tag stamped into every history entry.
+HISTORY_SCHEMA_NAME = "repro-bench-history/1"
 
-    Walks up from ``anchor`` (default: this file) looking for
-    ``pyproject.toml`` so the report lands in a predictable place no
-    matter where the bench was launched from; falls back to the current
-    working directory when no project root is found.
+
+def _anchored_path(filename: str, anchor: Optional[str]) -> str:
+    """``<repo root>/<filename>``, found by walking up to pyproject.toml.
+
+    Falls back to the current working directory when no project root is
+    found, so the file still lands somewhere predictable.
     """
     here = os.path.dirname(os.path.abspath(anchor or __file__))
     probe = here
     while True:
         if os.path.isfile(os.path.join(probe, "pyproject.toml")):
-            return os.path.join(probe, REPORT_NAME)
+            return os.path.join(probe, filename)
         parent = os.path.dirname(probe)
         if parent == probe:
-            return os.path.join(os.getcwd(), REPORT_NAME)
+            return os.path.join(os.getcwd(), filename)
         probe = parent
+
+
+def default_report_path(anchor: Optional[str] = None) -> str:
+    """Default destination for ``BENCH_partition.json``: the repo root."""
+    return _anchored_path(REPORT_NAME, anchor)
+
+
+def default_history_path(anchor: Optional[str] = None) -> str:
+    """Default destination for the bench trajectory JSONL: the repo root."""
+    return _anchored_path(HISTORY_NAME, anchor)
 
 
 def time_call(fn: Callable[[], Any]) -> Tuple[float, Any]:
@@ -89,10 +103,60 @@ def make_report(
     }
 
 
-def write_report(path: str, report: Dict[str, Any]) -> None:
+def history_entry(report: Dict[str, Any]) -> Dict[str, Any]:
+    """One timestamped trajectory line distilled from a bench report."""
+    from repro.obs.ledger import git_revision
+
+    now = time.time()
+    return {
+        "schema": HISTORY_SCHEMA_NAME,
+        "ts": now,
+        "iso_ts": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(now)) + "Z",
+        "git_rev": git_revision(),
+        "scale": report.get("scale"),
+        "python": report.get("python"),
+        "machine": report.get("machine"),
+        "circuits": {
+            name: {
+                section: {
+                    "ref_seconds": sec.get("ref_seconds"),
+                    "fast_seconds": sec.get("fast_seconds"),
+                    "speedup": speedup(
+                        sec.get("ref_seconds", 0.0), sec.get("fast_seconds", 0.0)
+                    ),
+                }
+                for section, sec in entry.items()
+                if isinstance(sec, dict) and "ref_seconds" in sec
+            }
+            for name, entry in report.get("circuits", {}).items()
+        },
+    }
+
+
+def append_history(path: str, report: Dict[str, Any]) -> Dict[str, Any]:
+    """Append one :func:`history_entry` line to the trajectory file."""
+    entry = history_entry(report)
+    with open(path, "a") as fh:
+        json.dump(entry, fh, sort_keys=True)
+        fh.write("\n")
+    return entry
+
+
+def write_report(
+    path: str, report: Dict[str, Any], history_path: Optional[str] = None
+) -> None:
+    """Write the JSON report; also append to the trajectory when given.
+
+    ``BENCH_partition.json`` is overwritten in place, so on its own the
+    repo carries no perf *trajectory*; passing ``history_path`` (usually
+    :func:`default_history_path`) appends one timestamped, git-stamped
+    entry per run to ``BENCH_partition_history.jsonl``.
+    """
     with open(path, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
+    if history_path:
+        append_history(history_path, report)
 
 
 def load_report(path: str) -> Dict[str, Any]:
@@ -107,9 +171,12 @@ def check_regressions(
 ) -> List[str]:
     """Compare a fresh report against the baseline; returns violations.
 
-    Only circuits present in both reports with a meaningful reference
-    timing are gated (sub-10ms carves are all noise).  An empty list
-    means the gate passes.
+    Every circuit/section in the *baseline* must appear in the current
+    report -- a missing one is a coverage violation, not a silent pass
+    (otherwise trimming the bench config would defeat the gate).  Extra
+    circuits in the current report are fine (new coverage).  Pairs with a
+    sub-10ms reference timing are skipped as measurement noise.  An empty
+    list means the gate passes.
     """
     problems: List[str] = []
     if current.get("scale") != baseline.get("scale"):
@@ -117,15 +184,25 @@ def check_regressions(
             f"scale mismatch: current {current.get('scale')} vs "
             f"baseline {baseline.get('scale')}; refresh the baseline"
         ]
-    base_circuits = baseline.get("circuits", {})
-    for name, entry in current.get("circuits", {}).items():
-        base = base_circuits.get(name)
-        if base is None:
+    cur_circuits = current.get("circuits", {})
+    for name, base in sorted(baseline.get("circuits", {}).items()):
+        entry = cur_circuits.get(name)
+        if entry is None:
+            problems.append(
+                f"{name}: in baseline but missing from current report "
+                "(coverage lost; re-run the full bench or refresh the baseline)"
+            )
             continue
         for section in ("kway", "fm", "replication"):
             cur_sec = entry.get(section)
             base_sec = base.get(section)
-            if not cur_sec or not base_sec:
+            if not base_sec:
+                continue
+            if not cur_sec:
+                problems.append(
+                    f"{name}/{section}: in baseline but missing from current "
+                    "report (coverage lost)"
+                )
                 continue
             if base_sec["ref_seconds"] < 0.01 or cur_sec["ref_seconds"] < 0.01:
                 continue  # too fast to measure reliably

@@ -148,6 +148,27 @@ class RunLog:
             "degradations": self.degradations(),
         }
 
+    def as_record(self) -> Dict[str, object]:
+        """Ledger-ready view: the summary plus per-attempt outcomes.
+
+        Stored under the (volatile) ``runner`` field of a run-ledger
+        record -- orchestration behavior is timing-dependent (deadlines,
+        retries), so it is excluded from quality-drift comparisons but
+        kept for forensics.
+        """
+        return {
+            "summary": self.summary(),
+            "attempts": [
+                {
+                    "engine": e.engine,
+                    "attempt": e.attempt,
+                    "seed": e.seed,
+                    "outcome": e.outcome,
+                }
+                for e in self.attempts()
+            ],
+        }
+
 
 # ---------------------------------------------------------------------------
 # Runner configuration and results

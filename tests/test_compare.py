@@ -1,0 +1,244 @@
+"""Run diffing: tolerance semantics, verdicts, gating, renderings."""
+
+import pytest
+
+from repro.obs.compare import (
+    DECREASE_BAD,
+    INCREASE_BAD,
+    MetricDelta,
+    RunDiff,
+    Tolerance,
+    diff_records,
+    flatten,
+    gate_exit_code,
+    parse_tolerance,
+    render_html,
+    render_text,
+)
+from repro.obs.ledger import build_record
+
+
+def _record(quality, seed=1, config=None, **kwargs):
+    return build_record(
+        kind="partition",
+        circuit="c880",
+        netlist_hash="abc123",
+        config=config or {"verb": "partition", "threshold": 1},
+        seed=seed,
+        quality=quality,
+        **kwargs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# flatten / tolerances
+# ---------------------------------------------------------------------------
+
+
+def test_flatten_nested_structures():
+    flat = flatten({"a": {"b": 1}, "c": [10, {"d": 2}]})
+    assert flat == {"a.b": 1, "c.0": 10, "c.1.d": 2}
+
+
+def test_parse_tolerance_forms():
+    metric, tol = parse_tolerance("total_cost=5%")
+    assert metric == "total_cost"
+    assert tol.rel_tol == pytest.approx(0.05) and tol.abs_tol == 0.0
+    assert tol.worse == INCREASE_BAD  # inherits the default direction
+
+    _, tol = parse_tolerance("avg_clb_utilization=+0.01")
+    assert tol.abs_tol == pytest.approx(0.01) and tol.worse == DECREASE_BAD
+
+    metric, tol = parse_tolerance("quality.avg_cut=2%+0.5")
+    assert metric == "quality.avg_cut"
+    assert tol.rel_tol == pytest.approx(0.02)
+    assert tol.abs_tol == pytest.approx(0.5)
+
+    with pytest.raises(ValueError):
+        parse_tolerance("no-equals-sign")
+
+
+# ---------------------------------------------------------------------------
+# verdict ladder
+# ---------------------------------------------------------------------------
+
+
+def test_identical_runs_diff_identical():
+    a = _record({"total_cost": 100.0, "k": 2})
+    b = _record({"total_cost": 100.0, "k": 2})
+    diff = diff_records(a, b)
+    assert diff.verdict == "identical"
+    assert not diff.changed() and not diff.warnings
+    assert gate_exit_code(diff) == 0
+    assert gate_exit_code(diff, strict=True) == 0
+
+
+def test_regression_in_bad_direction():
+    diff = diff_records(
+        _record({"total_cost": 100.0}), _record({"total_cost": 110.0})
+    )
+    assert diff.verdict == "regression"
+    assert gate_exit_code(diff) == 1
+    (delta,) = diff.regressions()
+    assert delta.metric == "quality.total_cost"
+    assert delta.delta == pytest.approx(10.0)
+    assert delta.rel_delta == pytest.approx(0.10)
+
+
+def test_improvement_in_good_direction():
+    diff = diff_records(
+        _record({"total_cost": 100.0}), _record({"total_cost": 90.0})
+    )
+    assert diff.verdict == "improved"
+    assert gate_exit_code(diff) == 0
+    # strict mode flags improvements too (golden refresh wanted)
+    assert gate_exit_code(diff, strict=True) == 1
+
+
+def test_within_tolerance_is_ok():
+    diff = diff_records(
+        _record({"total_cost": 100.0}),
+        _record({"total_cost": 104.0}),
+        tolerances={"total_cost": Tolerance(rel_tol=0.05, worse=INCREASE_BAD)},
+    )
+    assert diff.verdict == "ok"
+    assert gate_exit_code(diff) == 0
+
+
+def test_directionless_out_of_band_is_drift():
+    diff = diff_records(
+        _record({"custom_metric": 1.0}), _record({"custom_metric": 2.0})
+    )
+    assert diff.verdict == "drift"
+    assert gate_exit_code(diff) == 1
+
+
+def test_feasibility_flip_is_regression():
+    diff = diff_records(
+        _record({"feasible": True}), _record({"feasible": False})
+    )
+    assert diff.verdict == "regression"
+    reverse = diff_records(
+        _record({"feasible": False}), _record({"feasible": True})
+    )
+    assert reverse.verdict == "improved"
+
+
+def test_removed_metric_is_regression_added_is_drift():
+    diff = diff_records(
+        _record({"total_cost": 1.0, "old": 5}), _record({"total_cost": 1.0})
+    )
+    assert diff.verdict == "regression"
+    diff = diff_records(
+        _record({"total_cost": 1.0}), _record({"total_cost": 1.0, "new": 5})
+    )
+    assert diff.verdict == "drift"
+
+
+def test_worst_status_wins():
+    diff = diff_records(
+        _record({"total_cost": 100.0, "avg_clb_utilization": 0.8}),
+        _record({"total_cost": 90.0, "avg_clb_utilization": 0.7}),
+    )
+    # improvement on cost, regression on utilization -> regression overall
+    assert diff.verdict == "regression"
+
+
+def test_decrease_bad_direction():
+    diff = diff_records(
+        _record({"avg_clb_utilization": 0.80}),
+        _record({"avg_clb_utilization": 0.70}),
+    )
+    assert diff.verdict == "regression"
+
+
+def test_identity_mismatches_become_warnings_not_failures():
+    a = _record({"total_cost": 1.0}, seed=1)
+    b = _record({"total_cost": 1.0}, seed=2)
+    diff = diff_records(a, b)
+    assert diff.verdict == "identical"
+    assert any("seed differs" in w for w in diff.warnings)
+
+
+def test_carve_convergence_is_compared():
+    conv_a = {"carves": [{"level": 0, "cut": 30}], "pass_series": []}
+    conv_b = {"carves": [{"level": 0, "cut": 40}], "pass_series": []}
+    diff = diff_records(
+        _record({"k": 2}, convergence=conv_a),
+        _record({"k": 2}, convergence=conv_b),
+    )
+    assert diff.verdict == "regression"
+    assert any("carves" in d.metric for d in diff.regressions())
+
+
+def test_pass_series_is_not_compared():
+    conv_a = {"carves": [], "pass_series": [{"gains": [5, 1]}]}
+    conv_b = {"carves": [], "pass_series": [{"gains": [9, 9, 9]}]}
+    diff = diff_records(
+        _record({"k": 2}, convergence=conv_a),
+        _record({"k": 2}, convergence=conv_b),
+    )
+    assert diff.verdict == "identical"
+
+
+def test_as_dict_shape():
+    diff = diff_records(
+        _record({"total_cost": 100.0}), _record({"total_cost": 110.0})
+    )
+    payload = diff.as_dict()
+    assert payload["verdict"] == "regression"
+    assert payload["metrics_compared"] == len(diff.metrics)
+    assert payload["changed"][0]["metric"] == "quality.total_cost"
+
+
+# ---------------------------------------------------------------------------
+# renderings
+# ---------------------------------------------------------------------------
+
+
+def test_render_text_mentions_verdict_and_metric():
+    diff = diff_records(
+        _record({"total_cost": 100.0}), _record({"total_cost": 110.0})
+    )
+    text = render_text(diff)
+    assert "regression" in text and "quality.total_cost" in text
+    assert "100" in text and "110" in text
+
+
+def test_render_text_show_same_lists_everything():
+    diff = diff_records(_record({"k": 2}), _record({"k": 2}))
+    assert "quality.k" not in render_text(diff)
+    assert "quality.k" in render_text(diff, show_same=True)
+
+
+def test_render_html_is_self_contained():
+    record = _record(
+        {"total_cost": 100.0, "k": 2},
+        convergence={
+            "carves": [
+                {"level": 0, "cut": 30, "terminals": 40},
+                {"level": 1, "cut": 0, "terminals": None, "final": True},
+            ],
+            "pass_series": [{"engine": "fm", "seed": 1, "gains": [8, 2, 0]}],
+        },
+    )
+    diff = diff_records(record, record)
+    page = render_html([record], [diff], title="t <script>")
+    assert page.startswith("<!DOCTYPE html>")
+    assert "<script" not in page.split("t &lt;script&gt;")[1]  # escaped, no JS
+    assert "<svg" in page and "polyline" in page
+    assert "cut per carve level" in page and "fm pass gains" in page
+    assert "verdict-identical" in page
+
+
+def test_render_html_without_curves_degrades():
+    record = _record({"total_cost": 1.0})
+    page = render_html([record])
+    assert "no curves" in page
+
+
+def test_run_diff_verdict_empty_metrics():
+    assert RunDiff("a", "b").verdict == "identical"
+    assert RunDiff("a", "b", metrics=[
+        MetricDelta("m", 1, 2, "within", 1.0, 1.0)
+    ]).verdict == "ok"

@@ -387,3 +387,68 @@ def test_flow_rejects_unknown_algorithm(small_mapped):
 
     with pytest.raises(ConfigError):
         kway_solution(small_mapped, threshold=1, algorithm="simulated-annealing")
+
+
+# ---------------------------------------------------------------------------
+# Edge cases: torn streams, disjoint merges, interleaved workers
+# ---------------------------------------------------------------------------
+
+
+def test_validate_jsonl_rejects_empty_file(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    events, problems = validate_jsonl_file(str(path))
+    assert events == []
+    assert any("empty event stream" in p for p in problems)
+
+
+def test_validate_jsonl_reports_truncated_line(tmp_path):
+    from repro.obs.events import read_jsonl
+
+    path = tmp_path / "torn.jsonl"
+    path.write_text(
+        json.dumps(meta_event()) + "\n"
+        + json.dumps({"v": 1, "ts": 0.0, "kind": "counter",
+                      "name": "c", "value": 3}) + "\n"
+        + '{"v": 1, "ts": 0.0, "kind": "coun'  # torn tail, no newline
+    )
+    events, problems = validate_jsonl_file(str(path))
+    assert events == [] and len(problems) == 1
+    assert "not valid JSON" in problems[0] and ":3:" in problems[0]
+    # skip_invalid drops only the torn line (the ledger reads this way)
+    survivors = read_jsonl(str(path), skip_invalid=True)
+    assert [e["kind"] for e in survivors] == ["meta", "counter"]
+
+
+def test_merge_snapshot_adopts_unknown_histogram_buckets():
+    worker = MetricsRegistry(enabled=True)
+    worker.histogram("only.in.worker", (1.0, 2.0)).observe(1.5)
+    parent = MetricsRegistry(enabled=True)
+    parent.histogram("only.in.parent", (5.0,)).observe(0.1)
+    parent.merge_snapshot(worker.snapshot())
+    snap = parent.snapshot()
+    adopted = snap["histograms"]["only.in.worker"]
+    assert adopted["bounds"] == [1.0, 2.0]
+    assert adopted["count"] == 1 and adopted["counts"] == [0, 1, 0]
+    # the parent's own disjoint histogram is untouched
+    assert snap["histograms"]["only.in.parent"]["count"] == 1
+
+
+def test_summarize_interleaved_multi_worker_events():
+    """Per-worker streams concatenated out of order still summarize."""
+    streams = []
+    for pid in (101, 202):
+        reg = MetricsRegistry(enabled=True, emitter=ListEmitter())
+        reg.emit_meta()
+        with use_registry(reg):
+            with reg.span("carve", worker=pid):
+                reg.counter("fm.moves").inc(10 + pid)
+        reg.close()
+        streams.append(reg.emitter.events)
+    # interleave the two workers' events line by line
+    interleaved = [e for pair in zip(streams[0], streams[1]) for e in pair]
+    assert validate_events(interleaved) == []
+    text = summarize_events(interleaved)
+    assert "carve" in text and "fm.moves" in text
+    # both workers' counter lines survive, not just the last one
+    assert text.count("fm.moves") == 2
