@@ -38,6 +38,8 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Dict, Optional, Union
 
+from repro.cache import codec as cache_codec
+from repro.cache import store as cache_store
 from repro.core.flow import (
     bipartition_experiment,
     kway_solution,
@@ -51,6 +53,7 @@ from repro.obs.events import validate_jsonl_file
 from repro.obs.metrics import get_registry
 from repro.obs.summary import summarize_events
 from repro.partition.devices import DeviceLibrary
+from repro.partition.verify import verify_solution
 from repro.robust.runner import ResilientRunner, RunLog
 from repro.techmap.mapped import MappedNetlist
 
@@ -83,6 +86,12 @@ class RunResult:
     #: enabled (``repro.obs.ledger``); ``None`` otherwise.  Additive
     #: field -- existing consumers of the version-1 shape are unaffected.
     run_record: Optional[Dict[str, Any]] = None
+    #: Solution-cache interaction of this call (:mod:`repro.cache`):
+    #: ``None`` with ``cache="off"``, otherwise a dict with ``status``
+    #: (``"hit"`` | ``"miss"`` | ``"refreshed"``), ``key``, ``path`` and
+    #: -- on a hit -- ``saved_seconds`` (the original solve wall-clock).
+    #: Additive field, same compatibility note as ``run_record``.
+    cache_info: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -115,6 +124,115 @@ def _make_runner(
         max_retries=2 if max_retries is None else max_retries,
         fallback=True if fallback is None else fallback,
     )
+
+
+def _check_cache_policy(cache: str) -> None:
+    if cache not in cache_store.CACHE_POLICIES:
+        raise ValueError(
+            f"cache={cache!r} is not a cache policy; "
+            f"expected one of {cache_store.CACHE_POLICIES}"
+        )
+
+
+def _cache_try_hit(
+    kind: str,
+    store: cache_store.SolutionCache,
+    key: str,
+    mapped: MappedNetlist,
+) -> Optional[tuple]:
+    """``(solution, entry)`` when a trustworthy hit exists, else ``None``.
+
+    A hit is trusted only after it survives decoding *and* -- for k-way
+    solutions -- the independent checker
+    :func:`~repro.partition.verify.verify_solution` against the live
+    mapped netlist.  Anything less is deleted and treated as a miss, so
+    a corrupted/stale entry can cost a recompute but never poison a run.
+    """
+    entry = store.get(key)
+    if entry is None or entry.get("kind") != kind:
+        return None
+    try:
+        solution = cache_codec.decode_solution(entry["solution"])
+    except cache_codec.CacheDecodeError:
+        store.delete(key)
+        return None
+    if kind == "partition" and verify_solution(mapped, solution):
+        store.delete(key)
+        return None
+    store.touch(key)
+    return solution, entry
+
+
+def _cache_hit_result(
+    kind: str,
+    store: cache_store.SolutionCache,
+    key: str,
+    solution: Any,
+    entry: Dict[str, Any],
+) -> RunResult:
+    """Reconstruct the :class:`RunResult` a fresh solve would return.
+
+    ``elapsed_seconds`` is the *original* solve wall-clock from the
+    entry, so anything derived downstream (Table IV CPU columns, ledger
+    diffs) is bit-identical between cold and warm runs.
+    """
+    saved = float(entry["elapsed_seconds"])
+    reg = get_registry()
+    reg.counter("cache.hits").inc()
+    reg.emit_event(
+        "cache.hit",
+        key=key,
+        kind=kind,
+        circuit=entry.get("circuit"),
+        saved_seconds=saved,
+    )
+    return RunResult(
+        kind=kind,
+        solution=solution,
+        metrics=_metrics_snapshot(),
+        elapsed_seconds=saved,
+        cache_info={
+            "status": "hit",
+            "key": key,
+            "path": store.path_for(key),
+            "saved_seconds": saved,
+        },
+    )
+
+
+def _cache_store_result(
+    kind: str,
+    cache: str,
+    store: cache_store.SolutionCache,
+    key: str,
+    mapped: MappedNetlist,
+    config: Dict[str, Any],
+    seed: int,
+    solution: Any,
+    elapsed: float,
+) -> Dict[str, Any]:
+    """Memoize a fresh solve; returns the ``cache_info`` dict."""
+    path = store.put(
+        cache_store.build_entry(
+            kind=kind,
+            key=key,
+            circuit=mapped.name,
+            netlist_hash=obs_ledger.netlist_fingerprint(mapped),
+            config=config,
+            seed=seed,
+            solution=cache_codec.encode_solution(solution),
+            elapsed_seconds=elapsed,
+        )
+    )
+    reg = get_registry()
+    reg.counter("cache.misses" if cache == "use" else "cache.refreshes").inc()
+    reg.counter("cache.stores").inc()
+    reg.emit_event("cache.store", key=key, kind=kind, circuit=mapped.name)
+    return {
+        "status": "miss" if cache == "use" else "refreshed",
+        "key": key,
+        "path": path,
+    }
 
 
 def load(
@@ -180,6 +298,7 @@ def bipartition(
     deadline: Optional[float] = None,
     max_retries: Optional[int] = None,
     fallback: Optional[bool] = None,
+    cache: str = "off",
 ) -> RunResult:
     """Experiment 1: ``runs`` equal-size min-cut bipartitionings.
 
@@ -191,10 +310,37 @@ def bipartition(
     an installed ledger or the ``REPRO_LEDGER`` environment variable), the
     quality vector and convergence series are appended to it and attached
     to the result as ``run_record``.
+
+    ``cache="use"`` consults the solution cache
+    (:func:`repro.cache.resolve_cache`) under the ledger's netlist-hash x
+    config-fingerprint x seed key and memoizes misses; ``"refresh"``
+    recomputes and overwrites the entry; ``"off"`` (default) bypasses the
+    cache entirely.  A hit skips the solve *and* the ledger append (no
+    new run happened) and sets ``cache_info``.
     """
+    _check_cache_policy(cache)
     start = perf_counter()
     ledger = obs_ledger.resolve_ledger()
     mapped = map(circuit, scale=scale, seed=seed or 1994).solution
+    config = {
+        "verb": "bipartition",
+        "algorithm": algorithm,
+        "runs": runs,
+        "threshold": threshold,
+        "balance_tolerance": balance_tolerance,
+        "max_passes": max_passes,
+        "max_growth": max_growth,
+        "scale": scale,
+        "deadline": deadline,
+        "max_retries": max_retries,
+        "fallback": fallback,
+    }
+    store = cache_store.resolve_cache() if cache != "off" else None
+    key = cache_store.cache_key(mapped, config, seed) if store is not None else ""
+    if cache == "use" and store is not None:
+        hit = _cache_try_hit("bipartition", store, key, mapped)
+        if hit is not None:
+            return _cache_hit_result("bipartition", store, key, hit[0], hit[1])
     log: Optional[RunLog] = None
     with obs_ledger.capture_events(enabled=ledger is not None) as events:
         if _wants_runner(deadline, max_retries, fallback):
@@ -223,6 +369,11 @@ def bipartition(
                 jobs=jobs,
             )
     elapsed = perf_counter() - start
+    cache_info = None
+    if store is not None:
+        cache_info = _cache_store_result(
+            "bipartition", cache, store, key, mapped, config, seed, report, elapsed
+        )
     record = None
     if ledger is not None:
         record = ledger.append(
@@ -230,19 +381,7 @@ def bipartition(
                 kind="bipartition",
                 circuit=mapped.name,
                 mapped=mapped,
-                config={
-                    "verb": "bipartition",
-                    "algorithm": algorithm,
-                    "runs": runs,
-                    "threshold": threshold,
-                    "balance_tolerance": balance_tolerance,
-                    "max_passes": max_passes,
-                    "max_growth": max_growth,
-                    "scale": scale,
-                    "deadline": deadline,
-                    "max_retries": max_retries,
-                    "fallback": fallback,
-                },
+                config=config,
                 seed=seed,
                 quality=obs_ledger.quality_from_bipartition(report),
                 convergence=obs_ledger.distill_convergence(events),
@@ -257,6 +396,7 @@ def bipartition(
         metrics=_metrics_snapshot(),
         elapsed_seconds=elapsed,
         run_record=record,
+        cache_info=cache_info,
     )
 
 
@@ -274,6 +414,7 @@ def partition(
     deadline: Optional[float] = None,
     max_retries: Optional[int] = None,
     fallback: Optional[bool] = None,
+    cache: str = "off",
 ) -> RunResult:
     """Experiment 2: k-way partitioning into heterogeneous devices.
 
@@ -286,10 +427,38 @@ def partition(
     the quality vector (cost, utilizations, replication, feasibility) and
     the per-carve convergence series are appended to it and attached to
     the result as ``run_record``.
+
+    ``cache="use"`` consults the solution cache
+    (:func:`repro.cache.resolve_cache`); a hit is re-verified against the
+    live mapped netlist with
+    :func:`~repro.partition.verify.verify_solution` before it is trusted,
+    skips the solve and the ledger append, and sets ``cache_info``.
+    ``"refresh"`` recomputes and overwrites the entry; ``"off"``
+    (default) bypasses the cache entirely.
     """
+    _check_cache_policy(cache)
     start = perf_counter()
     ledger = obs_ledger.resolve_ledger()
     mapped = map(circuit, scale=scale, seed=seed or 1994).solution
+    config = {
+        "verb": "partition",
+        "algorithm": algorithm,
+        "threshold": threshold,
+        "library": getattr(library, "name", None) or "XC3000",
+        "n_solutions": n_solutions,
+        "seeds_per_carve": seeds_per_carve,
+        "devices_per_carve": devices_per_carve,
+        "scale": scale,
+        "deadline": deadline,
+        "max_retries": max_retries,
+        "fallback": fallback,
+    }
+    store = cache_store.resolve_cache() if cache != "off" else None
+    key = cache_store.cache_key(mapped, config, seed) if store is not None else ""
+    if cache == "use" and store is not None:
+        hit = _cache_try_hit("partition", store, key, mapped)
+        if hit is not None:
+            return _cache_hit_result("partition", store, key, hit[0], hit[1])
     log: Optional[RunLog] = None
     with obs_ledger.capture_events(enabled=ledger is not None) as events:
         if _wants_runner(deadline, max_retries, fallback):
@@ -317,6 +486,11 @@ def partition(
                 jobs=jobs,
             )
     elapsed = perf_counter() - start
+    cache_info = None
+    if store is not None:
+        cache_info = _cache_store_result(
+            "partition", cache, store, key, mapped, config, seed, solution, elapsed
+        )
     record = None
     if ledger is not None:
         record = ledger.append(
@@ -324,19 +498,7 @@ def partition(
                 kind="partition",
                 circuit=mapped.name,
                 mapped=mapped,
-                config={
-                    "verb": "partition",
-                    "algorithm": algorithm,
-                    "threshold": threshold,
-                    "library": getattr(library, "name", None) or "XC3000",
-                    "n_solutions": n_solutions,
-                    "seeds_per_carve": seeds_per_carve,
-                    "devices_per_carve": devices_per_carve,
-                    "scale": scale,
-                    "deadline": deadline,
-                    "max_retries": max_retries,
-                    "fallback": fallback,
-                },
+                config=config,
                 seed=seed,
                 quality=obs_ledger.quality_from_kway(solution),
                 convergence=obs_ledger.distill_convergence(events),
@@ -351,6 +513,7 @@ def partition(
         metrics=_metrics_snapshot(),
         elapsed_seconds=elapsed,
         run_record=record,
+        cache_info=cache_info,
     )
 
 

@@ -8,6 +8,8 @@ bipartition  Min-cut bipartitioning with or without functional replication.
 partition    Heterogeneous k-way partitioning (cost + interconnect).
 experiment   Regenerate a paper table/figure (table1..table7, figure3).
 runs         Inspect the persistent run ledger (list/show/diff/report).
+batch        Run job manifests against the solution cache (run/manifest/check).
+cache        Inspect or trim the on-disk solution cache (stats/evict).
 
 ``bipartition`` and ``partition`` accept ``--ledger [PATH]`` to append
 the run's quality record to the ledger (``results/ledger`` by default);
@@ -671,6 +673,141 @@ def _cmd_runs_report(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# batch & cache: manifest-driven sweeps against the solution cache
+# ---------------------------------------------------------------------------
+
+
+def _cmd_batch_run(args: argparse.Namespace) -> int:
+    from repro.batch.manifest import ManifestError, load_manifest
+    from repro.batch.scheduler import run_batch
+
+    try:
+        manifest = load_manifest(args.manifest)
+    except ManifestError as exc:
+        raise SystemExit(str(exc)) from exc
+
+    done = [0]
+
+    def progress(payload: dict) -> None:
+        if args.quiet:
+            return
+        event = payload.get("event")
+        if event in ("job.done", "job.skipped"):
+            done[0] += 1
+            status = payload.get("status", "skipped")
+            cache_status = payload.get("cache_status", "-")
+            wall = payload.get("wall_seconds", 0.0)
+            print(
+                f"  [{done[0]}] {payload.get('job_id')}: {status} "
+                f"(cache {cache_status}, {wall:.2f}s)",
+                file=sys.stderr,
+            )
+
+    with _observability(args) as (trace_path, _events):
+        report = run_batch(
+            manifest,
+            jobs=args.jobs,
+            cache=args.cache,
+            cache_dir=args.cache_dir,
+            deadline=args.deadline,
+            on_event=progress,
+        )
+    if args.report:
+        report.write(args.report)
+        print(f"report written to {args.report}", file=sys.stderr)
+    if trace_path is not None:
+        print(f"trace written to {trace_path}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    verdicts = report.counts("status")
+    return 0 if not verdicts.get("failed") and not verdicts.get("skipped") else 1
+
+
+def _cmd_batch_manifest(args: argparse.Namespace) -> int:
+    from repro.batch.manifest import ManifestError, expand_manifest
+    from repro.experiments import tables4to7
+
+    thresholds = []
+    for spec in args.thresholds:
+        thresholds.append(float("inf") if spec == "inf" else float(spec))
+    manifest = tables4to7.sweep_manifest(
+        circuits=args.circuits,
+        scale=args.scale,
+        seed=args.seed,
+        thresholds=thresholds,
+        n_solutions=args.solutions,
+        seeds_per_carve=args.seeds_per_carve,
+        devices_per_carve=args.devices_per_carve,
+    )
+    try:
+        n_jobs = len(expand_manifest(manifest))
+    except ManifestError as exc:
+        raise SystemExit(str(exc)) from exc
+    text = json.dumps(manifest, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"manifest with {n_jobs} job(s) written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_batch_check(args: argparse.Namespace) -> int:
+    from repro.batch.scheduler import check_reports
+
+    reports = []
+    for path in (args.first, args.second):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                reports.append(json.load(fh))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"cannot read report {path}: {exc}") from exc
+    problems = check_reports(reports[0], reports[1], args.min_hit_rate)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    rate = reports[1].get("cache", {}).get("hit_rate", 0.0)
+    print(
+        f"OK: runs are bit-identical, warm hit rate {rate:.0%} "
+        f">= {args.min_hit_rate:.0%}"
+    )
+    return 0
+
+
+def _cli_cache(args: argparse.Namespace):
+    from repro.cache.store import SolutionCache, resolve_cache
+
+    if args.cache_dir:
+        return SolutionCache(args.cache_dir)
+    return resolve_cache()
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    stats = _cli_cache(args).stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+    else:
+        for key, value in stats.items():
+            print(f"{key:>12}: {value}")
+    return 0
+
+
+def _cmd_cache_evict(args: argparse.Namespace) -> int:
+    store = _cli_cache(args)
+    evicted = store.evict(0 if args.all else args.max_bytes)
+    stats = store.stats()
+    print(
+        f"evicted {len(evicted)} entrie(s); "
+        f"{stats['entries']} left ({stats['bytes']} bytes) in {store.root}"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-fpga",
@@ -833,6 +970,137 @@ def build_parser() -> argparse.ArgumentParser:
     p_rr.add_argument("--last", type=int, default=5, metavar="N")
     p_rr.add_argument("--out", default="runs_report.html", metavar="PATH")
     p_rr.set_defaults(func=_cmd_runs_report)
+
+    p_batch = sub.add_parser(
+        "batch", help="run job manifests against the solution cache"
+    )
+    batch_sub = p_batch.add_subparsers(dest="batch_command", required=True)
+
+    def _cache_dir_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--cache-dir",
+            metavar="PATH",
+            default=None,
+            help="solution-cache directory (default results/cache, "
+            "or the REPRO_CACHE env var)",
+        )
+
+    p_br = batch_sub.add_parser(
+        "run", help="execute every job of a manifest; exit 1 on failures"
+    )
+    p_br.add_argument("manifest", help="batch manifest JSON file")
+    p_br.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (1 = sequential, 0 = all cores)",
+    )
+    p_br.add_argument(
+        "--cache",
+        choices=["use", "refresh", "off"],
+        default="use",
+        help="solution-cache policy for every job (default use)",
+    )
+    _cache_dir_arg(p_br)
+    p_br.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="global wall-clock budget; jobs that cannot start in time "
+        "are reported skipped",
+    )
+    p_br.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="write the full batch report JSON here",
+    )
+    p_br.add_argument(
+        "--quiet", action="store_true", help="suppress per-job progress lines"
+    )
+    p_br.add_argument("--json", action="store_true")
+    p_br.add_argument(
+        "--trace",
+        action="store_true",
+        help="record batch/cache events as JSONL (see docs/OBSERVABILITY.md)",
+    )
+    p_br.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="JSONL trace destination (implies --trace; default trace.jsonl)",
+    )
+    p_br.set_defaults(func=_cmd_batch_run)
+
+    p_bm = batch_sub.add_parser(
+        "manifest", help="emit a Tables IV-VII sweep manifest"
+    )
+    p_bm.add_argument(
+        "generator",
+        choices=["tables4to7"],
+        help="which manifest to generate",
+    )
+    p_bm.add_argument("--circuits", nargs="*", default=None)
+    p_bm.add_argument("--scale", type=float, default=1.0)
+    p_bm.add_argument("--seed", type=int, default=1994)
+    p_bm.add_argument(
+        "--thresholds",
+        nargs="+",
+        default=["inf", "0", "1", "2", "3"],
+        metavar="T",
+        help="replication thresholds ('inf' or numbers; "
+        "default: inf 0 1 2 3)",
+    )
+    p_bm.add_argument("--solutions", type=int, default=2)
+    p_bm.add_argument("--seeds-per-carve", type=int, default=3)
+    p_bm.add_argument("--devices-per-carve", type=int, default=3)
+    p_bm.add_argument(
+        "--out", metavar="PATH", default=None, help="write here (default stdout)"
+    )
+    p_bm.set_defaults(func=_cmd_batch_manifest)
+
+    p_bc = batch_sub.add_parser(
+        "check",
+        help="gate two batch reports: warm hit rate + bit-identical results",
+    )
+    p_bc.add_argument("first", help="cold-run report JSON")
+    p_bc.add_argument("second", help="warm-run report JSON")
+    p_bc.add_argument(
+        "--min-hit-rate",
+        type=float,
+        default=0.9,
+        metavar="FRAC",
+        help="required cache hit rate in the second run (default 0.9)",
+    )
+    p_bc.set_defaults(func=_cmd_batch_check)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or trim the on-disk solution cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+
+    p_cs = cache_sub.add_parser("stats", help="entry/byte counts and location")
+    _cache_dir_arg(p_cs)
+    p_cs.add_argument("--json", action="store_true")
+    p_cs.set_defaults(func=_cmd_cache_stats)
+
+    p_ce = cache_sub.add_parser(
+        "evict", help="LRU-evict entries down to the size cap"
+    )
+    _cache_dir_arg(p_ce)
+    p_ce.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evict down to N bytes (default: the configured cap)",
+    )
+    p_ce.add_argument(
+        "--all", action="store_true", help="evict everything (same as 0 bytes)"
+    )
+    p_ce.set_defaults(func=_cmd_cache_evict)
     return parser
 
 

@@ -9,7 +9,7 @@ psi = 0, and the rest have psi >= 1.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.experiments.common import TableResult, load_suite, standard_parser
 from repro.replication.potential import PotentialDistribution, cell_distribution

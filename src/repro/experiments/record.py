@@ -163,44 +163,95 @@ def paper_drift_report(data: Dict[Tuple[str, float], KWayReport]) -> str:
     return "\n".join(lines)
 
 
+def sweep_manifest(seed: int = 1994) -> Dict:
+    """The recording k-way sweep as a batch manifest.
+
+    Same grid and fidelity as :func:`record_kway_sweep`'s in-process
+    path (per-circuit :data:`KWAY_SCALES`, n_solutions=1, 2 seeds and 2
+    devices per carve), so a pre-warmed cache makes recording a replay.
+    """
+    return tables4to7.sweep_manifest(
+        circuits=list(KWAY_SCALES),
+        seed=seed,
+        n_solutions=1,
+        seeds_per_carve=2,
+        devices_per_carve=2,
+        scales=KWAY_SCALES,
+        name="record-kway-sweep",
+    )
+
+
+def _log_sweep_part(
+    ledger: Optional[obs_ledger.Ledger],
+    part: Dict[Tuple[str, float], KWayReport],
+    seed: int,
+) -> None:
+    if ledger is None:
+        return
+    for (name, threshold), report in sorted(part.items()):
+        ledger.append(
+            obs_ledger.build_record(
+                kind="experiment",
+                circuit=name,
+                config={
+                    "verb": "experiment",
+                    "suite": "tables4to7",
+                    "threshold": threshold,
+                    "scale": KWAY_SCALES[name],
+                    "n_solutions": 1,
+                    "seeds_per_carve": 2,
+                    "devices_per_carve": 2,
+                },
+                seed=seed,
+                quality=obs_ledger.quality_from_kway_report(report),
+                elapsed_seconds=report.elapsed_seconds,
+            )
+        )
+
+
 def record_kway_sweep(
     out_dir: str,
     seed: int = 1994,
     ledger: Optional[obs_ledger.Ledger] = None,
+    batch_jobs: Optional[int] = None,
+    cache: str = "off",
+    cache_dir: Optional[str] = None,
 ) -> Dict[Tuple[str, float], KWayReport]:
     data: Dict[Tuple[str, float], KWayReport] = {}
     start = time.time()
-    for circuit, scale in KWAY_SCALES.items():
-        part = tables4to7.sweep(
-            (circuit,),
-            scale,
+    if batch_jobs is not None:
+        # Batch path: the whole sweep as one manifest through the
+        # scheduler -- deduped against the solution cache, fanned out
+        # over `batch_jobs` workers.  Ledger records and tables are
+        # identical to the sequential path.
+        data, batch = tables4to7.sweep_via_batch(
+            circuits=list(KWAY_SCALES),
             seed=seed,
             n_solutions=1,
             seeds_per_carve=2,
             devices_per_carve=2,
+            scales=KWAY_SCALES,
+            jobs=batch_jobs,
+            cache=cache,
+            cache_dir=cache_dir,
         )
-        data.update(part)
-        if ledger is not None:
-            for (name, threshold), report in sorted(part.items()):
-                ledger.append(
-                    obs_ledger.build_record(
-                        kind="experiment",
-                        circuit=name,
-                        config={
-                            "verb": "experiment",
-                            "suite": "tables4to7",
-                            "threshold": threshold,
-                            "scale": scale,
-                            "n_solutions": 1,
-                            "seeds_per_carve": 2,
-                            "devices_per_carve": 2,
-                        },
-                        seed=seed,
-                        quality=obs_ledger.quality_from_kway_report(report),
-                        elapsed_seconds=report.elapsed_seconds,
-                    )
-                )
-        print(f"  {circuit} (scale {scale}) done at {time.time() - start:.0f}s")
+        _log_sweep_part(ledger, data, seed)
+        print(f"  batch sweep: {batch.summary()}")
+    else:
+        for circuit, scale in KWAY_SCALES.items():
+            part = tables4to7.sweep(
+                (circuit,),
+                scale,
+                seed=seed,
+                n_solutions=1,
+                seeds_per_carve=2,
+                devices_per_carve=2,
+            )
+            data.update(part)
+            _log_sweep_part(ledger, part, seed)
+            print(
+                f"  {circuit} (scale {scale}) done at {time.time() - start:.0f}s"
+            )
     scales_note = ", ".join(f"{c}@{s}" for c, s in KWAY_SCALES.items())
     for name, fn in (
         ("table4.txt", tables4to7.table4),
@@ -236,6 +287,26 @@ def main() -> None:
         action="store_true",
         help="skip ledger logging entirely",
     )
+    parser.add_argument(
+        "--batch-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the k-way sweep through the batch scheduler with N "
+        "workers (default: sequential in-process sweep)",
+    )
+    parser.add_argument(
+        "--cache",
+        choices=("use", "refresh", "off"),
+        default="off",
+        help="solution-cache policy for the batch sweep (default off)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="solution-cache directory (default results/cache)",
+    )
     args = parser.parse_args()
     os.makedirs(args.out, exist_ok=True)
     ledger: Optional[obs_ledger.Ledger] = None
@@ -258,7 +329,14 @@ def main() -> None:
         )
         _write(args.out, "table3.txt", result.text())
         _log_table(ledger, "table3", result, args.seed)
-    record_kway_sweep(args.out, seed=args.seed, ledger=ledger)
+    record_kway_sweep(
+        args.out,
+        seed=args.seed,
+        ledger=ledger,
+        batch_jobs=args.batch_jobs,
+        cache=args.cache,
+        cache_dir=args.cache_dir,
+    )
 
 
 if __name__ == "__main__":

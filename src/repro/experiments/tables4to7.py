@@ -12,13 +12,17 @@ paper tables:
   interconnect measure of eq. 2; paper: 77% down to 67% on average).
 
 The sweep is memoized in-process so the four tables (and their benches)
-share one computation.
+share one computation.  For cached/resumable sweeps, the same grid can
+be expressed as a batch manifest (:func:`sweep_manifest`) and driven
+through :func:`repro.batch.scheduler.run_batch`; :func:`sweep_via_batch`
+bundles both and :func:`reports_from_batch` turns a finished batch back
+into the ``{(circuit, T): KWayReport}`` dict the table builders take.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.flow import kway_experiment
 from repro.core.results import KWayReport
@@ -76,6 +80,106 @@ def sweep(
         seeds_per_carve,
         devices_per_carve,
     )
+
+
+def sweep_manifest(
+    circuits: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    seed: int = 1994,
+    thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
+    n_solutions: int = 2,
+    seeds_per_carve: int = 3,
+    devices_per_carve: int = 3,
+    scales: Optional[Dict[str, float]] = None,
+    name: str = "tables4to7",
+) -> Dict[str, Any]:
+    """The T-sweep as a ``repro-batch-manifest/1`` document.
+
+    One partition job per (circuit, threshold); ``scales`` overrides the
+    global ``scale`` per circuit (the recording scales of
+    :mod:`repro.experiments.record`).  ``T = inf`` is spelled ``"inf"``
+    (strict JSON).  Feed the result to
+    :func:`repro.batch.scheduler.run_batch` and rebuild the table input
+    with :func:`reports_from_batch`.
+    """
+    from repro.batch.manifest import MANIFEST_SCHEMA_NAME
+    from repro.netlist.benchmarks import BENCHMARK_NAMES
+
+    names = tuple(circuits) if circuits else BENCHMARK_NAMES
+    jobs: List[Dict[str, Any]] = []
+    for circuit in names:
+        for t in thresholds:
+            jobs.append(
+                {
+                    "circuit": circuit,
+                    "scale": (scales or {}).get(circuit, scale),
+                    "threshold": "inf" if t == INF else t,
+                }
+            )
+    return {
+        "schema": MANIFEST_SCHEMA_NAME,
+        "name": name,
+        "defaults": {
+            "verb": "partition",
+            "seed": seed,
+            "n_solutions": n_solutions,
+            "seeds_per_carve": seeds_per_carve,
+            "devices_per_carve": devices_per_carve,
+        },
+        "jobs": jobs,
+    }
+
+
+def reports_from_batch(report: Any) -> Dict[Tuple[str, float], KWayReport]:
+    """``{(circuit, T): KWayReport}`` from a finished sweep batch.
+
+    Jobs without a report (failed/skipped) are left out -- the table
+    builders fail loudly on the missing key rather than render a hole.
+    """
+    data: Dict[Tuple[str, float], KWayReport] = {}
+    for outcome in report.outcomes:
+        if outcome.verb == "partition" and outcome.report is not None:
+            data[(outcome.circuit, outcome.report.threshold)] = outcome.report
+    return data
+
+
+def sweep_via_batch(
+    circuits: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    seed: int = 1994,
+    thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
+    n_solutions: int = 2,
+    seeds_per_carve: int = 3,
+    devices_per_carve: int = 3,
+    scales: Optional[Dict[str, float]] = None,
+    jobs: int = 1,
+    cache: str = "use",
+    cache_dir: Optional[str] = None,
+) -> Tuple[Dict[Tuple[str, float], KWayReport], Any]:
+    """Run the T-sweep through the batch scheduler with caching.
+
+    Returns ``(table data, BatchReport)``.  Repeated invocations with an
+    intact cache complete as pure cache hits with bit-identical reports
+    (including the CPU-seconds columns, which replay the original solve
+    times).
+    """
+    from repro.batch.scheduler import run_batch
+
+    manifest = sweep_manifest(
+        circuits,
+        scale,
+        seed,
+        thresholds,
+        n_solutions,
+        seeds_per_carve,
+        devices_per_carve,
+        scales=scales,
+    )
+    batch = run_batch(manifest, jobs=jobs, cache=cache, cache_dir=cache_dir)
+    bad = [o.job_id for o in batch.outcomes if o.report is None]
+    if bad:
+        raise RuntimeError(f"sweep batch left jobs without results: {bad}")
+    return reports_from_batch(batch), batch
 
 
 def _circuit_names(data: Dict[Tuple[str, float], KWayReport]) -> List[str]:

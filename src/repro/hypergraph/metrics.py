@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Set
 
-from repro.hypergraph.hypergraph import Hypergraph, PIN_IN
+from repro.hypergraph.hypergraph import Hypergraph
 
 
 def net_blocks(hg: Hypergraph, assignment: Sequence[int], net_index: int) -> Set[int]:

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from typing import Dict, Tuple
 
 from repro.netlist.generate import array_multiplier, random_logic, sequential_core
 from repro.netlist.netlist import Netlist

@@ -11,7 +11,7 @@ form), which keeps the netlist purely structural.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.netlist.gates import GateType
 from repro.netlist.netlist import Netlist

@@ -19,7 +19,7 @@ All generators take an explicit seed and are fully deterministic.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.netlist.gates import GateType
 from repro.netlist.netlist import Netlist

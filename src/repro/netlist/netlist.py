@@ -13,7 +13,7 @@ replication preserve functionality.
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set
 
 from repro.netlist.gates import Gate, GateType
 

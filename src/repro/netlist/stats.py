@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, TYPE_CHECKING
 
-from repro.netlist.gates import GateType
 from repro.netlist.netlist import Netlist
 
 if TYPE_CHECKING:  # pragma: no cover - typing only

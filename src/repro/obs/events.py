@@ -27,12 +27,11 @@ file validator over a traced quick partition.
 
 from __future__ import annotations
 
-import io
 import json
 import os
 import platform
 import time
-from typing import Any, Dict, IO, Iterable, List, Optional, Tuple, Union
+from typing import Any, Dict, IO, Iterable, List, Tuple, Union
 
 #: Version stamped into every event line as ``v``.
 EVENT_SCHEMA_VERSION = 1

@@ -46,7 +46,7 @@ import platform
 import subprocess
 import time
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from repro.obs.events import ListEmitter, read_jsonl
 from repro.obs.metrics import MetricsRegistry, get_registry, use_registry

@@ -33,7 +33,7 @@ from __future__ import annotations
 import time
 from bisect import bisect_left
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from repro.obs.events import meta_event
 from repro.obs.trace import NULL_SPAN, Span, _NullSpan

@@ -24,11 +24,11 @@ hypergraphs both work.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.hypergraph.hypergraph import Hypergraph, NodeKind, PIN_OUT
-from repro.partition.fm import FMConfig, FMResult, fm_bipartition
+from repro.partition.fm import FMConfig, fm_bipartition
 from repro.partition.fm_replication import (
     FUNCTIONAL,
     ReplicationConfig,

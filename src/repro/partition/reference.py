@@ -35,9 +35,6 @@ from repro.partition.fm_replication import (
     FUNCTIONAL,
     NONE,
     TRADITIONAL,
-    _MOVE,
-    _REPLICATE,
-    _UNREPLICATE,
     ReplicationConfig,
     ReplicationResult,
 )

@@ -18,9 +18,8 @@ thousand cells, which covers the benchmark suite at experiment scales.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

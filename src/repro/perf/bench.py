@@ -103,16 +103,30 @@ def make_report(
     }
 
 
+def _git_stamp() -> str:
+    """The current git revision, or ``"unknown"``.
+
+    Bench runs happen outside checkouts too (tarball installs, bare CI
+    caches); the trajectory keeps appending with an explicit marker
+    instead of crashing or writing ``null``.
+    """
+    try:
+        from repro.obs.ledger import git_revision
+
+        rev = git_revision()
+    except Exception:
+        return "unknown"
+    return rev if rev else "unknown"
+
+
 def history_entry(report: Dict[str, Any]) -> Dict[str, Any]:
     """One timestamped trajectory line distilled from a bench report."""
-    from repro.obs.ledger import git_revision
-
     now = time.time()
     return {
         "schema": HISTORY_SCHEMA_NAME,
         "ts": now,
         "iso_ts": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(now)) + "Z",
-        "git_rev": git_revision(),
+        "git_rev": _git_stamp(),
         "scale": report.get("scale"),
         "python": report.get("python"),
         "machine": report.get("machine"),

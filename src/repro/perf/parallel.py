@@ -4,7 +4,10 @@ Three fan-out points, all with the same contract:
 
 * :func:`parallel_best_of_runs_fm` -- plain FM multi-start;
 * :func:`parallel_best_of_runs_replication` -- replication-aware multi-start;
-* :class:`CarveBandPool` -- the k-way carver's per-fill-band candidate scan.
+* :class:`CarveBandPool` -- the k-way carver's per-fill-band candidate scan;
+* :class:`BatchJobPool` -- whole-job fan-out for the batch scheduler
+  (:mod:`repro.batch.scheduler`), one ``repro.api`` verb call per task
+  with a worker-local solution cache.
 
 **Determinism.**  Work items (derived seeds, carve candidates) are
 generated in exactly the order the sequential loop would generate them,
@@ -270,6 +273,78 @@ def _carve_task(task: Tuple[int, int, int, int]):
         return _engine_outcome(engine, pseudo, device_index)
 
     return _call_with_obs(obs_on, run)
+
+
+# ---------------------------------------------------------------------------
+# Batch job fan-out
+# ---------------------------------------------------------------------------
+
+_BATCH_CTX: Optional[Tuple[Optional[str], str, bool]] = None
+
+
+def _batch_init(cache_dir: Optional[str], cache_policy: str, obs_on: bool) -> None:
+    global _BATCH_CTX
+    _BATCH_CTX = (cache_dir, cache_policy, obs_on)
+    if cache_dir:
+        from repro.cache.store import SolutionCache, set_cache
+
+        set_cache(SolutionCache(cache_dir))
+
+
+def _batch_task(job):
+    from repro.batch.worker import execute_job
+
+    assert _BATCH_CTX is not None
+    _, policy, obs_on = _BATCH_CTX
+    return _call_with_obs(obs_on, lambda: execute_job(job, cache=policy))
+
+
+class BatchJobPool:
+    """A process pool running whole batch jobs (one api verb call each).
+
+    Unlike the solver-level pools above, tasks here are coarse -- a full
+    ``partition``/``bipartition`` run -- so the pool is built once per
+    batch and jobs are ``submit``-ed individually (the scheduler needs
+    per-job futures for deadline-aware collection, not an ordered map).
+    Each worker installs the batch's solution cache at startup
+    (:func:`repro.cache.store.set_cache`), so every job in every worker
+    reads and writes the same sharded store; the atomic tmp+rename
+    writes make concurrent same-key stores race benignly.
+
+    :meth:`collect` unwraps a future's ``(outcome, metrics snapshot)``
+    pair, folding worker metrics into the parent registry exactly like
+    the solver pools do.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str],
+        cache_policy: str,
+        jobs: int,
+    ) -> None:
+        self._ex = ProcessPoolExecutor(
+            max_workers=resolve_jobs(jobs),
+            initializer=_batch_init,
+            initargs=(cache_dir, cache_policy, _parent_obs_enabled()),
+        )
+
+    def submit(self, job):
+        return self._ex.submit(_batch_task, job)
+
+    @staticmethod
+    def collect(future, timeout: Optional[float] = None):
+        """The job outcome from a future (may raise ``TimeoutError``)."""
+        pair = future.result(timeout=timeout)
+        return _merge_worker_pairs([pair])[0]
+
+    def close(self) -> None:
+        self._ex.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "BatchJobPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class CarveBandPool:

@@ -37,14 +37,13 @@ in the paper; see ``tests/test_paper_figures.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.replication.adjacency import (
     BinaryVector,
     norm,
     vand,
     vnot,
-    vor,
     vector,
 )
 

@@ -21,9 +21,9 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
-from repro.replication.adjacency import BinaryVector, norm, vand, vnot
+from repro.replication.adjacency import norm, vand, vnot
 
 #: Threshold value meaning "replication disabled" (eq. 6's T = infinity).
 T_INFINITY = float("inf")

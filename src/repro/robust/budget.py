@@ -87,6 +87,21 @@ class Budget:
                 elapsed=self.elapsed(),
             )
 
+    def share(self, n: int) -> Optional[float]:
+        """An even ``1/n`` split of the remaining time, in seconds.
+
+        Returns ``None`` when the budget is unlimited.  The batch
+        scheduler (:mod:`repro.batch.scheduler`) uses this as the fair
+        per-job wait slice while collecting outstanding jobs, so one
+        stuck job cannot silently consume every other job's share of a
+        global deadline.
+        """
+        if n <= 0:
+            raise ConfigError("share() needs a positive job count")
+        if self.deadline is None:
+            return None
+        return self.remaining() / n
+
     # ------------------------------------------------------------------
     def child(
         self, seconds: Optional[float] = None, *, graceful: bool = True

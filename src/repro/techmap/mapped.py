@@ -12,13 +12,13 @@ this to prove the mapping pipeline preserves circuit functionality.
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.netlist.netlist import Netlist
 from repro.techmap.cover import cover_netlist
 from repro.techmap.decompose import decompose_netlist
-from repro.techmap.pack import CellSpec, pack_cells
+from repro.techmap.pack import pack_cells
 
 
 @dataclass

@@ -23,7 +23,6 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.netlist.gates import GateType
 from repro.netlist.netlist import Netlist
 from repro.techmap.cover import Lut
 

@@ -135,3 +135,22 @@ def test_default_paths_share_the_repo_root():
         default_history_path()
     )
     assert default_history_path().endswith("BENCH_partition_history.jsonl")
+
+
+def test_history_git_stamp_falls_back_to_unknown(monkeypatch, tmp_path):
+    """No git metadata (tarball checkout, bare CI cache) must not crash
+    or write null -- the trajectory line says "unknown" instead."""
+    import repro.obs.ledger as obs_ledger
+
+    monkeypatch.setattr(obs_ledger, "git_revision", lambda *a, **k: None)
+    entry = history_entry(BASE)
+    assert entry["git_rev"] == "unknown"
+
+    def boom(*a, **k):
+        raise OSError("git exploded")
+
+    monkeypatch.setattr(obs_ledger, "git_revision", boom)
+    path = tmp_path / "history.jsonl"
+    appended = append_history(str(path), BASE)
+    assert appended["git_rev"] == "unknown"
+    assert json.loads(path.read_text())["git_rev"] == "unknown"
