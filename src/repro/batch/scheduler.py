@@ -45,7 +45,12 @@ from repro.batch.manifest import (
     REPORT_SCHEMA_NAME,
     expand_manifest,
 )
-from repro.batch.worker import JobOutcome, execute_job, skipped_outcome
+from repro.batch.worker import (
+    JobOutcome,
+    execute_job,
+    failed_outcome,
+    skipped_outcome,
+)
 from repro.obs.ledger import canonical_json
 from repro.obs.metrics import get_registry
 from repro.robust.budget import Budget
@@ -257,6 +262,14 @@ def _run_wave_pool(
                 outcome = pool.collect(future, timeout=slice_s)
             except FuturesTimeout:
                 continue
+            except Exception as exc:  # noqa: BLE001 - worker-death boundary
+                # A worker died hard (BrokenProcessPool, os._exit, OOM):
+                # the job gets a failed verdict and the batch keeps
+                # reporting -- remaining futures of the broken pool
+                # resolve the same way instead of crashing the run.
+                outcome = failed_outcome(
+                    job, f"worker died: {type(exc).__name__}: {exc}"
+                )
         outcomes.append(outcome)
         _emit(on_event, {
             "event": "job.done" if outcome.status != "skipped" else "job.skipped",

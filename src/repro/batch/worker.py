@@ -193,9 +193,28 @@ def skipped_outcome(job: BatchJob, reason: str) -> JobOutcome:
     )
 
 
+def failed_outcome(job: BatchJob, reason: str) -> JobOutcome:
+    """The outcome of a job whose *worker* died out from under it.
+
+    :func:`execute_job` already converts in-job exceptions to ``failed``
+    verdicts; this covers the layer below -- a pool worker killed hard
+    (OOM, ``os._exit``, a broken process pool), where no outcome ever
+    came back and the scheduler must synthesize the verdict.
+    """
+    return JobOutcome(
+        job_id=job.job_id,
+        verb=job.verb,
+        circuit=job.circuit,
+        seed=job.seed,
+        status="failed",
+        error=reason,
+    )
+
+
 __all__ = [
     "JobOutcome",
     "execute_job",
+    "failed_outcome",
     "kway_report_from_solution",
     "skipped_outcome",
 ]

@@ -43,6 +43,8 @@ from repro.obs.ledger import (
     netlist_fingerprint,
     run_key,
 )
+from repro.obs.metrics import get_registry
+from repro.robust.faults import maybe_fire
 
 #: Version stamped into every cache entry as ``v``.
 CACHE_SCHEMA_VERSION = 1
@@ -160,12 +162,24 @@ class SolutionCache:
         return os.path.join(self.root, key[:2], f"{key}.json")
 
     # -- reads ----------------------------------------------------------
+    def _self_heal(self, key: str, reason: str) -> None:
+        """Discard a corrupt entry, announcing it to observability.
+
+        The ``cache.corrupt`` counter/event is what fault drills assert
+        on -- a silently healed torn write would otherwise be
+        indistinguishable from a plain miss.
+        """
+        self.delete(key)
+        reg = get_registry()
+        reg.counter("cache.corrupt").inc()
+        reg.emit_event("cache.corrupt", key=key, reason=reason)
+
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The entry for ``key``, or ``None`` on miss.
 
         Corruption (unparseable JSON, schema mismatch, key mismatch) is
         a miss: the bad file is deleted so the slot heals on the next
-        store.
+        store, and a ``cache.corrupt`` event/counter records the repair.
         """
         path = self.path_for(key)
         try:
@@ -173,11 +187,11 @@ class SolutionCache:
                 entry = json.load(fh)
         except FileNotFoundError:
             return None
-        except (OSError, json.JSONDecodeError, ValueError):
-            self.delete(key)
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            self._self_heal(key, f"unreadable: {type(exc).__name__}")
             return None
         if validate_entry(entry) or entry.get("key") != key:
-            self.delete(key)
+            self._self_heal(key, "schema mismatch")
             return None
         return entry
 
@@ -208,6 +222,10 @@ class SolutionCache:
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(_jsonable(entry), fh, sort_keys=True, separators=(",", ":"))
             fh.write("\n")
+        # Fault site: an injected error here models a writer dying between
+        # the tmp write and the atomic rename -- the stray .tmp stays, the
+        # entry never becomes visible.
+        maybe_fire("store.partial_write", key=entry["key"])
         os.replace(tmp, path)
         self.evict()
         return path

@@ -1,0 +1,68 @@
+"""``repro.cluster`` -- the fault-tolerant distributed solve farm.
+
+Simulated-process solve nodes on one machine, a consistent-hash
+partitioned and replicated extension of the solution cache, and
+multi-node batch dispatch that survives nodes dying mid-wave:
+
+* :mod:`repro.cluster.ring` -- deterministic consistent-hash placement
+  (preference lists, successors);
+* :mod:`repro.cluster.store` -- :class:`ReplicatedCache`: quorum reads/
+  writes, hinted handoff, read repair; :mod:`repro.cluster.merkle`
+  backs its anti-entropy digest sync;
+* :mod:`repro.cluster.node` -- :class:`SolveNode`: a replica store plus
+  job execution, heartbeats and crash/restart;
+* :mod:`repro.cluster.scheduler` -- :func:`run_cluster_batch`:
+  heartbeat failure detection, re-dispatch of dead nodes' jobs, work
+  stealing;
+* :mod:`repro.cluster.drill` -- :func:`run_drill`: the kill/recover/
+  replay determinism drill CI gates on;
+* :mod:`repro.cluster.admin` -- cluster layout on disk, load/create,
+  status.
+
+Everything is deterministic and fault-injectable (``node.crash``,
+``rpc.timeout``, ``store.partial_write`` sites), per the robustness
+contract in ``docs/ROBUSTNESS.md``.
+"""
+
+from repro.cluster.admin import (
+    CLUSTER_SCHEMA_NAME,
+    Cluster,
+    create_cluster,
+    ensure_cluster,
+    load_cluster,
+)
+from repro.cluster.drill import DrillReport, run_drill
+from repro.cluster.merkle import digest_tree, diff_buckets, entry_digest
+from repro.cluster.node import NodeCrash, SolveNode
+from repro.cluster.ring import HashRing
+from repro.cluster.scheduler import ClusterScheduler, run_cluster_batch
+from repro.cluster.store import (
+    ClusterError,
+    QuorumError,
+    ReplicaNode,
+    ReplicatedCache,
+    RpcTimeout,
+)
+
+__all__ = [
+    "CLUSTER_SCHEMA_NAME",
+    "Cluster",
+    "ClusterError",
+    "ClusterScheduler",
+    "DrillReport",
+    "HashRing",
+    "NodeCrash",
+    "QuorumError",
+    "ReplicaNode",
+    "ReplicatedCache",
+    "RpcTimeout",
+    "SolveNode",
+    "create_cluster",
+    "diff_buckets",
+    "digest_tree",
+    "ensure_cluster",
+    "entry_digest",
+    "load_cluster",
+    "run_cluster_batch",
+    "run_drill",
+]

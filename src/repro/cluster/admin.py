@@ -1,0 +1,220 @@
+"""Cluster layout and administration: create, load, status.
+
+A cluster lives in one directory::
+
+    <root>/
+      cluster.json            # membership + replication config
+      node-0/ node-1/ ...     # one ReplicaNode store per member
+        .down                 # liveness marker (present = node is down)
+        .hints/<target>/      # pending hinted-handoff entries
+        <2-hex-shard>/        # the node's ordinary solution store
+
+``cluster.json`` (schema ``repro-cluster/1``) makes the cluster
+re-openable by any process -- the CLI's ``repro cluster status`` and a
+mid-drill ``repro batch run --nodes N`` see the same membership, ring
+and quorum settings, and the ``.down`` markers carry kill state between
+them.
+
+:class:`Cluster` binds the members to a
+:class:`~repro.cluster.ring.HashRing` and a
+:class:`~repro.cluster.store.ReplicatedCache` and exposes the drill
+operations (kill / restart / deliver_hints / anti_entropy / digests).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.cache.store import DEFAULT_MAX_BYTES
+from repro.cluster.merkle import diff_buckets
+from repro.cluster.node import SolveNode
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.cluster.store import ClusterError, ReplicatedCache
+
+#: Schema identifier written into every ``cluster.json``.
+CLUSTER_SCHEMA_NAME = "repro-cluster/1"
+
+#: Config file name inside a cluster root.
+CLUSTER_CONFIG = "cluster.json"
+
+#: Default member count for a new cluster.
+DEFAULT_NODES = 3
+
+
+class Cluster:
+    """A directory-backed solve farm: nodes + ring + replicated store."""
+
+    def __init__(
+        self,
+        root: str,
+        nodes: List[SolveNode],
+        replication: int,
+        write_quorum: int = 1,
+        read_quorum: int = 1,
+        vnodes: int = DEFAULT_VNODES,
+    ) -> None:
+        self.root = root
+        self.nodes = nodes
+        self.by_name = {node.name: node for node in nodes}
+        self.ring = HashRing([node.name for node in nodes], vnodes=vnodes)
+        self.store = ReplicatedCache(
+            nodes,
+            replication=replication,
+            write_quorum=write_quorum,
+            read_quorum=read_quorum,
+            ring=self.ring,
+            root=root,
+        )
+
+    # -- membership -----------------------------------------------------
+    @property
+    def names(self) -> List[str]:
+        return [node.name for node in self.nodes]
+
+    def node(self, name: str) -> SolveNode:
+        try:
+            return self.by_name[name]
+        except KeyError:
+            raise ClusterError(
+                f"no node {name!r} in cluster {self.root} (members: {self.names})"
+            ) from None
+
+    def live_nodes(self) -> List[SolveNode]:
+        return [node for node in self.nodes if node.is_up()]
+
+    # -- drill operations -----------------------------------------------
+    def kill(self, name: str) -> None:
+        self.node(name).kill()
+
+    def restart(self, name: str) -> None:
+        self.node(name).restart()
+
+    def deliver_hints(self, name: str) -> int:
+        return self.store.deliver_hints(name)
+
+    def anti_entropy(self) -> int:
+        return self.store.anti_entropy()
+
+    def digests(self) -> Dict[str, Dict[str, Any]]:
+        return self.store.digests()
+
+    # -- reporting ------------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        """The ``repro cluster status`` payload: per-node rows, digest
+        roots, pending hints and whether the replicas are in sync."""
+        digests = self.digests()
+        rows = []
+        for node in self.nodes:
+            row = node.status()
+            row["digest_root"] = digests[node.name]["root"]
+            rows.append(row)
+        roots = {d["root"] for d in digests.values()}
+        first = self.nodes[0].name
+        out_of_sync = {
+            node.name: diff_buckets(digests[first], digests[node.name])
+            for node in self.nodes[1:]
+            if digests[node.name]["root"] != digests[first]["root"]
+        }
+        return {
+            "schema": CLUSTER_SCHEMA_NAME,
+            "root": os.path.abspath(self.root),
+            "nodes": rows,
+            "replication": self.store.replication,
+            "write_quorum": self.store.write_quorum,
+            "read_quorum": self.store.read_quorum,
+            "live": len(self.live_nodes()),
+            "in_sync": len(roots) <= 1,
+            "out_of_sync_buckets": out_of_sync,
+        }
+
+
+def _config_path(root: str) -> str:
+    return os.path.join(root, CLUSTER_CONFIG)
+
+
+def create_cluster(
+    root: str,
+    nodes: int = DEFAULT_NODES,
+    replication: Optional[int] = None,
+    write_quorum: int = 1,
+    read_quorum: int = 1,
+    vnodes: int = DEFAULT_VNODES,
+    max_bytes: int = DEFAULT_MAX_BYTES,
+) -> Cluster:
+    """Lay out and persist a new cluster under ``root``.
+
+    ``replication`` defaults to the member count (full replication),
+    which is what the determinism drills need: only then must every
+    node's digest converge to equality after catch-up.
+    """
+    if nodes < 1:
+        raise ClusterError("a cluster needs at least one node")
+    if replication is None:
+        replication = nodes
+    config = {
+        "schema": CLUSTER_SCHEMA_NAME,
+        "nodes": [f"node-{i}" for i in range(nodes)],
+        "replication": replication,
+        "write_quorum": write_quorum,
+        "read_quorum": read_quorum,
+        "vnodes": vnodes,
+        "max_bytes": max_bytes,
+    }
+    os.makedirs(root, exist_ok=True)
+    with open(_config_path(root), "w", encoding="utf-8") as fh:
+        json.dump(config, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return load_cluster(root)
+
+
+def load_cluster(root: str) -> Cluster:
+    """Re-open the cluster persisted under ``root``."""
+    path = _config_path(root)
+    try:
+        with open(path, encoding="utf-8") as fh:
+            config = json.load(fh)
+    except FileNotFoundError:
+        raise ClusterError(
+            f"no cluster at {root!r} (missing {CLUSTER_CONFIG}); "
+            f"run `repro cluster start` first"
+        ) from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ClusterError(f"unreadable cluster config {path!r}: {exc}") from exc
+    if config.get("schema") != CLUSTER_SCHEMA_NAME:
+        raise ClusterError(
+            f"unsupported cluster schema {config.get('schema')!r} in {path!r}"
+        )
+    names = config["nodes"]
+    max_bytes = int(config.get("max_bytes", DEFAULT_MAX_BYTES))
+    members = [
+        SolveNode(name, os.path.join(root, name), max_bytes=max_bytes)
+        for name in names
+    ]
+    return Cluster(
+        root,
+        members,
+        replication=int(config.get("replication", len(names))),
+        write_quorum=int(config.get("write_quorum", 1)),
+        read_quorum=int(config.get("read_quorum", 1)),
+        vnodes=int(config.get("vnodes", DEFAULT_VNODES)),
+    )
+
+
+def ensure_cluster(root: str, nodes: int = DEFAULT_NODES, **kwargs: Any) -> Cluster:
+    """Load the cluster at ``root``, creating it on first use."""
+    if os.path.exists(_config_path(root)):
+        return load_cluster(root)
+    return create_cluster(root, nodes=nodes, **kwargs)
+
+
+__all__ = [
+    "CLUSTER_CONFIG",
+    "CLUSTER_SCHEMA_NAME",
+    "Cluster",
+    "DEFAULT_NODES",
+    "create_cluster",
+    "ensure_cluster",
+    "load_cluster",
+]

@@ -1,0 +1,242 @@
+"""The node-kill failure drill: crash, recover, prove determinism.
+
+:func:`run_drill` is the executable version of the robustness contract
+in ``docs/ROBUSTNESS.md`` (and the node-off/on checklist the related
+repos drill by hand):
+
+1. **cold faulted run** -- a fresh fully-replicated cluster runs the
+   manifest with a one-shot ``node.crash`` fault armed, so one node dies
+   mid-wave.  The run must still complete every job: failure detection
+   re-dispatches the dead node's work to ring successors, and writes
+   that could not reach the dead replica leave hinted handoffs;
+2. **rejoin + catch-up** -- the killed node restarts, pending hints are
+   delivered, and Merkle anti-entropy repairs whatever the hints
+   missed.  All node digests must then be *identical* (the cluster is
+   created with ``replication == nodes``, so equality is exact, not
+   approximate);
+3. **warm fault-free run** -- the same manifest re-runs on the healed
+   cluster with no faults.  Every job must hit the cache (hits replay
+   the original solve times), and the two runs' ``stable_view``s must
+   be **bit-identical** -- :func:`repro.batch.scheduler.check_reports`
+   is the gate, exactly as in ``repro batch check``.
+
+The returned :class:`DrillReport` lists every violated expectation in
+``problems``; an empty list is a pass.  CI's ``fault-drill-smoke`` job
+runs this via ``repro cluster drill``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.batch.scheduler import BatchReport, check_reports
+from repro.cluster.admin import (
+    CLUSTER_CONFIG,
+    Cluster,
+    DEFAULT_NODES,
+    create_cluster,
+)
+from repro.cluster.node import NodeCrash
+from repro.cluster.scheduler import (
+    DEFAULT_HEARTBEAT_TIMEOUT,
+    run_cluster_batch,
+)
+from repro.cluster.store import ClusterError
+from repro.robust.faults import Fault, inject
+
+#: Default manifest position (0-based) after which the crash fires:
+#: ``after=1`` kills whichever node executes the second job -- mid-wave.
+DEFAULT_CRASH_AFTER = 1
+
+
+@dataclass
+class DrillReport:
+    """Everything the drill observed, plus its pass/fail verdict."""
+
+    name: str
+    cluster_root: str
+    nodes: int
+    killed: Optional[str] = None
+    fault_fired: bool = False
+    redispatched: int = 0
+    stolen: int = 0
+    delivered_hints: int = 0
+    repaired: int = 0
+    digest_roots: Dict[str, str] = field(default_factory=dict)
+    digests_equal: bool = False
+    hit_rate: float = 0.0
+    wall_seconds: float = 0.0
+    problems: List[str] = field(default_factory=list)
+    faulted_report: Optional[Dict[str, Any]] = None
+    replay_report: Optional[Dict[str, Any]] = None
+
+    @property
+    def passed(self) -> bool:
+        return not self.problems
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": "repro-cluster-drill/1",
+            "name": self.name,
+            "cluster_root": self.cluster_root,
+            "nodes": self.nodes,
+            "killed": self.killed,
+            "fault_fired": self.fault_fired,
+            "redispatched": self.redispatched,
+            "stolen": self.stolen,
+            "delivered_hints": self.delivered_hints,
+            "repaired": self.repaired,
+            "digest_roots": self.digest_roots,
+            "digests_equal": self.digests_equal,
+            "hit_rate": self.hit_rate,
+            "wall_seconds": self.wall_seconds,
+            "passed": self.passed,
+            "problems": self.problems,
+        }
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        return (
+            f"drill {self.name!r}: {verdict} -- killed {self.killed}, "
+            f"{self.redispatched} re-dispatched, "
+            f"{self.delivered_hints} hint(s) delivered, "
+            f"{self.repaired} repaired, replay hit rate {self.hit_rate:.0%}, "
+            f"{len(self.problems)} problem(s)"
+        )
+
+
+def _fresh_cluster(root: str, nodes: int) -> Cluster:
+    """A brand-new fully-replicated cluster at ``root`` (a cold store is
+    what makes the faulted run exercise real solves + re-dispatch)."""
+    if os.path.isdir(root):
+        if not os.path.exists(os.path.join(root, CLUSTER_CONFIG)):
+            raise ClusterError(
+                f"refusing to reset {root!r}: it exists but is not a cluster"
+            )
+        shutil.rmtree(root)
+    return create_cluster(root, nodes=nodes, replication=nodes)
+
+
+def run_drill(
+    manifest: Dict[str, Any],
+    cluster_dir: str,
+    nodes: int = DEFAULT_NODES,
+    kill: Optional[str] = None,
+    after: int = DEFAULT_CRASH_AFTER,
+    heartbeat_timeout: int = DEFAULT_HEARTBEAT_TIMEOUT,
+    min_hit_rate: float = 0.9,
+    on_event: Optional[Any] = None,
+) -> DrillReport:
+    """Execute the full kill/recover/replay drill; see the module doc.
+
+    ``kill`` targets a specific node (the fault then only fires on it);
+    by default the crash hits whichever node runs the job at manifest
+    position ``after`` -- deterministic, because placement and round
+    order are.  The cluster at ``cluster_dir`` is reset to a cold,
+    fully-replicated state first.
+    """
+    start = time.perf_counter()
+    report = DrillReport(
+        name=str(manifest.get("name", "batch")),
+        cluster_root=os.path.abspath(cluster_dir),
+        nodes=nodes,
+    )
+    cluster = _fresh_cluster(cluster_dir, nodes)
+
+    killed: List[str] = []
+    stats = {"redispatched": 0, "stolen": 0}
+
+    def watch(payload: Dict[str, Any]) -> None:
+        event = payload.get("event")
+        if event == "node.crash":
+            killed.append(str(payload["node"]))
+        elif event == "job.redispatch":
+            stats["redispatched"] += 1
+        elif event == "job.steal":
+            stats["stolen"] += 1
+        if on_event is not None:
+            on_event(payload)
+
+    fault = Fault(
+        "node.crash",
+        error=NodeCrash("injected drill crash"),
+        match={"node": kill} if kill else None,
+        after=after,
+        times=1,
+    )
+    with inject(fault) as plan:
+        faulted = run_cluster_batch(
+            manifest,
+            cluster=cluster,
+            cache="use",
+            on_event=watch,
+            heartbeat_timeout=heartbeat_timeout,
+        )
+        report.fault_fired = plan.total_fires() > 0
+
+    report.faulted_report = faulted.as_dict()
+    report.killed = killed[0] if killed else None
+    report.redispatched = stats["redispatched"]
+    report.stolen = stats["stolen"]
+
+    if not report.fault_fired:
+        report.problems.append(
+            f"node.crash fault never fired (after={after}, kill={kill!r}); "
+            f"the manifest may have too few jobs"
+        )
+    if report.fault_fired and report.redispatched < 1:
+        report.problems.append(
+            "node crashed but no job was re-dispatched to a successor"
+        )
+    _check_completion(report, faulted, "faulted run")
+
+    # Rejoin + catch-up: hints first, anti-entropy for whatever is left.
+    if report.killed is not None:
+        cluster.restart(report.killed)
+        report.delivered_hints = cluster.deliver_hints(report.killed)
+    report.repaired = cluster.anti_entropy()
+    digests = cluster.digests()
+    report.digest_roots = {name: d["root"] for name, d in digests.items()}
+    report.digests_equal = len(set(report.digest_roots.values())) <= 1
+    if not report.digests_equal:
+        report.problems.append(
+            f"replica digests diverge after hint delivery + anti-entropy: "
+            f"{report.digest_roots}"
+        )
+
+    # Warm fault-free replay on the healed cluster: all hits, stable
+    # views bit-identical (hits replay the original solve times).
+    replay = run_cluster_batch(
+        manifest,
+        cluster=cluster,
+        cache="use",
+        on_event=on_event,
+        heartbeat_timeout=heartbeat_timeout,
+    )
+    report.replay_report = replay.as_dict()
+    report.hit_rate = replay.hit_rate
+    _check_completion(report, replay, "replay run")
+    report.problems.extend(
+        check_reports(report.faulted_report, report.replay_report, min_hit_rate)
+    )
+    report.wall_seconds = time.perf_counter() - start
+    return report
+
+
+def _check_completion(
+    report: DrillReport, batch: BatchReport, label: str
+) -> None:
+    bad = [
+        f"{o.job_id} ({o.status}: {o.error})"
+        for o in batch.outcomes
+        if o.status not in ("ok", "degraded")
+    ]
+    if bad:
+        report.problems.append(f"{label}: incomplete jobs: {', '.join(bad)}")
+
+
+__all__ = ["DEFAULT_CRASH_AFTER", "DrillReport", "run_drill"]

@@ -1,0 +1,91 @@
+"""Merkle-style digests for anti-entropy between replica stores.
+
+Two replicas agree when they hold the same entries; comparing them
+entry-by-entry is O(store), so each node summarizes its store as a
+two-level digest tree instead:
+
+* **leaf**: per entry, the SHA-256 of its *stable* content -- the cache
+  entry minus ``created_ts``.  Replicas of one logical write share a
+  timestamp, but entries re-materialized by a refresh or repair may not,
+  and the solvers are deterministic per key, so identity of the stable
+  content is the right definition of "same entry";
+* **bucket**: per 2-hex shard (the store's own directory fan-out), the
+  SHA-256 over the sorted ``key=leaf`` lines of that shard;
+* **root**: the SHA-256 over the sorted ``shard=bucket`` lines.
+
+Equal roots end the conversation in O(1); differing roots narrow to the
+differing buckets, and only those buckets' keys are exchanged -- the
+classic anti-entropy shape (Dynamo, Cassandra, the related repo's
+``merkle.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List
+
+from repro.obs.ledger import canonical_json
+
+#: Entry fields excluded from the stable digest (volatile per copy).
+VOLATILE_ENTRY_FIELDS = ("created_ts",)
+
+
+def entry_digest(entry: Dict[str, Any]) -> str:
+    """SHA-256 of an entry's stable (timestamp-free) content."""
+    stable = {k: v for k, v in entry.items() if k not in VOLATILE_ENTRY_FIELDS}
+    return hashlib.sha256(canonical_json(stable).encode("utf-8")).hexdigest()
+
+
+def _combine(lines: List[str]) -> str:
+    return hashlib.sha256("\n".join(sorted(lines)).encode("utf-8")).hexdigest()
+
+
+def key_digests(store: Any) -> Dict[str, str]:
+    """``{key: leaf digest}`` for every readable entry of a store.
+
+    Reads go through :meth:`~repro.cache.store.SolutionCache.get`, so a
+    corrupt entry self-heals (and emits ``cache.corrupt``) instead of
+    poisoning the digest.
+    """
+    out: Dict[str, str] = {}
+    for key, _path, _size, _mtime in store.entries():
+        entry = store.get(key)
+        if entry is not None:
+            out[key] = entry_digest(entry)
+    return out
+
+
+def digest_tree(store: Any) -> Dict[str, Any]:
+    """The full digest of one store: root, per-bucket hashes, entry count."""
+    leaves = key_digests(store)
+    buckets: Dict[str, List[str]] = {}
+    for key, leaf in leaves.items():
+        buckets.setdefault(key[:2], []).append(f"{key}={leaf}")
+    bucket_hashes = {shard: _combine(lines) for shard, lines in buckets.items()}
+    return {
+        "root": _combine([f"{s}={h}" for s, h in bucket_hashes.items()]),
+        "buckets": bucket_hashes,
+        "entries": len(leaves),
+    }
+
+
+def diff_buckets(a: Dict[str, Any], b: Dict[str, Any]) -> List[str]:
+    """Shards whose bucket hashes differ between two digest trees
+    (including shards present on only one side); empty when in sync."""
+    if a["root"] == b["root"]:
+        return []
+    buckets_a, buckets_b = a["buckets"], b["buckets"]
+    return sorted(
+        shard
+        for shard in set(buckets_a) | set(buckets_b)
+        if buckets_a.get(shard) != buckets_b.get(shard)
+    )
+
+
+__all__ = [
+    "VOLATILE_ENTRY_FIELDS",
+    "diff_buckets",
+    "digest_tree",
+    "entry_digest",
+    "key_digests",
+]

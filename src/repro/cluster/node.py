@@ -1,0 +1,101 @@
+"""A simulated solve node: one worker identity with its own replica store.
+
+:class:`SolveNode` extends the storage-only :class:`~repro.cluster.store.
+ReplicaNode` with the execution side of the farm -- it runs batch jobs
+(:func:`~repro.batch.worker.execute_job`), reports heartbeats on the
+scheduler's logical clock, and can *crash*: the ``node.crash`` fault
+site fires at the top of :meth:`SolveNode.run_job`, so an injected
+:class:`NodeCrash` kills the node before the job completes, exactly like
+a worker process dying mid-solve.  Crashes persist (the ``.down`` marker
+survives the process), and :meth:`SolveNode.restart` is the drill's
+"turn the node back on" step, after which hinted handoff and
+anti-entropy (:mod:`repro.cluster.store`) bring its replica back in
+sync.
+
+Nodes here are *simulated* processes: they share the parent interpreter
+but own disjoint store directories and independent liveness, which keeps
+kill/restart drills deterministic and replayable while exercising the
+same re-dispatch, quorum and catch-up logic a multi-host farm needs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict
+
+from repro.batch.manifest import BatchJob
+from repro.batch.worker import JobOutcome, execute_job
+from repro.cache.store import DEFAULT_MAX_BYTES
+from repro.cluster.store import ClusterError, ReplicaNode
+from repro.obs.metrics import get_registry
+from repro.robust.faults import maybe_fire
+
+
+class NodeCrash(ClusterError):
+    """A simulated hard crash of a solve node (``node.crash`` site)."""
+
+
+class SolveNode(ReplicaNode):
+    """A replica store plus the execution state of one farm worker."""
+
+    def __init__(
+        self, name: str, root: str, max_bytes: int = DEFAULT_MAX_BYTES
+    ) -> None:
+        super().__init__(name, root, max_bytes=max_bytes)
+        #: Logical-clock tick of the last heartbeat the scheduler saw.
+        self.last_heartbeat = -1
+        self.jobs_done = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def kill(self) -> None:
+        """Take the node down (persists via the ``.down`` marker)."""
+        self.mark_down()
+        reg = get_registry()
+        reg.counter(f"cluster.node.{self.name}.crashes").inc()
+        reg.emit_event("cluster.node.down", node=self.name)
+
+    def restart(self) -> None:
+        """Bring a downed node back; its store rejoins as-is and relies
+        on hint delivery / anti-entropy to catch up."""
+        self.mark_up()
+        get_registry().emit_event("cluster.node.up", node=self.name)
+
+    def heartbeat(self, clock: int) -> None:
+        """Record liveness at logical tick ``clock`` (up nodes only)."""
+        if self.is_up():
+            self.last_heartbeat = clock
+
+    # -- execution ------------------------------------------------------
+    def run_job(self, job: BatchJob, cache: str = "use") -> JobOutcome:
+        """Execute one batch job on this node.
+
+        The ``node.crash`` fault site fires *before* the solve, so an
+        injected :class:`NodeCrash` models the node dying with the job
+        in flight: no outcome, no cache write -- the scheduler must
+        detect the death and re-dispatch.  Everything else is the
+        ordinary :func:`~repro.batch.worker.execute_job` isolation
+        boundary (failures become per-job verdicts).
+        """
+        if not self.is_up():
+            raise NodeCrash(f"node {self.name} is down")
+        maybe_fire("node.crash", node=self.name, job=job.job_id)
+        outcome = execute_job(job, cache=cache)
+        self.jobs_done += 1
+        return outcome
+
+    def status(self) -> Dict[str, Any]:
+        """One status row for ``repro cluster status``."""
+        stats = self.store.stats()
+        return {
+            "name": self.name,
+            "root": os.path.abspath(self.root),
+            "up": self.is_up(),
+            "entries": stats["entries"],
+            "bytes": stats["bytes"],
+            "jobs_done": self.jobs_done,
+            "last_heartbeat": self.last_heartbeat,
+            "pending_hints": self.pending_hints(),
+        }
+
+
+__all__ = ["NodeCrash", "SolveNode"]

@@ -1,0 +1,108 @@
+"""Consistent-hash ring: deterministic key -> replica-set placement.
+
+The ring maps every cache key (and every batch-job identity) to an
+ordered *preference list* of nodes, exactly as in Dynamo-style stores:
+
+* each node is hashed onto the ring at ``vnodes`` positions (virtual
+  nodes smooth the load across a handful of physical nodes);
+* a key's position is its SHA-1, and its preference list is the next
+  ``n`` *distinct* nodes walking clockwise from there;
+* adding or removing one node moves only the keys adjacent to its
+  virtual positions -- the property that makes node joins/leaves cheap.
+
+Everything is derived from :func:`hashlib.sha1` over stable strings, so
+placement is identical across processes, machines and Python hash
+randomization -- a hard requirement for the determinism contract of the
+cluster drills (the same job lands on the same node on every replay).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Callable, List, Optional, Sequence, Tuple
+
+#: Virtual nodes per physical node (enough to balance 2-16 node rings).
+DEFAULT_VNODES = 64
+
+
+def _position(token: str) -> int:
+    """A stable 64-bit ring position for an arbitrary string."""
+    return int.from_bytes(hashlib.sha1(token.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """An immutable-membership consistent-hash ring over node names."""
+
+    def __init__(self, nodes: Sequence[str], vnodes: int = DEFAULT_VNODES) -> None:
+        names = list(nodes)
+        if not names:
+            raise ValueError("a hash ring needs at least one node")
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate node names in ring: {names}")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._names = names
+        self._ring: List[Tuple[int, str]] = sorted(
+            (_position(f"{name}#{i}"), name)
+            for name in names
+            for i in range(vnodes)
+        )
+        self._positions = [pos for pos, _ in self._ring]
+
+    @property
+    def nodes(self) -> List[str]:
+        """The member node names, in construction order."""
+        return list(self._names)
+
+    def nodes_for(self, key: str, n: int) -> List[str]:
+        """The first ``n`` distinct nodes clockwise of ``key`` (the
+        preference list; ``n`` is clamped to the member count)."""
+        n = min(n, len(self._names))
+        start = bisect_right(self._positions, _position(key))
+        out: List[str] = []
+        size = len(self._ring)
+        for step in range(size):
+            name = self._ring[(start + step) % size][1]
+            if name not in out:
+                out.append(name)
+                if len(out) == n:
+                    break
+        return out
+
+    def primary_for(
+        self, key: str, up: Optional[Callable[[str], bool]] = None
+    ) -> Optional[str]:
+        """The first (live, when ``up`` is given) owner of ``key``.
+
+        Returns ``None`` when ``up`` rejects every member -- the caller
+        decides what an all-dead cluster means.
+        """
+        for name in self.nodes_for(key, len(self._names)):
+            if up is None or up(name):
+                return name
+        return None
+
+    def successor(
+        self,
+        key: str,
+        exclude: Sequence[str] = (),
+        up: Optional[Callable[[str], bool]] = None,
+    ) -> Optional[str]:
+        """The next eligible node for ``key``: clockwise order, skipping
+        ``exclude`` and (when ``up`` is given) downed members.
+
+        This is both the re-dispatch target for a dead node's jobs and
+        the hinted-handoff substitute for an unreachable replica.
+        """
+        skip = set(exclude)
+        for name in self.nodes_for(key, len(self._names)):
+            if name in skip:
+                continue
+            if up is None or up(name):
+                return name
+        return None
+
+
+__all__ = ["DEFAULT_VNODES", "HashRing"]

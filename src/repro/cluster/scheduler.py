@@ -1,0 +1,365 @@
+"""Multi-node batch dispatch with failure detection and re-dispatch.
+
+:func:`run_cluster_batch` is the cluster twin of
+:func:`repro.batch.scheduler.run_batch`: the same manifest expansion,
+cache-deduplication (primaries first, duplicates as a guaranteed-hit
+second wave), deadline budget and :class:`~repro.batch.scheduler.
+BatchReport` -- but jobs are placed on the simulated solve nodes of a
+:class:`~repro.cluster.admin.Cluster` by the consistent-hash ring, and
+the scheduler survives nodes dying mid-wave:
+
+* **placement** -- each job goes to the first live owner of its cache
+  identity (:func:`~repro.batch.scheduler.job_identity`), so the same
+  job lands on the same node on every replay of the same membership;
+* **rounds** -- time is a logical clock.  Each round every live node
+  heartbeats, then executes one queued job.  A node that crashes
+  (:class:`~repro.cluster.node.NodeCrash` out of the ``node.crash``
+  fault site) stops heartbeating and takes its in-flight job with it;
+* **failure detection** -- a node silent for ``heartbeat_timeout``
+  ticks is declared dead: its in-flight and queued jobs are
+  **re-dispatched** to each job's ring successor (``job.redispatch``
+  events).  With no live successor, jobs are reported ``skipped``,
+  never dropped;
+* **work stealing** -- an idle live node steals the tail job of the
+  longest backlog (``job.steal``), so a dead node's re-dispatched
+  pile-up drains across the farm instead of serializing;
+* **determinism** -- rounds iterate nodes in fixed order, stealing and
+  re-dispatch choose targets by ring/name order, and solver calls are
+  deterministic per key, so a drilled run's ``stable_view`` is
+  bit-identical to a fault-free run's (the cache replays original solve
+  times for the warm comparison run).
+
+The report's ``workers`` field is the cluster's node count.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.batch.manifest import BatchJob, expand_manifest
+from repro.batch.scheduler import BatchReport, job_identity, order_jobs
+from repro.batch.worker import JobOutcome, skipped_outcome
+from repro.cache.store import use_cache
+from repro.cluster.admin import Cluster, DEFAULT_NODES, ensure_cluster
+from repro.cluster.node import NodeCrash, SolveNode
+from repro.cluster.store import ClusterError
+from repro.obs.metrics import get_registry
+from repro.robust.budget import Budget
+
+#: Logical-clock ticks of heartbeat silence before a node is declared dead.
+DEFAULT_HEARTBEAT_TIMEOUT = 2
+
+#: Default cluster directory for ``repro batch run --nodes N``.
+DEFAULT_CLUSTER_DIR = os.path.join("results", "cluster")
+
+ProgressFn = Callable[[Dict[str, Any]], None]
+
+
+def _emit(on_event: Optional[ProgressFn], payload: Dict[str, Any]) -> None:
+    """Progress fan-out: callback gets the raw payload (the CLI already
+    understands ``job.*`` names); the registry event is ``cluster.``-
+    prefixed to keep farm traffic distinguishable from plain batches."""
+    if on_event is not None:
+        on_event(payload)
+    reg = get_registry()
+    if reg.enabled:
+        fields = {
+            ("batch_name" if k == "name" else k): v
+            for k, v in payload.items()
+            if k != "event"
+        }
+        event = payload["event"]
+        if not event.startswith("cluster."):
+            event = f"cluster.{event}"
+        reg.emit_event(event, **fields)
+
+
+class ClusterScheduler:
+    """The round-based dispatch engine over one cluster's nodes.
+
+    Queue state persists across waves (so does the logical clock), and
+    :meth:`assign` / :meth:`drain` are separable for tests that need a
+    hand-crafted imbalance (e.g. to force work stealing).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        on_event: Optional[ProgressFn] = None,
+        heartbeat_timeout: int = DEFAULT_HEARTBEAT_TIMEOUT,
+        steal: bool = True,
+        budget: Optional[Budget] = None,
+    ) -> None:
+        if heartbeat_timeout < 1:
+            raise ClusterError("heartbeat_timeout must be >= 1 tick")
+        self.cluster = cluster
+        self.on_event = on_event
+        self.heartbeat_timeout = heartbeat_timeout
+        self.steal = steal
+        self.budget = budget
+        self.clock = 0
+        self.queues: Dict[str, Deque[BatchJob]] = {
+            name: deque() for name in cluster.names
+        }
+        #: In-flight jobs lost to a crash, awaiting failure detection.
+        self.lost: Dict[str, List[BatchJob]] = {}
+        #: Nodes already declared dead (their jobs were re-dispatched).
+        self.dead: set = set()
+        self.redispatched = 0
+        self.stolen = 0
+
+    # -- helpers --------------------------------------------------------
+    def _up(self, name: str) -> bool:
+        return self.cluster.by_name[name].is_up()
+
+    def _live(self) -> List[SolveNode]:
+        return self.cluster.live_nodes()
+
+    def _pending(self) -> int:
+        return sum(len(q) for q in self.queues.values()) + sum(
+            len(jobs) for jobs in self.lost.values()
+        )
+
+    def _skip_job(
+        self, job: BatchJob, reason: str, outcomes: List[JobOutcome]
+    ) -> None:
+        outcomes.append(skipped_outcome(job, reason))
+        _emit(self.on_event, {
+            "event": "job.skipped", "job_id": job.job_id, "reason": reason,
+        })
+
+    # -- scheduling phases ----------------------------------------------
+    def assign(self, wave: List[BatchJob], outcomes: List[JobOutcome]) -> None:
+        """Queue each job on the first live ring owner of its identity."""
+        for job in wave:
+            owner = self.cluster.ring.primary_for(job_identity(job), up=self._up)
+            if owner is None:
+                self._skip_job(job, "no live nodes", outcomes)
+                continue
+            self.queues[owner].append(job)
+            _emit(self.on_event, {
+                "event": "job.dispatch", "job_id": job.job_id, "node": owner,
+            })
+
+    def _detect_failures(self, outcomes: List[JobOutcome]) -> None:
+        """Declare silent nodes dead and re-dispatch their jobs."""
+        for node in self.cluster.nodes:
+            name = node.name
+            if node.is_up():
+                self.dead.discard(name)  # externally restarted: rejoins
+                continue
+            if name in self.dead:
+                continue
+            if self.clock - node.last_heartbeat < self.heartbeat_timeout:
+                continue  # not silent long enough yet
+            self.dead.add(name)
+            _emit(self.on_event, {
+                "event": "node.dead",
+                "node": name,
+                "clock": self.clock,
+                "last_heartbeat": node.last_heartbeat,
+            })
+            orphans = self.lost.pop(name, []) + list(self.queues[name])
+            self.queues[name].clear()
+            for job in orphans:
+                target = self.cluster.ring.successor(
+                    job_identity(job), exclude=self.dead, up=self._up
+                )
+                if target is None:
+                    self._skip_job(job, "no live nodes", outcomes)
+                    continue
+                self.queues[target].append(job)
+                self.redispatched += 1
+                get_registry().counter("cluster.redispatches").inc()
+                _emit(self.on_event, {
+                    "event": "job.redispatch",
+                    "job_id": job.job_id,
+                    "from": name,
+                    "to": target,
+                })
+
+    def _steal_work(self) -> None:
+        """Idle live nodes each take the tail of the longest backlog."""
+        for thief in self._live():
+            if self.queues[thief.name]:
+                continue
+            donors = sorted(
+                (
+                    node for node in self._live()
+                    if node.name != thief.name and len(self.queues[node.name]) >= 2
+                ),
+                key=lambda n: (-len(self.queues[n.name]), n.name),
+            )
+            if not donors:
+                continue
+            donor = donors[0]
+            job = self.queues[donor.name].pop()
+            self.queues[thief.name].append(job)
+            self.stolen += 1
+            get_registry().counter("cluster.steals").inc()
+            _emit(self.on_event, {
+                "event": "job.steal",
+                "job_id": job.job_id,
+                "from": donor.name,
+                "to": thief.name,
+            })
+
+    def _execute_round(self, policy: str, outcomes: List[JobOutcome]) -> None:
+        """Every live node runs at most one queued job this round."""
+        for node in self.cluster.nodes:
+            if not node.is_up() or not self.queues[node.name]:
+                continue
+            job = self.queues[node.name].popleft()
+            _emit(self.on_event, {
+                "event": "job.start", "job_id": job.job_id, "node": node.name,
+            })
+            try:
+                if policy == "off":
+                    outcome = node.run_job(job, cache=policy)
+                else:
+                    with use_cache(self.cluster.store):
+                        outcome = node.run_job(job, cache=policy)
+            except NodeCrash as exc:
+                if node.is_up():
+                    node.kill()
+                self.lost.setdefault(node.name, []).append(job)
+                _emit(self.on_event, {
+                    "event": "node.crash",
+                    "node": node.name,
+                    "job_id": job.job_id,
+                    "error": f"{type(exc).__name__}: {exc}",
+                })
+                continue
+            get_registry().counter(f"cluster.node.{node.name}.jobs").inc()
+            outcomes.append(outcome)
+            _emit(self.on_event, {
+                "event": "job.done",
+                "job_id": job.job_id,
+                "node": node.name,
+                "status": outcome.status,
+                "cache_status": outcome.cache_status,
+                "wall_seconds": outcome.wall_seconds,
+            })
+
+    def drain(self, policy: str) -> List[JobOutcome]:
+        """Round loop until every queued/lost job has an outcome."""
+        outcomes: List[JobOutcome] = []
+        limit = self.clock + 2 * self._pending() + (
+            (self.heartbeat_timeout + 2) * (len(self.cluster.nodes) + 1)
+        ) + 16
+        while self._pending():
+            if self.budget is not None and self.budget.expired:
+                for queue in self.queues.values():
+                    while queue:
+                        self._skip_job(
+                            queue.popleft(), "batch deadline expired", outcomes
+                        )
+                for jobs in self.lost.values():
+                    for job in jobs:
+                        self._skip_job(job, "batch deadline expired", outcomes)
+                self.lost.clear()
+                break
+            self.clock += 1
+            if self.clock > limit:  # defensive: the loop must make progress
+                raise ClusterError(
+                    f"cluster scheduler stalled at clock {self.clock} with "
+                    f"{self._pending()} job(s) pending"
+                )
+            for node in self.cluster.nodes:
+                node.heartbeat(self.clock)
+            self._detect_failures(outcomes)
+            if not self._live():
+                # Every member is down: fail fast instead of waiting out
+                # heartbeat timeouts that can never be answered.
+                for name in list(self.queues):
+                    while self.queues[name]:
+                        self._skip_job(
+                            self.queues[name].popleft(), "no live nodes", outcomes
+                        )
+                for jobs in self.lost.values():
+                    for job in jobs:
+                        self._skip_job(job, "no live nodes", outcomes)
+                self.lost.clear()
+                break
+            if self.steal:
+                self._steal_work()
+            self._execute_round(policy, outcomes)
+        return outcomes
+
+    def run(self, wave: List[BatchJob], policy: str) -> List[JobOutcome]:
+        """Assign then drain one wave of jobs."""
+        outcomes: List[JobOutcome] = []
+        self.assign(wave, outcomes)
+        outcomes.extend(self.drain(policy))
+        return outcomes
+
+
+def run_cluster_batch(
+    manifest: Dict[str, Any],
+    cluster: Optional[Cluster] = None,
+    nodes: int = DEFAULT_NODES,
+    cluster_dir: Optional[str] = None,
+    cache: str = "use",
+    deadline: Optional[float] = None,
+    on_event: Optional[ProgressFn] = None,
+    heartbeat_timeout: int = DEFAULT_HEARTBEAT_TIMEOUT,
+    steal: bool = True,
+) -> BatchReport:
+    """Run a batch manifest across a solve farm; returns the report.
+
+    Pass an existing :class:`~repro.cluster.admin.Cluster`, or let
+    ``cluster_dir``/``nodes`` load-or-create one (the layout persists,
+    so repeated runs share the replicated cache).  All other semantics
+    match :func:`repro.batch.scheduler.run_batch` -- same waves, same
+    deadline skipping, same report schema -- with ``workers`` reporting
+    the cluster size.
+    """
+    start = time.perf_counter()
+    if cluster is None:
+        cluster = ensure_cluster(cluster_dir or DEFAULT_CLUSTER_DIR, nodes=nodes)
+    expanded = expand_manifest(manifest)
+    primaries, duplicates = order_jobs(expanded)
+    budget = Budget(deadline) if deadline is not None else None
+    scheduler = ClusterScheduler(
+        cluster,
+        on_event=on_event,
+        heartbeat_timeout=heartbeat_timeout,
+        steal=steal,
+        budget=budget,
+    )
+    outcomes = scheduler.run(primaries, cache)
+    outcomes += scheduler.run(duplicates, "use" if cache != "off" else "off")
+    by_index = {job.job_id: job.index for job in expanded}
+    outcomes.sort(key=lambda o: by_index.get(o.job_id, 1 << 30))
+    report = BatchReport(
+        name=str(manifest.get("name", "batch")),
+        cache_policy=cache,
+        jobs=len(expanded),
+        workers=len(cluster.nodes),
+        outcomes=outcomes,
+        wall_seconds=time.perf_counter() - start,
+        deduplicated=len(duplicates),
+    )
+    reg = get_registry()
+    reg.counter("cluster.jobs").inc(len(expanded))
+    _emit(on_event, {
+        "event": "batch.done",
+        "name": report.name,
+        "jobs": report.jobs,
+        "hit_rate": report.hit_rate,
+        "redispatched": scheduler.redispatched,
+        "stolen": scheduler.stolen,
+        "wall_seconds": report.wall_seconds,
+    })
+    return report
+
+
+__all__ = [
+    "ClusterScheduler",
+    "DEFAULT_CLUSTER_DIR",
+    "DEFAULT_HEARTBEAT_TIMEOUT",
+    "run_cluster_batch",
+]

@@ -1,0 +1,448 @@
+"""The sharded, replicated solution store: N node stores behind one cache.
+
+:class:`ReplicatedCache` presents the exact :class:`~repro.cache.store.
+SolutionCache` interface (so ``repro.api``'s ``cache=`` machinery and
+``use_cache`` work unchanged) while spreading entries over per-node
+stores (:class:`ReplicaNode`) placed by a consistent-hash ring:
+
+* **writes** go to the key's ``replication``-long preference list; a
+  downed or failing replica is covered by **hinted handoff** -- the next
+  live node takes a readable copy plus a hint record, and
+  :meth:`ReplicatedCache.deliver_hints` forwards it when the owner
+  returns (the SNIPPETS node-off/on drill).  A write that cannot reach
+  ``write_quorum`` acks (real + hinted, i.e. a sloppy quorum) raises
+  :class:`QuorumError`;
+* **reads** walk the preference list collecting ``read_quorum`` valid
+  replicas; fewer is a cache *miss* (recomputing is always safe).  A
+  live preference node found missing an entry another replica holds is
+  **read-repaired** on the spot;
+* **anti-entropy** (:meth:`ReplicatedCache.anti_entropy`) compares the
+  nodes' Merkle-style digests (:mod:`repro.cluster.merkle`) and copies
+  missing/divergent entries back onto their preference nodes, so a
+  rejoining node converges even when its hints were lost.
+
+Per-node unavailability is injectable at the ``rpc.timeout`` fault site
+(and per-store torn writes at ``store.partial_write``), so every path
+above is exercised deterministically in the drills.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.cache.store import DEFAULT_MAX_BYTES, SolutionCache, validate_entry
+from repro.cluster.merkle import digest_tree, entry_digest, key_digests
+from repro.cluster.ring import HashRing
+from repro.obs.metrics import get_registry
+from repro.robust.errors import ReproError
+from repro.robust.faults import maybe_fire
+
+#: Marker file that persists a node's down state across processes.
+DOWN_MARKER = ".down"
+
+#: Per-node directory holding pending handoff hints (``.hints/<target>/``).
+HINTS_DIR = ".hints"
+
+
+class ClusterError(ReproError, RuntimeError):
+    """Base class for cluster-level store/scheduling failures."""
+
+
+class RpcTimeout(ClusterError):
+    """A simulated per-node store call timeout (``rpc.timeout`` site)."""
+
+
+class QuorumError(ClusterError):
+    """A write could not reach its quorum of (real + hinted) replicas."""
+
+
+class ReplicaNode:
+    """One storage node: a directory-backed store plus liveness state.
+
+    Liveness is a ``.down`` marker file inside the node directory, so
+    ``repro cluster status`` sees kills made by another process -- the
+    simulated equivalent of the sidebar node toggle in the SNIPPETS
+    drills.
+    """
+
+    def __init__(
+        self, name: str, root: str, max_bytes: int = DEFAULT_MAX_BYTES
+    ) -> None:
+        self.name = name
+        self.root = root
+        self.store = SolutionCache(root, max_bytes=max_bytes)
+        os.makedirs(root, exist_ok=True)
+
+    # -- liveness -------------------------------------------------------
+    @property
+    def _down_marker(self) -> str:
+        return os.path.join(self.root, DOWN_MARKER)
+
+    def is_up(self) -> bool:
+        return not os.path.exists(self._down_marker)
+
+    def mark_down(self) -> None:
+        with open(self._down_marker, "w", encoding="utf-8") as fh:
+            fh.write("down\n")
+
+    def mark_up(self) -> None:
+        try:
+            os.remove(self._down_marker)
+        except OSError:
+            pass
+
+    # -- hinted handoff -------------------------------------------------
+    def _hint_dir(self, target: str) -> str:
+        return os.path.join(self.root, HINTS_DIR, target)
+
+    def store_hint(self, target: str, entry: Dict[str, Any]) -> str:
+        """Keep ``entry`` for later delivery to ``target``; returns the
+        hint path.  The hint file carries the full entry, so delivery
+        does not depend on this node's own LRU retention."""
+        path = os.path.join(self._hint_dir(target), f"{entry['key']}.json")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh, sort_keys=True, separators=(",", ":"))
+            fh.write("\n")
+        os.replace(tmp, path)
+        return path
+
+    def hints_for(self, target: str) -> List[Tuple[str, Dict[str, Any]]]:
+        """Pending ``(path, entry)`` hints owed to ``target``."""
+        hint_dir = self._hint_dir(target)
+        out: List[Tuple[str, Dict[str, Any]]] = []
+        if not os.path.isdir(hint_dir):
+            return out
+        for name in sorted(os.listdir(hint_dir)):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(hint_dir, name)
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    out.append((path, json.load(fh)))
+            except (OSError, json.JSONDecodeError):
+                continue  # torn hint; anti-entropy will cover the gap
+        return out
+
+    def pending_hints(self) -> Dict[str, int]:
+        """``{target: pending hint count}`` held by this node."""
+        base = os.path.join(self.root, HINTS_DIR)
+        if not os.path.isdir(base):
+            return {}
+        return {
+            target: len(self.hints_for(target))
+            for target in sorted(os.listdir(base))
+            if os.path.isdir(os.path.join(base, target))
+        }
+
+
+class ReplicatedCache(SolutionCache):
+    """A :class:`SolutionCache` spread over replicated node stores."""
+
+    def __init__(
+        self,
+        nodes: Sequence[ReplicaNode],
+        replication: int = 2,
+        write_quorum: int = 1,
+        read_quorum: int = 1,
+        ring: Optional[HashRing] = None,
+        root: str = "",
+        read_repair: bool = True,
+    ) -> None:
+        if not nodes:
+            raise ClusterError("a replicated cache needs at least one node")
+        replication = min(replication, len(nodes))
+        if not (1 <= write_quorum <= replication):
+            raise ClusterError(
+                f"write_quorum={write_quorum} outside 1..replication={replication}"
+            )
+        if not (1 <= read_quorum <= replication):
+            raise ClusterError(
+                f"read_quorum={read_quorum} outside 1..replication={replication}"
+            )
+        super().__init__(root=root or os.path.dirname(nodes[0].root))
+        self.nodes = list(nodes)
+        self.by_name = {node.name: node for node in self.nodes}
+        self.ring = ring or HashRing([node.name for node in self.nodes])
+        self.replication = replication
+        self.write_quorum = write_quorum
+        self.read_quorum = read_quorum
+        self.read_repair = read_repair
+
+    # -- per-node plumbing ---------------------------------------------
+    def _is_up(self, name: str) -> bool:
+        return self.by_name[name].is_up()
+
+    def _preference(self, key: str) -> List[str]:
+        return self.ring.nodes_for(key, self.replication)
+
+    def _node_call(self, node: ReplicaNode, op: str, fn):
+        """One per-node store operation, behind the ``rpc.timeout`` site."""
+        maybe_fire("rpc.timeout", node=node.name, op=op)
+        return fn()
+
+    # -- reads ----------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Quorum read: ``read_quorum`` valid replicas or a miss.
+
+        Downed and timing-out replicas are skipped; a live preference
+        node missing the entry is read-repaired from the copy found.
+        """
+        found: List[Dict[str, Any]] = []
+        repair_targets: List[ReplicaNode] = []
+        for name in self._preference(key):
+            node = self.by_name[name]
+            if not node.is_up():
+                continue
+            try:
+                entry = self._node_call(node, "get", lambda n=node: n.store.get(key))
+            except (ReproError, OSError, ValueError):
+                continue
+            if entry is None:
+                repair_targets.append(node)
+            else:
+                found.append(entry)
+                if len(found) >= self.read_quorum:
+                    break
+        if len(found) < self.read_quorum:
+            return None
+        entry = found[0]
+        if self.read_repair:
+            for node in repair_targets:
+                try:
+                    self._node_call(node, "put", lambda n=node: n.store.put(entry))
+                except (ReproError, OSError, ValueError):
+                    continue
+                reg = get_registry()
+                reg.counter("cluster.read_repairs").inc()
+                reg.emit_event("cluster.read_repair", node=node.name, key=key)
+        return entry
+
+    def touch(self, key: str) -> None:
+        for name in self._preference(key):
+            node = self.by_name[name]
+            if node.is_up():
+                node.store.touch(key)
+
+    # -- writes ---------------------------------------------------------
+    def put(self, entry: Dict[str, Any]) -> str:
+        """Replicated write with sloppy quorum + hinted handoff.
+
+        Every reachable preference node takes a real copy.  For each
+        unreachable one, the next live node *outside* the preference
+        list takes a readable substitute copy plus a hint; when no such
+        node exists (replication == cluster size), the first live
+        replica just holds the hint next to its own copy.  Raises
+        :class:`QuorumError` below ``write_quorum`` total acks.
+        """
+        problems = validate_entry(entry)
+        if problems:
+            raise ValueError(f"refusing to store malformed cache entry: {problems}")
+        key = entry["key"]
+        reg = get_registry()
+        preference = self._preference(key)
+        acks: List[str] = []
+        first_path: Optional[str] = None
+        unreachable: List[str] = []
+        for name in preference:
+            node = self.by_name[name]
+            if not node.is_up():
+                unreachable.append(name)
+                continue
+            try:
+                path = self._node_call(node, "put", lambda n=node: n.store.put(entry))
+            except (ReproError, OSError, ValueError):
+                unreachable.append(name)
+                continue
+            acks.append(name)
+            first_path = first_path or path
+            reg.counter(f"cluster.node.{name}.writes").inc()
+        used = list(preference)
+        hinted = 0
+        for target in unreachable:
+            substitute = self.ring.successor(key, exclude=used, up=self._is_up)
+            holder: Optional[ReplicaNode] = None
+            if substitute is not None:
+                holder = self.by_name[substitute]
+                used.append(substitute)
+                try:
+                    path = self._node_call(
+                        holder, "put", lambda n=holder: n.store.put(entry)
+                    )
+                except (ReproError, OSError, ValueError):
+                    holder = None
+                else:
+                    hinted += 1
+                    first_path = first_path or path
+            if holder is None and acks:
+                # Full replication (or substitutes all down): co-locate the
+                # hint with an existing real copy for later delivery.
+                holder = self.by_name[acks[0]]
+            if holder is not None:
+                holder.store_hint(target, entry)
+                reg.counter("cluster.hints.stored").inc()
+                reg.emit_event(
+                    "cluster.hint.stored",
+                    node=holder.name,
+                    target=target,
+                    key=key,
+                )
+        if len(acks) + hinted < self.write_quorum:
+            raise QuorumError(
+                f"write of {key} reached {len(acks)} replica(s) + {hinted} "
+                f"hint(s), below write_quorum={self.write_quorum} "
+                f"(preference {preference})"
+            )
+        assert first_path is not None
+        return first_path
+
+    def delete(self, key: str) -> bool:
+        """Remove an entry (and any pending hints for it) everywhere."""
+        deleted = False
+        for node in self.nodes:
+            deleted = node.store.delete(key) or deleted
+            for target, _count in node.pending_hints().items():
+                hint = os.path.join(node._hint_dir(target), f"{key}.json")
+                try:
+                    os.remove(hint)
+                    deleted = True
+                except OSError:
+                    pass
+        return deleted
+
+    # -- maintenance ----------------------------------------------------
+    def entries(self) -> List[Tuple[str, str, int, float]]:
+        """Every *replica* row across all nodes (keys repeat)."""
+        out: List[Tuple[str, str, int, float]] = []
+        for node in self.nodes:
+            out.extend(node.store.entries())
+        return out
+
+    def stats(self) -> Dict[str, Any]:
+        rows = self.entries()
+        per_node = {node.name: node.store.stats() for node in self.nodes}
+        return {
+            "root": self.root,
+            "nodes": len(self.nodes),
+            "replication": self.replication,
+            "write_quorum": self.write_quorum,
+            "read_quorum": self.read_quorum,
+            "entries": len({key for key, _, _, _ in rows}),
+            "replicas": len(rows),
+            "bytes": sum(size for _, _, size, _ in rows),
+            "per_node": per_node,
+        }
+
+    def evict(self, max_bytes: Optional[int] = None) -> List[str]:
+        """Run each node's own LRU pass; returns all evicted keys."""
+        evicted: List[str] = []
+        for node in self.nodes:
+            evicted.extend(node.store.evict(max_bytes))
+        return evicted
+
+    def path_for(self, key: str) -> str:
+        """The entry path on the key's first preference node."""
+        primary = self._preference(key)[0]
+        return self.by_name[primary].store.path_for(key)
+
+    # -- convergence ----------------------------------------------------
+    def deliver_hints(self, target: str) -> int:
+        """Forward every pending hint to a returned ``target`` node.
+
+        No-op (0) while the target is still down.  Returns the number of
+        entries delivered; delivered hints are removed.
+        """
+        node = self.by_name[target]
+        if not node.is_up():
+            return 0
+        reg = get_registry()
+        delivered = 0
+        for holder in self.nodes:
+            if holder.name == target:
+                continue
+            for path, entry in holder.hints_for(target):
+                try:
+                    self._node_call(node, "put", lambda n=node: n.store.put(entry))
+                except (ReproError, OSError, ValueError):
+                    continue  # still unreachable; keep the hint
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+                delivered += 1
+                reg.counter("cluster.hints.delivered").inc()
+                reg.emit_event(
+                    "cluster.hint.delivered",
+                    node=holder.name,
+                    target=target,
+                    key=entry.get("key"),
+                )
+        return delivered
+
+    def digests(self) -> Dict[str, Dict[str, Any]]:
+        """Each node's Merkle digest tree, by node name."""
+        return {node.name: digest_tree(node.store) for node in self.nodes}
+
+    def anti_entropy(self) -> int:
+        """Digest-sync every key back onto its live preference nodes.
+
+        Missing or stable-content-divergent replicas are rewritten from
+        the freshest copy (``created_ts`` breaks ties); returns the
+        number of repairs.  With full replication this drives all node
+        digests to equality -- the drill's convergence gate.
+        """
+        roots = {d["root"] for d in self.digests().values()}
+        if len(roots) <= 1:
+            return 0
+        per_node: Dict[str, Dict[str, str]] = {
+            node.name: key_digests(node.store) for node in self.nodes
+        }
+        truth: Dict[str, Tuple[str, Dict[str, Any]]] = {}
+        for node in self.nodes:
+            for key in per_node[node.name]:
+                entry = node.store.get(key)
+                if entry is None:
+                    continue
+                best = truth.get(key)
+                if best is None or float(entry.get("created_ts", 0)) > float(
+                    best[1].get("created_ts", 0)
+                ):
+                    truth[key] = (entry_digest(entry), entry)
+        reg = get_registry()
+        repaired = 0
+        for key, (digest, entry) in sorted(truth.items()):
+            for name in self._preference(key):
+                node = self.by_name[name]
+                if not node.is_up():
+                    continue
+                if per_node[name].get(key) == digest:
+                    continue
+                try:
+                    self._node_call(node, "put", lambda n=node: n.store.put(entry))
+                except (ReproError, OSError, ValueError):
+                    continue
+                repaired += 1
+                reg.counter("cluster.sync.repaired").inc()
+                reg.emit_event("cluster.sync.repaired", node=name, key=key)
+        return repaired
+
+
+def wipe_node_dir(root: str) -> None:
+    """Remove one node directory tree (drill resets)."""
+    shutil.rmtree(root, ignore_errors=True)
+
+
+__all__ = [
+    "DOWN_MARKER",
+    "HINTS_DIR",
+    "ClusterError",
+    "QuorumError",
+    "ReplicaNode",
+    "ReplicatedCache",
+    "RpcTimeout",
+    "wipe_node_dir",
+]

@@ -30,6 +30,13 @@ and rebuild the shared read-only tables
 (:class:`~repro.hypergraph.compact.CompactHypergraph`,
 :class:`~repro.partition.fm_replication.ReplicationTables`) locally, so
 per-task payloads stay a few dozen bytes.
+
+**Fault injection.**  Every pool captures the parent's active
+:mod:`repro.robust.faults` plans (:func:`~repro.robust.faults.export_spec`)
+at construction and replays them through each worker's initializer
+(:func:`~repro.robust.faults.install_spec`), so injected faults fire in
+children, not just the parent.  Hit counters are per-worker -- a fresh
+plan per process keeps drills deterministic regardless of job placement.
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.robust import faults
 from repro.robust.budget import Budget
 
 
@@ -122,10 +130,11 @@ def _merge_worker_pairs(pairs: List[Tuple[Any, Optional[Dict[str, Any]]]]) -> Li
 _FM_CTX: Optional[Tuple[Any, Any, Any, Optional[float], bool, bool, bool]] = None
 
 
-def _fm_init(hg, base_config, remaining, graceful, limited, obs_on) -> None:
+def _fm_init(hg, base_config, remaining, graceful, limited, obs_on, fault_spec) -> None:
     from repro.hypergraph.compact import CompactHypergraph
 
     global _FM_CTX
+    faults.install_spec(fault_spec)
     compact = CompactHypergraph.from_hypergraph(hg)
     _FM_CTX = (hg, compact, base_config, remaining, graceful, limited, obs_on)
 
@@ -152,7 +161,10 @@ def parallel_fm_results(hg, base_config, seeds: Sequence[int], jobs: int) -> Lis
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_fm_init,
-        initargs=(hg, ship, remaining, graceful, limited, _parent_obs_enabled()),
+        initargs=(
+            hg, ship, remaining, graceful, limited,
+            _parent_obs_enabled(), faults.export_spec(),
+        ),
     ) as ex:
         return _merge_worker_pairs(list(ex.map(_fm_task, seeds)))
 
@@ -182,10 +194,13 @@ def parallel_best_of_runs_fm(hg, runs: int, base_config, jobs: int):
 _REPL_CTX: Optional[Tuple[Any, Any, Any, Optional[float], bool, bool, bool]] = None
 
 
-def _repl_init(hg, base_config, remaining, graceful, limited, obs_on) -> None:
+def _repl_init(
+    hg, base_config, remaining, graceful, limited, obs_on, fault_spec
+) -> None:
     from repro.partition.fm_replication import ReplicationTables
 
     global _REPL_CTX
+    faults.install_spec(fault_spec)
     tables = ReplicationTables(hg)
     _REPL_CTX = (hg, tables, base_config, remaining, graceful, limited, obs_on)
 
@@ -214,7 +229,10 @@ def parallel_replication_results(
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_repl_init,
-        initargs=(hg, ship, remaining, graceful, limited, _parent_obs_enabled()),
+        initargs=(
+            hg, ship, remaining, graceful, limited,
+            _parent_obs_enabled(), faults.export_spec(),
+        ),
     ) as ex:
         return _merge_worker_pairs(list(ex.map(_repl_task, seeds)))
 
@@ -243,10 +261,13 @@ _CARVE_CTX: Optional[
 ] = None
 
 
-def _carve_init(hg, pseudo, proto, remaining, graceful, limited, obs_on) -> None:
+def _carve_init(
+    hg, pseudo, proto, remaining, graceful, limited, obs_on, fault_spec
+) -> None:
     from repro.partition.fm_replication import ReplicationTables
 
     global _CARVE_CTX
+    faults.install_spec(fault_spec)
     tables = ReplicationTables(hg)
     _CARVE_CTX = (
         hg, tables, frozenset(pseudo), proto, remaining, graceful, limited, obs_on,
@@ -282,8 +303,14 @@ def _carve_task(task: Tuple[int, int, int, int]):
 _BATCH_CTX: Optional[Tuple[Optional[str], str, bool]] = None
 
 
-def _batch_init(cache_dir: Optional[str], cache_policy: str, obs_on: bool) -> None:
+def _batch_init(
+    cache_dir: Optional[str],
+    cache_policy: str,
+    obs_on: bool,
+    fault_spec: Optional[List[Dict[str, Any]]] = None,
+) -> None:
     global _BATCH_CTX
+    faults.install_spec(fault_spec)
     _BATCH_CTX = (cache_dir, cache_policy, obs_on)
     if cache_dir:
         from repro.cache.store import SolutionCache, set_cache
@@ -325,7 +352,10 @@ class BatchJobPool:
         self._ex = ProcessPoolExecutor(
             max_workers=resolve_jobs(jobs),
             initializer=_batch_init,
-            initargs=(cache_dir, cache_policy, _parent_obs_enabled()),
+            initargs=(
+                cache_dir, cache_policy, _parent_obs_enabled(),
+                faults.export_spec(),
+            ),
         )
 
     def submit(self, job):
@@ -372,7 +402,7 @@ class CarveBandPool:
             initializer=_carve_init,
             initargs=(
                 hg, tuple(pseudo), proto, remaining, graceful,
-                budget is not None, _parent_obs_enabled(),
+                budget is not None, _parent_obs_enabled(), faults.export_spec(),
             ),
         )
 

@@ -33,7 +33,15 @@ from repro.robust.errors import (
     SolverTimeoutError,
     VerificationError,
 )
-from repro.robust.faults import Fault, FaultError, FaultPlan, inject, maybe_fire
+from repro.robust.faults import (
+    Fault,
+    FaultError,
+    FaultPlan,
+    export_spec,
+    inject,
+    install_spec,
+    maybe_fire,
+)
 
 __all__ = [
     "Budget",
@@ -47,7 +55,9 @@ __all__ = [
     "Fault",
     "FaultError",
     "FaultPlan",
+    "export_spec",
     "inject",
+    "install_spec",
     "maybe_fire",
     # lazily resolved from repro.robust.runner:
     "ResilientRunner",

@@ -14,13 +14,33 @@ in production (an empty-list check) but consult the active
     start of every :meth:`repro.partition.fm_replication.ReplicationEngine.run`
     (context: ``style``);
 ``fm.run``
-    start of every :func:`repro.partition.fm.fm_bipartition` run.
+    start of every :func:`repro.partition.fm.fm_bipartition` run;
+``store.partial_write``
+    inside :meth:`repro.cache.store.SolutionCache.put`, after the
+    temporary sibling is written but *before* the atomic rename -- an
+    injected error simulates a torn write (the stray ``.tmp`` file is
+    left behind, the entry never lands) (context: ``key``);
+``node.crash``
+    start of every :meth:`repro.cluster.node.SolveNode.run_job` -- the
+    canonical node-kill drill site (context: ``node``, ``job``);
+``rpc.timeout``
+    around every per-node store operation of
+    :class:`repro.cluster.store.ReplicatedCache` (context: ``node``,
+    ``op``).
 
 A :class:`Fault` matches a site (plus optional context filters), skips
 the first ``after`` matching calls, then fires up to ``times`` times --
-raising a configured exception and/or sleeping ``delay`` seconds to
-simulate a stuck pass.  Everything is counter-based, so a given plan
-replays identically on every run.
+raising a configured exception, sleeping ``delay`` seconds to simulate
+a stuck pass, and/or (``exit_code``) terminating the whole process with
+``os._exit`` to simulate a hard worker death.  Everything is
+counter-based, so a given plan replays identically on every run.
+
+Process-pool workers inherit the active plans: every pool in
+:mod:`repro.perf.parallel` captures :func:`export_spec` at dispatch and
+replays it through :func:`install_spec` in the worker initializer, so an
+injected fault fires in children too.  Each worker rebuilds a *fresh*
+plan -- hit/fire counters are per-process, which is what keeps replays
+deterministic regardless of how jobs land on workers.
 
 Usage::
 
@@ -35,9 +55,11 @@ Usage::
 
 from __future__ import annotations
 
+import importlib
+import os
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.robust.errors import ReproError
 
@@ -58,15 +80,17 @@ class Fault:
         match: Optional[Dict[str, object]] = None,
         after: int = 0,
         times: Optional[int] = None,
+        exit_code: Optional[int] = None,
     ) -> None:
-        if error is None and delay <= 0.0:
-            raise ValueError("a fault needs an error, a delay, or both")
+        if error is None and delay <= 0.0 and exit_code is None:
+            raise ValueError("a fault needs an error, a delay, or an exit_code")
         self.site = site
         self.error = error
         self.delay = delay
         self.match = dict(match or {})
         self.after = after
         self.times = times
+        self.exit_code = exit_code
         self.hits = 0  # matching calls seen
         self.fires = 0  # times actually fired
 
@@ -93,8 +117,56 @@ class Fault:
         self.fires += 1
         if self.delay > 0.0:
             time.sleep(self.delay)
+        if self.exit_code is not None:
+            # A hard kill: no cleanup, no exception propagation -- exactly
+            # what a SIGKILLed pool worker looks like from the parent.
+            os._exit(self.exit_code)
         if self.error is not None:
             raise self._make_error()
+
+    # -- spec (de)serialization ----------------------------------------
+    def spec(self) -> Dict[str, Any]:
+        """A picklable/JSON-able description of this fault.
+
+        The configured error travels as its class path (an error
+        *instance* degrades to its class -- the worker regenerates the
+        message); counters do not travel, so a rebuilt fault starts
+        fresh.
+        """
+        error = self.error
+        if isinstance(error, BaseException):
+            error = type(error)
+        return {
+            "site": self.site,
+            "error": f"{error.__module__}:{error.__qualname__}"
+            if error is not None
+            else None,
+            "delay": self.delay,
+            "match": dict(self.match),
+            "after": self.after,
+            "times": self.times,
+            "exit_code": self.exit_code,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any]) -> "Fault":
+        """Rebuild a fault from :meth:`spec` (fresh counters)."""
+        error: Optional[type] = None
+        if spec.get("error"):
+            module, _, qualname = spec["error"].partition(":")
+            obj: Any = importlib.import_module(module)
+            for part in qualname.split("."):
+                obj = getattr(obj, part)
+            error = obj
+        return cls(
+            spec["site"],
+            error=error,
+            delay=spec.get("delay", 0.0),
+            match=spec.get("match"),
+            after=spec.get("after", 0),
+            times=spec.get("times"),
+            exit_code=spec.get("exit_code"),
+        )
 
 
 class FaultPlan:
@@ -148,3 +220,29 @@ def inject(*faults: Union[Fault, FaultPlan]) -> Iterator[FaultPlan]:
 def active() -> bool:
     """True when at least one fault plan is installed (test helper)."""
     return bool(_ACTIVE)
+
+
+def export_spec() -> List[Dict[str, Any]]:
+    """Every active fault as a picklable spec (for worker initializers).
+
+    Empty when nothing is injected -- the common case, in which workers
+    pay nothing.  The process pools of :mod:`repro.perf.parallel` capture
+    this at dispatch so plans injected in the parent also fire in
+    children.
+    """
+    return [fault.spec() for plan in _ACTIVE for fault in plan.faults]
+
+
+def install_spec(spec: Optional[List[Dict[str, Any]]]) -> Optional[FaultPlan]:
+    """Install a fresh plan rebuilt from :func:`export_spec` output.
+
+    Meant for worker *initializers*: the plan stays active for the
+    worker's lifetime (workers die with their pool, so no scope exit
+    exists to pop it).  Returns the installed plan, or ``None`` for an
+    empty/absent spec.
+    """
+    if not spec:
+        return None
+    plan = FaultPlan(*(Fault.from_spec(s) for s in spec))
+    _ACTIVE.append(plan)
+    return plan

@@ -372,3 +372,39 @@ def test_api_hit_skips_ledger_append(store, tmp_path):
     assert cold.run_record is not None
     assert warm.run_record is None  # no new run happened
     assert len(ledger.records()) == 1
+
+
+def test_self_heal_announces_cache_corrupt(store, mapped, kway_result):
+    from repro.obs.events import ListEmitter
+    from repro.obs.metrics import MetricsRegistry, use_registry
+
+    entry = _entry_for(mapped, kway_result.solution)
+    path = store.put(entry)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("{ torn write")
+    reg = MetricsRegistry(enabled=True, emitter=ListEmitter())
+    with use_registry(reg):
+        assert store.get(entry["key"]) is None
+        # Second flavor: parseable JSON that fails schema validation.
+        store.put(entry)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"v": 99}, fh)
+        assert store.get(entry["key"]) is None
+    assert reg.counter("cache.corrupt").value == 2
+    events = [e for e in reg.emitter.events if e["name"] == "cache.corrupt"]
+    reasons = [e["fields"]["reason"] for e in events]
+    assert any("unreadable" in r for r in reasons)
+    assert any("schema mismatch" in r for r in reasons)
+    assert all(e["fields"]["key"] == entry["key"] for e in events)
+
+
+def test_plain_miss_is_not_corruption(store, mapped, kway_result):
+    from repro.obs.events import ListEmitter
+    from repro.obs.metrics import MetricsRegistry, use_registry
+
+    entry = _entry_for(mapped, kway_result.solution)
+    reg = MetricsRegistry(enabled=True, emitter=ListEmitter())
+    with use_registry(reg):
+        assert store.get(entry["key"]) is None  # never stored: plain miss
+    assert reg.counter("cache.corrupt").value == 0
+    assert [e for e in reg.emitter.events if e["name"] == "cache.corrupt"] == []

@@ -1,0 +1,149 @@
+"""Consistent-hash ring placement and Merkle digest trees."""
+
+import pytest
+
+from repro.cluster.merkle import (
+    VOLATILE_ENTRY_FIELDS,
+    diff_buckets,
+    digest_tree,
+    entry_digest,
+    key_digests,
+)
+from repro.cluster.ring import HashRing
+
+
+NODES = ["node-0", "node-1", "node-2"]
+
+
+# ---------------------------------------------------------------------------
+# HashRing
+# ---------------------------------------------------------------------------
+
+
+def test_ring_placement_is_deterministic_across_instances():
+    a = HashRing(NODES)
+    b = HashRing(list(NODES))
+    for key in ("aa11", "bb22", "cc33", "deadbeef"):
+        assert a.nodes_for(key, 3) == b.nodes_for(key, 3)
+
+
+def test_preference_list_is_distinct_and_clamped():
+    ring = HashRing(NODES)
+    pref = ring.nodes_for("somekey", 3)
+    assert sorted(pref) == sorted(NODES)  # all members, no repeats
+    assert ring.nodes_for("somekey", 99) == pref  # clamped to member count
+    assert ring.nodes_for("somekey", 1) == pref[:1]
+
+
+def test_ring_balances_keys_across_nodes():
+    ring = HashRing(NODES)
+    owners = [ring.nodes_for(f"key-{i:04d}", 1)[0] for i in range(300)]
+    counts = {name: owners.count(name) for name in NODES}
+    assert all(count > 0 for count in counts.values())
+    # vnodes keep the imbalance moderate: no node owns > 60% of keys.
+    assert max(counts.values()) <= 180
+
+
+def test_membership_change_moves_few_keys():
+    small = HashRing(NODES)
+    grown = HashRing(NODES + ["node-3"])
+    keys = [f"key-{i:04d}" for i in range(200)]
+    moved = sum(
+        1
+        for k in keys
+        if small.nodes_for(k, 1) != grown.nodes_for(k, 1)
+        and grown.nodes_for(k, 1)[0] != "node-3"
+    )
+    assert moved == 0  # keys only ever move TO the new node
+
+
+def test_primary_for_skips_downed_nodes():
+    ring = HashRing(NODES)
+    key = "somekey"
+    full = ring.nodes_for(key, 3)
+    assert ring.primary_for(key) == full[0]
+    up = lambda name: name != full[0]  # noqa: E731
+    assert ring.primary_for(key, up=up) == full[1]
+    assert ring.primary_for(key, up=lambda name: False) is None
+
+
+def test_successor_skips_excluded_and_down():
+    ring = HashRing(NODES)
+    key = "somekey"
+    full = ring.nodes_for(key, 3)
+    assert ring.successor(key, exclude=[full[0]]) == full[1]
+    assert (
+        ring.successor(key, exclude=[full[0]], up=lambda n: n != full[1])
+        == full[2]
+    )
+    assert ring.successor(key, exclude=full) is None
+
+
+def test_ring_rejects_bad_membership():
+    with pytest.raises(ValueError):
+        HashRing([])
+    with pytest.raises(ValueError):
+        HashRing(["a", "a"])
+    with pytest.raises(ValueError):
+        HashRing(["a"], vnodes=0)
+
+
+# ---------------------------------------------------------------------------
+# Merkle digests
+# ---------------------------------------------------------------------------
+
+
+class _FakeStore:
+    """Just enough of SolutionCache for digesting: entries() + get()."""
+
+    def __init__(self, entries):
+        self._entries = {e["key"]: e for e in entries}
+
+    def entries(self):
+        return [(k, f"/x/{k}.json", 1, 0.0) for k in sorted(self._entries)]
+
+    def get(self, key):
+        return self._entries.get(key)
+
+
+def _entry(key, seed=1, ts=100.0):
+    return {"key": key, "seed": seed, "created_ts": ts, "solution": {"s": seed}}
+
+
+def test_entry_digest_ignores_volatile_fields():
+    assert "created_ts" in VOLATILE_ENTRY_FIELDS
+    assert entry_digest(_entry("aa11", ts=1.0)) == entry_digest(
+        _entry("aa11", ts=999.0)
+    )
+    assert entry_digest(_entry("aa11", seed=1)) != entry_digest(
+        _entry("aa11", seed=2)
+    )
+
+
+def test_digest_tree_roots_agree_iff_content_agrees():
+    a = _FakeStore([_entry("aa11"), _entry("bb22"), _entry("bb33")])
+    b = _FakeStore([_entry("aa11", ts=5.0), _entry("bb22"), _entry("bb33")])
+    ta, tb = digest_tree(a), digest_tree(b)
+    assert ta["root"] == tb["root"]
+    assert ta["entries"] == 3
+    assert diff_buckets(ta, tb) == []
+
+    c = _FakeStore([_entry("aa11", seed=9), _entry("bb22"), _entry("bb33")])
+    tc = digest_tree(c)
+    assert tc["root"] != ta["root"]
+    assert diff_buckets(ta, tc) == ["aa"]  # only the divergent shard
+
+
+def test_diff_buckets_covers_one_sided_shards():
+    ta = digest_tree(_FakeStore([_entry("aa11")]))
+    tb = digest_tree(_FakeStore([_entry("aa11"), _entry("cc44")]))
+    assert diff_buckets(ta, tb) == ["cc"]
+
+
+def test_key_digests_reads_through_store_get():
+    store = _FakeStore([_entry("aa11"), _entry("bb22")])
+    digs = key_digests(store)
+    assert set(digs) == {"aa11", "bb22"}
+    store._entries.pop("bb22")  # entry listed but unreadable -> skipped
+    store._entries["bb22"] = None
+    assert set(key_digests(store)) == {"aa11"}

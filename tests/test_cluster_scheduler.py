@@ -1,0 +1,183 @@
+"""Cluster dispatch: placement, crash -> re-dispatch, stealing, drills."""
+
+import pytest
+
+from repro.batch.manifest import MANIFEST_SCHEMA_NAME, expand_manifest
+from repro.batch.scheduler import job_identity, run_batch
+from repro.cluster.admin import create_cluster
+from repro.cluster.drill import run_drill
+from repro.cluster.node import NodeCrash
+from repro.cluster.scheduler import ClusterScheduler, run_cluster_batch
+from repro.robust import faults
+
+CIRCUIT = "s5378"
+SCALE = 0.1
+
+SMALL_DEFAULTS = {
+    "verb": "partition",
+    "scale": SCALE,
+    "seed": 1994,
+    "n_solutions": 1,
+    "seeds_per_carve": 2,
+    "devices_per_carve": 2,
+}
+
+
+def _manifest(jobs, name="farm"):
+    return {
+        "schema": MANIFEST_SCHEMA_NAME,
+        "name": name,
+        "defaults": SMALL_DEFAULTS,
+        "jobs": jobs,
+    }
+
+
+TWO_JOBS = _manifest(
+    [
+        {"circuit": CIRCUIT, "threshold": "inf"},
+        {"circuit": CIRCUIT, "threshold": 1},
+    ]
+)
+
+THREE_JOBS = _manifest(
+    [
+        {"circuit": CIRCUIT, "threshold": "inf"},
+        {"circuit": CIRCUIT, "threshold": 1},
+        {"circuit": CIRCUIT, "threshold": 2},
+    ]
+)
+
+
+def test_cluster_batch_completes_and_replicates(tmp_path):
+    cluster = create_cluster(str(tmp_path / "cl"), nodes=3)
+    report = run_cluster_batch(TWO_JOBS, cluster=cluster)
+    assert report.counts("status") == {"ok": 2}
+    assert report.workers == 3
+    # Manifest order, like the plain scheduler.
+    assert [o.job_id for o in report.outcomes] == [
+        j.job_id for j in expand_manifest(TWO_JOBS)
+    ]
+    # Full replication: every node holds every entry, digests agree.
+    digests = cluster.digests()
+    assert {d["entries"] for d in digests.values()} == {2}
+    assert len({d["root"] for d in digests.values()}) == 1
+
+
+def test_cluster_dispatch_follows_ring_ownership(tmp_path):
+    cluster = create_cluster(str(tmp_path / "cl"), nodes=3)
+    events = []
+    run_cluster_batch(TWO_JOBS, cluster=cluster, on_event=events.append)
+    dispatched = {
+        e["job_id"]: e["node"] for e in events if e["event"] == "job.dispatch"
+    }
+    for job in expand_manifest(TWO_JOBS):
+        owner = cluster.ring.primary_for(job_identity(job))
+        assert dispatched[job.job_id] == owner
+
+
+def test_cluster_matches_plain_batch_quality(tmp_path):
+    plain = run_batch(TWO_JOBS, cache="use", cache_dir=str(tmp_path / "c"))
+    cluster = create_cluster(str(tmp_path / "cl"), nodes=2)
+    farmed = run_cluster_batch(TWO_JOBS, cluster=cluster)
+    strip = lambda view: [  # noqa: E731
+        {k: v[k] for k in ("job_id", "status", "quality")} for v in view
+    ]
+    assert strip(plain.stable_view()) == strip(farmed.stable_view())
+
+
+def test_node_crash_is_detected_and_job_redispatched(tmp_path):
+    cluster = create_cluster(str(tmp_path / "cl"), nodes=2)
+    events = []
+    with faults.inject(
+        faults.Fault("node.crash", error=NodeCrash, times=1)
+    ) as plan:
+        report = run_cluster_batch(
+            TWO_JOBS, cluster=cluster, on_event=events.append
+        )
+    assert plan.total_fires() == 1
+    assert report.counts("status") == {"ok": 2}  # crash cost no jobs
+    names = [e["event"] for e in events]
+    assert "node.crash" in names
+    assert "node.dead" in names
+    assert "job.redispatch" in names
+    crashed = next(e["node"] for e in events if e["event"] == "node.crash")
+    assert not cluster.by_name[crashed].is_up()
+    redispatch = next(e for e in events if e["event"] == "job.redispatch")
+    assert redispatch["from"] == crashed
+    assert redispatch["to"] != crashed
+
+
+def test_all_nodes_dead_skips_remaining_jobs(tmp_path):
+    cluster = create_cluster(str(tmp_path / "cl"), nodes=1)
+    with faults.inject(faults.Fault("node.crash", error=NodeCrash, times=1)):
+        report = run_cluster_batch(TWO_JOBS, cluster=cluster)
+    counts = report.counts("status")
+    assert counts.get("skipped") == 2
+    assert all("no live nodes" in o.error for o in report.outcomes)
+
+
+def test_expired_deadline_skips_everything(tmp_path):
+    cluster = create_cluster(str(tmp_path / "cl"), nodes=2)
+    report = run_cluster_batch(TWO_JOBS, cluster=cluster, deadline=0.0)
+    assert report.counts("status") == {"skipped": 2}
+
+
+def test_idle_node_steals_from_backlog(tmp_path):
+    cluster = create_cluster(str(tmp_path / "cl"), nodes=2)
+    jobs = expand_manifest(THREE_JOBS)
+    scheduler = ClusterScheduler(cluster, steal=True)
+    # Hand-crafted imbalance: everything starts on node-0.
+    scheduler.queues["node-0"].extend(jobs)
+    outcomes = scheduler.drain("use")
+    assert len(outcomes) == len(jobs)
+    assert all(o.status == "ok" for o in outcomes)
+    assert scheduler.stolen >= 1
+    assert cluster.by_name["node-1"].jobs_done >= 1
+
+
+def test_stealing_can_be_disabled(tmp_path):
+    cluster = create_cluster(str(tmp_path / "cl"), nodes=2)
+    jobs = expand_manifest(THREE_JOBS)
+    scheduler = ClusterScheduler(cluster, steal=False)
+    scheduler.queues["node-0"].extend(jobs)
+    outcomes = scheduler.drain("use")
+    assert all(o.status == "ok" for o in outcomes)
+    assert scheduler.stolen == 0
+    assert cluster.by_name["node-1"].jobs_done == 0
+
+
+def test_scheduler_rejects_bad_heartbeat_timeout(tmp_path):
+    cluster = create_cluster(str(tmp_path / "cl"), nodes=1)
+    with pytest.raises(Exception):
+        ClusterScheduler(cluster, heartbeat_timeout=0)
+
+
+# ---------------------------------------------------------------------------
+# The full kill/recover/replay drill (the CI gate, in miniature)
+# ---------------------------------------------------------------------------
+
+
+def test_drill_passes_end_to_end(tmp_path):
+    report = run_drill(THREE_JOBS, cluster_dir=str(tmp_path / "cl"), nodes=3)
+    assert report.passed, report.problems
+    assert report.fault_fired
+    assert report.killed is not None
+    assert report.redispatched >= 1
+    assert report.digests_equal
+    assert len(set(report.digest_roots.values())) == 1
+    assert report.hit_rate == 1.0
+    # The two runs' stable views were compared bit-for-bit by the drill;
+    # double-check the invariant directly.
+    assert (
+        report.faulted_report["stable_view"]
+        == report.replay_report["stable_view"]
+    )
+
+
+def test_drill_reports_unfired_fault_as_problem(tmp_path):
+    # after=99 can never fire on a 3-job manifest: the drill must say so.
+    report = run_drill(
+        THREE_JOBS, cluster_dir=str(tmp_path / "cl"), nodes=3, after=99
+    )
+    assert not report.passed
+    assert any("never fired" in p for p in report.problems)

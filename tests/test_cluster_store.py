@@ -1,0 +1,245 @@
+"""Replicated cache: quorums, hinted handoff, read repair, anti-entropy."""
+
+import os
+
+import pytest
+
+from repro.cache.store import build_entry
+from repro.cluster.ring import HashRing
+from repro.cluster.store import (
+    QuorumError,
+    ReplicaNode,
+    ReplicatedCache,
+    RpcTimeout,
+)
+from repro.robust import faults
+
+
+def make_entry(key, seed=1):
+    """A schema-valid synthetic entry (no solver run needed)."""
+    return build_entry(
+        kind="partition",
+        key=key,
+        circuit="s5378",
+        netlist_hash="h" * 16,
+        config={"threshold": 1, "variant": seed},
+        seed=seed,
+        solution={"value": seed},
+        elapsed_seconds=1.5,
+    )
+
+
+KEY_A = "a" * 40
+KEY_B = "b" * 40
+KEY_C = "c" * 40
+
+
+@pytest.fixture
+def nodes(tmp_path):
+    return [
+        ReplicaNode(f"node-{i}", str(tmp_path / f"node-{i}")) for i in range(3)
+    ]
+
+
+@pytest.fixture
+def cache(nodes, tmp_path):
+    return ReplicatedCache(nodes, replication=3, root=str(tmp_path))
+
+
+# ---------------------------------------------------------------------------
+# Healthy-cluster basics
+# ---------------------------------------------------------------------------
+
+
+def test_put_replicates_to_every_preference_node(cache, nodes):
+    entry = make_entry(KEY_A)
+    path = cache.put(entry)
+    assert os.path.exists(path)
+    for node in nodes:
+        assert node.store.get(KEY_A) is not None
+    got = cache.get(KEY_A)
+    assert got is not None and got["seed"] == 1
+    assert cache.path_for(KEY_A).startswith(
+        cache.by_name[cache.ring.nodes_for(KEY_A, 1)[0]].root
+    )
+
+
+def test_partial_replication_places_rf_copies(nodes, tmp_path):
+    cache = ReplicatedCache(nodes, replication=2, root=str(tmp_path))
+    cache.put(make_entry(KEY_A))
+    holders = [n.name for n in nodes if n.store.get(KEY_A) is not None]
+    assert sorted(holders) == sorted(cache.ring.nodes_for(KEY_A, 2))
+
+
+def test_stats_and_entries_aggregate_replicas(cache):
+    cache.put(make_entry(KEY_A))
+    cache.put(make_entry(KEY_B, seed=2))
+    stats = cache.stats()
+    assert stats["entries"] == 2  # distinct keys
+    assert stats["replicas"] == 6  # 2 keys x RF 3
+    assert len(cache.entries()) == 6
+
+
+def test_delete_removes_all_replicas_and_hints(cache, nodes):
+    cache.put(make_entry(KEY_A))
+    nodes[0].store_hint("node-1", make_entry(KEY_A))
+    assert cache.delete(KEY_A) is True
+    assert all(n.store.get(KEY_A) is None for n in nodes)
+    assert nodes[0].pending_hints() in ({}, {"node-1": 0})
+    assert cache.delete(KEY_A) is False
+
+
+def test_put_validates_before_replicating(cache):
+    with pytest.raises(ValueError):
+        cache.put({"key": KEY_A})  # malformed: missing schema fields
+
+
+def test_quorum_config_validated(nodes, tmp_path):
+    with pytest.raises(Exception):
+        ReplicatedCache(nodes, replication=3, write_quorum=4, root=str(tmp_path))
+    with pytest.raises(Exception):
+        ReplicatedCache([], root=str(tmp_path))
+
+
+# ---------------------------------------------------------------------------
+# Degraded writes: hinted handoff and quorums
+# ---------------------------------------------------------------------------
+
+
+def test_downed_replica_gets_hint_and_catches_up(cache, nodes):
+    down = cache.by_name[cache.ring.nodes_for(KEY_A, 3)[2]]
+    down.mark_down()
+    cache.put(make_entry(KEY_A))
+    assert down.store.get(KEY_A) is None
+    # Full replication: the hint is co-located with a live real copy.
+    holders = [n for n in nodes if n.pending_hints().get(down.name)]
+    assert len(holders) == 1
+    # Delivery is a no-op while the target is still down.
+    assert cache.deliver_hints(down.name) == 0
+    down.mark_up()
+    assert cache.deliver_hints(down.name) == 1
+    assert down.store.get(KEY_A) is not None
+    assert holders[0].pending_hints().get(down.name, 0) == 0  # hint consumed
+
+
+def test_sloppy_quorum_substitute_takes_readable_copy(nodes, tmp_path):
+    cache = ReplicatedCache(nodes, replication=2, root=str(tmp_path))
+    pref = cache.ring.nodes_for(KEY_A, 2)
+    substitute = cache.ring.successor(KEY_A, exclude=pref)
+    cache.by_name[pref[0]].mark_down()
+    cache.put(make_entry(KEY_A))
+    # The non-preference substitute holds a real copy plus the hint.
+    assert cache.by_name[substitute].store.get(KEY_A) is not None
+    assert cache.by_name[substitute].pending_hints() == {pref[0]: 1}
+
+
+def test_write_quorum_failure_raises(nodes, tmp_path):
+    cache = ReplicatedCache(nodes, replication=3, write_quorum=1, root=str(tmp_path))
+    for node in nodes:
+        node.mark_down()
+    with pytest.raises(QuorumError):
+        cache.put(make_entry(KEY_A))
+
+
+def test_write_quorum_counts_hinted_acks(nodes, tmp_path):
+    cache = ReplicatedCache(
+        nodes, replication=2, write_quorum=2, root=str(tmp_path)
+    )
+    pref = cache.ring.nodes_for(KEY_A, 2)
+    cache.by_name[pref[1]].mark_down()
+    cache.put(make_entry(KEY_A))  # 1 real + 1 hinted substitute ack = W
+
+
+def test_rpc_timeout_degrades_write_to_hint(cache, nodes):
+    pref = cache.ring.nodes_for(KEY_A, 3)
+    with faults.inject(
+        faults.Fault(
+            "rpc.timeout",
+            error=RpcTimeout,
+            match={"node": pref[1], "op": "put"},
+        )
+    ):
+        cache.put(make_entry(KEY_A))
+    assert cache.by_name[pref[0]].store.get(KEY_A) is not None
+    assert cache.by_name[pref[1]].store.get(KEY_A) is None
+    hinted = [n for n in nodes if n.pending_hints().get(pref[1])]
+    assert len(hinted) == 1
+    assert cache.deliver_hints(pref[1]) == 1
+    assert cache.by_name[pref[1]].store.get(KEY_A) is not None
+
+
+# ---------------------------------------------------------------------------
+# Degraded reads: quorums and read repair
+# ---------------------------------------------------------------------------
+
+
+def test_read_skips_downed_nodes(cache, nodes):
+    cache.put(make_entry(KEY_A))
+    pref = cache.ring.nodes_for(KEY_A, 3)
+    cache.by_name[pref[0]].mark_down()
+    cache.by_name[pref[1]].mark_down()
+    got = cache.get(KEY_A)
+    assert got is not None and got["key"] == KEY_A
+
+
+def test_read_quorum_miss_when_not_enough_replicas(nodes, tmp_path):
+    cache = ReplicatedCache(
+        nodes, replication=3, read_quorum=2, root=str(tmp_path)
+    )
+    cache.put(make_entry(KEY_A))
+    pref = cache.ring.nodes_for(KEY_A, 3)
+    cache.by_name[pref[0]].mark_down()
+    cache.by_name[pref[1]].mark_down()
+    assert cache.get(KEY_A) is None  # 1 live replica < R=2: a safe miss
+
+
+def test_read_repair_backfills_live_gap(cache, nodes):
+    cache.put(make_entry(KEY_A))
+    pref = cache.ring.nodes_for(KEY_A, 3)
+    # First preference node lost its copy but is up: the read finds the
+    # entry downstream and repairs the gap in passing.
+    cache.by_name[pref[0]].store.delete(KEY_A)
+    assert cache.get(KEY_A) is not None
+    assert cache.by_name[pref[0]].store.get(KEY_A) is not None
+
+
+# ---------------------------------------------------------------------------
+# Anti-entropy
+# ---------------------------------------------------------------------------
+
+
+def test_anti_entropy_repairs_missing_and_stale_copies(cache, nodes):
+    cache.put(make_entry(KEY_A))
+    cache.put(make_entry(KEY_B, seed=2))
+    cache.put(make_entry(KEY_C, seed=3))
+    assert cache.anti_entropy() == 0  # already converged: fast path
+
+    nodes[1].store.delete(KEY_A)  # lost copy
+    stale = make_entry(KEY_B, seed=2)
+    stale["solution"] = {"value": "stale"}
+    stale["created_ts"] = 0.0  # older than the real write
+    nodes[2].store.put(stale)
+    repaired = cache.anti_entropy()
+    assert repaired == 2
+    assert nodes[1].store.get(KEY_A) is not None
+    assert nodes[2].store.get(KEY_B)["solution"] == {"value": 2}
+    roots = {d["root"] for d in cache.digests().values()}
+    assert len(roots) == 1
+
+
+def test_anti_entropy_skips_downed_nodes(cache, nodes):
+    cache.put(make_entry(KEY_A))
+    nodes[1].store.delete(KEY_A)
+    nodes[1].mark_down()
+    cache.anti_entropy()
+    assert nodes[1].store.get(KEY_A) is None  # untouched while down
+    nodes[1].mark_up()
+    assert cache.anti_entropy() == 1
+    assert nodes[1].store.get(KEY_A) is not None
+
+
+def test_digests_report_per_node_trees(cache, nodes):
+    cache.put(make_entry(KEY_A))
+    digests = cache.digests()
+    assert set(digests) == {n.name for n in nodes}
+    assert all(d["entries"] == 1 for d in digests.values())
