@@ -17,6 +17,12 @@ replica sets, device assignment, total cost, verification status), writes
 ``BENCH_partition.json``, and with ``--gate`` fails (exit 1) when the
 machine-normalized wall-clock regresses more than 30% against the
 checked-in ``benchmarks/BENCH_partition.baseline.json``.
+
+On top of the paper circuits it benches the multilevel V-cycle against
+flat fast FM on Rent-style generated netlists (``REPRO_BENCH_ML_CELLS``,
+comma-separated approximate cell counts, default ``10000``; empty skips).
+The V-cycle must match or beat flat FM's mean cut at every size and, at
+50k+ cells, be at least 5x faster.
 """
 
 from __future__ import annotations
@@ -64,6 +70,15 @@ BASELINE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_partition.baselin
 
 SEED = 3
 FM_RUNS = 4
+# Multilevel section: seeds averaged per netlist size, the speedup floor
+# asserted on large netlists, and the size where that floor kicks in
+# (small smoke sizes only gate cut quality; the V-cycle's asymptotic win
+# needs room to show).
+ML_SEEDS = (0, 1, 2)
+ML_SPEEDUP_FLOOR = 5.0
+ML_GATE_MIN_CELLS = 50_000
+# Observed techmap ratio on Rent-generated netlists: gates per CLB cell.
+ML_GATES_PER_CELL = 2.1
 # Disabled-mode observability must stay in the noise: the estimated cost
 # of the hooks, as a fraction of solver wall-clock, is gated at 3%.
 OBS_OVERHEAD_LIMIT = 0.03
@@ -171,6 +186,77 @@ def _kway_section(mapped):
     }
 
 
+def ml_cell_targets():
+    """Approximate Rent-netlist cell counts from ``REPRO_BENCH_ML_CELLS``."""
+    raw = os.environ.get("REPRO_BENCH_ML_CELLS", "10000")
+    return [int(tok) for tok in raw.split(",") if tok.strip()]
+
+
+def _rent_suite():
+    """``(name, relaxed hypergraph)`` per requested multilevel bench size."""
+    from repro.netlist.generate import random_logic
+    from repro.techmap.mapped import technology_map
+
+    suite = []
+    for cells in ml_cell_targets():
+        n_gates = int(cells * ML_GATES_PER_CELL)
+        n_io = max(1, n_gates // 50)
+        name = f"rent{cells // 1000}k"
+        netlist = random_logic(name, n_gates, n_io, n_io, seed=9)
+        hg = build_hypergraph(technology_map(netlist), include_terminals=False)
+        suite.append((name, hg))
+    return suite
+
+
+def _multilevel_section(hg):
+    """V-cycle vs flat fast FM: same seeds, mean cut and wall-clock.
+
+    ``ref`` here is the optimized flat engine (not the frozen reference
+    module): the section measures what the multilevel algorithm buys on
+    top of the already-fast FM, which is the ratio the regression gate
+    tracks.  Quality is asserted directly -- the V-cycle's mean cut must
+    not lose to flat FM -- and on 50k+ cell netlists the speedup floor
+    (:data:`ML_SPEEDUP_FLOOR`) is asserted too.
+    """
+    from repro.hypergraph.compact import CompactHypergraph
+    from repro.partition.multilevel import MultilevelConfig, vcycle_bipartition
+
+    def fast():
+        compact = CompactHypergraph.from_hypergraph(hg)
+        return [
+            vcycle_bipartition(hg, MultilevelConfig(seed=s), compact=compact)
+            for s in ML_SEEDS
+        ]
+
+    def ref():
+        return [fm_bipartition(hg, FMConfig(seed=s)) for s in ML_SEEDS]
+
+    fast_seconds, ml_results = time_call(fast)
+    ref_seconds, flat_results = time_call(ref)
+    ml_mean = sum(r.cut_size for r in ml_results) / len(ml_results)
+    flat_mean = sum(r.cut_size for r in flat_results) / len(flat_results)
+    assert ml_mean <= flat_mean, (
+        f"multilevel mean cut {ml_mean:.1f} lost to flat FM {flat_mean:.1f} "
+        f"on {hg.n_cells} cells"
+    )
+    ratio = speedup(ref_seconds, fast_seconds)
+    if hg.n_cells >= ML_GATE_MIN_CELLS:
+        assert ratio >= ML_SPEEDUP_FLOOR, (
+            f"multilevel speedup {ratio:.2f}x below the "
+            f"{ML_SPEEDUP_FLOOR:.0f}x floor on {hg.n_cells} cells "
+            f"(flat {ref_seconds:.2f}s vs V-cycle {fast_seconds:.2f}s)"
+        )
+    return {
+        "fast_seconds": round(fast_seconds, 4),
+        "ref_seconds": round(ref_seconds, 4),
+        "speedup": round(ratio, 3),
+        "cut": round(ml_mean, 1),
+        "ref_cut": round(flat_mean, 1),
+        "n_cells": hg.n_cells,
+        "levels": ml_results[0].levels,
+    }
+
+
 def _obs_section(hg, mapped):
     """Observability costs: traced-run equivalence + disabled-mode overhead.
 
@@ -186,28 +272,34 @@ def _obs_section(hg, mapped):
 
     from repro.obs.events import ListEmitter
     from repro.obs.metrics import MetricsRegistry, get_registry, use_registry
+    from repro.partition.multilevel import MultilevelConfig, vcycle_bipartition
 
     fm_cfg = FMConfig(seed=SEED)
     repl_cfg = ReplicationConfig(seed=SEED, threshold=1)
     kway_cfg = KWayConfig(seed=SEED)
+    ml_cfg = MultilevelConfig(seed=SEED)
 
     fm_sec, plain_fm = time_call(lambda: fm_bipartition(hg, fm_cfg))
     repl_sec, plain_repl = time_call(lambda: replication_bipartition(hg, repl_cfg))
     kway_sec, plain_kway = time_call(
         lambda: partition_heterogeneous(mapped, kway_cfg)
     )
+    ml_sec, plain_ml = time_call(lambda: vcycle_bipartition(hg, ml_cfg))
 
     registry = MetricsRegistry(enabled=True, emitter=ListEmitter())
     with use_registry(registry):
         traced_fm = fm_bipartition(hg, fm_cfg)
         traced_repl = replication_bipartition(hg, repl_cfg)
         traced_kway = partition_heterogeneous(mapped, kway_cfg)
+        traced_ml = vcycle_bipartition(hg, ml_cfg)
 
     assert traced_fm.assignment == plain_fm.assignment, "tracing changed FM"
     assert traced_fm.cut_size == plain_fm.cut_size
     assert traced_repl.sides == plain_repl.sides, "tracing changed replication FM"
     assert traced_repl.replicas == plain_repl.replicas
     assert traced_repl.cut_size == plain_repl.cut_size
+    assert traced_ml.assignment == plain_ml.assignment, "tracing changed V-cycle"
+    assert traced_ml.cut_size == plain_ml.cut_size
 
     def shape(solution):
         return [
@@ -239,8 +331,15 @@ def _obs_section(hg, mapped):
         + 4 * (counters.get("fm.passes", 0) + counters.get("repl.passes", 0))
         + 8 * (counters.get("fm.runs", 0) + counters.get("repl.runs", 0))
         + 8 * counters.get("kway.candidates", 0)
+        # V-cycle hooks: spans + the per-level ml.level event + counters,
+        # all O(levels) per solve.
+        + 8
+        * (
+            counters.get("multilevel.levels", 0)
+            + counters.get("multilevel.vcycles", 0)
+        )
     )
-    solver_seconds = fm_sec + repl_sec + kway_sec
+    solver_seconds = fm_sec + repl_sec + kway_sec + ml_sec
     overhead = per_check * hooks / max(solver_seconds, 1e-9)
     assert overhead < OBS_OVERHEAD_LIMIT, (
         f"disabled-mode observability overhead {overhead:.2%} exceeds "
@@ -284,6 +383,16 @@ def run_bench(scale, circuits):
             f"kway {entry['kway']['speedup']:5.2f}x "
             f"(fast {entry['kway']['fast_seconds']:.2f}s / "
             f"ref {entry['kway']['ref_seconds']:.2f}s)"
+        )
+    for name, hg in _rent_suite():
+        section = _multilevel_section(hg)
+        per_circuit[name] = {"multilevel": section}
+        print(
+            f"{name:8s} multilevel {section['speedup']:5.2f}x on "
+            f"{section['n_cells']} cells, {section['levels']} levels "
+            f"(V-cycle {section['fast_seconds']:.2f}s / "
+            f"flat {section['ref_seconds']:.2f}s, "
+            f"cut {section['cut']:.0f} vs {section['ref_cut']:.0f})"
         )
     report = make_report(scale, per_circuit)
     if obs_entry is not None:

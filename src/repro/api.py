@@ -53,6 +53,7 @@ from repro.obs.events import validate_jsonl_file
 from repro.obs.metrics import get_registry
 from repro.obs.summary import summarize_events
 from repro.partition.devices import DeviceLibrary
+from repro.partition.multilevel import resolve_multilevel
 from repro.partition.verify import verify_solution
 from repro.robust.runner import ResilientRunner, RunLog
 from repro.techmap.mapped import MappedNetlist
@@ -299,8 +300,17 @@ def bipartition(
     max_retries: Optional[int] = None,
     fallback: Optional[bool] = None,
     cache: str = "off",
+    multilevel: Optional[bool] = None,
 ) -> RunResult:
     """Experiment 1: ``runs`` equal-size min-cut bipartitionings.
+
+    ``multilevel`` is tri-state: ``True`` runs every inner solve as a
+    coarsen-solve-uncoarsen V-cycle, ``False`` keeps the flat engines,
+    ``None`` (default) auto-enables it at
+    :data:`repro.partition.multilevel.MULTILEVEL_AUTO_MIN_CELLS` cells.
+    When resolved on, the config fingerprint (ledger / cache key) gains a
+    ``multilevel`` marker, so multilevel and flat records never collide;
+    resolved-off runs keep their existing fingerprints.
 
     With any of ``deadline`` / ``max_retries`` / ``fallback`` set, the
     run goes through the resilient runner and ``run_log`` records every
@@ -322,6 +332,7 @@ def bipartition(
     start = perf_counter()
     ledger = obs_ledger.resolve_ledger()
     mapped = map(circuit, scale=scale, seed=seed or 1994).solution
+    use_ml = resolve_multilevel(multilevel, mapped.n_cells)
     config = {
         "verb": "bipartition",
         "algorithm": algorithm,
@@ -335,6 +346,10 @@ def bipartition(
         "max_retries": max_retries,
         "fallback": fallback,
     }
+    if use_ml:
+        # Key present only when multilevel is on: resolved-off runs keep
+        # their pre-multilevel fingerprints (golden drift gates included).
+        config["multilevel"] = True
     store = cache_store.resolve_cache() if cache != "off" else None
     key = cache_store.cache_key(mapped, config, seed) if store is not None else ""
     if cache == "use" and store is not None:
@@ -354,6 +369,7 @@ def bipartition(
                 max_passes=max_passes,
                 max_growth=max_growth,
                 jobs=jobs,
+                multilevel=use_ml,
             )
             report, log = outcome.report, outcome.log
         else:
@@ -367,6 +383,7 @@ def bipartition(
                 max_passes=max_passes,
                 max_growth=max_growth,
                 jobs=jobs,
+                multilevel=use_ml,
             )
     elapsed = perf_counter() - start
     cache_info = None
@@ -415,8 +432,16 @@ def partition(
     max_retries: Optional[int] = None,
     fallback: Optional[bool] = None,
     cache: str = "off",
+    multilevel: Optional[bool] = None,
 ) -> RunResult:
     """Experiment 2: k-way partitioning into heterogeneous devices.
+
+    ``multilevel`` is tri-state (see :func:`bipartition`): ``True`` seeds
+    every carve candidate with a multilevel V-cycle initial solution,
+    ``False`` never does, ``None`` (default) enables it per carve level
+    once the working set is large enough.  When forced on, the config
+    fingerprint gains a ``multilevel`` marker so ledger/cache records
+    never collide with flat runs.
 
     ``threshold=float('inf')`` reproduces the no-replication DAC'93
     baseline.  With any of ``deadline`` / ``max_retries`` / ``fallback``
@@ -453,6 +478,10 @@ def partition(
         "max_retries": max_retries,
         "fallback": fallback,
     }
+    if resolve_multilevel(multilevel, mapped.n_cells):
+        # Present only when multilevel carving is active for this netlist,
+        # so resolved-off runs keep their pre-multilevel fingerprints.
+        config["multilevel"] = True
     store = cache_store.resolve_cache() if cache != "off" else None
     key = cache_store.cache_key(mapped, config, seed) if store is not None else ""
     if cache == "use" and store is not None:
@@ -471,6 +500,7 @@ def partition(
                 seeds_per_carve=seeds_per_carve,
                 devices_per_carve=devices_per_carve,
                 jobs=jobs,
+                multilevel=multilevel,
             )
             solution, log = outcome.solution, outcome.log
         else:
@@ -484,6 +514,7 @@ def partition(
                 algorithm=algorithm,
                 devices_per_carve=devices_per_carve,
                 jobs=jobs,
+                multilevel=multilevel,
             )
     elapsed = perf_counter() - start
     cache_info = None

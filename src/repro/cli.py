@@ -72,6 +72,16 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_multilevel_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--multilevel",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="coarsen-solve-uncoarsen V-cycle engine; default: auto-on for "
+        "netlists with >= 20k cells (--no-multilevel forces the flat engines)",
+    )
+
+
 def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--deadline",
@@ -253,6 +263,8 @@ def _cmd_bipartition(args: argparse.Namespace) -> int:
 def _run_bipartition(args: argparse.Namespace, ledger=None, events=()) -> int:
     from repro.obs.ledger import quality_from_bipartition
 
+    from repro.partition.multilevel import resolve_multilevel
+
     netlist = _resolve_circuit(args.circuit, args.scale, args.seed)
     mapped = technology_map(netlist)
     config = {
@@ -262,6 +274,9 @@ def _run_bipartition(args: argparse.Namespace, ledger=None, events=()) -> int:
         "threshold": args.threshold,
         "scale": args.scale,
     }
+    if resolve_multilevel(args.multilevel, mapped.n_cells):
+        # Fingerprint marker, present only when the V-cycle is active.
+        config["multilevel"] = True
     runner = _resilient_runner(args)
     if runner is not None:
         result = runner.bipartition(
@@ -271,6 +286,7 @@ def _run_bipartition(args: argparse.Namespace, ledger=None, events=()) -> int:
             threshold=args.threshold,
             seed=args.seed,
             jobs=args.jobs,
+            multilevel=args.multilevel,
         )
         report = result.report
         if ledger is not None:
@@ -305,6 +321,7 @@ def _run_bipartition(args: argparse.Namespace, ledger=None, events=()) -> int:
         threshold=args.threshold,
         seed=args.seed,
         jobs=args.jobs,
+        multilevel=args.multilevel,
     )
     if ledger is not None:
         _ledger_log(
@@ -341,6 +358,8 @@ def _cmd_partition(args: argparse.Namespace) -> int:
 def _run_partition(args: argparse.Namespace, ledger=None, events=()) -> int:
     from repro.obs.ledger import quality_from_kway, quality_from_kway_report
 
+    from repro.partition.multilevel import resolve_multilevel
+
     netlist = _resolve_circuit(args.circuit, args.scale, args.seed)
     mapped = technology_map(netlist)
     threshold = float("inf") if args.threshold == "inf" else float(args.threshold)
@@ -350,10 +369,17 @@ def _run_partition(args: argparse.Namespace, ledger=None, events=()) -> int:
         "solutions": args.solutions,
         "scale": args.scale,
     }
+    if resolve_multilevel(args.multilevel, mapped.n_cells):
+        # Fingerprint marker, present only when multilevel carving is active.
+        config["multilevel"] = True
     runner = _resilient_runner(args)
     if runner is not None:
         result = runner.kway(
-            mapped, threshold=threshold, seed=args.seed, jobs=args.jobs
+            mapped,
+            threshold=threshold,
+            seed=args.seed,
+            jobs=args.jobs,
+            multilevel=args.multilevel,
         )
         solution = result.solution
         if ledger is not None:
@@ -388,6 +414,7 @@ def _run_partition(args: argparse.Namespace, ledger=None, events=()) -> int:
             n_solutions=args.solutions,
             seed=args.seed,
             jobs=args.jobs,
+            multilevel=args.multilevel,
         )
         problems = verify_solution(mapped, solution)
         if ledger is not None:
@@ -414,6 +441,7 @@ def _run_partition(args: argparse.Namespace, ledger=None, events=()) -> int:
         n_solutions=args.solutions,
         seed=args.seed,
         jobs=args.jobs,
+        multilevel=args.multilevel,
     )
     if ledger is not None:
         _ledger_log(
@@ -609,12 +637,25 @@ def _cmd_runs_show(args: argparse.Namespace) -> int:
     print(f"{'config':>18}: {json.dumps(record.get('config'), sort_keys=True)}")
     for metric, value in sorted(flatten(record.get("quality") or {}).items()):
         print(f"{'quality.' + metric:>40}: {value}")
-    carves = (record.get("convergence") or {}).get("carves") or []
+    convergence = record.get("convergence") or {}
+    carves = convergence.get("carves") or []
     for carve in carves:
         print(
             f"{'carve':>18}: level={carve.get('level')} "
             f"device={carve.get('device')} clbs={carve.get('clbs')} "
             f"cut={carve.get('cut')} terminals={carve.get('terminals')}"
+        )
+    ml_levels = convergence.get("multilevel") or []
+    for entry in ml_levels:
+        print(
+            f"{'vcycle':>18}: level={entry.get('level')} "
+            f"cells={entry.get('cells')} nets={entry.get('nets')} "
+            f"cut={entry.get('cut')} match_rate={entry.get('match_rate')}"
+        )
+    if convergence.get("multilevel_dropped"):
+        print(
+            f"{'vcycle':>18}: "
+            f"(+{convergence['multilevel_dropped']} more levels dropped)"
         )
     return 0
 
@@ -974,6 +1015,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bi.add_argument("--runs", type=int, default=5)
     p_bi.add_argument("--threshold", type=int, default=0)
+    _add_multilevel_arg(p_bi)
     _add_jobs_arg(p_bi)
     _add_resilience_args(p_bi)
     _add_obs_args(p_bi)
@@ -988,6 +1030,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the independent solution checker; non-zero exit on violations",
     )
+    _add_multilevel_arg(p_kw)
     _add_jobs_arg(p_kw)
     _add_resilience_args(p_kw)
     _add_obs_args(p_kw)

@@ -28,6 +28,11 @@ from repro.partition.fm_replication import (
     replication_bipartition,
 )
 from repro.partition.kway import KWayConfig, KWaySolution, best_heterogeneous_partition
+from repro.partition.multilevel import (
+    MultilevelConfig,
+    resolve_multilevel,
+    vcycle_bipartition,
+)
 from repro.robust.budget import Budget
 from repro.robust.errors import ConfigError
 from repro.techmap.mapped import MappedNetlist, technology_map
@@ -77,6 +82,7 @@ def bipartition_experiment(
     max_growth: Optional[float] = None,
     budget: Optional[Budget] = None,
     jobs: int = 1,
+    multilevel: Optional[bool] = None,
 ) -> BipartitionReport:
     """Experiment 1: N equal-size min-cut bipartitioning runs.
 
@@ -92,13 +98,66 @@ def bipartition_experiment(
     ``jobs > 1`` fans the runs out over a process pool; run seeds and the
     result order are identical to the sequential loop, so the report is
     deterministic per seed (as long as no budget expires mid-sweep).
+
+    ``multilevel`` is tri-state: ``True`` runs every inner solve as a
+    coarsen-solve-uncoarsen V-cycle (replication algorithms finish with a
+    replication pass at the finest level), ``False`` keeps the flat
+    engines, ``None`` (default) auto-enables the V-cycle on large
+    netlists (:data:`repro.partition.multilevel.MULTILEVEL_AUTO_MIN_CELLS`).
     """
     if algorithm not in BIPARTITION_ALGORITHMS:
         raise ConfigError(f"unknown algorithm {algorithm!r}")
     hg = build_hypergraph(mapped, include_terminals=False)
+    use_ml = resolve_multilevel(multilevel, hg.n_cells)
     cuts = []
     replicated = []
     start = time.perf_counter()
+    if use_ml:
+        style = _ALGORITHM_STYLE[algorithm]
+        base_ml = MultilevelConfig(
+            balance_tolerance=balance_tolerance,
+            max_passes=max_passes,
+            threshold=threshold,
+            style=style if algorithm != "fm" else FUNCTIONAL,
+            replication_refine=algorithm != "fm",
+            max_growth=max_growth,
+            budget=budget,
+        )
+        seeds = [seed * 7919 + run for run in range(runs)]
+        if jobs > 1:
+            from repro.perf.parallel import parallel_multilevel_results
+
+            results = parallel_multilevel_results(hg, base_ml, seeds, jobs)
+        else:
+            from dataclasses import replace as _replace
+
+            from repro.hypergraph.compact import CompactHypergraph
+
+            compact = CompactHypergraph.from_hypergraph(hg)
+            results = []
+            for run_seed in seeds:
+                if results and budget is not None and budget.expired:
+                    break
+                results.append(
+                    vcycle_bipartition(
+                        hg, _replace(base_ml, seed=run_seed), compact=compact
+                    )
+                )
+        cuts = [r.final_cut for r in results]
+        replicated = [
+            r.replication.n_replicated if r.replication is not None else 0
+            for r in results
+        ]
+        elapsed = time.perf_counter() - start
+        return BipartitionReport(
+            circuit=mapped.name,
+            algorithm=algorithm,
+            runs=len(cuts),
+            cuts=cuts,
+            replicated_counts=replicated,
+            elapsed_seconds=elapsed,
+            n_cells=hg.n_cells,
+        )
     if jobs > 1:
         from repro.perf.parallel import (
             parallel_fm_results,
@@ -194,6 +253,7 @@ def kway_experiment(
     budget: Optional[Budget] = None,
     jobs: int = 1,
     style: Optional[str] = None,
+    multilevel: Optional[bool] = None,
 ) -> KWayReport:
     """Experiment 2: one k-way heterogeneous partitioning data point.
 
@@ -219,6 +279,7 @@ def kway_experiment(
         devices_per_carve=devices_per_carve,
         budget=budget,
         jobs=jobs,
+        multilevel=multilevel,
     )
     start = time.perf_counter()
     solution = best_heterogeneous_partition(mapped, config, n_solutions=n_solutions)
@@ -251,6 +312,7 @@ def kway_solution(
     budget: Optional[Budget] = None,
     jobs: int = 1,
     style: Optional[str] = None,
+    multilevel: Optional[bool] = None,
 ) -> KWaySolution:
     """Like :func:`kway_experiment` but returning the full solution object.
 
@@ -269,5 +331,6 @@ def kway_solution(
         devices_per_carve=devices_per_carve,
         budget=budget,
         jobs=jobs,
+        multilevel=multilevel,
     )
     return best_heterogeneous_partition(mapped, config, n_solutions=n_solutions)

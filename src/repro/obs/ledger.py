@@ -77,6 +77,10 @@ VOLATILE_KEYS = ("run_id", "ts", "iso_ts", "git_rev", "host", "timing", "runner"
 #: (the k-way candidate scan produces one per candidate engine run).
 MAX_PASS_SERIES = 32
 
+#: Cap on the number of multilevel per-level entries kept in
+#: ``convergence`` (one ``ml.level`` event per level per V-cycle descent).
+MAX_ML_LEVELS = 120
+
 
 # ---------------------------------------------------------------------------
 # Fingerprints
@@ -255,12 +259,18 @@ def distill_convergence(events: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
       :data:`MAX_PASS_SERIES` with ``pass_series_dropped`` counting the
       overflow;
     * ``runner_attempts`` -- resilient-runner attempt outcomes, when the
-      run went through :class:`~repro.robust.runner.ResilientRunner`.
+      run went through :class:`~repro.robust.runner.ResilientRunner`;
+    * ``multilevel`` -- the V-cycle profile (``ml.level`` events: level
+      index, cells, nets, cut after refinement, match rate), capped at
+      :data:`MAX_ML_LEVELS` with ``multilevel_dropped`` counting the
+      overflow.
     """
     carves: List[Dict[str, Any]] = []
     pass_series: List[Dict[str, Any]] = []
     dropped = 0
     runner_attempts: List[Dict[str, Any]] = []
+    ml_levels: List[Dict[str, Any]] = []
+    ml_dropped = 0
     for event in events:
         if event.get("kind") != "event":
             continue
@@ -311,11 +321,28 @@ def distill_convergence(events: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
                     "outcome": fields.get("outcome"),
                 }
             )
+        elif name == "ml.level":
+            if len(ml_levels) < MAX_ML_LEVELS:
+                ml_levels.append(
+                    {
+                        "level": fields.get("level"),
+                        "cells": fields.get("cells"),
+                        "nets": fields.get("nets"),
+                        "cut": fields.get("cut"),
+                        "match_rate": fields.get("match_rate"),
+                    }
+                )
+            else:
+                ml_dropped += 1
     out: Dict[str, Any] = {"carves": carves, "pass_series": pass_series}
     if dropped:
         out["pass_series_dropped"] = dropped
     if runner_attempts:
         out["runner_attempts"] = runner_attempts
+    if ml_levels:
+        out["multilevel"] = ml_levels
+        if ml_dropped:
+            out["multilevel_dropped"] = ml_dropped
     return out
 
 

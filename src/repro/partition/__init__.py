@@ -7,6 +7,8 @@
   (and, for ablation, traditional) replication moves.
 * :mod:`repro.partition.kway` -- recursive multi-way partitioning into
   heterogeneous devices minimizing total cost and interconnect.
+* :mod:`repro.partition.multilevel` -- coarsen-solve-uncoarsen V-cycle
+  on the CSR core (initial-solution provider for the k-way carver).
 """
 
 from repro.partition.devices import Device, DeviceLibrary, XC3000_LIBRARY, XC4000_LIBRARY
@@ -18,10 +20,13 @@ from repro.partition.fm_replication import (
     ReplicationResult,
 )
 from repro.partition.kway import partition_heterogeneous, KWayConfig, KWaySolution
-from repro.partition.clustering import (
+from repro.partition.clustering import multilevel_bipartition
+from repro.partition.multilevel import (
     MultilevelConfig,
+    MultilevelHierarchy,
     MultilevelResult,
-    multilevel_bipartition,
+    resolve_multilevel,
+    vcycle_bipartition,
 )
 from repro.partition.verify import verify_solution
 from repro.partition.spectral import SpectralConfig, SpectralResult, spectral_bipartition
@@ -42,8 +47,11 @@ __all__ = [
     "bipartition_report",
     "solution_report",
     "MultilevelConfig",
+    "MultilevelHierarchy",
     "MultilevelResult",
     "multilevel_bipartition",
+    "resolve_multilevel",
+    "vcycle_bipartition",
     "verify_solution",
     "Device",
     "DeviceLibrary",

@@ -1,21 +1,21 @@
-"""Multilevel clustering bipartitioning (the paper's suggested extension).
+"""Legacy object-graph multilevel bipartitioning (now a thin shim).
 
-The paper's conclusion notes that combining replication-based min-cut with
-clustering techniques (its references [4] and [17], Hagen-Kahng) "may
-potentially reduce the size of the cut even further".  This module
-implements that extension as a classic multilevel scheme:
+The production multilevel engine lives in
+:mod:`repro.partition.multilevel`: the same classic coarsen-solve-
+uncoarsen scheme, but run entirely on flat
+:class:`~repro.hypergraph.compact.CompactHypergraph` arrays (an order of
+magnitude faster on large netlists).  This module keeps the historical
+entry points alive:
 
-1. **Coarsen** -- repeated heavy-connectivity matching: two cells score
-   ``sum over shared nets of 1 / (|net| - 1)`` (the standard hyperedge
-   affinity) and greedy maximal matching merges the heaviest pairs into
-   weighted super-nodes; internal nets disappear.
-2. **Initial solution** -- plain FM on the coarsest hypergraph.
-3. **Uncoarsen + refine** -- project the assignment down one level at a
-   time, refining with balance-respecting FM at every level.
-4. Optionally finish with a **functional-replication refinement** pass at
-   the finest level, which is exactly where replication shines: the
-   multilevel cut is already good and replication peels the remaining
-   boundary cells.
+* :func:`multilevel_bipartition` delegates to
+  :func:`repro.partition.multilevel.vcycle_bipartition` and emits a
+  :class:`DeprecationWarning`.
+* ``MultilevelConfig`` / ``MultilevelResult`` are re-exported from the
+  new module (the new config is a strict superset of the old one).
+* :func:`coarsen_once` / :func:`_affinity_matching` -- the original
+  object-graph coarsening step -- remain for tests and for
+  :func:`_legacy_multilevel_bipartition`, the reference implementation
+  that the parity tests compare the CSR engine against.
 
 Terminals are never clustered, so terminal-relaxed and terminal-bearing
 hypergraphs both work.
@@ -24,8 +24,8 @@ hypergraphs both work.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+import warnings
+from typing import Dict, List, Optional, Tuple
 
 from repro.hypergraph.hypergraph import Hypergraph, NodeKind, PIN_OUT
 from repro.partition.fm import FMConfig, fm_bipartition
@@ -35,40 +35,19 @@ from repro.partition.fm_replication import (
     ReplicationEngine,
     ReplicationResult,
 )
+from repro.partition.multilevel import (
+    _MAX_SCORING_DEGREE,
+    MultilevelConfig,
+    MultilevelResult,
+    vcycle_bipartition,
+)
 
-#: Nets above this degree are ignored during affinity scoring (they carry
-#: almost no locality signal and dominate the runtime otherwise).
-_MAX_SCORING_DEGREE = 24
-
-
-@dataclass
-class MultilevelConfig:
-    """Knobs for one multilevel run."""
-
-    seed: int = 0
-    max_levels: int = 10
-    min_nodes: int = 64
-    coarsening_stall_ratio: float = 0.9  # stop when a level shrinks less
-    balance_tolerance: float = 0.02
-    max_passes: int = 12
-    replication_refine: bool = False
-    threshold: Union[int, float] = 0
-
-
-@dataclass
-class MultilevelResult:
-    """Outcome of a multilevel bipartitioning run."""
-
-    assignment: List[int]
-    cut_size: int
-    levels: int
-    replication: Optional[ReplicationResult] = None
-
-    @property
-    def final_cut(self) -> int:
-        if self.replication is not None:
-            return self.replication.cut_size
-        return self.cut_size
+__all__ = [
+    "MultilevelConfig",
+    "MultilevelResult",
+    "coarsen_once",
+    "multilevel_bipartition",
+]
 
 
 def _affinity_matching(
@@ -185,7 +164,22 @@ def multilevel_bipartition(
     hg: Hypergraph,
     config: Optional[MultilevelConfig] = None,
 ) -> MultilevelResult:
-    """Coarsen, solve, uncoarsen with refinement; optional replication finish."""
+    """Deprecated alias of :func:`repro.partition.multilevel.vcycle_bipartition`."""
+    warnings.warn(
+        "repro.partition.clustering.multilevel_bipartition is deprecated; "
+        "use repro.partition.multilevel.vcycle_bipartition (the CSR "
+        "multilevel engine)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return vcycle_bipartition(hg, config)
+
+
+def _legacy_multilevel_bipartition(
+    hg: Hypergraph,
+    config: Optional[MultilevelConfig] = None,
+) -> MultilevelResult:
+    """The original object-graph V-cycle, kept as the parity reference."""
     config = config or MultilevelConfig()
     rng = random.Random(config.seed)
 

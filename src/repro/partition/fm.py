@@ -66,6 +66,13 @@ class FMConfig:
     #: Optional wall-clock budget; when it expires the run stops refining
     #: at the next checkpoint and returns its best state so far.
     budget: Optional[Budget] = None
+    #: Seed each pass only from nodes incident to a cut net.  The frontier
+    #: still expands naturally (neighbour refreshes re-queue interior nodes
+    #: as the boundary moves), but pass startup cost drops from O(n) pushes
+    #: to O(boundary) -- the multilevel refiner's hot path.  Off by default:
+    #: full seeding is what the bit-identity contract with the reference
+    #: engine covers.
+    boundary_refine: bool = False
 
 
 @dataclass
@@ -147,11 +154,13 @@ class _FMState:
 
     def __init__(
         self,
-        hg: Hypergraph,
+        hg: Optional[Hypergraph],
         config: FMConfig,
         initial: Optional[Sequence[int]],
         compact: Optional[CompactHypergraph] = None,
     ):
+        if hg is None and compact is None:
+            raise ValueError("either hg or compact is required")
         self.hg = hg
         self.config = config
         self.compact = compact or CompactHypergraph.from_hypergraph(hg)
@@ -387,7 +396,7 @@ class _FMState:
 
 
 def fm_bipartition(
-    hg: Hypergraph,
+    hg: Optional[Hypergraph],
     config: Optional[FMConfig] = None,
     initial: Optional[Sequence[int]] = None,
     compact: Optional[CompactHypergraph] = None,
@@ -396,7 +405,10 @@ def fm_bipartition(
 
     ``compact`` optionally supplies a pre-built
     :class:`~repro.hypergraph.compact.CompactHypergraph` of ``hg`` so
-    multi-start callers pay the flattening cost once.
+    multi-start callers pay the flattening cost once.  ``hg`` may be
+    ``None`` when ``compact`` is given -- the engine reads topology only
+    through the CSR arrays, which is how the multilevel V-cycle runs FM
+    on coarse levels that exist purely as :class:`CompactHypergraph`s.
     """
     config = config or FMConfig()
     faults.maybe_fire("fm.run", seed=config.seed)
@@ -488,10 +500,22 @@ def _run_pass(state: _FMState) -> int:
     peek0, peek1 = buckets[0].peek, buckets[1].peek
 
     pc = state._push_counter
-    for u in state.movable:
-        stamps[u] = st = stamps[u] + 1
-        pc += 1
-        (push0 if side[u] == 0 else push1)(gains[u], pc, u, st)
+    if state.config.boundary_refine:
+        # Seed only nodes touching a cut net; interior nodes join via
+        # neighbour refreshes once the boundary reaches them.
+        for u in state.movable:
+            for i in range(nns[u], nns[u + 1]):
+                e = nn[i]
+                if c0[e] > 0 and c1[e] > 0:
+                    stamps[u] = st = stamps[u] + 1
+                    pc += 1
+                    (push0 if side[u] == 0 else push1)(gains[u], pc, u, st)
+                    break
+    else:
+        for u in state.movable:
+            stamps[u] = st = stamps[u] + 1
+            pc += 1
+            (push0 if side[u] == 0 else push1)(gains[u], pc, u, st)
 
     moves: List[int] = []
     n_moves = 0

@@ -31,12 +31,18 @@ from repro.obs.metrics import get_registry
 from repro.obs.trace import NULL_SPAN
 from repro.partition.cost import SolutionCost, solution_cost
 from repro.partition.devices import Device, DeviceLibrary, XC3000_LIBRARY
+from repro.hypergraph.compact import CompactHypergraph
 from repro.partition.fm_replication import (
     FUNCTIONAL,
     NONE,
     ReplicationConfig,
     ReplicationEngine,
     ReplicationTables,
+)
+from repro.partition.multilevel import (
+    MULTILEVEL_AUTO_MIN_CELLS,
+    MultilevelConfig,
+    MultilevelHierarchy,
 )
 from repro.robust import faults
 from repro.robust.budget import Budget
@@ -129,6 +135,15 @@ class KWayConfig:
     #: carve matches ``jobs=1`` for a given seed.  ``1`` stays in-process;
     #: ``0`` or negative means all cores.
     jobs: int = 1
+    #: Multilevel initial solutions for carve candidates: a V-cycle
+    #: (:mod:`repro.partition.multilevel`) seeds each candidate's
+    #: replication engine instead of a random start.  Tri-state: ``True``
+    #: forces it on, ``False`` off, ``None`` (default) turns it on per
+    #: carve level once the working set reaches ``multilevel_min_cells``.
+    #: The coarsening hierarchy is built once per carve scan and shared
+    #: across every candidate (like ``ReplicationTables``).
+    multilevel: Optional[bool] = None
+    multilevel_min_cells: int = MULTILEVEL_AUTO_MIN_CELLS
 
     def __post_init__(self) -> None:
         if self.engine not in ("fast", "reference"):
@@ -470,6 +485,12 @@ def _scan_carve_candidates(
                 fallback = (fb_key, device, outcome)
 
     use_reference = config.engine == "reference"
+    if config.multilevel is not None:
+        use_ml = config.multilevel and not use_reference
+    else:
+        use_ml = not use_reference and clbs >= config.multilevel_min_cells
+    if use_ml and reg.enabled:
+        reg.counter("kway.multilevel_scans").inc()
     if config.jobs != 1 and not use_reference:
         from repro.perf.parallel import CarveBandPool
 
@@ -479,7 +500,14 @@ def _scan_carve_candidates(
             max_passes=config.max_passes,
             fixed=dict(fixed),
         )
-        with CarveBandPool(hg, pseudo, proto, budget, config.jobs) as pool:
+        ml_spec = (
+            dict(seed=config.seed, max_passes=config.max_passes)
+            if use_ml
+            else None
+        )
+        with CarveBandPool(
+            hg, pseudo, proto, budget, config.jobs, ml_spec=ml_spec
+        ) as pool:
             for fill in config.carve_fill_levels:
                 if budget is not None and budget.expired:
                     out_of_time = True
@@ -500,6 +528,7 @@ def _scan_carve_candidates(
                     break  # highest workable fill band wins
     else:
         tables: Optional[ReplicationTables] = None
+        hierarchy: Optional[MultilevelHierarchy] = None
         for fill in config.carve_fill_levels:
             n_bands += 1
             for di, device in enumerate(candidates):
@@ -511,8 +540,9 @@ def _scan_carve_candidates(
                     if budget is not None and budget.expired:
                         out_of_time = True
                         break
+                    cand_seed = rng.randrange(1 << 30)
                     rcfg = ReplicationConfig(
-                        seed=rng.randrange(1 << 30),
+                        seed=cand_seed,
                         threshold=config.threshold,
                         style=config.style,
                         side0_bounds=(lo0, hi0),
@@ -520,6 +550,21 @@ def _scan_carve_candidates(
                         fixed=dict(fixed),
                         budget=budget,
                     )
+                    initial: Optional[List[int]] = None
+                    if use_ml and not use_reference:
+                        if hierarchy is None:
+                            hierarchy = MultilevelHierarchy(
+                                CompactHypergraph.from_hypergraph(hg),
+                                MultilevelConfig(
+                                    seed=config.seed,
+                                    max_passes=config.max_passes,
+                                    fixed=dict(fixed),
+                                    budget=budget,
+                                ),
+                            )
+                        initial, _, _ = hierarchy.solve(
+                            cand_seed, side0_bounds=(lo0, hi0)
+                        )
                     if use_reference:
                         from repro.partition.reference import (
                             ReferenceReplicationEngine,
@@ -529,7 +574,9 @@ def _scan_carve_candidates(
                     else:
                         if tables is None:
                             tables = ReplicationTables(hg)
-                        engine = ReplicationEngine(hg, rcfg, tables=tables)
+                        engine = ReplicationEngine(
+                            hg, rcfg, initial=initial, tables=tables
+                        )
                     engine.run()
                     n_cand += 1
                     consider(_engine_outcome(engine, pseudo, di))

@@ -253,24 +253,94 @@ def parallel_best_of_runs_replication(hg, runs: int, base_config, jobs: int):
 
 
 # ---------------------------------------------------------------------------
+# Multilevel V-cycle multi-start
+# ---------------------------------------------------------------------------
+
+_ML_CTX: Optional[Tuple[Any, Any, Any, Optional[float], bool, bool, bool]] = None
+
+
+def _ml_init(hg, base_config, remaining, graceful, limited, obs_on, fault_spec) -> None:
+    from repro.hypergraph.compact import CompactHypergraph
+
+    global _ML_CTX
+    faults.install_spec(fault_spec)
+    compact = CompactHypergraph.from_hypergraph(hg)
+    _ML_CTX = (hg, compact, base_config, remaining, graceful, limited, obs_on)
+
+
+def _ml_task(seed: int):
+    from repro.partition.multilevel import vcycle_bipartition
+
+    assert _ML_CTX is not None
+    hg, compact, base, remaining, graceful, limited, obs_on = _ML_CTX
+    config = replace(
+        base, seed=seed, budget=_rebuild_budget(remaining, graceful, limited)
+    )
+    return _call_with_obs(
+        obs_on, lambda: vcycle_bipartition(hg, config, compact=compact)
+    )
+
+
+def parallel_multilevel_results(
+    hg, base_config, seeds: Sequence[int], jobs: int
+) -> List[Any]:
+    """Run one multilevel V-cycle per seed over a process pool, in seed order."""
+    remaining, graceful = _budget_allotment(base_config.budget)
+    limited = base_config.budget is not None
+    ship = replace(base_config, budget=None)
+    workers = max(1, min(resolve_jobs(jobs), len(seeds)))
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_ml_init,
+        initargs=(
+            hg, ship, remaining, graceful, limited,
+            _parent_obs_enabled(), faults.export_spec(),
+        ),
+    ) as ex:
+        return _merge_worker_pairs(list(ex.map(_ml_task, seeds)))
+
+
+# ---------------------------------------------------------------------------
 # K-way carve candidate scan
 # ---------------------------------------------------------------------------
 
 _CARVE_CTX: Optional[
-    Tuple[Any, Any, frozenset, Dict[str, Any], Optional[float], bool, bool, bool]
+    Tuple[Any, Any, frozenset, Dict[str, Any], Any, Optional[float], bool, bool, bool]
 ] = None
 
 
 def _carve_init(
-    hg, pseudo, proto, remaining, graceful, limited, obs_on, fault_spec
+    hg, pseudo, proto, ml_spec, remaining, graceful, limited, obs_on, fault_spec
 ) -> None:
     from repro.partition.fm_replication import ReplicationTables
 
     global _CARVE_CTX
     faults.install_spec(fault_spec)
     tables = ReplicationTables(hg)
+    hierarchy = None
+    if ml_spec is not None:
+        # Same construction as the sequential scan: seeded from the k-way
+        # config seed with the scan's fixed set, so every worker builds
+        # the identical coarsening stack and jobs=N candidates match
+        # jobs=1 bit for bit.
+        from repro.hypergraph.compact import CompactHypergraph
+        from repro.partition.multilevel import (
+            MultilevelConfig,
+            MultilevelHierarchy,
+        )
+
+        hierarchy = MultilevelHierarchy(
+            CompactHypergraph.from_hypergraph(hg),
+            MultilevelConfig(
+                seed=ml_spec["seed"],
+                max_passes=ml_spec["max_passes"],
+                fixed=dict(proto["fixed"]),
+                budget=_rebuild_budget(remaining, graceful, limited),
+            ),
+        )
     _CARVE_CTX = (
-        hg, tables, frozenset(pseudo), proto, remaining, graceful, limited, obs_on,
+        hg, tables, frozenset(pseudo), proto, hierarchy,
+        remaining, graceful, limited, obs_on,
     )
 
 
@@ -279,7 +349,10 @@ def _carve_task(task: Tuple[int, int, int, int]):
     from repro.partition.kway import _engine_outcome
 
     assert _CARVE_CTX is not None
-    hg, tables, pseudo, proto, remaining, graceful, limited, obs_on = _CARVE_CTX
+    (
+        hg, tables, pseudo, proto, hierarchy,
+        remaining, graceful, limited, obs_on,
+    ) = _CARVE_CTX
     device_index, seed, lo0, hi0 = task
     config = ReplicationConfig(
         seed=seed,
@@ -289,7 +362,10 @@ def _carve_task(task: Tuple[int, int, int, int]):
     )
 
     def run():
-        engine = ReplicationEngine(hg, config, tables=tables)
+        initial = None
+        if hierarchy is not None:
+            initial, _, _ = hierarchy.solve(seed, side0_bounds=(lo0, hi0))
+        engine = ReplicationEngine(hg, config, initial=initial, tables=tables)
         engine.run()
         return _engine_outcome(engine, pseudo, device_index)
 
@@ -395,13 +471,14 @@ class CarveBandPool:
         proto: Dict[str, Any],
         budget: Optional[Budget],
         jobs: int,
+        ml_spec: Optional[Dict[str, Any]] = None,
     ) -> None:
         remaining, graceful = _budget_allotment(budget)
         self._ex = ProcessPoolExecutor(
             max_workers=resolve_jobs(jobs),
             initializer=_carve_init,
             initargs=(
-                hg, tuple(pseudo), proto, remaining, graceful,
+                hg, tuple(pseudo), proto, ml_spec, remaining, graceful,
                 budget is not None, _parent_obs_enabled(), faults.export_spec(),
             ),
         )

@@ -303,6 +303,7 @@ class ResilientRunner:
         max_passes: int = 12,
         jobs: int = 1,
         engine: Optional[str] = None,
+        multilevel: Optional[bool] = None,
     ) -> KWayRunResult:
         """Resilient heterogeneous k-way partitioning.
 
@@ -371,6 +372,7 @@ class ResilientRunner:
                         max_passes=max_passes,
                         budget=attempt_budget,
                         jobs=jobs,
+                        multilevel=multilevel,
                     ),
                     rung,
                 )
@@ -455,6 +457,7 @@ class ResilientRunner:
         max_growth: Optional[float] = None,
         jobs: int = 1,
         engine: Optional[str] = None,
+        multilevel: Optional[bool] = None,
     ) -> BipartitionRunResult:
         """Resilient experiment-1 bipartitioning.
 
@@ -516,6 +519,7 @@ class ResilientRunner:
                         max_growth=max_growth,
                         budget=total.child(allot, graceful=True),
                         jobs=jobs,
+                        multilevel=multilevel,
                     )
                 except FATAL:
                     raise
