@@ -95,6 +95,13 @@ from repro.obs.metrics import (
 from repro.obs.events import JsonlEmitter, ListEmitter
 from repro import api
 from repro.api import SCHEMA_VERSION, RunResult
+from repro.request import (
+    Algorithm,
+    CachePolicy,
+    MultilevelMode,
+    PartitionRequest,
+    RequestError,
+)
 
 __version__ = "1.0.0"
 
@@ -158,5 +165,10 @@ __all__ = [
     "api",
     "SCHEMA_VERSION",
     "RunResult",
+    "PartitionRequest",
+    "Algorithm",
+    "CachePolicy",
+    "MultilevelMode",
+    "RequestError",
     "__version__",
 ]

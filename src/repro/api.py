@@ -18,6 +18,19 @@ verbs with one consistent parameter vocabulary::
 * :func:`partition` -- the k-way heterogeneous flow (Tables IV-VII);
 * :func:`analyze` -- validate and summarize an observability trace.
 
+The solver verbs are thin shims over :func:`run_request`, which executes
+a frozen, schema-versioned :class:`~repro.request.PartitionRequest` --
+the canonical serializable form of a run that the CLI, batch manifests
+and the job service (:mod:`repro.service`) all normalize into.  Build
+one directly (or pass one as the first argument to either verb) when the
+call needs to travel::
+
+    req = api.PartitionRequest(verb="partition", circuit="s5378",
+                               scale=0.5, threshold=1, seed=7)
+    result = api.run_request(req)
+    req.cache_key(mapped)                # ledger/cache identity
+    api.RunResult.from_json(result.to_json())   # round-trippable results
+
 Every verb returns a :class:`RunResult` stamped with
 ``schema_version`` so downstream consumers can detect shape changes.
 Passing any of ``deadline`` / ``max_retries`` / ``fallback`` to
@@ -34,6 +47,7 @@ Parameter vocabulary, shared by every verb that accepts them:
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Dict, Optional, Union
@@ -52,15 +66,28 @@ from repro.obs import ledger as obs_ledger
 from repro.obs.events import validate_jsonl_file
 from repro.obs.metrics import get_registry
 from repro.obs.summary import summarize_events
-from repro.partition.devices import DeviceLibrary
-from repro.partition.multilevel import resolve_multilevel
+from repro.partition.devices import (
+    XC3000_LIBRARY,
+    XC4000_LIBRARY,
+    DeviceLibrary,
+)
 from repro.partition.verify import verify_solution
+from repro.request import (
+    Algorithm,
+    CachePolicy,
+    MultilevelMode,
+    PartitionRequest,
+    build_request,
+)
 from repro.robust.runner import ResilientRunner, RunLog
 from repro.techmap.mapped import MappedNetlist
 
 #: Version of the :class:`RunResult` shape.  Bumped on any breaking
 #: change to the dataclass fields or their meaning.
 SCHEMA_VERSION = 1
+
+#: Document identifier written in every serialized :class:`RunResult`.
+RESULT_SCHEMA_NAME = "repro-run-result/1"
 
 
 @dataclass
@@ -101,6 +128,69 @@ class RunResult:
         truncated = getattr(self.solution, "truncated", False)
         return bool(feasible) and not truncated
 
+    def to_dict(self) -> Dict[str, Any]:
+        """The schema-versioned JSON document form, in stable field order.
+
+        Only the solver verbs (``bipartition`` / ``partition``) serialize:
+        their solutions round-trip through the solution-cache codec, which
+        is exactly the representation cache entries and service responses
+        already carry -- one serialization instead of three near-copies.
+        The resilient-runner log travels one-way as its ``as_record()``
+        summary under ``"runner"`` (the live :class:`RunLog` object is not
+        reconstructible); raises ``TypeError`` for the other verbs.
+        """
+        return {
+            "schema": RESULT_SCHEMA_NAME,
+            "v": self.schema_version,
+            "kind": self.kind,
+            "ok": self.ok,
+            "elapsed_seconds": self.elapsed_seconds,
+            "solution": cache_codec.encode_solution(self.solution),
+            "runner": self.run_log.as_record() if self.run_log else None,
+            "metrics": self.metrics,
+            "run_record": self.run_record,
+            "cache_info": self.cache_info,
+        }
+
+    def to_json(self) -> str:
+        """One-line JSON of :meth:`to_dict` (stable field order)."""
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, doc: Any) -> "RunResult":
+        """Rebuild a result from its document form.
+
+        ``run_log`` is always ``None`` on the way back (the ``"runner"``
+        summary is one-way; it stays available in the source document).
+        Raises ``ValueError`` on a wrong schema or undecodable solution.
+        """
+        if not isinstance(doc, dict):
+            raise ValueError(f"result is {type(doc).__name__}, expected object")
+        schema = doc.get("schema", RESULT_SCHEMA_NAME)
+        if schema != RESULT_SCHEMA_NAME:
+            raise ValueError(
+                f"result schema {schema!r}, expected {RESULT_SCHEMA_NAME!r}"
+            )
+        return cls(
+            kind=doc["kind"],
+            solution=cache_codec.decode_solution(doc["solution"]),
+            run_log=None,
+            metrics=doc.get("metrics") or {},
+            elapsed_seconds=float(doc.get("elapsed_seconds", 0.0)),
+            schema_version=int(doc.get("v", SCHEMA_VERSION)),
+            run_record=doc.get("run_record"),
+            cache_info=doc.get("cache_info"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        """Parse a serialized result; raises ``ValueError`` on bad input."""
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"result is not valid JSON: {exc}") from exc
+        return cls.from_dict(doc)
+
 
 def _metrics_snapshot() -> Dict[str, Any]:
     reg = get_registry()
@@ -125,14 +215,6 @@ def _make_runner(
         max_retries=2 if max_retries is None else max_retries,
         fallback=True if fallback is None else fallback,
     )
-
-
-def _check_cache_policy(cache: str) -> None:
-    if cache not in cache_store.CACHE_POLICIES:
-        raise ValueError(
-            f"cache={cache!r} is not a cache policy; "
-            f"expected one of {cache_store.CACHE_POLICIES}"
-        )
 
 
 def _cache_try_hit(
@@ -285,11 +367,216 @@ def map(  # noqa: A001 - deliberate: api.map reads naturally at call sites
     )
 
 
+def _bundled_library(name: str) -> DeviceLibrary:
+    """A bundled device library by name (the request wire spelling)."""
+    for lib in (XC3000_LIBRARY, XC4000_LIBRARY):
+        if lib.name == name:
+            return lib
+    known = sorted(lib.name for lib in (XC3000_LIBRARY, XC4000_LIBRARY))
+    raise ValueError(f"unknown device library {name!r}; known: {known}")
+
+
+def run_request(
+    request: PartitionRequest,
+    *,
+    circuit: Union[str, Netlist, MappedNetlist, None] = None,
+    library: Optional[DeviceLibrary] = None,
+    cache: Union[CachePolicy, str, None] = None,
+    jobs: Optional[int] = None,
+) -> RunResult:
+    """Execute a :class:`~repro.request.PartitionRequest` -- the one
+    solver flow behind :func:`bipartition` and :func:`partition`.
+
+    This is the single execution path for both verbs: ledger resolution,
+    technology mapping, multilevel resolution, cache lookup
+    (verify-before-trust), the solve itself (resilient runner when the
+    request carries any of ``deadline`` / ``max_retries`` / ``fallback``),
+    cache store and ledger append.  Every front door -- loose keyword
+    calls, the CLI, batch jobs, the service -- normalizes into a request
+    and lands here, so they are bit-identical by construction.
+
+    ``circuit`` and ``library`` are optional side-channels for callers
+    that already hold the live objects (an in-memory netlist, a custom
+    :class:`~repro.partition.devices.DeviceLibrary`); by default both
+    resolve from the request's ``circuit`` / ``library`` names.  ``cache``
+    and ``jobs`` override the request's execution-only fields (useful for
+    a scheduler re-running the same request under a different policy)
+    without changing its identity.
+    """
+    if not isinstance(request, PartitionRequest):
+        raise TypeError(
+            f"run_request() takes a PartitionRequest, got {type(request).__name__}"
+        )
+    policy = request.cache if cache is None else CachePolicy.coerce(cache)
+    n_jobs = request.jobs if jobs is None else jobs
+    kind = request.verb
+    start = perf_counter()
+    ledger = obs_ledger.resolve_ledger()
+    mapped = map(
+        circuit if circuit is not None else request.circuit,
+        scale=request.scale,
+        seed=request.mapping_seed,
+    ).solution
+    use_ml = request.resolve_multilevel(mapped.n_cells)
+    # The request's config() is byte-compatible with the dicts the verbs
+    # built inline pre-redesign, so fingerprints and cache keys carry over.
+    config = request.config(use_ml)
+    store = cache_store.resolve_cache() if policy is not CachePolicy.OFF else None
+    key = (
+        cache_store.cache_key(mapped, config, request.seed)
+        if store is not None
+        else ""
+    )
+    if policy is CachePolicy.USE and store is not None:
+        hit = _cache_try_hit(kind, store, key, mapped)
+        if hit is not None:
+            return _cache_hit_result(kind, store, key, hit[0], hit[1])
+    if library is None and kind == "partition":
+        if request.library != XC3000_LIBRARY.name:
+            library = _bundled_library(request.library)
+    log: Optional[RunLog] = None
+    wants_runner = _wants_runner(
+        request.deadline, request.max_retries, request.fallback
+    )
+    with obs_ledger.capture_events(enabled=ledger is not None) as events:
+        if kind == "bipartition":
+            if wants_runner:
+                outcome = _make_runner(
+                    request.deadline, request.max_retries, request.fallback
+                ).bipartition(
+                    mapped,
+                    algorithm=request.algorithm.value,
+                    runs=request.runs,
+                    threshold=request.threshold,
+                    seed=request.seed,
+                    balance_tolerance=request.balance_tolerance,
+                    max_passes=request.max_passes,
+                    max_growth=request.max_growth,
+                    jobs=n_jobs,
+                    multilevel=use_ml,
+                )
+                solution, log = outcome.report, outcome.log
+            else:
+                solution = bipartition_experiment(
+                    mapped,
+                    algorithm=request.algorithm.value,
+                    runs=request.runs,
+                    threshold=request.threshold,
+                    seed=request.seed,
+                    balance_tolerance=request.balance_tolerance,
+                    max_passes=request.max_passes,
+                    max_growth=request.max_growth,
+                    jobs=n_jobs,
+                    multilevel=use_ml,
+                )
+        else:
+            if wants_runner:
+                outcome = _make_runner(
+                    request.deadline, request.max_retries, request.fallback
+                ).kway(
+                    mapped,
+                    threshold=request.threshold,
+                    library=library,
+                    algorithm=request.algorithm.value,
+                    seed=request.seed,
+                    seeds_per_carve=request.seeds_per_carve,
+                    devices_per_carve=request.devices_per_carve,
+                    jobs=n_jobs,
+                    multilevel=request.multilevel.tri,
+                )
+                solution, log = outcome.solution, outcome.log
+            else:
+                solution = kway_solution(
+                    mapped,
+                    threshold=request.threshold,
+                    library=library,
+                    n_solutions=request.n_solutions,
+                    seed=request.seed,
+                    seeds_per_carve=request.seeds_per_carve,
+                    algorithm=request.algorithm.value,
+                    devices_per_carve=request.devices_per_carve,
+                    jobs=n_jobs,
+                    multilevel=request.multilevel.tri,
+                )
+    elapsed = perf_counter() - start
+    cache_info = None
+    if store is not None:
+        cache_info = _cache_store_result(
+            kind,
+            policy.value,
+            store,
+            key,
+            mapped,
+            config,
+            request.seed,
+            solution,
+            elapsed,
+        )
+    record = None
+    if ledger is not None:
+        quality = (
+            obs_ledger.quality_from_bipartition(solution)
+            if kind == "bipartition"
+            else obs_ledger.quality_from_kway(solution)
+        )
+        record = ledger.append(
+            obs_ledger.build_record(
+                kind=kind,
+                circuit=mapped.name,
+                mapped=mapped,
+                config=config,
+                seed=request.seed,
+                quality=quality,
+                convergence=obs_ledger.distill_convergence(events),
+                elapsed_seconds=elapsed,
+                runner_summary=log.as_record() if log is not None else None,
+            )
+        )
+    return RunResult(
+        kind=kind,
+        solution=solution,
+        run_log=log,
+        metrics=_metrics_snapshot(),
+        elapsed_seconds=elapsed,
+        run_record=record,
+        cache_info=cache_info,
+    )
+
+
+def cached_result(
+    request: PartitionRequest,
+    *,
+    store: Optional[cache_store.SolutionCache] = None,
+    mapped: Optional[MappedNetlist] = None,
+) -> Optional[RunResult]:
+    """A :class:`RunResult` for ``request`` served purely from the
+    solution cache, or ``None`` when no trustworthy entry exists.
+
+    No solve ever happens here: a hit is decoded, re-verified
+    (verify-before-trust, like :func:`run_request`'s ``cache="use"``
+    path) and wrapped exactly as a warm :func:`run_request` call would
+    return it -- ``elapsed_seconds`` is the original solve wall-clock.
+    The service's hot path: pass the memoized ``mapped`` netlist and the
+    lookup is one shard read, independent of netlist size.
+    """
+    if store is None:
+        store = cache_store.resolve_cache()
+    if mapped is None:
+        mapped = map(
+            request.circuit, scale=request.scale, seed=request.mapping_seed
+        ).solution
+    key = request.cache_key(mapped)
+    hit = _cache_try_hit(request.verb, store, key, mapped)
+    if hit is None:
+        return None
+    return _cache_hit_result(request.verb, store, key, hit[0], hit[1])
+
+
 def bipartition(
-    circuit: Union[str, Netlist, MappedNetlist],
+    circuit: Union[str, Netlist, MappedNetlist, PartitionRequest],
     scale: float = 1.0,
     seed: int = 0,
-    algorithm: str = "fm+functional",
+    algorithm: Union[Algorithm, str] = "fm+functional",
     runs: int = 20,
     threshold: Union[int, float] = 0,
     balance_tolerance: float = 0.02,
@@ -299,18 +586,25 @@ def bipartition(
     deadline: Optional[float] = None,
     max_retries: Optional[int] = None,
     fallback: Optional[bool] = None,
-    cache: str = "off",
-    multilevel: Optional[bool] = None,
+    cache: Union[CachePolicy, str] = "off",
+    multilevel: Union[MultilevelMode, str, bool, None] = None,
 ) -> RunResult:
     """Experiment 1: ``runs`` equal-size min-cut bipartitionings.
 
-    ``multilevel`` is tri-state: ``True`` runs every inner solve as a
-    coarsen-solve-uncoarsen V-cycle, ``False`` keeps the flat engines,
-    ``None`` (default) auto-enables it at
-    :data:`repro.partition.multilevel.MULTILEVEL_AUTO_MIN_CELLS` cells.
-    When resolved on, the config fingerprint (ledger / cache key) gains a
-    ``multilevel`` marker, so multilevel and flat records never collide;
-    resolved-off runs keep their existing fingerprints.
+    Accepts either a :class:`~repro.request.PartitionRequest` (the
+    canonical artifact -- every other argument must then be left at its
+    default) or the historical loose keywords, which are normalized into
+    a request internally; both shapes execute the identical
+    :func:`run_request` flow.
+
+    ``multilevel`` takes a :class:`~repro.request.MultilevelMode`
+    (``"on"`` | ``"off"`` | ``"auto"``, default auto: the V-cycle
+    engages at :data:`repro.partition.multilevel.MULTILEVEL_AUTO_MIN_CELLS`
+    cells).  The legacy ``True`` / ``False`` spellings still work behind
+    a ``DeprecationWarning``.  When resolved on, the config fingerprint
+    (ledger / cache key) gains a ``multilevel`` marker, so multilevel and
+    flat records never collide; resolved-off runs keep their existing
+    fingerprints.
 
     With any of ``deadline`` / ``max_retries`` / ``fallback`` set, the
     run goes through the resilient runner and ``run_log`` records every
@@ -328,100 +622,38 @@ def bipartition(
     cache entirely.  A hit skips the solve *and* the ledger append (no
     new run happened) and sets ``cache_info``.
     """
-    _check_cache_policy(cache)
-    start = perf_counter()
-    ledger = obs_ledger.resolve_ledger()
-    mapped = map(circuit, scale=scale, seed=seed or 1994).solution
-    use_ml = resolve_multilevel(multilevel, mapped.n_cells)
-    config = {
-        "verb": "bipartition",
-        "algorithm": algorithm,
-        "runs": runs,
-        "threshold": threshold,
-        "balance_tolerance": balance_tolerance,
-        "max_passes": max_passes,
-        "max_growth": max_growth,
-        "scale": scale,
-        "deadline": deadline,
-        "max_retries": max_retries,
-        "fallback": fallback,
-    }
-    if use_ml:
-        # Key present only when multilevel is on: resolved-off runs keep
-        # their pre-multilevel fingerprints (golden drift gates included).
-        config["multilevel"] = True
-    store = cache_store.resolve_cache() if cache != "off" else None
-    key = cache_store.cache_key(mapped, config, seed) if store is not None else ""
-    if cache == "use" and store is not None:
-        hit = _cache_try_hit("bipartition", store, key, mapped)
-        if hit is not None:
-            return _cache_hit_result("bipartition", store, key, hit[0], hit[1])
-    log: Optional[RunLog] = None
-    with obs_ledger.capture_events(enabled=ledger is not None) as events:
-        if _wants_runner(deadline, max_retries, fallback):
-            outcome = _make_runner(deadline, max_retries, fallback).bipartition(
-                mapped,
-                algorithm=algorithm,
-                runs=runs,
-                threshold=threshold,
-                seed=seed,
-                balance_tolerance=balance_tolerance,
-                max_passes=max_passes,
-                max_growth=max_growth,
-                jobs=jobs,
-                multilevel=use_ml,
-            )
-            report, log = outcome.report, outcome.log
-        else:
-            report = bipartition_experiment(
-                mapped,
-                algorithm=algorithm,
-                runs=runs,
-                threshold=threshold,
-                seed=seed,
-                balance_tolerance=balance_tolerance,
-                max_passes=max_passes,
-                max_growth=max_growth,
-                jobs=jobs,
-                multilevel=use_ml,
-            )
-    elapsed = perf_counter() - start
-    cache_info = None
-    if store is not None:
-        cache_info = _cache_store_result(
-            "bipartition", cache, store, key, mapped, config, seed, report, elapsed
-        )
-    record = None
-    if ledger is not None:
-        record = ledger.append(
-            obs_ledger.build_record(
-                kind="bipartition",
-                circuit=mapped.name,
-                mapped=mapped,
-                config=config,
-                seed=seed,
-                quality=obs_ledger.quality_from_bipartition(report),
-                convergence=obs_ledger.distill_convergence(events),
-                elapsed_seconds=elapsed,
-                runner_summary=log.as_record() if log is not None else None,
-            )
-        )
-    return RunResult(
-        kind="bipartition",
-        solution=report,
-        run_log=log,
-        metrics=_metrics_snapshot(),
-        elapsed_seconds=elapsed,
-        run_record=record,
-        cache_info=cache_info,
+    if isinstance(circuit, PartitionRequest):
+        return run_request(circuit)
+    name = circuit if isinstance(circuit, str) else getattr(circuit, "name", "netlist")
+    request = build_request(
+        "bipartition",
+        name,
+        warn_legacy=True,
+        scale=scale,
+        seed=seed,
+        algorithm=algorithm,
+        runs=runs,
+        threshold=threshold,
+        balance_tolerance=balance_tolerance,
+        max_passes=max_passes,
+        max_growth=max_growth,
+        jobs=jobs,
+        deadline=deadline,
+        max_retries=max_retries,
+        fallback=fallback,
+        cache=cache,
+        multilevel=multilevel,
+    )
+    return run_request(
+        request, circuit=None if isinstance(circuit, str) else circuit
     )
 
 
 def partition(
-    circuit: Union[str, Netlist, MappedNetlist],
+    circuit: Union[str, Netlist, MappedNetlist, PartitionRequest],
     scale: float = 1.0,
     seed: int = 0,
-    algorithm: str = "fm+functional",
+    algorithm: Union[Algorithm, str] = "fm+functional",
     threshold: Union[int, float] = 1,
     library: Optional[DeviceLibrary] = None,
     n_solutions: int = 2,
@@ -431,17 +663,25 @@ def partition(
     deadline: Optional[float] = None,
     max_retries: Optional[int] = None,
     fallback: Optional[bool] = None,
-    cache: str = "off",
-    multilevel: Optional[bool] = None,
+    cache: Union[CachePolicy, str] = "off",
+    multilevel: Union[MultilevelMode, str, bool, None] = None,
 ) -> RunResult:
     """Experiment 2: k-way partitioning into heterogeneous devices.
 
-    ``multilevel`` is tri-state (see :func:`bipartition`): ``True`` seeds
-    every carve candidate with a multilevel V-cycle initial solution,
-    ``False`` never does, ``None`` (default) enables it per carve level
-    once the working set is large enough.  When forced on, the config
-    fingerprint gains a ``multilevel`` marker so ledger/cache records
-    never collide with flat runs.
+    Accepts either a :class:`~repro.request.PartitionRequest` (the
+    canonical artifact -- other arguments must then stay at their
+    defaults, except ``library`` for a custom in-memory
+    :class:`~repro.partition.devices.DeviceLibrary`) or the historical
+    loose keywords, normalized into a request internally; both shapes
+    execute the identical :func:`run_request` flow.
+
+    ``multilevel`` takes a :class:`~repro.request.MultilevelMode` (see
+    :func:`bipartition`): ``"on"`` seeds every carve candidate with a
+    multilevel V-cycle initial solution, ``"off"`` never does, ``"auto"``
+    (default) enables it per carve level once the working set is large
+    enough; legacy bools coerce with a ``DeprecationWarning``.  When
+    forced on, the config fingerprint gains a ``multilevel`` marker so
+    ledger/cache records never collide with flat runs.
 
     ``threshold=float('inf')`` reproduces the no-replication DAC'93
     baseline.  With any of ``deadline`` / ``max_retries`` / ``fallback``
@@ -461,90 +701,32 @@ def partition(
     ``"refresh"`` recomputes and overwrites the entry; ``"off"``
     (default) bypasses the cache entirely.
     """
-    _check_cache_policy(cache)
-    start = perf_counter()
-    ledger = obs_ledger.resolve_ledger()
-    mapped = map(circuit, scale=scale, seed=seed or 1994).solution
-    config = {
-        "verb": "partition",
-        "algorithm": algorithm,
-        "threshold": threshold,
-        "library": getattr(library, "name", None) or "XC3000",
-        "n_solutions": n_solutions,
-        "seeds_per_carve": seeds_per_carve,
-        "devices_per_carve": devices_per_carve,
-        "scale": scale,
-        "deadline": deadline,
-        "max_retries": max_retries,
-        "fallback": fallback,
-    }
-    if resolve_multilevel(multilevel, mapped.n_cells):
-        # Present only when multilevel carving is active for this netlist,
-        # so resolved-off runs keep their pre-multilevel fingerprints.
-        config["multilevel"] = True
-    store = cache_store.resolve_cache() if cache != "off" else None
-    key = cache_store.cache_key(mapped, config, seed) if store is not None else ""
-    if cache == "use" and store is not None:
-        hit = _cache_try_hit("partition", store, key, mapped)
-        if hit is not None:
-            return _cache_hit_result("partition", store, key, hit[0], hit[1])
-    log: Optional[RunLog] = None
-    with obs_ledger.capture_events(enabled=ledger is not None) as events:
-        if _wants_runner(deadline, max_retries, fallback):
-            outcome = _make_runner(deadline, max_retries, fallback).kway(
-                mapped,
-                threshold=threshold,
-                library=library,
-                algorithm=algorithm,
-                seed=seed,
-                seeds_per_carve=seeds_per_carve,
-                devices_per_carve=devices_per_carve,
-                jobs=jobs,
-                multilevel=multilevel,
-            )
-            solution, log = outcome.solution, outcome.log
-        else:
-            solution = kway_solution(
-                mapped,
-                threshold=threshold,
-                library=library,
-                n_solutions=n_solutions,
-                seed=seed,
-                seeds_per_carve=seeds_per_carve,
-                algorithm=algorithm,
-                devices_per_carve=devices_per_carve,
-                jobs=jobs,
-                multilevel=multilevel,
-            )
-    elapsed = perf_counter() - start
-    cache_info = None
-    if store is not None:
-        cache_info = _cache_store_result(
-            "partition", cache, store, key, mapped, config, seed, solution, elapsed
-        )
-    record = None
-    if ledger is not None:
-        record = ledger.append(
-            obs_ledger.build_record(
-                kind="partition",
-                circuit=mapped.name,
-                mapped=mapped,
-                config=config,
-                seed=seed,
-                quality=obs_ledger.quality_from_kway(solution),
-                convergence=obs_ledger.distill_convergence(events),
-                elapsed_seconds=elapsed,
-                runner_summary=log.as_record() if log is not None else None,
-            )
-        )
-    return RunResult(
-        kind="partition",
-        solution=solution,
-        run_log=log,
-        metrics=_metrics_snapshot(),
-        elapsed_seconds=elapsed,
-        run_record=record,
-        cache_info=cache_info,
+    if isinstance(circuit, PartitionRequest):
+        return run_request(circuit, library=library)
+    name = circuit if isinstance(circuit, str) else getattr(circuit, "name", "netlist")
+    request = build_request(
+        "partition",
+        name,
+        warn_legacy=True,
+        scale=scale,
+        seed=seed,
+        algorithm=algorithm,
+        threshold=threshold,
+        library=getattr(library, "name", None) or "XC3000",
+        n_solutions=n_solutions,
+        seeds_per_carve=seeds_per_carve,
+        devices_per_carve=devices_per_carve,
+        jobs=jobs,
+        deadline=deadline,
+        max_retries=max_retries,
+        fallback=fallback,
+        cache=cache,
+        multilevel=multilevel,
+    )
+    return run_request(
+        request,
+        circuit=None if isinstance(circuit, str) else circuit,
+        library=library,
     )
 
 
@@ -568,10 +750,17 @@ def analyze(metrics_path: str) -> RunResult:
 
 __all__ = [
     "SCHEMA_VERSION",
+    "RESULT_SCHEMA_NAME",
     "RunResult",
+    "PartitionRequest",
+    "Algorithm",
+    "CachePolicy",
+    "MultilevelMode",
     "load",
     "map",
     "bipartition",
     "partition",
+    "run_request",
+    "cached_result",
     "analyze",
 ]

@@ -40,6 +40,7 @@ from repro.partition.devices import (
     XC3000_LIBRARY,
     XC4000_LIBRARY,
 )
+from repro.request import PartitionRequest, build_request
 
 #: Manifest identifier expected in the ``schema`` field.
 MANIFEST_SCHEMA_NAME = "repro-batch-manifest/1"
@@ -79,6 +80,10 @@ _COMMON_PARAMS: Dict[str, Any] = {
     "deadline": None,
     "max_retries": None,
     "fallback": None,
+    # Tri-state V-cycle knob; accepts the wire spellings "on"/"off"/
+    # "auto" as well as the legacy true/false/null.  Part of the cache
+    # identity only when it resolves on (see PartitionRequest.config).
+    "multilevel": None,
 }
 
 
@@ -117,6 +122,26 @@ class BatchJob:
             kwargs["library"] = resolve_library(kwargs.get("library"))
         kwargs["seed"] = self.seed
         return kwargs
+
+    def to_request(self) -> PartitionRequest:
+        """This job as a canonical :class:`~repro.request.PartitionRequest`.
+
+        The request carries the identity fields only (verb, circuit,
+        seed, solver tunables); execution policy (cache, jobs) is the
+        scheduler's call and is passed to
+        :func:`repro.api.run_request` separately.  Workers execute
+        ``job.to_request()`` and the service submits the very same
+        document over the wire, so a batch job and a service job with
+        equal parameters are bit-identical by construction.
+        """
+        params = {k: v for k, v in self.params.items() if k != "library"}
+        library = self.params.get("library")
+        if self.verb == "partition":
+            params["library"] = resolve_library(library).name
+        try:
+            return build_request(self.verb, self.circuit, seed=self.seed, **params)
+        except ValueError as exc:
+            raise ManifestError(f"job {self.job_id}: {exc}") from exc
 
 
 def resolve_library(name: Optional[str]) -> DeviceLibrary:
@@ -270,6 +295,13 @@ def expand_manifest(manifest: Dict[str, Any]) -> List[BatchJob]:
     return jobs
 
 
+def requests_from_manifest(manifest: Dict[str, Any]) -> List[PartitionRequest]:
+    """Expand a manifest into canonical partition requests, in manifest
+    order -- the bridge from declarative sweeps to the request API the
+    service and :func:`repro.api.run_request` consume."""
+    return [job.to_request() for job in expand_manifest(manifest)]
+
+
 def load_manifest(path: str) -> Dict[str, Any]:
     """Read a manifest file; raises :class:`ManifestError` on bad JSON."""
     try:
@@ -291,6 +323,7 @@ __all__ = [
     "expand_manifest",
     "load_manifest",
     "parse_threshold",
+    "requests_from_manifest",
     "resolve_library",
     "threshold_label",
 ]

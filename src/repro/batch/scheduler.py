@@ -35,6 +35,7 @@ bit-identical repeatability.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass, field
@@ -189,21 +190,29 @@ def order_jobs(jobs: List[BatchJob]) -> Tuple[List[BatchJob], List[BatchJob]]:
     return primaries, duplicates
 
 
+# Progress fan-out is serialized: several dispatch threads (service
+# dispatchers, the cluster scheduler) may drive waves against the same
+# callback/registry concurrently, and a progress stream with interleaved
+# or torn lines is useless to a follower.
+_EMIT_LOCK = threading.Lock()
+
+
 def _emit(on_event: Optional[ProgressFn], payload: Dict[str, Any]) -> None:
-    if on_event is not None:
-        on_event(payload)
-    reg = get_registry()
-    if reg.enabled:
-        # "name" would collide with emit_event's positional event name.
-        fields = {
-            ("batch_name" if k == "name" else k): v
-            for k, v in payload.items()
-            if k != "event"
-        }
-        event = payload["event"]
-        if not event.startswith("batch."):
-            event = f"batch.{event}"
-        reg.emit_event(event, **fields)
+    with _EMIT_LOCK:
+        if on_event is not None:
+            on_event(payload)
+        reg = get_registry()
+        if reg.enabled:
+            # "name" would collide with emit_event's positional event name.
+            fields = {
+                ("batch_name" if k == "name" else k): v
+                for k, v in payload.items()
+                if k != "event"
+            }
+            event = payload["event"]
+            if not event.startswith("batch."):
+                event = f"batch.{event}"
+            reg.emit_event(event, **fields)
 
 
 def _run_wave_sequential(
@@ -291,6 +300,7 @@ def run_batch(
     cache_dir: Optional[str] = None,
     deadline: Optional[float] = None,
     on_event: Optional[ProgressFn] = None,
+    cluster_dir: Optional[str] = None,
 ) -> BatchReport:
     """Run every job of ``manifest``; returns the finished report.
 
@@ -301,6 +311,10 @@ def run_batch(
     budget in seconds.  ``on_event`` receives progress dicts
     (``job.start`` / ``job.done`` / ``job.skipped`` / ``batch.done``);
     the same events go to the observability registry when tracing.
+    ``cluster_dir`` points the run at an existing ``repro.cluster``
+    deployment: every solve (in-process and pool workers alike) then
+    reads/writes the cluster's quorum-replicated cache instead of a
+    single local store.
     """
     from repro.cache.store import SolutionCache, resolve_cache, use_cache
 
@@ -310,7 +324,12 @@ def run_batch(
     budget = Budget(deadline) if deadline is not None else None
     store: Optional[SolutionCache] = None
     if cache != "off":
-        store = SolutionCache(cache_dir) if cache_dir else resolve_cache()
+        if cluster_dir:
+            from repro.cluster.admin import load_cluster
+
+            store = load_cluster(cluster_dir).store
+        else:
+            store = SolutionCache(cache_dir) if cache_dir else resolve_cache()
 
     if jobs <= 1 or len(primaries) <= 1:
         def run_wave(wave: List[BatchJob], policy: str) -> List[JobOutcome]:
@@ -328,13 +347,20 @@ def run_batch(
         from repro.perf.parallel import BatchJobPool, resolve_jobs
 
         workers = min(resolve_jobs(jobs), len(primaries))
-        pool_dir = store.root if store is not None else None
-        with BatchJobPool(pool_dir, cache, workers) as pool:
+        pool_dir = None
+        if store is not None and not cluster_dir:
+            pool_dir = store.root
+        with BatchJobPool(
+            pool_dir, cache, workers, cluster_dir=cluster_dir
+        ) as pool:
             outcomes = _run_wave_pool(primaries, pool, budget, on_event)
         if duplicates:
             dup_policy = "use" if cache != "off" else "off"
             with BatchJobPool(
-                pool_dir, dup_policy, min(workers, len(duplicates))
+                pool_dir,
+                dup_policy,
+                min(workers, len(duplicates)),
+                cluster_dir=cluster_dir,
             ) as pool:
                 outcomes += _run_wave_pool(duplicates, pool, budget, on_event)
 

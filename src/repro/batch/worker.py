@@ -1,8 +1,10 @@
 """Per-job execution: the function a batch worker runs for one job.
 
 :func:`execute_job` turns a :class:`~repro.batch.manifest.BatchJob` into
-a :class:`JobOutcome` by calling the matching ``repro.api`` verb with
-the batch's cache policy.  It runs identically in the parent process
+a :class:`JobOutcome` by converting it to a canonical
+:class:`~repro.request.PartitionRequest` and executing it through
+:func:`repro.api.run_request` with the batch's cache policy.  It runs
+identically in the parent process
 (``--jobs 1``) and inside a :class:`~repro.perf.parallel.BatchJobPool`
 worker; everything it returns is picklable and small (reports and
 quality vectors travel, full solutions stay in the on-disk cache).
@@ -140,18 +142,20 @@ def execute_job(job: BatchJob, cache: str = "use") -> JobOutcome:
     from repro import api
 
     start = perf_counter()
-    kwargs = job.api_kwargs()
-    scale = kwargs.pop("scale")
     try:
+        request = job.to_request()
         mapped = _mapped_for(job)
+        # One execution path for every front door: the job becomes a
+        # canonical request and runs through the same run_request flow
+        # the api verbs, the CLI and the service use (the memoized
+        # mapped netlist rides the side-channel).
+        result = api.run_request(request, circuit=mapped, cache=cache)
         if job.verb == "partition":
-            result = api.partition(mapped, scale=scale, cache=cache, **kwargs)
             report = kway_report_from_solution(
-                result.solution, kwargs["threshold"], result.elapsed_seconds
+                result.solution, request.threshold, result.elapsed_seconds
             )
             quality = obs_ledger.quality_from_kway_report(report)
         else:
-            result = api.bipartition(mapped, scale=scale, cache=cache, **kwargs)
             report = result.solution
             quality = obs_ledger.quality_from_bipartition(report)
     except Exception as exc:  # noqa: BLE001 - job isolation boundary

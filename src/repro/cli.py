@@ -12,6 +12,13 @@ batch        Run job manifests against the solution cache (run/manifest/check);
              ``run --nodes N`` dispatches across the simulated solve farm.
 cache        Inspect or trim the on-disk solution cache (stats/evict).
 cluster      The fault-tolerant solve farm (start/status/drill).
+serve        Partitioning-as-a-service: the async HTTP job server
+             (see docs/SERVICE.md).
+
+``bipartition`` and ``partition`` flags are normalized through one
+parse point -- a :class:`repro.request.PartitionRequest` -- so the CLI,
+``repro.api``, batch manifests and the service all speak the same
+schema-versioned request language.
 
 ``bipartition`` and ``partition`` accept ``--ledger [PATH]`` to append
 the run's quality record to the ledger (``results/ledger`` by default);
@@ -262,31 +269,48 @@ def _cmd_bipartition(args: argparse.Namespace) -> int:
 
 def _run_bipartition(args: argparse.Namespace, ledger=None, events=()) -> int:
     from repro.obs.ledger import quality_from_bipartition
+    from repro.request import RequestError, build_request
 
-    from repro.partition.multilevel import resolve_multilevel
-
-    netlist = _resolve_circuit(args.circuit, args.scale, args.seed)
+    # The single parse point: flags normalize into a PartitionRequest
+    # (enum spellings, threshold, tri-state multilevel).  Execution and
+    # the ledger config dict below stay byte-identical to the historical
+    # CLI behaviour -- the request only vouches for the inputs.
+    try:
+        request = build_request(
+            "bipartition",
+            args.circuit,
+            scale=args.scale,
+            seed=args.seed,
+            algorithm=args.algorithm,
+            runs=args.runs,
+            threshold=args.threshold,
+            multilevel=args.multilevel,
+            jobs=args.jobs,
+        )
+    except RequestError as exc:
+        raise SystemExit(str(exc)) from exc
+    netlist = _resolve_circuit(request.circuit, request.scale, request.seed)
     mapped = technology_map(netlist)
     config = {
         "verb": "bipartition",
-        "algorithm": args.algorithm,
-        "runs": args.runs,
-        "threshold": args.threshold,
-        "scale": args.scale,
+        "algorithm": request.algorithm.value,
+        "runs": request.runs,
+        "threshold": request.threshold,
+        "scale": request.scale,
     }
-    if resolve_multilevel(args.multilevel, mapped.n_cells):
+    if request.resolve_multilevel(mapped.n_cells):
         # Fingerprint marker, present only when the V-cycle is active.
         config["multilevel"] = True
     runner = _resilient_runner(args)
     if runner is not None:
         result = runner.bipartition(
             mapped,
-            algorithm=args.algorithm,
-            runs=args.runs,
-            threshold=args.threshold,
-            seed=args.seed,
-            jobs=args.jobs,
-            multilevel=args.multilevel,
+            algorithm=request.algorithm.value,
+            runs=request.runs,
+            threshold=request.threshold,
+            seed=request.seed,
+            jobs=request.jobs,
+            multilevel=request.multilevel.tri,
         )
         report = result.report
         if ledger is not None:
@@ -296,7 +320,7 @@ def _run_bipartition(args: argparse.Namespace, ledger=None, events=()) -> int:
                 kind="bipartition",
                 mapped=mapped,
                 config=config,
-                seed=args.seed,
+                seed=request.seed,
                 quality=quality_from_bipartition(report),
                 elapsed_seconds=result.elapsed,
                 runner_summary=result.log.as_record(),
@@ -316,12 +340,12 @@ def _run_bipartition(args: argparse.Namespace, ledger=None, events=()) -> int:
         return 0
     report = bipartition_experiment(
         mapped,
-        algorithm=args.algorithm,
-        runs=args.runs,
-        threshold=args.threshold,
-        seed=args.seed,
-        jobs=args.jobs,
-        multilevel=args.multilevel,
+        algorithm=request.algorithm.value,
+        runs=request.runs,
+        threshold=request.threshold,
+        seed=request.seed,
+        jobs=request.jobs,
+        multilevel=request.multilevel.tri,
     )
     if ledger is not None:
         _ledger_log(
@@ -330,7 +354,7 @@ def _run_bipartition(args: argparse.Namespace, ledger=None, events=()) -> int:
             kind="bipartition",
             mapped=mapped,
             config=config,
-            seed=args.seed,
+            seed=request.seed,
             quality=quality_from_bipartition(report),
             elapsed_seconds=report.elapsed_seconds,
         )
@@ -357,19 +381,42 @@ def _cmd_partition(args: argparse.Namespace) -> int:
 
 def _run_partition(args: argparse.Namespace, ledger=None, events=()) -> int:
     from repro.obs.ledger import quality_from_kway, quality_from_kway_report
+    from repro.request import RequestError, build_request
 
-    from repro.partition.multilevel import resolve_multilevel
-
-    netlist = _resolve_circuit(args.circuit, args.scale, args.seed)
+    # Single parse point (see _run_bipartition).  The CLI historically
+    # floats numeric thresholds ("1" -> 1.0); keep that spelling so the
+    # committed golden ledger fingerprints never move.
+    try:
+        threshold = (
+            args.threshold if args.threshold == "inf" else float(args.threshold)
+        )
+    except ValueError as exc:
+        raise SystemExit(
+            f"threshold {args.threshold!r} is not a number or 'inf'"
+        ) from exc
+    try:
+        request = build_request(
+            "partition",
+            args.circuit,
+            scale=args.scale,
+            seed=args.seed,
+            threshold=threshold,
+            n_solutions=args.solutions,
+            multilevel=args.multilevel,
+            jobs=args.jobs,
+        )
+    except RequestError as exc:
+        raise SystemExit(str(exc)) from exc
+    netlist = _resolve_circuit(request.circuit, request.scale, request.seed)
     mapped = technology_map(netlist)
-    threshold = float("inf") if args.threshold == "inf" else float(args.threshold)
+    threshold = request.threshold
     config = {
         "verb": "partition",
         "threshold": threshold,
-        "solutions": args.solutions,
-        "scale": args.scale,
+        "solutions": request.n_solutions,
+        "scale": request.scale,
     }
-    if resolve_multilevel(args.multilevel, mapped.n_cells):
+    if request.resolve_multilevel(mapped.n_cells):
         # Fingerprint marker, present only when multilevel carving is active.
         config["multilevel"] = True
     runner = _resilient_runner(args)
@@ -377,9 +424,9 @@ def _run_partition(args: argparse.Namespace, ledger=None, events=()) -> int:
         result = runner.kway(
             mapped,
             threshold=threshold,
-            seed=args.seed,
-            jobs=args.jobs,
-            multilevel=args.multilevel,
+            seed=request.seed,
+            jobs=request.jobs,
+            multilevel=request.multilevel.tri,
         )
         solution = result.solution
         if ledger is not None:
@@ -389,7 +436,7 @@ def _run_partition(args: argparse.Namespace, ledger=None, events=()) -> int:
                 kind="partition",
                 mapped=mapped,
                 config=config,
-                seed=args.seed,
+                seed=request.seed,
                 quality=quality_from_kway(solution),
                 elapsed_seconds=result.elapsed,
                 runner_summary=result.log.as_record(),
@@ -411,10 +458,10 @@ def _run_partition(args: argparse.Namespace, ledger=None, events=()) -> int:
         solution = kway_solution(
             mapped,
             threshold=threshold,
-            n_solutions=args.solutions,
-            seed=args.seed,
-            jobs=args.jobs,
-            multilevel=args.multilevel,
+            n_solutions=request.n_solutions,
+            seed=request.seed,
+            jobs=request.jobs,
+            multilevel=request.multilevel.tri,
         )
         problems = verify_solution(mapped, solution)
         if ledger is not None:
@@ -424,7 +471,7 @@ def _run_partition(args: argparse.Namespace, ledger=None, events=()) -> int:
                 kind="partition",
                 mapped=mapped,
                 config=config,
-                seed=args.seed,
+                seed=request.seed,
                 quality=quality_from_kway(solution),
             )
         payload = solution.summary()
@@ -438,10 +485,10 @@ def _run_partition(args: argparse.Namespace, ledger=None, events=()) -> int:
     report = kway_experiment(
         mapped,
         threshold=threshold,
-        n_solutions=args.solutions,
-        seed=args.seed,
-        jobs=args.jobs,
-        multilevel=args.multilevel,
+        n_solutions=request.n_solutions,
+        seed=request.seed,
+        jobs=request.jobs,
+        multilevel=request.multilevel.tri,
     )
     if ledger is not None:
         _ledger_log(
@@ -450,7 +497,7 @@ def _run_partition(args: argparse.Namespace, ledger=None, events=()) -> int:
             kind="partition",
             mapped=mapped,
             config=config,
-            seed=args.seed,
+            seed=request.seed,
             quality=quality_from_kway_report(report),
             elapsed_seconds=report.elapsed_seconds,
         )
@@ -730,7 +777,13 @@ def _cmd_batch_run(args: argparse.Namespace) -> int:
     except ManifestError as exc:
         raise SystemExit(str(exc)) from exc
 
+    from repro.obs.events import LineWriter
+
     done = [0]
+    # One writer, one write() per line: progress callbacks fire from
+    # collector threads when --jobs > 1, and bare print() (two writes:
+    # text then newline) interleaves mid-line under that concurrency.
+    writer = LineWriter(sys.stderr)
 
     def progress(payload: dict) -> None:
         if args.quiet:
@@ -741,10 +794,9 @@ def _cmd_batch_run(args: argparse.Namespace) -> int:
             status = payload.get("status", "skipped")
             cache_status = payload.get("cache_status", "-")
             wall = payload.get("wall_seconds", 0.0)
-            print(
+            writer.write_line(
                 f"  [{done[0]}] {payload.get('job_id')}: {status} "
-                f"(cache {cache_status}, {wall:.2f}s)",
-                file=sys.stderr,
+                f"(cache {cache_status}, {wall:.2f}s)"
             )
 
     with _observability(args) as (trace_path, _events):
@@ -978,6 +1030,28 @@ def _cmd_cluster_drill(args: argparse.Namespace) -> int:
         for problem in report.problems:
             print(f"FAIL: {problem}", file=sys.stderr)
     return 0 if report.passed else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import run_service
+
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    try:
+        run_service(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            cache=args.cache,
+            cache_dir=args.cache_dir,
+            cluster_dir=args.cluster_dir,
+            rate=args.rate,
+            burst=args.burst,
+            max_inflight=args.max_inflight,
+        )
+    except OSError as exc:
+        raise SystemExit(f"cannot bind {args.host}:{args.port}: {exc}") from exc
+    return 0
 
 
 def _cmd_cache_evict(args: argparse.Namespace) -> int:
@@ -1414,6 +1488,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSONL trace destination (implies --trace; default trace.jsonl)",
     )
     p_cl_drill.set_defaults(func=_cmd_cluster_drill)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="partitioning-as-a-service: async HTTP job server "
+        "(submit/status/cancel/stream; see docs/SERVICE.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8377,
+        help="listen port (0 = pick a free port and print it; default 8377)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="solver worker processes (default 2)",
+    )
+    p_serve.add_argument(
+        "--cache",
+        choices=["use", "refresh", "off"],
+        default="use",
+        help="solution-cache policy for served jobs (default use)",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="solution-cache directory (default results/cache, "
+        "or the REPRO_CACHE env var)",
+    )
+    p_serve.add_argument(
+        "--cluster-dir",
+        metavar="PATH",
+        default=None,
+        help="serve from a replicated cluster cache instead of a local store",
+    )
+    p_serve.add_argument(
+        "--rate",
+        type=float,
+        default=20.0,
+        metavar="R",
+        help="per-client submissions/second (token-bucket refill; default 20)",
+    )
+    p_serve.add_argument(
+        "--burst",
+        type=float,
+        default=40.0,
+        metavar="B",
+        help="per-client burst capacity (default 40)",
+    )
+    p_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=16,
+        metavar="N",
+        help="per-client queued+running job quota (default 16)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
     return parser
 
 

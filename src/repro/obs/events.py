@@ -30,6 +30,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import threading
 import time
 from typing import Any, Dict, IO, Iterable, List, Tuple, Union
 
@@ -98,6 +99,48 @@ class JsonlEmitter:
         self._fh.flush()
         if self._owns:
             self._fh.close()
+
+
+class LineWriter:
+    """A thread-safe whole-line sink for progress/event streams.
+
+    ``print(text, file=fh)`` issues *two* writes (the text, then the
+    newline), so concurrent writers -- batch progress callbacks with
+    ``--jobs > 1``, service dispatch tasks, the cluster scheduler's
+    threads -- can interleave mid-line and tear the stream.  This writer
+    joins line + terminator into one string and hands it to the
+    underlying file in a single ``write`` call under a lock, then
+    flushes, so every line lands whole and in emission order.
+
+    Wraps an open file-like object (commonly ``sys.stderr`` or a socket
+    makefile); ``close()`` only closes targets opened here by path.
+    """
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        if isinstance(target, (str, os.PathLike)):
+            self._fh: IO[str] = open(target, "a", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self._lock = threading.Lock()
+
+    def write_line(self, line: str) -> None:
+        """Write ``line`` (newline appended) atomically and flush."""
+        data = line if line.endswith("\n") else line + "\n"
+        with self._lock:
+            self._fh.write(data)
+            self._fh.flush()
+
+    def write_json(self, payload: Dict[str, Any]) -> None:
+        """Serialize ``payload`` as one compact JSON line (JSONL)."""
+        self.write_line(json.dumps(payload, sort_keys=True, default=str))
+
+    def close(self) -> None:
+        with self._lock:
+            self._fh.flush()
+            if self._owns:
+                self._fh.close()
 
 
 def meta_event() -> Dict[str, Any]:

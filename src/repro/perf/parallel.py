@@ -384,11 +384,20 @@ def _batch_init(
     cache_policy: str,
     obs_on: bool,
     fault_spec: Optional[List[Dict[str, Any]]] = None,
+    cluster_dir: Optional[str] = None,
 ) -> None:
     global _BATCH_CTX
     faults.install_spec(fault_spec)
     _BATCH_CTX = (cache_dir, cache_policy, obs_on)
-    if cache_dir:
+    if cluster_dir:
+        # Workers talk straight to the cluster's quorum-replicated cache:
+        # true process parallelism with replicated writes, no parent
+        # round-trip per entry.
+        from repro.cache.store import set_cache
+        from repro.cluster.admin import load_cluster
+
+        set_cache(load_cluster(cluster_dir).store)
+    elif cache_dir:
         from repro.cache.store import SolutionCache, set_cache
 
         set_cache(SolutionCache(cache_dir))
@@ -424,13 +433,14 @@ class BatchJobPool:
         cache_dir: Optional[str],
         cache_policy: str,
         jobs: int,
+        cluster_dir: Optional[str] = None,
     ) -> None:
         self._ex = ProcessPoolExecutor(
             max_workers=resolve_jobs(jobs),
             initializer=_batch_init,
             initargs=(
                 cache_dir, cache_policy, _parent_obs_enabled(),
-                faults.export_spec(),
+                faults.export_spec(), cluster_dir,
             ),
         )
 

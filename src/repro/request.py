@@ -1,0 +1,501 @@
+"""The unified, versioned request artifact every entry point parses.
+
+Before this module, each front door parsed its own ad-hoc shape: the
+``repro.api`` verbs took loose keyword arguments, the CLI re-validated
+argparse strings, batch manifests merged JSON param tables, and a
+network service would have needed a fourth copy.  A
+:class:`PartitionRequest` (schema ``repro-partition-request/1``) is the
+single parse point instead: a *frozen*, schema-versioned dataclass that
+
+* round-trips losslessly through JSON (:meth:`PartitionRequest.to_json`
+  / :meth:`PartitionRequest.from_json`, stable field order, the paper's
+  ``T = inf`` baseline spelled ``"inf"`` exactly like batch manifests);
+* reproduces the exact solver configuration dict the run ledger and the
+  solution cache fingerprint (:meth:`PartitionRequest.config`), so
+  ``request.cache_key(mapped)`` equals the ledger's ``run_key`` for the
+  run the request describes;
+* normalizes the historically stringly/tri-state knobs into enums:
+  :class:`Algorithm`, :class:`CachePolicy` and :class:`MultilevelMode`
+  (the old ``multilevel=True/False/None`` spellings coerce through a
+  ``DeprecationWarning`` shim).
+
+Identity vs. execution fields
+-----------------------------
+``verb``/``circuit``/``scale``/``seed``/``algorithm``/``threshold`` and
+the verb tunables determine solver *output* and therefore feed
+:meth:`~PartitionRequest.config` and the cache key.  ``cache`` and
+``jobs`` only say *how* to execute (memoization policy, worker count);
+they travel in the JSON document but never into the fingerprint --
+``jobs=8`` must hit the entry ``jobs=1`` stored.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import warnings
+from dataclasses import dataclass, field, fields
+from enum import Enum
+from typing import Any, Dict, Optional, Union
+
+#: Version stamped into every request document as ``v``.
+REQUEST_SCHEMA_VERSION = 1
+
+#: Document identifier written in every request's ``schema`` field.
+REQUEST_SCHEMA_NAME = "repro-partition-request/1"
+
+#: Verbs a request may carry (the cacheable solver verbs).
+REQUEST_VERBS = ("bipartition", "partition")
+
+
+class RequestError(ValueError):
+    """A request document or value that cannot be normalized."""
+
+
+class Algorithm(str, Enum):
+    """The bipartitioning engine family (paper section 4).
+
+    ``str``-valued so existing comparisons (``algorithm == "fm"``) and
+    JSON serialization keep working; the member value *is* the wire
+    spelling.
+    """
+
+    FM_FUNCTIONAL = "fm+functional"
+    FM_TRADITIONAL = "fm+traditional"
+    FM = "fm"
+
+    @classmethod
+    def coerce(cls, value: Union["Algorithm", str]) -> "Algorithm":
+        """Normalize an algorithm spelling; raises :class:`RequestError`."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls(value)
+            except ValueError:
+                pass
+        raise RequestError(
+            f"algorithm={value!r} is not an algorithm; "
+            f"expected one of {[m.value for m in cls]}"
+        )
+
+
+class CachePolicy(str, Enum):
+    """Solution-cache interaction of one run.
+
+    ``USE`` consults the store and memoizes misses, ``REFRESH``
+    recomputes and overwrites, ``OFF`` bypasses the store entirely.
+    """
+
+    USE = "use"
+    REFRESH = "refresh"
+    OFF = "off"
+
+    @classmethod
+    def coerce(cls, value: Union["CachePolicy", str]) -> "CachePolicy":
+        """Normalize a cache-policy spelling.
+
+        Raises ``ValueError`` with the historical ``repro.api`` message
+        so existing callers keep seeing the same error.
+        """
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls(value)
+            except ValueError:
+                pass
+        raise ValueError(
+            f"cache={value!r} is not a cache policy; "
+            f"expected one of {tuple(m.value for m in cls)}"
+        )
+
+
+class MultilevelMode(str, Enum):
+    """The tri-state V-cycle knob, as an explicit enum.
+
+    ``ON`` forces the coarsen-solve-uncoarsen engine, ``OFF`` keeps the
+    flat engines, ``AUTO`` (default) enables it once the netlist reaches
+    :data:`repro.partition.multilevel.MULTILEVEL_AUTO_MIN_CELLS` cells.
+    The historical ``True`` / ``False`` / ``None`` spellings coerce with
+    a ``DeprecationWarning`` (``None`` silently: it is the signature
+    default everywhere).
+    """
+
+    ON = "on"
+    OFF = "off"
+    AUTO = "auto"
+
+    @classmethod
+    def coerce(
+        cls,
+        value: Union["MultilevelMode", str, bool, None],
+        warn: bool = False,
+    ) -> "MultilevelMode":
+        """Normalize a multilevel spelling.
+
+        ``warn=True`` (the ``repro.api`` keyword shim) emits a
+        ``DeprecationWarning`` for the legacy bool spellings; JSON /
+        manifest decoding coerces silently -- bools are the documented
+        wire format there.
+        """
+        if isinstance(value, cls):
+            return value
+        if value is None:
+            return cls.AUTO
+        if isinstance(value, bool):
+            if warn:
+                warnings.warn(
+                    "multilevel=True/False is deprecated; pass "
+                    "MultilevelMode.ON / MultilevelMode.OFF (or 'on'/'off')",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
+            return cls.ON if value else cls.OFF
+        if isinstance(value, str):
+            try:
+                return cls(value)
+            except ValueError:
+                pass
+        raise RequestError(
+            f"multilevel={value!r} is not a multilevel mode; "
+            f"expected one of {[m.value for m in cls]} or True/False/None"
+        )
+
+    @property
+    def tri(self) -> Optional[bool]:
+        """The legacy tri-state bool the solver flows still consume."""
+        if self is MultilevelMode.ON:
+            return True
+        if self is MultilevelMode.OFF:
+            return False
+        return None
+
+
+def parse_threshold(value: Any) -> Union[int, float]:
+    """A replication threshold: a number, or ``"inf"``/``"infinity"``
+    for the no-replication baseline (strict JSON has no infinity
+    literal).  The numeric type is preserved -- an ``int`` threshold
+    stays an ``int`` so config fingerprints never move."""
+    if isinstance(value, str):
+        if value.lower() in ("inf", "infinity"):
+            return float("inf")
+        raise RequestError(f"threshold {value!r} is not a number or 'inf'")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise RequestError(f"threshold {value!r} is not a number or 'inf'")
+    return value
+
+
+def threshold_json(threshold: Union[int, float]) -> Union[int, float, str]:
+    """The JSON spelling of a threshold (inverse of :func:`parse_threshold`)."""
+    if isinstance(threshold, float) and math.isinf(threshold):
+        return "inf"
+    return threshold
+
+
+#: Per-verb tunables with the ``repro.api`` defaults -- the one table
+#: the api shims, batch manifests and the service all resolve against.
+PARTITION_PARAMS: Dict[str, Any] = {
+    "threshold": 1,
+    "library": "XC3000",
+    "n_solutions": 2,
+    "seeds_per_carve": 3,
+    "devices_per_carve": 3,
+}
+BIPARTITION_PARAMS: Dict[str, Any] = {
+    "runs": 20,
+    "threshold": 0,
+    "balance_tolerance": 0.02,
+    "max_passes": 16,
+    "max_growth": None,
+}
+COMMON_PARAMS: Dict[str, Any] = {
+    "scale": 1.0,
+    "algorithm": "fm+functional",
+    "deadline": None,
+    "max_retries": None,
+    "fallback": None,
+    "multilevel": None,
+}
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise RequestError(message)
+
+
+@dataclass(frozen=True)
+class PartitionRequest:
+    """One solver invocation as a frozen, serializable artifact.
+
+    Construct directly, from keyword shims (:func:`build_request`), from
+    a JSON document (:meth:`from_json`) or from a batch-manifest job
+    (:meth:`repro.batch.manifest.BatchJob.to_request`); every path yields
+    the same normalized object, and equal requests are ``==`` and hash
+    alike (usable as memo keys).
+    """
+
+    verb: str
+    circuit: str
+    scale: float = 1.0
+    seed: int = 0
+    algorithm: Algorithm = Algorithm.FM_FUNCTIONAL
+    threshold: Union[int, float] = 1
+    multilevel: MultilevelMode = MultilevelMode.AUTO
+    # -- partition tunables (ignored by bipartition) --------------------
+    library: str = "XC3000"
+    n_solutions: int = 2
+    seeds_per_carve: int = 3
+    devices_per_carve: int = 3
+    # -- bipartition tunables (ignored by partition) --------------------
+    runs: int = 20
+    balance_tolerance: float = 0.02
+    max_passes: int = 16
+    max_growth: Optional[float] = None
+    # -- resilience (part of the cache/ledger identity) -----------------
+    deadline: Optional[float] = None
+    max_retries: Optional[int] = None
+    fallback: Optional[bool] = None
+    # -- execution-only fields (never fingerprinted) --------------------
+    cache: CachePolicy = CachePolicy.OFF
+    jobs: int = 1
+    schema_version: int = field(default=REQUEST_SCHEMA_VERSION, compare=False)
+
+    def __post_init__(self) -> None:
+        _require(self.verb in REQUEST_VERBS,
+                 f"verb {self.verb!r} not in {REQUEST_VERBS}")
+        _require(isinstance(self.circuit, str) and bool(self.circuit),
+                 "circuit must be a non-empty string")
+        _require(isinstance(self.seed, int) and not isinstance(self.seed, bool),
+                 f"seed {self.seed!r} is not an int")
+        # Normalize enum spellings so direct construction is as forgiving
+        # as the shims (frozen dataclass: go through __setattr__ escape).
+        object.__setattr__(self, "algorithm", Algorithm.coerce(self.algorithm))
+        object.__setattr__(self, "cache", CachePolicy.coerce(self.cache))
+        object.__setattr__(
+            self, "multilevel", MultilevelMode.coerce(self.multilevel)
+        )
+        object.__setattr__(self, "threshold", parse_threshold(self.threshold))
+
+    # -- identity -------------------------------------------------------
+    def config(self, multilevel_active: bool = False) -> Dict[str, Any]:
+        """The ledger/cache configuration dict of this request.
+
+        Byte-compatible with what the pre-request ``repro.api`` verbs
+        built inline: same keys, same value types, and the
+        ``"multilevel"`` marker present only when the V-cycle actually
+        resolved on for the target netlist (``multilevel_active``), so
+        every fingerprint, golden record and cache entry minted before
+        this refactor stays valid.
+        """
+        common = {
+            "verb": self.verb,
+            "algorithm": self.algorithm.value,
+            "threshold": self.threshold,
+            "scale": self.scale,
+            "deadline": self.deadline,
+            "max_retries": self.max_retries,
+            "fallback": self.fallback,
+        }
+        if self.verb == "bipartition":
+            config = {
+                "verb": common["verb"],
+                "algorithm": common["algorithm"],
+                "runs": self.runs,
+                "threshold": common["threshold"],
+                "balance_tolerance": self.balance_tolerance,
+                "max_passes": self.max_passes,
+                "max_growth": self.max_growth,
+                "scale": common["scale"],
+                "deadline": common["deadline"],
+                "max_retries": common["max_retries"],
+                "fallback": common["fallback"],
+            }
+        else:
+            config = {
+                "verb": common["verb"],
+                "algorithm": common["algorithm"],
+                "threshold": common["threshold"],
+                "library": self.library,
+                "n_solutions": self.n_solutions,
+                "seeds_per_carve": self.seeds_per_carve,
+                "devices_per_carve": self.devices_per_carve,
+                "scale": common["scale"],
+                "deadline": common["deadline"],
+                "max_retries": common["max_retries"],
+                "fallback": common["fallback"],
+            }
+        if multilevel_active:
+            config["multilevel"] = True
+        return config
+
+    def resolve_multilevel(self, n_cells: int) -> bool:
+        """Whether the V-cycle is active for a netlist of ``n_cells``."""
+        from repro.partition.multilevel import resolve_multilevel
+
+        return resolve_multilevel(self.multilevel.tri, n_cells)
+
+    def cache_key(self, mapped: Any) -> str:
+        """The solution-cache / ledger ``run_key`` of this request.
+
+        ``mapped`` is the technology-mapped netlist the request resolves
+        to (mapping depends on circuit x scale x seed, so it cannot be
+        derived from the request alone without rebuilding it).
+        """
+        from repro.cache.store import cache_key as store_key
+
+        active = self.resolve_multilevel(mapped.n_cells)
+        return store_key(mapped, self.config(active), self.seed)
+
+    @property
+    def mapping_seed(self) -> int:
+        """The seed the technology mapping actually uses (``seed or 1994``,
+        the historical ``repro.api`` behavior)."""
+        return self.seed or 1994
+
+    @property
+    def netlist_id(self) -> tuple:
+        """(circuit, scale, mapping seed): the mapped-netlist identity."""
+        return (self.circuit, float(self.scale), self.mapping_seed)
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON document form, in stable field order."""
+        return {
+            "schema": REQUEST_SCHEMA_NAME,
+            "v": self.schema_version,
+            "verb": self.verb,
+            "circuit": self.circuit,
+            "scale": self.scale,
+            "seed": self.seed,
+            "algorithm": self.algorithm.value,
+            "threshold": threshold_json(self.threshold),
+            "multilevel": self.multilevel.value,
+            "library": self.library,
+            "n_solutions": self.n_solutions,
+            "seeds_per_carve": self.seeds_per_carve,
+            "devices_per_carve": self.devices_per_carve,
+            "runs": self.runs,
+            "balance_tolerance": self.balance_tolerance,
+            "max_passes": self.max_passes,
+            "max_growth": self.max_growth,
+            "deadline": self.deadline,
+            "max_retries": self.max_retries,
+            "fallback": self.fallback,
+            "cache": self.cache.value,
+            "jobs": self.jobs,
+        }
+
+    def to_json(self) -> str:
+        """One-line JSON with stable field order (wire/ledger format)."""
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, doc: Any) -> "PartitionRequest":
+        """Rebuild a request from its document form.
+
+        Strict about shape: unknown fields and a wrong ``schema`` are
+        errors (a service must reject, not guess), absent optional
+        fields take the documented defaults.
+        """
+        _require(isinstance(doc, dict),
+                 f"request is {type(doc).__name__}, expected object")
+        schema = doc.get("schema", REQUEST_SCHEMA_NAME)
+        _require(schema == REQUEST_SCHEMA_NAME,
+                 f"request schema {schema!r}, expected {REQUEST_SCHEMA_NAME!r}")
+        version = doc.get("v", REQUEST_SCHEMA_VERSION)
+        _require(version == REQUEST_SCHEMA_VERSION,
+                 f"request v={version!r}, expected {REQUEST_SCHEMA_VERSION}")
+        known = {f.name for f in fields(cls)} | {"schema", "v"}
+        unknown = sorted(set(doc) - known)
+        _require(not unknown, f"unknown request field(s): {unknown}")
+        _require("verb" in doc, "request is missing 'verb'")
+        _require("circuit" in doc, "request is missing 'circuit'")
+        kwargs: Dict[str, Any] = {
+            k: v for k, v in doc.items() if k not in ("schema", "v")
+        }
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise RequestError(f"bad request document: {exc}") from exc
+
+    @classmethod
+    def from_json(cls, text: str) -> "PartitionRequest":
+        """Parse a JSON request document; raises :class:`RequestError`."""
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise RequestError(f"request is not valid JSON: {exc}") from exc
+        return cls.from_dict(doc)
+
+    # -- derived views --------------------------------------------------
+    def params(self) -> Dict[str, Any]:
+        """The batch-manifest ``params`` dict of this request (verb
+        tunables + common fields, threshold in its numeric form)."""
+        out = {
+            "scale": self.scale,
+            "algorithm": self.algorithm.value,
+            "deadline": self.deadline,
+            "max_retries": self.max_retries,
+            "fallback": self.fallback,
+            "multilevel": self.multilevel.tri,
+        }
+        if self.verb == "partition":
+            out.update(
+                threshold=self.threshold,
+                library=self.library,
+                n_solutions=self.n_solutions,
+                seeds_per_carve=self.seeds_per_carve,
+                devices_per_carve=self.devices_per_carve,
+            )
+        else:
+            out.update(
+                runs=self.runs,
+                threshold=self.threshold,
+                balance_tolerance=self.balance_tolerance,
+                max_passes=self.max_passes,
+                max_growth=self.max_growth,
+            )
+        return out
+
+
+def build_request(
+    verb: str,
+    circuit: str,
+    *,
+    warn_legacy: bool = False,
+    **kwargs: Any,
+) -> PartitionRequest:
+    """The keyword-argument shim: loose kwargs into a normalized request.
+
+    Used by the ``repro.api`` verbs to keep every historical call shape
+    working; ``warn_legacy`` turns the deprecated spellings (bool
+    ``multilevel``) into ``DeprecationWarning``s.  Unknown keywords
+    raise :class:`RequestError` (mirroring ``TypeError`` semantics).
+    """
+    if "multilevel" in kwargs:
+        kwargs["multilevel"] = MultilevelMode.coerce(
+            kwargs["multilevel"], warn=warn_legacy
+        )
+    allowed = {f.name for f in fields(PartitionRequest)} - {"verb", "circuit"}
+    unknown = sorted(set(kwargs) - allowed)
+    _require(not unknown, f"unknown request field(s): {unknown}")
+    return PartitionRequest(verb=verb, circuit=circuit, **kwargs)
+
+
+__all__ = [
+    "Algorithm",
+    "BIPARTITION_PARAMS",
+    "COMMON_PARAMS",
+    "CachePolicy",
+    "MultilevelMode",
+    "PARTITION_PARAMS",
+    "PartitionRequest",
+    "REQUEST_SCHEMA_NAME",
+    "REQUEST_SCHEMA_VERSION",
+    "REQUEST_VERBS",
+    "RequestError",
+    "build_request",
+    "parse_threshold",
+    "threshold_json",
+]

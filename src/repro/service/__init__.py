@@ -1,0 +1,44 @@
+"""Partitioning-as-a-service: an async job server over the request API.
+
+The service layer turns the library into a long-running daemon: clients
+POST schema-versioned :class:`~repro.request.PartitionRequest` documents
+(``repro-partition-request/1``) to an asyncio HTTP server, which serves
+cache hits in O(1) from the solution cache, queues misses by priority
+under per-client rate limits and inflight quotas, solves them on the
+batch process pool, and streams job lifecycle events live as chunked
+JSONL or SSE.
+
+Layout:
+
+* :mod:`repro.service.jobs`   -- job records, priority queue, retention;
+* :mod:`repro.service.quota`  -- token-bucket rates + inflight quotas;
+* :mod:`repro.service.server` -- the asyncio HTTP server itself;
+* :mod:`repro.service.client` -- a stdlib blocking client;
+* :mod:`repro.service.smoke`  -- end-to-end smoke drill (CI gate).
+
+Start a server with ``repro serve`` (CLI) or programmatically::
+
+    from repro.service import PartitionService
+    service = PartitionService(port=0, workers=2)
+    # await service.start(); ...; await service.stop()
+
+Everything is stdlib-only; the wire format is plain HTTP/1.1 + JSON, so
+``curl`` works as a client.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import Job, JobQueue, JobTable
+from repro.service.quota import ClientQuota, TokenBucket
+from repro.service.server import PartitionService, run_service
+
+__all__ = [
+    "ClientQuota",
+    "Job",
+    "JobQueue",
+    "JobTable",
+    "PartitionService",
+    "ServiceClient",
+    "ServiceError",
+    "TokenBucket",
+    "run_service",
+]

@@ -1,0 +1,110 @@
+"""Per-client admission control: token-bucket rates and inflight quotas.
+
+The service is the "millions of users" front door, so no single client
+may starve the pool.  Two independent limits, both per client:
+
+* **rate** -- a classic token bucket (``rate`` tokens/second refill,
+  ``burst`` capacity): short bursts pass, sustained flooding is shed
+  with HTTP 429 + ``Retry-After``;
+* **inflight** -- at most ``max_inflight`` queued+running jobs per
+  client, so one tenant cannot occupy the whole queue with slow solves
+  while staying under its rate.
+
+The clock is injectable (``clock=time.monotonic`` by default) so tests
+drive refill deterministically instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+
+class TokenBucket:
+    """A thread-safe token bucket: ``rate`` tokens/s, ``burst`` capacity."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError(f"rate and burst must be positive, got {rate}/{burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+        self._last = now
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; never blocks."""
+        with self._lock:
+            self._refill()
+            if self._tokens >= n:
+                self._tokens -= n
+                return True
+            return False
+
+    def retry_after(self, n: float = 1.0) -> float:
+        """Seconds until ``n`` tokens will be available (0 when already)."""
+        with self._lock:
+            self._refill()
+            missing = n - self._tokens
+            return max(0.0, missing / self.rate)
+
+
+class ClientQuota:
+    """Admission control over every client of one service instance."""
+
+    def __init__(
+        self,
+        rate: float = 20.0,
+        burst: float = 40.0,
+        max_inflight: int = 16,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.max_inflight = max_inflight
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def _bucket(self, client: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+                self._buckets[client] = bucket
+            return bucket
+
+    def admit(self, client: str, inflight: int) -> Optional[str]:
+        """``None`` when the submission may proceed, else the refusal
+        reason (the server turns it into HTTP 429).
+
+        ``inflight`` is the client's current queued+running job count
+        (the job table knows; quotas stay stateless about job lifetime).
+        """
+        if inflight >= self.max_inflight:
+            return (
+                f"client {client!r} has {inflight} jobs in flight "
+                f"(limit {self.max_inflight})"
+            )
+        if not self._bucket(client).try_acquire():
+            return f"client {client!r} exceeded {self.rate:g} submissions/s"
+        return None
+
+    def retry_after(self, client: str) -> float:
+        """Suggested ``Retry-After`` seconds for a rate-limited client."""
+        return self._bucket(client).retry_after()
+
+
+__all__ = ["ClientQuota", "TokenBucket"]

@@ -1,0 +1,638 @@
+"""The asyncio HTTP job server: partitioning as a service.
+
+A long-running, stdlib-only front door over the request API
+(:mod:`repro.request` / :func:`repro.api.run_request`): clients submit
+:class:`~repro.request.PartitionRequest` documents over HTTP, the server
+serves cache hits instantly from :mod:`repro.cache` (the cluster's
+:class:`~repro.cluster.store.ReplicatedCache` when ``cluster_dir`` is
+given), queues misses by priority, fans them out on the batch process
+pool (:class:`~repro.perf.parallel.BatchJobPool`) and streams per-job
+lifecycle events as chunked JSONL or SSE.
+
+Endpoints (all JSON; the request schema is ``repro-partition-request/1``):
+
+* ``GET  /v1/health`` -- liveness + config;
+* ``GET  /v1/stats``  -- counters, queue depth, per-state job counts;
+* ``POST /v1/jobs``   -- submit: either a bare request document or
+  ``{"request": {...}, "priority": int, "client": str}``; returns
+  ``200`` with the full result on an instant cache hit, else ``202``
+  with the queued job's id;
+* ``GET  /v1/jobs``           -- list job snapshots;
+* ``GET  /v1/jobs/<id>``      -- one job's status (+ result when done);
+* ``DELETE /v1/jobs/<id>``    -- cancel (queued: guaranteed; running:
+  best-effort -- solver processes are not killed mid-solve);
+* ``GET  /v1/jobs/<id>/events`` -- replay + follow the job's event
+  stream until it reaches a terminal state (``?format=sse`` or an
+  ``Accept: text/event-stream`` header selects SSE framing, default is
+  chunked JSONL).
+
+Design rules: all job/queue state is touched only on the event loop
+thread; anything blocking (technology mapping, cache reads, pool
+collection) runs in executor threads; results travel through the
+solution cache (workers store, the parent re-reads), so a service
+response is bit-identical to the same request run through ``repro.api``
+directly.  Refusals are explicit: malformed requests get 400, unknown
+jobs 404, rate/quota breaches 429 + ``Retry-After``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro import api
+from repro.obs.metrics import get_registry
+from repro.request import PartitionRequest, RequestError
+from repro.robust.budget import Budget
+from repro.service.jobs import Job, JobQueue, JobTable
+from repro.service.quota import ClientQuota
+
+#: Largest request body the server will read, in bytes.
+MAX_BODY_BYTES = 1 << 20
+
+#: Mapped netlists memoized by the parent for key computation/hot hits.
+_MAPPED_MEMO_CAP = 8
+
+#: Hot result documents memoized per cache key (O(1) repeat hits).
+_RESULT_MEMO_CAP = 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class PartitionService:
+    """One service instance: HTTP listener + queue + worker pool."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        cache: str = "use",
+        cache_dir: Optional[str] = None,
+        cluster_dir: Optional[str] = None,
+        rate: float = 20.0,
+        burst: float = 40.0,
+        max_inflight: int = 16,
+        keep_finished: int = 512,
+    ) -> None:
+        from repro.cache.store import SolutionCache, resolve_cache
+
+        self.host = host
+        self.port = port
+        self.workers = max(1, int(workers))
+        self.policy = cache
+        self.cluster_dir = cluster_dir
+        if cache == "off":
+            self.store = None
+        elif cluster_dir:
+            from repro.cluster.admin import load_cluster
+
+            self.store = load_cluster(cluster_dir).store
+        else:
+            self.store = SolutionCache(cache_dir) if cache_dir else resolve_cache()
+        self.table = JobTable(keep_finished=keep_finished)
+        self.queue = JobQueue()
+        self.quota = ClientQuota(rate=rate, burst=burst, max_inflight=max_inflight)
+        self.stats: Dict[str, int] = {
+            "submitted": 0,
+            "instant_hits": 0,
+            "done": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "expired": 0,
+            "rejected": 0,
+        }
+        self.started_ts = time.time()
+        self._seq = 0
+        self._active = 0
+        self._running = False
+        # Loop-bound objects, created in start() on the serving loop
+        # (Any: None only before start()/after stop()).
+        self._server: Any = None
+        self._pool: Any = None
+        self._wake: Any = None
+        self._cond: Any = None
+        self._dispatcher: Any = None
+        self._mapped_memo: Dict[tuple, Any] = {}
+        self._mapped_lock = threading.Lock()
+        self._result_memo: Dict[str, Dict[str, Any]] = {}
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener, build the pool, start the dispatcher."""
+        from repro.perf.parallel import BatchJobPool
+
+        self._wake = asyncio.Event()
+        self._cond = asyncio.Condition()
+        pool_dir = None
+        if self.store is not None and not self.cluster_dir:
+            pool_dir = self.store.root
+        self._pool = BatchJobPool(
+            pool_dir, self.policy, self.workers, cluster_dir=self.cluster_dir
+        )
+        self._running = True
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel the dispatcher, shut the pool down."""
+        self._running = False
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._dispatcher is not None:
+            self._wake.set()
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+        if self._pool is not None:
+            self._pool.close()
+        async with self._cond:
+            self._cond.notify_all()
+
+    async def serve_forever(self) -> None:
+        """:meth:`start` then block until cancelled (Ctrl-C)."""
+        await self.start()
+        try:
+            await self._server.serve_forever()
+        finally:
+            await self.stop()
+
+    # -- blocking helpers (executor threads only) -----------------------
+
+    def _mapped_for(self, request: PartitionRequest) -> Any:
+        """The request's mapped netlist via a bounded parent-side memo --
+        the expensive prefix of key computation, built once per
+        (circuit, scale, mapping-seed) triple."""
+        nid = request.netlist_id
+        with self._mapped_lock:
+            if nid in self._mapped_memo:
+                return self._mapped_memo[nid]
+        mapped = api.map(request.circuit, scale=request.scale, seed=nid[2]).solution
+        with self._mapped_lock:
+            if len(self._mapped_memo) >= _MAPPED_MEMO_CAP:
+                self._mapped_memo.pop(next(iter(self._mapped_memo)))
+            self._mapped_memo[nid] = mapped
+        return mapped
+
+    def _hot_result(self, request: PartitionRequest) -> Optional[Dict[str, Any]]:
+        """The serialized result of a trustworthy cache hit, else ``None``.
+
+        Repeat hits on the same key are O(1): the verified result
+        document is memoized, so the hot path costs one dict lookup
+        after the first request (plus the one-time mapping build).
+        """
+        if self.store is None or self.policy != "use":
+            return None
+        mapped = self._mapped_for(request)
+        key = request.cache_key(mapped)
+        memo = self._result_memo.get(key)
+        if memo is not None:
+            return memo
+        result = api.cached_result(request, store=self.store, mapped=mapped)
+        if result is None:
+            return None
+        doc = result.to_dict()
+        if len(self._result_memo) >= _RESULT_MEMO_CAP:
+            self._result_memo.pop(next(iter(self._result_memo)))
+        self._result_memo[key] = doc
+        return doc
+
+    def _collect(self, future: Any) -> Any:
+        from repro.perf.parallel import BatchJobPool
+
+        return BatchJobPool.collect(future)
+
+    # -- job lifecycle (event loop thread only) -------------------------
+
+    def _post(self, job: Job, event: str, **fields: Any) -> None:
+        """Append a lifecycle event to the job's stream, mirror it to the
+        observability registry, wake stream followers."""
+        payload = {"ts": time.time(), "event": event, "job_id": job.job_id}
+        payload.update(fields)
+        job.events.append(payload)
+        reg = get_registry()
+        if reg.enabled:
+            name = event if event.startswith("service.") else f"service.{event}"
+            reg.emit_event(name, **{k: v for k, v in payload.items() if k != "event"})
+        loop = asyncio.get_running_loop()
+        loop.create_task(self._notify())
+
+    async def _notify(self) -> None:
+        async with self._cond:
+            self._cond.notify_all()
+
+    def _finish(self, job: Job, state: str, **fields: Any) -> None:
+        job.state = state
+        job.finished_ts = time.time()
+        self.stats[state] = self.stats.get(state, 0) + 1
+        self.table.finish(job)
+        self._post(job, f"job.{state}", **fields)
+
+    async def _dispatch_loop(self) -> None:
+        while self._running:
+            await self._wake.wait()
+            self._wake.clear()
+            while self._active < self.workers:
+                job = self.queue.pop()
+                if job is None:
+                    break
+                if job.budget is not None and job.budget.expired:
+                    self._finish(job, "expired", reason="deadline expired in queue")
+                    continue
+                self._active += 1
+                asyncio.create_task(self._run_job(job))
+
+    async def _run_job(self, job: Job) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            job.state = "running"
+            job.started_ts = time.time()
+            self._post(job, "job.start", worker_pool=self.workers)
+            job.future = self._pool.submit(job.to_batch_job())
+            try:
+                outcome = await loop.run_in_executor(None, self._collect, job.future)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - worker-death boundary
+                if job.state == "cancelled":
+                    return
+                self._finish(
+                    job, "failed", error=f"worker died: {type(exc).__name__}: {exc}"
+                )
+                return
+            if job.state == "cancelled":
+                # The future could not be cancelled in time; the solve
+                # finished anyway (and, with caching, was memoized for
+                # the next asker) but the verdict stays "cancelled".
+                return
+            if outcome.status in ("ok", "degraded"):
+                doc = None
+                if self.store is not None:
+                    doc = await loop.run_in_executor(
+                        None, self._hot_result, job.request
+                    )
+                if doc is None:
+                    # Cache off (or the entry vanished): the distilled
+                    # outcome is all that travels back.
+                    doc = {"outcome": outcome.as_dict()}
+                job.result = doc
+                job.error = outcome.error
+                self._finish(
+                    job,
+                    "done",
+                    status=outcome.status,
+                    cache_status=outcome.cache_status,
+                    elapsed_seconds=outcome.elapsed_seconds,
+                )
+            else:
+                self._finish(job, "failed", error=outcome.error)
+        finally:
+            self._active -= 1
+            self._wake.set()
+
+    def _submit_job(
+        self, request: PartitionRequest, client: str, priority: int
+    ) -> Tuple[int, Dict[str, Any], Job]:
+        self._seq += 1
+        job = Job(
+            job_id=f"j{self._seq:06d}-{request.verb}-{request.circuit}",
+            request=request,
+            client=client,
+            priority=priority,
+        )
+        if request.deadline is not None:
+            job.budget = Budget(request.deadline)
+        self.table.add(job)
+        self.stats["submitted"] += 1
+        self._post(job, "job.queued", client=client, priority=priority)
+        return 202, {"job_id": job.job_id, "state": "queued"}, job
+
+    # -- HTTP plumbing --------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            await self._handle_request(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.TimeoutError:
+            with _suppress_io():
+                await _respond(writer, 408, {"error": "request timed out"})
+        except Exception as exc:  # noqa: BLE001 - connection isolation
+            with _suppress_io():
+                await _respond(writer, 500, {"error": f"{type(exc).__name__}: {exc}"})
+        finally:
+            with _suppress_io():
+                writer.close()
+                await writer.wait_closed()
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        request_line = await asyncio.wait_for(reader.readline(), timeout=30)
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            await _respond(writer, 400, {"error": "malformed request line"})
+            return
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout=30)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            await _respond(writer, 413, {"error": "request body too large"})
+            return
+        body = b""
+        if length:
+            body = await asyncio.wait_for(reader.readexactly(length), timeout=30)
+        url = urlsplit(target)
+        path = url.path.rstrip("/") or "/"
+        query = {k: v[-1] for k, v in parse_qs(url.query).items()}
+        await self._route(writer, method, path, query, headers, body)
+
+    async def _route(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        query: Dict[str, str],
+        headers: Dict[str, str],
+        body: bytes,
+    ) -> None:
+        if path == "/v1/health" and method == "GET":
+            await _respond(writer, 200, self._health())
+            return
+        if path == "/v1/stats" and method == "GET":
+            await _respond(writer, 200, self._stats())
+            return
+        if path == "/v1/jobs":
+            if method == "POST":
+                await self._handle_submit(writer, headers, body)
+                return
+            if method == "GET":
+                await _respond(
+                    writer,
+                    200,
+                    {"jobs": [job.snapshot() for job in self.table.jobs()]},
+                )
+                return
+            await _respond(writer, 405, {"error": f"{method} not allowed here"})
+            return
+        if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/"):]
+            if rest.endswith("/events"):
+                job_id, stream = rest[: -len("/events")], True
+            else:
+                job_id, stream = rest, False
+            job = self.table.get(job_id)
+            if job is None:
+                await _respond(writer, 404, {"error": f"unknown job {job_id!r}"})
+                return
+            if stream and method == "GET":
+                sse = query.get("format") == "sse" or (
+                    "text/event-stream" in headers.get("accept", "")
+                )
+                await self._handle_stream(writer, job, sse)
+                return
+            if not stream and method == "GET":
+                await _respond(writer, 200, self._job_doc(job))
+                return
+            if not stream and method == "DELETE":
+                await self._handle_cancel(writer, job)
+                return
+            await _respond(writer, 405, {"error": f"{method} not allowed here"})
+            return
+        await _respond(writer, 404, {"error": f"no route for {method} {path}"})
+
+    def _health(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "service": "repro-partition-service/1",
+            "uptime_seconds": time.time() - self.started_ts,
+            "workers": self.workers,
+            "cache_policy": self.policy,
+            "cluster": bool(self.cluster_dir),
+        }
+
+    def _stats(self) -> Dict[str, Any]:
+        return {
+            **self._health(),
+            "counters": dict(self.stats),
+            "queue_depth": len(self.queue),
+            "active": self._active,
+            "states": self.table.counts(),
+            "jobs_retained": len(self.table),
+        }
+
+    def _job_doc(self, job: Job) -> Dict[str, Any]:
+        doc = job.snapshot()
+        if job.result is not None:
+            doc["result"] = job.result
+        return doc
+
+    async def _handle_submit(
+        self,
+        writer: asyncio.StreamWriter,
+        headers: Dict[str, str],
+        body: bytes,
+    ) -> None:
+        try:
+            doc = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            await _respond(writer, 400, {"error": f"body is not valid JSON: {exc}"})
+            return
+        priority = 0
+        client = headers.get("x-client", "anonymous")
+        if isinstance(doc, dict) and "request" in doc:
+            envelope, doc = doc, doc["request"]
+            priority = envelope.get("priority", 0)
+            client = str(envelope.get("client", client))
+            if isinstance(priority, bool) or not isinstance(priority, int):
+                await _respond(writer, 400, {"error": "'priority' must be an int"})
+                return
+        reason = self.quota.admit(client, self.table.inflight(client))
+        if reason is not None:
+            self.stats["rejected"] += 1
+            retry = max(0.05, self.quota.retry_after(client))
+            await _respond(
+                writer,
+                429,
+                {"error": reason},
+                extra_headers={"Retry-After": f"{retry:.2f}"},
+            )
+            return
+        try:
+            request = PartitionRequest.from_dict(doc)
+        except RequestError as exc:
+            await _respond(writer, 400, {"error": str(exc)})
+            return
+        status, payload, job = self._submit_job(request, client, priority)
+        loop = asyncio.get_running_loop()
+        try:
+            hot = await loop.run_in_executor(None, self._hot_result, request)
+        except Exception as exc:  # noqa: BLE001 - bad circuit names etc.
+            self._finish(job, "failed", error=f"{type(exc).__name__}: {exc}")
+            await _respond(writer, 400, {"error": f"{type(exc).__name__}: {exc}"})
+            return
+        if hot is not None:
+            job.cached = True
+            job.result = hot
+            self.stats["instant_hits"] += 1
+            self._finish(job, "done", status="ok", cache_status="hit")
+            await _respond(writer, 200, self._job_doc(job))
+            return
+        self.queue.push(job)
+        self._wake.set()
+        await _respond(writer, status, payload)
+
+    async def _handle_cancel(
+        self, writer: asyncio.StreamWriter, job: Job
+    ) -> None:
+        if job.terminal:
+            await _respond(
+                writer,
+                200,
+                {"job_id": job.job_id, "state": job.state, "cancelled": False},
+            )
+            return
+        was_queued = job.state == "queued"
+        if not was_queued and job.future is not None:
+            # Best-effort: only succeeds while the pool has not started
+            # executing; a solving worker process is never killed.
+            job.future.cancel()
+        self._finish(job, "cancelled", was_queued=was_queued)
+        await _respond(
+            writer,
+            200,
+            {"job_id": job.job_id, "state": "cancelled", "cancelled": True},
+        )
+
+    async def _handle_stream(
+        self, writer: asyncio.StreamWriter, job: Job, sse: bool
+    ) -> None:
+        content_type = "text/event-stream" if sse else "application/x-ndjson"
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: " + content_type.encode() + b"\r\n"
+            b"Cache-Control: no-store\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        sent = 0
+        while True:
+            while sent < len(job.events):
+                _write_chunk(writer, _frame_event(job.events[sent], sse))
+                sent += 1
+            await writer.drain()
+            if job.terminal or not self._running:
+                break
+            async with self._cond:
+                try:
+                    await asyncio.wait_for(self._cond.wait(), timeout=0.5)
+                except asyncio.TimeoutError:
+                    pass
+        _write_chunk(
+            writer,
+            _frame_event(
+                {"ts": time.time(), "event": "stream.end", "state": job.state}, sse
+            ),
+        )
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+
+def _frame_event(payload: Dict[str, Any], sse: bool) -> bytes:
+    line = json.dumps(payload, sort_keys=True, default=str)
+    if sse:
+        return f"event: {payload.get('event', 'message')}\ndata: {line}\n\n".encode()
+    return (line + "\n").encode()
+
+
+def _write_chunk(writer: asyncio.StreamWriter, data: bytes) -> None:
+    writer.write(f"{len(data):x}\r\n".encode() + data + b"\r\n")
+
+
+async def _respond(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: Dict[str, Any],
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> None:
+    body = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+    head = [
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        head.append(f"{name}: {value}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
+    await writer.drain()
+
+
+class _suppress_io:
+    """Swallow connection teardown races (client went away mid-write)."""
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        return exc_type is not None and issubclass(
+            exc_type, (ConnectionError, OSError, asyncio.TimeoutError)
+        )
+
+
+def run_service(**kwargs: Any) -> None:
+    """Blocking entry point: build a :class:`PartitionService` and serve
+    until interrupted (the CLI's ``repro serve`` calls this)."""
+    service = PartitionService(**kwargs)
+
+    async def main() -> None:
+        await service.start()
+        print(
+            f"repro-service listening on http://{service.host}:{service.port} "
+            f"({service.workers} workers, cache={service.policy})",
+            flush=True,
+        )
+        try:
+            await service._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+
+
+__all__ = ["MAX_BODY_BYTES", "PartitionService", "run_service"]

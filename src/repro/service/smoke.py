@@ -1,0 +1,176 @@
+"""End-to-end service smoke drill (the CI ``service-smoke`` gate).
+
+``python -m repro.service.smoke`` starts a real server subprocess
+(``repro serve --port 0``), then drives the acceptance scenario over
+actual sockets:
+
+1. **mixed burst** -- three submissions: one cold partition request
+   (misses, solves on the pool), the same request again (must be served
+   as a cache hit), and one distinct cold request;
+2. **bit-identity** -- the service's result document must equal, byte
+   for byte, ``repro.api.run_request`` replayed on the same cache store;
+3. **clean cancellation** -- with one worker busy, a queued job is
+   cancelled via ``DELETE`` and must finish in state ``cancelled``
+   without ever running;
+4. **event stream** -- the done job's JSONL stream replays
+   ``job.queued -> job.start -> job.done`` and terminates.
+
+Exit code 0 on success; any assertion failure prints the reason and
+exits 1.  Everything runs against a throwaway cache directory.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro import api
+from repro.cache.store import SolutionCache, use_cache
+from repro.request import build_request
+from repro.service.client import ServiceClient, ServiceError
+
+#: Tiny quick-turnaround workload: small scaled s5378 carves.
+COLD_A = dict(circuit="s5378", scale=0.08, seed=7, threshold=1, n_solutions=1)
+COLD_B = dict(circuit="s5378", scale=0.08, seed=11, threshold=1, n_solutions=1)
+#: A deliberately slower job to occupy the single worker during the
+#: cancellation drill.
+SLOW = dict(circuit="s5378", scale=0.3, seed=3, threshold=1, n_solutions=2)
+
+
+def _fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def _start_server(cache_dir: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--workers",
+            "1",
+            "--cache",
+            "use",
+            "--cache-dir",
+            cache_dir,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def _await_port(proc: subprocess.Popen, timeout: float = 30.0) -> int:
+    """Parse the bound port from the server's startup line."""
+    deadline = time.monotonic() + timeout
+    assert proc.stdout is not None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            if proc.poll() is not None:
+                _fail(f"server exited early (rc={proc.returncode})")
+            time.sleep(0.05)
+            continue
+        if "listening on http://" in line:
+            return int(line.rsplit(":", 1)[1].split()[0])
+    _fail("server never printed its listening address")
+    raise AssertionError  # unreachable
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-service-smoke-") as cache_dir:
+        proc = _start_server(cache_dir)
+        try:
+            port = _await_port(proc)
+            client = ServiceClient("127.0.0.1", port, client_id="smoke")
+            health = client.health()
+            if health.get("status") != "ok":
+                _fail(f"health check: {health}")
+            print(f"server healthy on port {port}")
+
+            # 1. Mixed burst: cold, hot (same request), cold.
+            req_a = build_request("partition", **COLD_A)
+            req_b = build_request("partition", **COLD_B)
+            reply = client.submit(req_a)
+            if reply["_http_status"] != 202:
+                _fail(f"cold submit should queue (202), got {reply}")
+            done_a = client.wait(reply["job_id"], timeout=300)
+            if done_a["state"] != "done":
+                _fail(f"cold job ended {done_a['state']}: {done_a.get('error')}")
+
+            hot = client.submit(req_a)
+            if hot["_http_status"] != 200 or not hot.get("cached"):
+                _fail(f"repeat submit should be an instant cache hit, got {hot}")
+            print("cache hit served instantly on repeat submission")
+
+            reply_b = client.submit(req_b)
+            done_b = client.wait(reply_b["job_id"], timeout=300)
+            if done_b["state"] != "done":
+                _fail(f"second cold job ended {done_b['state']}")
+
+            stats = client.stats()
+            if stats["counters"]["instant_hits"] < 1:
+                _fail(f"expected >=1 instant hit, stats={stats['counters']}")
+
+            # 2. Bit-identity vs the direct API on the same store.
+            with use_cache(SolutionCache(cache_dir)):
+                direct = api.run_request(req_a, cache="use")
+            if direct.cache_info.get("status") != "hit":
+                _fail("direct replay should hit the service's cache")
+            service_doc = json.dumps(hot["result"], sort_keys=True)
+            direct_doc = json.dumps(direct.to_dict(), sort_keys=True)
+            if service_doc != direct_doc:
+                _fail("service result != direct api result (bit-identity broken)")
+            print("service result bit-identical to direct repro.api run")
+
+            # 3. Clean cancellation: occupy the worker, cancel a queued job.
+            slow = client.submit(build_request("partition", **SLOW))
+            victim = client.submit(
+                build_request("partition", circuit="s5378", scale=0.3, seed=5)
+            )
+            if victim["_http_status"] != 202:
+                _fail(f"victim should queue behind the slow job, got {victim}")
+            cancelled = client.cancel(victim["job_id"])
+            if not cancelled.get("cancelled"):
+                _fail(f"cancel refused: {cancelled}")
+            final = client.status(victim["job_id"])
+            if final["state"] != "cancelled" or final["started_ts"] is not None:
+                _fail(f"victim should be cancelled unstarted: {final}")
+            print("queued job cancelled cleanly")
+            if slow["_http_status"] == 202:
+                client.wait(slow["job_id"], timeout=300)
+
+            # 4. Event stream of the finished job replays and terminates.
+            events = [e.get("event") for e in client.stream(done_a["job_id"])]
+            for expected in ("job.queued", "job.start", "job.done", "stream.end"):
+                if expected not in events:
+                    _fail(f"event stream missing {expected!r}: {events}")
+            print(f"event stream ok ({len(events)} events)")
+            try:
+                client.status("no-such-job")
+            except ServiceError as exc:
+                if exc.status != 404:
+                    _fail(f"unknown job should 404, got {exc.status}")
+            else:
+                _fail("unknown job id did not 404")
+
+            print("service smoke: OK")
+            return 0
+        finally:
+            proc.terminate()
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -71,6 +71,12 @@ def test_version():
         "repro.obs.trace",
         "repro.obs.summary",
         "repro.api",
+        "repro.request",
+        "repro.service",
+        "repro.service.jobs",
+        "repro.service.quota",
+        "repro.service.server",
+        "repro.service.client",
         "repro.cli",
     ],
 )
@@ -98,14 +104,22 @@ def test_api_surface_is_locked():
 
     assert api.__all__ == [
         "SCHEMA_VERSION",
+        "RESULT_SCHEMA_NAME",
         "RunResult",
+        "PartitionRequest",
+        "Algorithm",
+        "CachePolicy",
+        "MultilevelMode",
         "load",
         "map",
         "bipartition",
         "partition",
+        "run_request",
+        "cached_result",
         "analyze",
     ]
     assert api.SCHEMA_VERSION == 1
+    assert api.RESULT_SCHEMA_NAME == "repro-run-result/1"
     assert api.RunResult.schema_version == 1  # dataclass default
     fields = set(api.RunResult.__dataclass_fields__)
     assert {
