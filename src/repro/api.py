@@ -66,6 +66,7 @@ from repro.obs import ledger as obs_ledger
 from repro.obs.events import validate_jsonl_file
 from repro.obs.metrics import get_registry
 from repro.obs.summary import summarize_events
+from repro.obs.telemetry import new_trace_id, series
 from repro.partition.devices import (
     XC3000_LIBRARY,
     XC4000_LIBRARY,
@@ -402,11 +403,48 @@ def run_request(
     and ``jobs`` override the request's execution-only fields (useful for
     a scheduler re-running the same request under a different policy)
     without changing its identity.
+
+    **Trace correlation:** the run executes under one ``trace_id`` --
+    the request's own (minted by the service or a client) or a fresh one
+    when tracing is enabled -- stamped on every observability line the
+    run emits (solver spans, ``cache.hit``/``cache.store`` events,
+    worker-pool fan-outs) and on the ledger record, so a single id links
+    a service job to its solve, cache entry and ledger row.
     """
     if not isinstance(request, PartitionRequest):
         raise TypeError(
             f"run_request() takes a PartitionRequest, got {type(request).__name__}"
         )
+    reg = get_registry()
+    trace_id = request.trace_id
+    if trace_id is None and reg.enabled:
+        trace_id = new_trace_id()
+    with reg.trace_scope(trace_id):
+        result = _execute_request(
+            request,
+            circuit=circuit,
+            library=library,
+            cache=cache,
+            jobs=jobs,
+            trace_id=trace_id,
+        )
+        if reg.enabled and trace_id is not None:
+            reg.counter(
+                series("runs.completed", trace=trace_id, verb=request.verb)
+            ).inc()
+    return result
+
+
+def _execute_request(
+    request: PartitionRequest,
+    *,
+    circuit: Union[str, Netlist, MappedNetlist, None],
+    library: Optional[DeviceLibrary],
+    cache: Union[CachePolicy, str, None],
+    jobs: Optional[int],
+    trace_id: Optional[str],
+) -> RunResult:
+    """:func:`run_request` minus trace-context management."""
     policy = request.cache if cache is None else CachePolicy.coerce(cache)
     n_jobs = request.jobs if jobs is None else jobs
     kind = request.verb
@@ -530,6 +568,7 @@ def run_request(
                 convergence=obs_ledger.distill_convergence(events),
                 elapsed_seconds=elapsed,
                 runner_summary=log.as_record() if log is not None else None,
+                trace_id=trace_id,
             )
         )
     return RunResult(
@@ -566,10 +605,17 @@ def cached_result(
             request.circuit, scale=request.scale, seed=request.mapping_seed
         ).solution
     key = request.cache_key(mapped)
-    hit = _cache_try_hit(request.verb, store, key, mapped)
-    if hit is None:
-        return None
-    return _cache_hit_result(request.verb, store, key, hit[0], hit[1])
+    reg = get_registry()
+    with reg.trace_scope(request.trace_id):
+        hit = _cache_try_hit(request.verb, store, key, mapped)
+        if hit is None:
+            return None
+        result = _cache_hit_result(request.verb, store, key, hit[0], hit[1])
+        if reg.enabled and request.trace_id is not None:
+            reg.counter(
+                series("runs.completed", trace=request.trace_id, verb=request.verb)
+            ).inc()
+    return result
 
 
 def bipartition(

@@ -103,6 +103,10 @@ class BatchJob:
     priority: int = 0
     #: Position in the expanded manifest (stable tie-break for dispatch).
     index: int = 0
+    #: Trace-correlation id carried from the submitting request (service
+    #: jobs).  Execution metadata only: never part of the job identity
+    #: used for dedupe/caching (see ``repro.batch.scheduler.job_identity``).
+    trace_id: Optional[str] = None
 
     @property
     def netlist_id(self) -> tuple:
@@ -139,9 +143,10 @@ class BatchJob:
         if self.verb == "partition":
             params["library"] = resolve_library(library).name
         try:
-            return build_request(self.verb, self.circuit, seed=self.seed, **params)
+            request = build_request(self.verb, self.circuit, seed=self.seed, **params)
         except ValueError as exc:
             raise ManifestError(f"job {self.job_id}: {exc}") from exc
+        return request.with_trace(self.trace_id) if self.trace_id else request
 
 
 def resolve_library(name: Optional[str]) -> DeviceLibrary:

@@ -197,7 +197,11 @@ def order_jobs(jobs: List[BatchJob]) -> Tuple[List[BatchJob], List[BatchJob]]:
 _EMIT_LOCK = threading.Lock()
 
 
-def _emit(on_event: Optional[ProgressFn], payload: Dict[str, Any]) -> None:
+def _emit(
+    on_event: Optional[ProgressFn],
+    payload: Dict[str, Any],
+    trace: Optional[str] = None,
+) -> None:
     with _EMIT_LOCK:
         if on_event is not None:
             on_event(payload)
@@ -212,7 +216,10 @@ def _emit(on_event: Optional[ProgressFn], payload: Dict[str, Any]) -> None:
             event = payload["event"]
             if not event.startswith("batch."):
                 event = f"batch.{event}"
-            reg.emit_event(event, **fields)
+            # Per-job events carry the dispatching request's trace id so
+            # scheduler decisions line up with the solve on one timeline.
+            with reg.trace_scope(trace):
+                reg.emit_event(event, **fields)
 
 
 def _run_wave_sequential(
@@ -225,9 +232,11 @@ def _run_wave_sequential(
     for job in wave:
         if budget is not None and budget.expired:
             outcomes.append(skipped_outcome(job, "batch deadline expired"))
-            _emit(on_event, {"event": "job.skipped", "job_id": job.job_id})
+            _emit(on_event, {"event": "job.skipped", "job_id": job.job_id},
+                  trace=job.trace_id)
             continue
-        _emit(on_event, {"event": "job.start", "job_id": job.job_id})
+        _emit(on_event, {"event": "job.start", "job_id": job.job_id},
+              trace=job.trace_id)
         outcome = execute_job(job, cache=cache)
         outcomes.append(outcome)
         _emit(on_event, {
@@ -236,7 +245,7 @@ def _run_wave_sequential(
             "status": outcome.status,
             "cache_status": outcome.cache_status,
             "wall_seconds": outcome.wall_seconds,
-        })
+        }, trace=job.trace_id)
     return outcomes
 
 
@@ -250,7 +259,8 @@ def _run_wave_pool(
     for job in wave:
         if budget is not None and budget.expired:
             break
-        _emit(on_event, {"event": "job.start", "job_id": job.job_id})
+        _emit(on_event, {"event": "job.start", "job_id": job.job_id},
+              trace=job.trace_id)
         pending.append((job, pool.submit(job)))
     outcomes: List[JobOutcome] = []
     expired = False
@@ -286,10 +296,11 @@ def _run_wave_pool(
             "status": outcome.status,
             "cache_status": outcome.cache_status,
             "wall_seconds": outcome.wall_seconds,
-        })
+        }, trace=job.trace_id)
     for job in wave[len(pending):]:
         outcomes.append(skipped_outcome(job, "batch deadline expired"))
-        _emit(on_event, {"event": "job.skipped", "job_id": job.job_id})
+        _emit(on_event, {"event": "job.skipped", "job_id": job.job_id},
+              trace=job.trace_id)
     return outcomes
 
 

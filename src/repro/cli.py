@@ -14,6 +14,9 @@ cache        Inspect or trim the on-disk solution cache (stats/evict).
 cluster      The fault-tolerant solve farm (start/status/drill).
 serve        Partitioning-as-a-service: the async HTTP job server
              (see docs/SERVICE.md).
+obs          Observability utilities: validate JSONL event streams,
+             export merged Perfetto/Chrome timelines, render or scrape
+             Prometheus metrics.
 
 ``bipartition`` and ``partition`` flags are normalized through one
 parse point -- a :class:`repro.request.PartitionRequest` -- so the CLI,
@@ -31,6 +34,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
+import os
 import sys
 from typing import Iterator, List, Optional, Tuple
 
@@ -124,6 +128,14 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="JSONL trace destination (implies --trace; default trace.jsonl)",
     )
+    parser.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for per-process JSONL streams (implies --trace): "
+        "the parent writes main.jsonl, pool workers append "
+        "worker-<pid>.jsonl; merge with 'repro-fpga obs export'",
+    )
     from repro.obs.ledger import DEFAULT_LEDGER_DIR
 
     parser.add_argument(
@@ -158,8 +170,11 @@ def _observability(
     stream out to the file and the list.  Final metric values are flushed
     and the file closed on the way out.
     """
+    trace_dir = getattr(args, "trace_dir", None)
     trace = bool(
-        getattr(args, "trace", False) or getattr(args, "metrics_out", None)
+        getattr(args, "trace", False)
+        or getattr(args, "metrics_out", None)
+        or trace_dir
     )
     if not trace and not capture:
         yield None, []
@@ -167,7 +182,14 @@ def _observability(
     from repro.obs.events import JsonlEmitter, ListEmitter, TeeEmitter
     from repro.obs.metrics import MetricsRegistry, use_registry
 
-    path = (args.metrics_out or "trace.jsonl") if trace else None
+    path = None
+    if trace:
+        if trace_dir:
+            os.makedirs(trace_dir, exist_ok=True)
+            trace_dir = os.path.abspath(trace_dir)
+        path = args.metrics_out or (
+            os.path.join(trace_dir, "main.jsonl") if trace_dir else "trace.jsonl"
+        )
     collector = ListEmitter() if capture else None
     if trace and capture:
         emitter = TeeEmitter(JsonlEmitter(path), collector)
@@ -175,7 +197,7 @@ def _observability(
         emitter = JsonlEmitter(path)
     else:
         emitter = collector
-    registry = MetricsRegistry(enabled=True, emitter=emitter)
+    registry = MetricsRegistry(enabled=True, emitter=emitter, trace_dir=trace_dir)
     registry.emit_meta()
     try:
         with use_registry(registry):
@@ -1038,19 +1060,122 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.workers < 1:
         raise SystemExit("--workers must be >= 1")
     try:
-        run_service(
-            host=args.host,
-            port=args.port,
-            workers=args.workers,
-            cache=args.cache,
-            cache_dir=args.cache_dir,
-            cluster_dir=args.cluster_dir,
-            rate=args.rate,
-            burst=args.burst,
-            max_inflight=args.max_inflight,
-        )
+        with _observability(args):
+            run_service(
+                host=args.host,
+                port=args.port,
+                workers=args.workers,
+                cache=args.cache,
+                cache_dir=args.cache_dir,
+                cluster_dir=args.cluster_dir,
+                rate=args.rate,
+                burst=args.burst,
+                max_inflight=args.max_inflight,
+            )
     except OSError as exc:
         raise SystemExit(f"cannot bind {args.host}:{args.port}: {exc}") from exc
+    return 0
+
+
+def _expand_stream_paths(paths: List[str]) -> List[str]:
+    """Flatten trace directories into their ``*.jsonl`` streams."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            out.extend(
+                os.path.join(path, name)
+                for name in sorted(os.listdir(path))
+                if name.endswith(".jsonl")
+            )
+        else:
+            out.append(path)
+    return out
+
+
+def _cmd_obs_validate(args: argparse.Namespace) -> int:
+    from repro.obs.events import validate_jsonl_file
+
+    failed = False
+    for path in _expand_stream_paths(args.paths):
+        events, problems = validate_jsonl_file(path)
+        if problems:
+            failed = True
+            print(f"{path}: INVALID ({len(problems)} problem(s)): {problems[0]}")
+            if args.verbose:
+                for problem in problems[1:]:
+                    print(f"  {problem}")
+        else:
+            print(f"{path}: ok ({len(events)} event(s))")
+    return 1 if failed else 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    from repro.obs.export import export_chrome_trace
+
+    paths = _expand_stream_paths(args.paths)
+    if not paths:
+        raise SystemExit("obs export: no JSONL event streams found")
+    try:
+        summary = export_chrome_trace(paths, args.out, trace_id=args.trace_id)
+    except OSError as exc:
+        raise SystemExit(f"obs export: {exc}") from exc
+    print(
+        f"wrote {summary['events']} event(s) ({summary['spans']} span(s)) "
+        f"from {summary['streams']} stream(s) to {summary['out']}"
+    )
+    return 0
+
+
+def _snapshot_from_stream(path: str) -> dict:
+    """Rebuild a metrics snapshot from a stream's flushed final values."""
+    from repro.obs.events import read_jsonl
+
+    counters: dict = {}
+    gauges: dict = {}
+    histograms: dict = {}
+    for record in read_jsonl(path, skip_invalid=True):
+        kind = record.get("kind")
+        name = record.get("name")
+        if not isinstance(name, str):
+            continue
+        if kind == "counter":
+            counters[name] = record.get("value", 0)
+        elif kind == "gauge":
+            gauges[name] = record.get("value", 0)
+        elif kind == "histogram":
+            pairs = record.get("buckets") or []
+            histograms[name] = {
+                "bounds": [p[0] for p in pairs if p[0] is not None],
+                "counts": [p[1] for p in pairs],
+                "count": record.get("count", 0),
+                "sum": record.get("sum", 0.0),
+            }
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def _cmd_obs_metrics(args: argparse.Namespace) -> int:
+    if (args.url is None) == (args.path is None):
+        raise SystemExit("obs metrics: give a JSONL PATH or --url, not both")
+    if args.url is not None:
+        from urllib.error import URLError
+        from urllib.request import urlopen
+
+        url = args.url
+        if not url.rstrip("/").endswith("/v1/metrics"):
+            url = url.rstrip("/") + "/v1/metrics"
+        try:
+            with urlopen(url, timeout=30) as response:
+                sys.stdout.write(response.read().decode("utf-8"))
+        except (OSError, URLError) as exc:
+            raise SystemExit(f"obs metrics: cannot scrape {url}: {exc}") from exc
+        return 0
+    from repro.obs.telemetry import prometheus_exposition
+
+    try:
+        snapshot = _snapshot_from_stream(args.path)
+    except OSError as exc:
+        raise SystemExit(f"obs metrics: {exc}") from exc
+    sys.stdout.write(prometheus_exposition(snapshot))
     return 0
 
 
@@ -1548,7 +1673,90 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="per-client queued+running job quota (default 16)",
     )
+    p_serve.add_argument(
+        "--trace",
+        action="store_true",
+        help="serve under an enabled metrics registry: GET /v1/metrics "
+        "then exposes every registry series (trace-labeled counters "
+        "included), and job events are mirrored to the trace stream",
+    )
+    p_serve.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="JSONL trace destination (implies --trace; default trace.jsonl)",
+    )
+    p_serve.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for per-process JSONL streams (implies --trace): "
+        "the server writes main.jsonl, solver workers append "
+        "worker-<pid>.jsonl; merge with 'repro-fpga obs export'",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="observability utilities: validate JSONL event streams, "
+        "export Perfetto timelines, render Prometheus metrics",
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    p_ov = obs_sub.add_parser(
+        "validate",
+        help="validate repro-obs-events/1 JSONL stream(s); exit 1 and "
+        "report the first offending line on schema problems",
+    )
+    p_ov.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="JSONL stream files or trace directories",
+    )
+    p_ov.add_argument(
+        "--verbose", action="store_true",
+        help="list every problem, not just the first",
+    )
+    p_ov.set_defaults(func=_cmd_obs_validate)
+
+    p_oe = obs_sub.add_parser(
+        "export",
+        help="merge JSONL stream(s) into one Chrome trace-event timeline "
+        "(open in Perfetto or chrome://tracing)",
+    )
+    p_oe.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="JSONL stream files or trace directories (multi-worker "
+        "streams merge into per-pid lanes)",
+    )
+    p_oe.add_argument(
+        "--chrome", action="store_true",
+        help="write Chrome trace-event JSON (the default and currently "
+        "only format)",
+    )
+    p_oe.add_argument(
+        "--out", default="trace.chrome.json", metavar="FILE",
+        help="output file (default trace.chrome.json)",
+    )
+    p_oe.add_argument(
+        "--trace-id", default=None, metavar="ID",
+        help="keep only records stamped with this trace id",
+    )
+    p_oe.set_defaults(func=_cmd_obs_export)
+
+    p_om = obs_sub.add_parser(
+        "metrics",
+        help="Prometheus text exposition: scrape a live service (--url) "
+        "or render a JSONL trace's final metric values",
+    )
+    p_om.add_argument(
+        "path", nargs="?", default=None, metavar="PATH",
+        help="JSONL trace whose flushed metrics should be rendered",
+    )
+    p_om.add_argument(
+        "--url", default=None, metavar="URL",
+        help="service base URL (or full /v1/metrics URL) to scrape",
+    )
+    p_om.set_defaults(func=_cmd_obs_metrics)
     return parser
 
 

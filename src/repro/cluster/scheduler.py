@@ -58,10 +58,16 @@ DEFAULT_CLUSTER_DIR = os.path.join("results", "cluster")
 ProgressFn = Callable[[Dict[str, Any]], None]
 
 
-def _emit(on_event: Optional[ProgressFn], payload: Dict[str, Any]) -> None:
+def _emit(
+    on_event: Optional[ProgressFn],
+    payload: Dict[str, Any],
+    trace: Optional[str] = None,
+) -> None:
     """Progress fan-out: callback gets the raw payload (the CLI already
     understands ``job.*`` names); the registry event is ``cluster.``-
-    prefixed to keep farm traffic distinguishable from plain batches."""
+    prefixed to keep farm traffic distinguishable from plain batches.
+    Per-job events pass the job's trace id so placement, re-dispatch and
+    steal decisions correlate with the request that queued the job."""
     if on_event is not None:
         on_event(payload)
     reg = get_registry()
@@ -74,7 +80,8 @@ def _emit(on_event: Optional[ProgressFn], payload: Dict[str, Any]) -> None:
         event = payload["event"]
         if not event.startswith("cluster."):
             event = f"cluster.{event}"
-        reg.emit_event(event, **fields)
+        with reg.trace_scope(trace):
+            reg.emit_event(event, **fields)
 
 
 class ClusterScheduler:
@@ -129,7 +136,7 @@ class ClusterScheduler:
         outcomes.append(skipped_outcome(job, reason))
         _emit(self.on_event, {
             "event": "job.skipped", "job_id": job.job_id, "reason": reason,
-        })
+        }, trace=job.trace_id)
 
     # -- scheduling phases ----------------------------------------------
     def assign(self, wave: List[BatchJob], outcomes: List[JobOutcome]) -> None:
@@ -142,7 +149,7 @@ class ClusterScheduler:
             self.queues[owner].append(job)
             _emit(self.on_event, {
                 "event": "job.dispatch", "job_id": job.job_id, "node": owner,
-            })
+            }, trace=job.trace_id)
 
     def _detect_failures(self, outcomes: List[JobOutcome]) -> None:
         """Declare silent nodes dead and re-dispatch their jobs."""
@@ -179,7 +186,7 @@ class ClusterScheduler:
                     "job_id": job.job_id,
                     "from": name,
                     "to": target,
-                })
+                }, trace=job.trace_id)
 
     def _steal_work(self) -> None:
         """Idle live nodes each take the tail of the longest backlog."""
@@ -205,7 +212,7 @@ class ClusterScheduler:
                 "job_id": job.job_id,
                 "from": donor.name,
                 "to": thief.name,
-            })
+            }, trace=job.trace_id)
 
     def _execute_round(self, policy: str, outcomes: List[JobOutcome]) -> None:
         """Every live node runs at most one queued job this round."""
@@ -215,7 +222,7 @@ class ClusterScheduler:
             job = self.queues[node.name].popleft()
             _emit(self.on_event, {
                 "event": "job.start", "job_id": job.job_id, "node": node.name,
-            })
+            }, trace=job.trace_id)
             try:
                 if policy == "off":
                     outcome = node.run_job(job, cache=policy)
@@ -231,7 +238,7 @@ class ClusterScheduler:
                     "node": node.name,
                     "job_id": job.job_id,
                     "error": f"{type(exc).__name__}: {exc}",
-                })
+                }, trace=job.trace_id)
                 continue
             get_registry().counter(f"cluster.node.{node.name}.jobs").inc()
             outcomes.append(outcome)
@@ -242,7 +249,7 @@ class ClusterScheduler:
                 "status": outcome.status,
                 "cache_status": outcome.cache_status,
                 "wall_seconds": outcome.wall_seconds,
-            })
+            }, trace=job.trace_id)
 
     def drain(self, policy: str) -> List[JobOutcome]:
         """Round loop until every queued/lost job has an outcome."""

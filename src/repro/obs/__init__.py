@@ -13,6 +13,11 @@ carve levels, resilient-runner decisions, process-pool workers):
   schema, emitters and validators;
 * :mod:`repro.obs.summary` -- the human-readable rendering behind
   ``repro-fpga analyze --metrics``;
+* :mod:`repro.obs.telemetry` -- trace-id minting, labeled metric
+  series, Prometheus text exposition and rolling-window latency
+  quantiles (the live side served at ``GET /v1/metrics``);
+* :mod:`repro.obs.export` -- Chrome trace-event / Perfetto timeline
+  export, merging multi-worker JSONL streams on one trace id;
 * :mod:`repro.obs.ledger` -- the persistent, append-only run ledger
   (``results/ledger/runs.jsonl``): one schema-versioned quality record
   per solver/experiment run, keyed by netlist hash + config fingerprint
@@ -61,6 +66,7 @@ from repro.obs.events import (
     validate_events,
     validate_jsonl_file,
 )
+from repro.obs.export import chrome_trace, export_chrome_trace, stream_events
 from repro.obs.ledger import (
     LEDGER_SCHEMA_NAME,
     LEDGER_SCHEMA_VERSION,
@@ -84,6 +90,15 @@ from repro.obs.metrics import (
     use_registry,
 )
 from repro.obs.summary import summarize_events
+from repro.obs.telemetry import (
+    PROMETHEUS_CONTENT_TYPE,
+    QuantileWindow,
+    new_trace_id,
+    parse_exposition,
+    prometheus_exposition,
+    series,
+    split_series,
+)
 from repro.obs.trace import NULL_SPAN, Span
 
 __all__ = [
@@ -109,6 +124,16 @@ __all__ = [
     "validate_events",
     "validate_jsonl_file",
     "summarize_events",
+    "PROMETHEUS_CONTENT_TYPE",
+    "QuantileWindow",
+    "new_trace_id",
+    "parse_exposition",
+    "prometheus_exposition",
+    "series",
+    "split_series",
+    "chrome_trace",
+    "export_chrome_trace",
+    "stream_events",
     "LEDGER_SCHEMA_NAME",
     "LEDGER_SCHEMA_VERSION",
     "Ledger",

@@ -11,14 +11,20 @@ into memory.  The schema (``repro-obs-events/1``) is deliberately flat:
   version, pid);
 * ``kind="span"`` -- a finished trace span: ``id``, ``parent`` (span id
   or ``None``), ``depth``, ``dur_s`` (``time.perf_counter`` delta),
-  optional ``cpu_s`` (``time.process_time`` delta, profiling mode) and
-  ``attrs`` (span attributes);
+  optional ``start_ts`` (wall-clock epoch seconds at span entry, the
+  anchor timeline exporters need), optional ``cpu_s``
+  (``time.process_time`` delta, profiling mode) and ``attrs`` (span
+  attributes);
 * ``kind="event"`` -- an ad-hoc structured event with ``fields``
   (e.g. the resilient runner's attempt/degrade/checkpoint decisions);
 * ``kind="counter"`` / ``"gauge"`` -- a final metric ``value``;
 * ``kind="histogram"`` -- ``count``, ``sum``, ``min``, ``max`` and
   ``buckets`` as ``[upper_bound, count]`` pairs (the last bound is
   ``null`` for the overflow bucket).
+
+Any line may additionally carry ``trace`` -- the trace id of the request
+whose work emitted it (see :mod:`repro.obs.telemetry`); streams from
+before trace propagation simply omit it, so the field is schema-additive.
 
 :func:`validate_event` / :func:`validate_jsonl_file` check conformance
 without any third-party JSON-schema dependency; the CI workflow runs the
@@ -81,11 +87,18 @@ class TeeEmitter:
 
 
 class JsonlEmitter:
-    """Append events to a file (or file-like object) as JSON lines."""
+    """Append events to a file (or file-like object) as JSON lines.
 
-    def __init__(self, target: Union[str, IO[str]]) -> None:
+    ``append=True`` opens a path in append mode -- pool workers reopen
+    their per-process stream file between tasks, so each reopen adds a
+    fresh ``meta`` header and the file accumulates one multi-task stream
+    (the validator accepts multiple meta lines).
+    """
+
+    def __init__(self, target: Union[str, IO[str]], append: bool = False) -> None:
         if isinstance(target, (str, os.PathLike)):
-            self._fh: IO[str] = open(target, "w", encoding="utf-8")
+            mode = "a" if append else "w"
+            self._fh: IO[str] = open(target, mode, encoding="utf-8")
             self._owns = True
         else:
             self._fh = target
@@ -178,6 +191,9 @@ def validate_event(event: Any) -> List[str]:
     _check(kind in EVENT_KINDS, problems, f"unknown kind {kind!r}")
     _check(isinstance(event.get("name"), str) and bool(event.get("name")),
            problems, "name must be a non-empty string")
+    if "trace" in event:
+        _check(isinstance(event["trace"], str) and bool(event["trace"]),
+               problems, "trace must be a non-empty string")
     if problems:
         return problems
     if kind == "meta":
@@ -193,6 +209,11 @@ def validate_event(event: Any) -> List[str]:
         dur = event.get("dur_s")
         _check(isinstance(dur, _NUMBER) and dur >= 0, problems,
                "span dur_s must be a number >= 0")
+        if "start_ts" in event:
+            _check(
+                isinstance(event["start_ts"], _NUMBER) and event["start_ts"] >= 0,
+                problems, "span start_ts must be a number >= 0",
+            )
         if "cpu_s" in event:
             _check(isinstance(event["cpu_s"], _NUMBER), problems,
                    "span cpu_s must be a number")

@@ -1,0 +1,163 @@
+"""Timeline export: ``repro-obs-events/1`` streams to Chrome trace JSON.
+
+The Chrome trace-event format (the JSON Perfetto and ``chrome://tracing``
+load directly) wants microsecond timestamps, complete-slice (``"X"``)
+events with a wall-clock start, and ``pid``/``tid`` lanes.  Our JSONL
+streams carry everything needed: spans record ``start_ts`` (epoch
+seconds) and ``dur_s``, every stream opens with a ``meta`` line naming
+its ``pid``, and trace-context propagation stamps each line with the
+``trace`` id of the request that produced it.
+
+:func:`chrome_trace` therefore merges *many* streams -- the parent
+process plus the per-worker files a ``trace_dir`` fan-out writes -- into
+one timeline: each stream contributes a lane keyed by its meta ``pid``,
+and an optional ``trace_id`` filter keeps only the lines of a single
+request, which is how one service job is followed across worker
+processes.  Ad-hoc events become instant (``"i"``) marks and final
+counter values become counter (``"C"``) samples, so cache hits and
+scheduler decisions land on the same timeline as the solver spans.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.events import read_jsonl
+
+#: ``displayTimeUnit`` written into the exported document.
+DISPLAY_TIME_UNIT = "ms"
+
+
+def _micros(seconds: Any) -> float:
+    return float(seconds) * 1e6
+
+
+def _keep(record: Dict[str, Any], trace_id: Optional[str]) -> bool:
+    return trace_id is None or record.get("trace") == trace_id
+
+
+def stream_events(
+    stream: Iterable[Dict[str, Any]],
+    trace_id: Optional[str] = None,
+    default_pid: int = 0,
+) -> List[Dict[str, Any]]:
+    """Chrome trace events for one JSONL stream.
+
+    The stream's most recent ``meta`` line supplies the ``pid`` lane
+    (append-mode worker files may contain several metas; they all name
+    the same process).  ``trace_id`` keeps only matching lines.
+    """
+    pid = default_pid
+    out: List[Dict[str, Any]] = []
+    for record in stream:
+        kind = record.get("kind")
+        if kind == "meta":
+            pid = int(record.get("pid", pid))
+            continue
+        if not _keep(record, trace_id):
+            continue
+        name = str(record.get("name", "?"))
+        args = {k: v for k, v in record.items() if k in ("trace", "attrs", "fields")}
+        if kind == "span":
+            start = record.get("start_ts", record.get("ts", 0.0))
+            out.append(
+                {
+                    "name": name,
+                    "ph": "X",
+                    "ts": _micros(start),
+                    "dur": _micros(record.get("dur_s", 0.0)),
+                    "pid": pid,
+                    "tid": pid,
+                    "args": args,
+                }
+            )
+        elif kind == "event":
+            out.append(
+                {
+                    "name": name,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": _micros(record.get("ts", 0.0)),
+                    "pid": pid,
+                    "tid": pid,
+                    "args": args,
+                }
+            )
+        elif kind in ("counter", "gauge"):
+            out.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "ts": _micros(record.get("ts", 0.0)),
+                    "pid": pid,
+                    "tid": pid,
+                    "args": {"value": record.get("value", 0)},
+                }
+            )
+    return out
+
+
+def chrome_trace(
+    streams: Sequence[Iterable[Dict[str, Any]]],
+    trace_id: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Merge event streams into one Chrome trace-event document.
+
+    Streams are merged on time; each keeps its own ``pid`` lane, and
+    process-name metadata rows label the lanes in the viewer.
+    """
+    events: List[Dict[str, Any]] = []
+    pids: List[int] = []
+    for n, stream in enumerate(streams):
+        converted = stream_events(stream, trace_id=trace_id, default_pid=n)
+        events.extend(converted)
+        for ev in converted:
+            if ev["pid"] not in pids:
+                pids.append(ev["pid"])
+    events.sort(key=lambda ev: (ev["ts"], ev["pid"]))
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": pid,
+            "args": {"name": f"repro pid {pid}"},
+        }
+        for pid in sorted(pids)
+    ]
+    doc: Dict[str, Any] = {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": DISPLAY_TIME_UNIT,
+    }
+    if trace_id is not None:
+        doc["otherData"] = {"trace_id": trace_id}
+    return doc
+
+
+def export_chrome_trace(
+    paths: Sequence[str],
+    out_path: str,
+    trace_id: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Read JSONL stream files, write merged Chrome trace JSON.
+
+    Returns a small summary (streams read, events written, span count)
+    for CLI reporting.  Torn tail lines in worker files are skipped the
+    same way the ledger reads its history.
+    """
+    streams = [read_jsonl(path, skip_invalid=True) for path in paths]
+    doc = chrome_trace(streams, trace_id=trace_id)
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, sort_keys=True)
+        fh.write("\n")
+    events = doc["traceEvents"]
+    return {
+        "streams": len(streams),
+        "events": len(events),
+        "spans": sum(1 for ev in events if ev.get("ph") == "X"),
+        "out": out_path,
+    }
+
+
+__all__ = ["chrome_trace", "export_chrome_trace", "stream_events"]

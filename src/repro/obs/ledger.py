@@ -71,7 +71,9 @@ RECORD_KINDS = ("partition", "bipartition", "experiment", "bench")
 
 #: Top-level record fields that may differ between re-runs of the same
 #: (netlist, config, seed) without the quality having drifted.
-VOLATILE_KEYS = ("run_id", "ts", "iso_ts", "git_rev", "host", "timing", "runner")
+VOLATILE_KEYS = (
+    "run_id", "ts", "iso_ts", "git_rev", "host", "timing", "runner", "trace_id",
+)
 
 #: Cap on the number of per-run pass-gain series kept in ``convergence``
 #: (the k-way candidate scan produces one per candidate engine run).
@@ -362,13 +364,16 @@ def build_record(
     convergence: Optional[Dict[str, Any]] = None,
     elapsed_seconds: Optional[float] = None,
     runner_summary: Optional[Dict[str, Any]] = None,
+    trace_id: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Assemble one schema-conforming ledger record.
 
     Pass either ``mapped`` (fingerprinted here) or a precomputed
     ``netlist_hash``; experiment-suite records that aggregate several
     circuits may pass neither, in which case the hash is derived from
-    the circuit label.
+    the circuit label.  ``trace_id`` links the record to the run's
+    observability stream; like timing it is volatile -- excluded from
+    :func:`stable_view` and the determinism contract.
     """
     if kind not in RECORD_KINDS:
         raise ValueError(f"unknown record kind {kind!r}; expected {RECORD_KINDS}")
@@ -407,6 +412,8 @@ def build_record(
     }
     if runner_summary is not None:
         record["runner"] = _jsonable(runner_summary)
+    if trace_id is not None:
+        record["trace_id"] = trace_id
     return record
 
 
@@ -446,6 +453,9 @@ def validate_record(record: Any) -> List[str]:
     check(isinstance(record.get("quality"), dict), "quality must be an object")
     check(isinstance(record.get("convergence"), dict),
           "convergence must be an object")
+    if "trace_id" in record:
+        check(isinstance(record["trace_id"], str) and bool(record["trace_id"]),
+              "trace_id must be a non-empty string")
     return problems
 
 

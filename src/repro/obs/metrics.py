@@ -145,6 +145,8 @@ class MetricsRegistry:
         "enabled",
         "profile",
         "emitter",
+        "trace_id",
+        "trace_dir",
         "_counters",
         "_gauges",
         "_histograms",
@@ -158,10 +160,20 @@ class MetricsRegistry:
         enabled: bool = True,
         emitter: Optional[Any] = None,
         profile: bool = False,
+        trace_id: Optional[str] = None,
+        trace_dir: Optional[str] = None,
     ) -> None:
         self.enabled = enabled
         self.profile = profile
         self.emitter = emitter
+        #: Trace id stamped (as ``trace``) on every line this registry
+        #: emits while set; scoped via :meth:`trace_scope`.
+        self.trace_id = trace_id
+        #: When set, process-pool fan-outs give each worker registry a
+        #: per-pid JSONL stream file under this directory, so worker-side
+        #: spans become observable (and exportable) instead of dying with
+        #: the worker.
+        self.trace_dir = trace_dir
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
@@ -203,19 +215,45 @@ class MetricsRegistry:
             return NULL_SPAN
         return Span(self, name, attrs)
 
+    # -- trace context --------------------------------------------------
+    @contextmanager
+    def trace_scope(self, trace_id: Optional[str]) -> Iterator[None]:
+        """Stamp lines emitted inside the block with ``trace_id``.
+
+        A ``None`` id (or a disabled registry) makes this a no-op scope,
+        so callers need not branch on whether a trace is active.
+        """
+        if not self.enabled or trace_id is None:
+            yield
+            return
+        previous = self.trace_id
+        self.trace_id = trace_id
+        try:
+            yield
+        finally:
+            self.trace_id = previous
+
+    def stamp(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        """Attach the active trace id to ``record`` (in place)."""
+        if self.trace_id is not None:
+            record["trace"] = self.trace_id
+        return record
+
     # -- events ---------------------------------------------------------
     def emit_event(self, name: str, **fields: Any) -> None:
         """Emit an ad-hoc structured event (no-op when disabled)."""
         if not self.enabled or self.emitter is None:
             return
         self.emitter.emit(
-            {
-                "v": 1,
-                "ts": time.time(),
-                "kind": "event",
-                "name": name,
-                "fields": fields,
-            }
+            self.stamp(
+                {
+                    "v": 1,
+                    "ts": time.time(),
+                    "kind": "event",
+                    "name": name,
+                    "fields": fields,
+                }
+            )
         )
 
     def emit_meta(self) -> None:
@@ -230,20 +268,26 @@ class MetricsRegistry:
         now = time.time()
         for name in sorted(self._counters):
             self.emitter.emit(
-                {"v": 1, "ts": now, "kind": "counter", "name": name,
-                 "value": self._counters[name].value}
+                self.stamp(
+                    {"v": 1, "ts": now, "kind": "counter", "name": name,
+                     "value": self._counters[name].value}
+                )
             )
         for name in sorted(self._gauges):
             self.emitter.emit(
-                {"v": 1, "ts": now, "kind": "gauge", "name": name,
-                 "value": self._gauges[name].value}
+                self.stamp(
+                    {"v": 1, "ts": now, "kind": "gauge", "name": name,
+                     "value": self._gauges[name].value}
+                )
             )
         for name in sorted(self._histograms):
             h = self._histograms[name]
             self.emitter.emit(
-                {"v": 1, "ts": now, "kind": "histogram", "name": name,
-                 "count": h.count, "sum": h.sum, "min": h.min, "max": h.max,
-                 "buckets": h.bucket_pairs()}
+                self.stamp(
+                    {"v": 1, "ts": now, "kind": "histogram", "name": name,
+                     "count": h.count, "sum": h.sum, "min": h.min, "max": h.max,
+                     "buckets": h.bucket_pairs()}
+                )
             )
 
     # -- snapshots ------------------------------------------------------

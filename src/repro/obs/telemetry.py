@@ -1,0 +1,280 @@
+"""Live telemetry: trace ids, Prometheus exposition, rolling quantiles.
+
+Three small, dependency-free pieces the service and CLI compose:
+
+* **Trace ids** -- :func:`new_trace_id` mints the opaque id
+  ``api.run_request`` stamps on every observability line a request's
+  work emits (see ``MetricsRegistry.trace_scope``), and that travels
+  over the wire as ``PartitionRequest.trace_id`` /
+  ``X-Repro-Trace-Id``.
+* **Labeled series** -- the registry's instruments are keyed by plain
+  strings, so labeled metrics use the series-name convention
+  ``base{key="value",...}`` (built by :func:`series`, parsed by
+  :func:`split_series`).  Snapshot merging treats the full series
+  string as an opaque counter name, so labels survive worker fan-out
+  for free.
+* **Exposition** -- :func:`prometheus_exposition` renders a
+  ``MetricsRegistry.snapshot()`` dict (plus ad-hoc gauges) in the
+  Prometheus text format (``text/plain; version=0.0.4``): counters get
+  a ``_total`` suffix, histograms become cumulative ``_bucket``
+  series with ``le`` labels plus ``_sum``/``_count``, and dots in
+  registry names become underscores.
+* **Quantiles** -- :class:`QuantileWindow` is a fixed-size rolling
+  window over recent observations (service latencies, queue waits)
+  whose p50/p90/p99 are computed at scrape time, so ``/v1/metrics``
+  exposes live latency quantiles without a streaming sketch.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import uuid
+from collections import deque
+from typing import Any, Deque, Dict, List, Mapping, Optional, Tuple
+
+#: Content type of the exposition format this module renders.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Quantiles :class:`QuantileWindow.summary` reports.
+SUMMARY_QUANTILES = (0.5, 0.9, 0.99)
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+_SERIES = re.compile(r"^(?P<base>[^{}]+)\{(?P<labels>.*)\}$")
+
+_LABEL = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
+
+
+def new_trace_id() -> str:
+    """A fresh opaque trace id (16 hex chars, collision-safe per run)."""
+    return uuid.uuid4().hex[:16]
+
+
+def series(base: str, **labels: Any) -> str:
+    """The canonical series name for ``base`` with ``labels`` attached.
+
+    Labels are sorted by key so equal label sets always produce equal
+    series strings (and therefore one registry instrument)::
+
+        >>> series("runs.completed", verb="partition", trace="ab12")
+        'runs.completed{trace="ab12",verb="partition"}'
+    """
+    if not labels:
+        return base
+    parts = ",".join(
+        f'{key}="{_escape_label(str(value))}"' for key, value in sorted(labels.items())
+    )
+    return f"{base}{{{parts}}}"
+
+
+def split_series(name: str) -> Tuple[str, Dict[str, str]]:
+    """Split a series name into ``(base, labels)``.
+
+    Plain names come back with empty labels; a malformed label block is
+    treated as part of the base name rather than rejected (registry
+    names are producer-controlled, not wire input).
+    """
+    match = _SERIES.match(name)
+    if match is None:
+        return name, {}
+    labels = {
+        m.group("key"): _unescape_label(m.group("value"))
+        for m in _LABEL.finditer(match.group("labels"))
+    }
+    return match.group("base"), labels
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape_label(value: str) -> str:
+    return value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """A Prometheus-legal metric name (dots and dashes to underscores)."""
+    cleaned = _NAME_OK.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    v = float(value)
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if math.isnan(v):
+        return "NaN"
+    return repr(v)
+
+
+def _render_labels(labels: Mapping[str, Any]) -> str:
+    if not labels:
+        return ""
+    parts = ",".join(
+        f'{sanitize_metric_name(str(key))}="{_escape_label(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return f"{{{parts}}}"
+
+
+class _Writer:
+    """Groups samples per metric family and emits one TYPE line each."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self._typed: Dict[str, str] = {}
+
+    def sample(
+        self,
+        family: str,
+        kind: str,
+        value: Any,
+        labels: Optional[Mapping[str, Any]] = None,
+        suffix: str = "",
+    ) -> None:
+        seen = self._typed.get(family)
+        if seen is None:
+            self._typed[family] = kind
+            self.lines.append(f"# TYPE {family} {kind}")
+        self.lines.append(
+            f"{family}{suffix}{_render_labels(labels or {})} {_format_value(value)}"
+        )
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n" if self.lines else ""
+
+
+def prometheus_exposition(
+    snapshot: Mapping[str, Any],
+    extra_gauges: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """Render a registry snapshot in the Prometheus text format.
+
+    ``snapshot`` is :meth:`MetricsRegistry.snapshot` output; counter and
+    gauge names may carry labels via the :func:`series` convention.
+    ``extra_gauges`` adds ad-hoc gauge samples (service queue depth,
+    latency quantiles, ...) that live outside the registry.
+    """
+    writer = _Writer()
+    for name in sorted(snapshot.get("counters", {})):
+        base, labels = split_series(name)
+        family = sanitize_metric_name(base)
+        if not family.endswith("_total"):
+            family += "_total"
+        writer.sample(family, "counter", snapshot["counters"][name], labels)
+    gauges: Dict[str, Any] = dict(snapshot.get("gauges", {}))
+    gauges.update(extra_gauges or {})
+    for name in sorted(gauges):
+        base, labels = split_series(name)
+        writer.sample(sanitize_metric_name(base), "gauge", gauges[name], labels)
+    for name in sorted(snapshot.get("histograms", {})):
+        data = snapshot["histograms"][name]
+        base, labels = split_series(name)
+        family = sanitize_metric_name(base)
+        cumulative = 0
+        for bound, count in zip(
+            list(data["bounds"]) + [float("inf")], data["counts"]
+        ):
+            cumulative += count
+            le = {"le": "+Inf" if math.isinf(bound) else _format_value(bound)}
+            writer.sample(
+                family, "histogram", cumulative, {**labels, **le}, suffix="_bucket"
+            )
+        writer.sample(family, "histogram", data["sum"], labels, suffix="_sum")
+        writer.sample(family, "histogram", data["count"], labels, suffix="_count")
+    return writer.text()
+
+
+def parse_exposition(text: str) -> Dict[str, float]:
+    """Parse Prometheus text back into ``{series_line: value}``.
+
+    The inverse the smoke drills need: every non-comment sample line
+    becomes one entry keyed by its full ``name{labels}`` string.  Raises
+    ``ValueError`` on a line that is neither a comment nor a sample.
+    """
+    samples: Dict[str, float] = {}
+    for n, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, raw = line.rpartition(" ")
+        if not name:
+            raise ValueError(f"exposition line {n}: no sample value: {line!r}")
+        try:
+            samples[name] = float(raw)
+        except ValueError as exc:
+            raise ValueError(
+                f"exposition line {n}: bad sample value {raw!r}"
+            ) from exc
+    return samples
+
+
+class QuantileWindow:
+    """A rolling window of recent observations with on-demand quantiles.
+
+    Keeps the last ``size`` values in a ring buffer; :meth:`quantile`
+    sorts the live window at call time (scrapes are rare, observations
+    are hot, so the cost sits on the scrape).  Nearest-rank definition:
+    ``quantile(0.5)`` of ``[1, 2, 3, 4]`` is ``2``.
+    """
+
+    __slots__ = ("_window", "observed")
+
+    def __init__(self, size: int = 1024) -> None:
+        if size <= 0:
+            raise ValueError("window size must be positive")
+        self._window: Deque[float] = deque(maxlen=size)
+        #: Total observations ever seen (the window only keeps ``size``).
+        self.observed = 0
+
+    def observe(self, value: float) -> None:
+        self._window.append(float(value))
+        self.observed += 1
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The ``q``-quantile of the window, ``None`` when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if not self._window:
+            return None
+        ordered = sorted(self._window)
+        rank = max(1, math.ceil(q * len(ordered)))
+        return ordered[rank - 1]
+
+    def summary(self) -> Dict[str, Any]:
+        """Count plus p50/p90/p99 (``None`` each while empty)."""
+        out: Dict[str, Any] = {"count": self.observed}
+        for q in SUMMARY_QUANTILES:
+            out[f"p{int(q * 100)}"] = self.quantile(q)
+        return out
+
+    def gauges(self, base: str) -> Dict[str, float]:
+        """Exposition-ready gauge samples, one per populated quantile."""
+        out: Dict[str, float] = {}
+        for q in SUMMARY_QUANTILES:
+            value = self.quantile(q)
+            if value is not None:
+                out[series(base, quantile=_format_value(q))] = value
+        return out
+
+
+__all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "QuantileWindow",
+    "new_trace_id",
+    "parse_exposition",
+    "prometheus_exposition",
+    "sanitize_metric_name",
+    "series",
+    "split_series",
+]

@@ -84,11 +84,17 @@ class Span:
             "id": self.span_id,
             "parent": self.parent_id,
             "depth": self.depth,
+            # Explicit wall-clock anchor: ``ts`` doubles as the start
+            # today, but timeline exporters need the contract spelled
+            # out, not inferred from emission order.
+            "start_ts": self._wall_start,
             "dur_s": dur,
             "attrs": self.attrs,
         }
         if reg.profile:
             record["cpu_s"] = time.process_time() - self._cpu_start
+        if reg.trace_id is not None:
+            record["trace"] = reg.trace_id
         stack = reg._span_stack
         if stack and stack[-1] is self:
             stack.pop()

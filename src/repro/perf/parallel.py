@@ -86,24 +86,48 @@ def _rebuild_budget(
 # submission order (counters add, gauges last-write-wins, histograms
 # bucket-wise), so ``jobs=N`` metrics match ``jobs=1`` up to span records
 # (worker spans stay in the worker; only metric values travel).
+#
+# The context shipped through the initializer also carries the parent's
+# trace id (stamped onto every worker-side record) and, when set, a
+# ``trace_dir``: each worker then appends its spans/events to a
+# per-process ``worker-<pid>.jsonl`` stream in that directory, which
+# ``repro.obs.export`` merges back into one timeline on the trace id.
 
 
-def _parent_obs_enabled() -> bool:
+def _parent_obs_context() -> Optional[Dict[str, Any]]:
+    """Picklable observability context for pool workers (``None`` = off)."""
     from repro.obs.metrics import get_registry
 
-    return get_registry().enabled
+    reg = get_registry()
+    if not reg.enabled:
+        return None
+    return {"trace": reg.trace_id, "trace_dir": reg.trace_dir}
 
 
-def _call_with_obs(obs_on: bool, fn):
+def _call_with_obs(obs_ctx: Optional[Dict[str, Any]], fn):
     """Run ``fn`` in a worker; returns ``(result, snapshot-or-None)``."""
-    if not obs_on:
+    if not obs_ctx:
         return fn(), None
+    from repro.obs.events import JsonlEmitter
     from repro.obs.metrics import MetricsRegistry, use_registry
 
-    reg = MetricsRegistry(enabled=True)
-    with use_registry(reg):
-        result = fn()
-    return result, reg.snapshot()
+    emitter = None
+    trace_dir = obs_ctx.get("trace_dir")
+    if trace_dir:
+        emitter = JsonlEmitter(
+            os.path.join(trace_dir, f"worker-{os.getpid()}.jsonl"), append=True
+        )
+    reg = MetricsRegistry(
+        enabled=True, emitter=emitter, trace_id=obs_ctx.get("trace")
+    )
+    try:
+        with use_registry(reg):
+            reg.emit_meta()
+            result = fn()
+        return result, reg.snapshot()
+    finally:
+        if emitter is not None:
+            reg.close()
 
 
 def _merge_worker_pairs(pairs: List[Tuple[Any, Optional[Dict[str, Any]]]]) -> List[Any]:
@@ -127,28 +151,32 @@ def _merge_worker_pairs(pairs: List[Tuple[Any, Optional[Dict[str, Any]]]]) -> Li
 # FM multi-start
 # ---------------------------------------------------------------------------
 
-_FM_CTX: Optional[Tuple[Any, Any, Any, Optional[float], bool, bool, bool]] = None
+_FM_CTX: Optional[
+    Tuple[Any, Any, Any, Optional[float], bool, bool, Optional[Dict[str, Any]]]
+] = None
 
 
-def _fm_init(hg, base_config, remaining, graceful, limited, obs_on, fault_spec) -> None:
+def _fm_init(
+    hg, base_config, remaining, graceful, limited, obs_ctx, fault_spec
+) -> None:
     from repro.hypergraph.compact import CompactHypergraph
 
     global _FM_CTX
     faults.install_spec(fault_spec)
     compact = CompactHypergraph.from_hypergraph(hg)
-    _FM_CTX = (hg, compact, base_config, remaining, graceful, limited, obs_on)
+    _FM_CTX = (hg, compact, base_config, remaining, graceful, limited, obs_ctx)
 
 
 def _fm_task(seed: int):
     from repro.partition.fm import fm_bipartition
 
     assert _FM_CTX is not None
-    hg, compact, base, remaining, graceful, limited, obs_on = _FM_CTX
+    hg, compact, base, remaining, graceful, limited, obs_ctx = _FM_CTX
     config = replace(
         base, seed=seed, budget=_rebuild_budget(remaining, graceful, limited)
     )
     return _call_with_obs(
-        obs_on, lambda: fm_bipartition(hg, config, compact=compact)
+        obs_ctx, lambda: fm_bipartition(hg, config, compact=compact)
     )
 
 
@@ -163,7 +191,7 @@ def parallel_fm_results(hg, base_config, seeds: Sequence[int], jobs: int) -> Lis
         initializer=_fm_init,
         initargs=(
             hg, ship, remaining, graceful, limited,
-            _parent_obs_enabled(), faults.export_spec(),
+            _parent_obs_context(), faults.export_spec(),
         ),
     ) as ex:
         return _merge_worker_pairs(list(ex.map(_fm_task, seeds)))
@@ -191,30 +219,32 @@ def parallel_best_of_runs_fm(hg, runs: int, base_config, jobs: int):
 # Replication multi-start
 # ---------------------------------------------------------------------------
 
-_REPL_CTX: Optional[Tuple[Any, Any, Any, Optional[float], bool, bool, bool]] = None
+_REPL_CTX: Optional[
+    Tuple[Any, Any, Any, Optional[float], bool, bool, Optional[Dict[str, Any]]]
+] = None
 
 
 def _repl_init(
-    hg, base_config, remaining, graceful, limited, obs_on, fault_spec
+    hg, base_config, remaining, graceful, limited, obs_ctx, fault_spec
 ) -> None:
     from repro.partition.fm_replication import ReplicationTables
 
     global _REPL_CTX
     faults.install_spec(fault_spec)
     tables = ReplicationTables(hg)
-    _REPL_CTX = (hg, tables, base_config, remaining, graceful, limited, obs_on)
+    _REPL_CTX = (hg, tables, base_config, remaining, graceful, limited, obs_ctx)
 
 
 def _repl_task(seed: int):
     from repro.partition.fm_replication import replication_bipartition
 
     assert _REPL_CTX is not None
-    hg, tables, base, remaining, graceful, limited, obs_on = _REPL_CTX
+    hg, tables, base, remaining, graceful, limited, obs_ctx = _REPL_CTX
     config = replace(
         base, seed=seed, budget=_rebuild_budget(remaining, graceful, limited)
     )
     return _call_with_obs(
-        obs_on, lambda: replication_bipartition(hg, config, tables=tables)
+        obs_ctx, lambda: replication_bipartition(hg, config, tables=tables)
     )
 
 
@@ -231,7 +261,7 @@ def parallel_replication_results(
         initializer=_repl_init,
         initargs=(
             hg, ship, remaining, graceful, limited,
-            _parent_obs_enabled(), faults.export_spec(),
+            _parent_obs_context(), faults.export_spec(),
         ),
     ) as ex:
         return _merge_worker_pairs(list(ex.map(_repl_task, seeds)))
@@ -256,28 +286,32 @@ def parallel_best_of_runs_replication(hg, runs: int, base_config, jobs: int):
 # Multilevel V-cycle multi-start
 # ---------------------------------------------------------------------------
 
-_ML_CTX: Optional[Tuple[Any, Any, Any, Optional[float], bool, bool, bool]] = None
+_ML_CTX: Optional[
+    Tuple[Any, Any, Any, Optional[float], bool, bool, Optional[Dict[str, Any]]]
+] = None
 
 
-def _ml_init(hg, base_config, remaining, graceful, limited, obs_on, fault_spec) -> None:
+def _ml_init(
+    hg, base_config, remaining, graceful, limited, obs_ctx, fault_spec
+) -> None:
     from repro.hypergraph.compact import CompactHypergraph
 
     global _ML_CTX
     faults.install_spec(fault_spec)
     compact = CompactHypergraph.from_hypergraph(hg)
-    _ML_CTX = (hg, compact, base_config, remaining, graceful, limited, obs_on)
+    _ML_CTX = (hg, compact, base_config, remaining, graceful, limited, obs_ctx)
 
 
 def _ml_task(seed: int):
     from repro.partition.multilevel import vcycle_bipartition
 
     assert _ML_CTX is not None
-    hg, compact, base, remaining, graceful, limited, obs_on = _ML_CTX
+    hg, compact, base, remaining, graceful, limited, obs_ctx = _ML_CTX
     config = replace(
         base, seed=seed, budget=_rebuild_budget(remaining, graceful, limited)
     )
     return _call_with_obs(
-        obs_on, lambda: vcycle_bipartition(hg, config, compact=compact)
+        obs_ctx, lambda: vcycle_bipartition(hg, config, compact=compact)
     )
 
 
@@ -294,7 +328,7 @@ def parallel_multilevel_results(
         initializer=_ml_init,
         initargs=(
             hg, ship, remaining, graceful, limited,
-            _parent_obs_enabled(), faults.export_spec(),
+            _parent_obs_context(), faults.export_spec(),
         ),
     ) as ex:
         return _merge_worker_pairs(list(ex.map(_ml_task, seeds)))
@@ -305,12 +339,15 @@ def parallel_multilevel_results(
 # ---------------------------------------------------------------------------
 
 _CARVE_CTX: Optional[
-    Tuple[Any, Any, frozenset, Dict[str, Any], Any, Optional[float], bool, bool, bool]
+    Tuple[
+        Any, Any, frozenset, Dict[str, Any], Any,
+        Optional[float], bool, bool, Optional[Dict[str, Any]],
+    ]
 ] = None
 
 
 def _carve_init(
-    hg, pseudo, proto, ml_spec, remaining, graceful, limited, obs_on, fault_spec
+    hg, pseudo, proto, ml_spec, remaining, graceful, limited, obs_ctx, fault_spec
 ) -> None:
     from repro.partition.fm_replication import ReplicationTables
 
@@ -340,7 +377,7 @@ def _carve_init(
         )
     _CARVE_CTX = (
         hg, tables, frozenset(pseudo), proto, hierarchy,
-        remaining, graceful, limited, obs_on,
+        remaining, graceful, limited, obs_ctx,
     )
 
 
@@ -351,7 +388,7 @@ def _carve_task(task: Tuple[int, int, int, int]):
     assert _CARVE_CTX is not None
     (
         hg, tables, pseudo, proto, hierarchy,
-        remaining, graceful, limited, obs_on,
+        remaining, graceful, limited, obs_ctx,
     ) = _CARVE_CTX
     device_index, seed, lo0, hi0 = task
     config = ReplicationConfig(
@@ -369,26 +406,26 @@ def _carve_task(task: Tuple[int, int, int, int]):
         engine.run()
         return _engine_outcome(engine, pseudo, device_index)
 
-    return _call_with_obs(obs_on, run)
+    return _call_with_obs(obs_ctx, run)
 
 
 # ---------------------------------------------------------------------------
 # Batch job fan-out
 # ---------------------------------------------------------------------------
 
-_BATCH_CTX: Optional[Tuple[Optional[str], str, bool]] = None
+_BATCH_CTX: Optional[Tuple[Optional[str], str, Optional[Dict[str, Any]]]] = None
 
 
 def _batch_init(
     cache_dir: Optional[str],
     cache_policy: str,
-    obs_on: bool,
+    obs_ctx: Optional[Dict[str, Any]],
     fault_spec: Optional[List[Dict[str, Any]]] = None,
     cluster_dir: Optional[str] = None,
 ) -> None:
     global _BATCH_CTX
     faults.install_spec(fault_spec)
-    _BATCH_CTX = (cache_dir, cache_policy, obs_on)
+    _BATCH_CTX = (cache_dir, cache_policy, obs_ctx)
     if cluster_dir:
         # Workers talk straight to the cluster's quorum-replicated cache:
         # true process parallelism with replicated writes, no parent
@@ -407,8 +444,8 @@ def _batch_task(job):
     from repro.batch.worker import execute_job
 
     assert _BATCH_CTX is not None
-    _, policy, obs_on = _BATCH_CTX
-    return _call_with_obs(obs_on, lambda: execute_job(job, cache=policy))
+    _, policy, obs_ctx = _BATCH_CTX
+    return _call_with_obs(obs_ctx, lambda: execute_job(job, cache=policy))
 
 
 class BatchJobPool:
@@ -439,7 +476,7 @@ class BatchJobPool:
             max_workers=resolve_jobs(jobs),
             initializer=_batch_init,
             initargs=(
-                cache_dir, cache_policy, _parent_obs_enabled(),
+                cache_dir, cache_policy, _parent_obs_context(),
                 faults.export_spec(), cluster_dir,
             ),
         )
@@ -489,7 +526,7 @@ class CarveBandPool:
             initializer=_carve_init,
             initargs=(
                 hg, tuple(pseudo), proto, ml_spec, remaining, graceful,
-                budget is not None, _parent_obs_enabled(), faults.export_spec(),
+                budget is not None, _parent_obs_context(), faults.export_spec(),
             ),
         )
 

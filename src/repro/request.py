@@ -23,10 +23,12 @@ Identity vs. execution fields
 -----------------------------
 ``verb``/``circuit``/``scale``/``seed``/``algorithm``/``threshold`` and
 the verb tunables determine solver *output* and therefore feed
-:meth:`~PartitionRequest.config` and the cache key.  ``cache`` and
-``jobs`` only say *how* to execute (memoization policy, worker count);
-they travel in the JSON document but never into the fingerprint --
-``jobs=8`` must hit the entry ``jobs=1`` stored.
+:meth:`~PartitionRequest.config` and the cache key.  ``cache``,
+``jobs`` and ``trace_id`` only say *how* to execute (memoization
+policy, worker count, observability correlation); they travel in the
+JSON document but never into the fingerprint -- ``jobs=8`` must hit the
+entry ``jobs=1`` stored, and a traced request must hit the entry an
+untraced one cached.
 """
 
 from __future__ import annotations
@@ -34,7 +36,7 @@ from __future__ import annotations
 import json
 import math
 import warnings
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field, fields, replace
 from enum import Enum
 from typing import Any, Dict, Optional, Union
 
@@ -259,6 +261,10 @@ class PartitionRequest:
     # -- execution-only fields (never fingerprinted) --------------------
     cache: CachePolicy = CachePolicy.OFF
     jobs: int = 1
+    #: Observability correlation id (``X-Repro-Trace-Id`` on the wire).
+    #: Excluded from equality like ``schema_version``: a traced request
+    #: must memoize and deduplicate exactly like its untraced twin.
+    trace_id: Optional[str] = field(default=None, compare=False)
     schema_version: int = field(default=REQUEST_SCHEMA_VERSION, compare=False)
 
     def __post_init__(self) -> None:
@@ -276,6 +282,11 @@ class PartitionRequest:
             self, "multilevel", MultilevelMode.coerce(self.multilevel)
         )
         object.__setattr__(self, "threshold", parse_threshold(self.threshold))
+        _require(
+            self.trace_id is None
+            or (isinstance(self.trace_id, str) and bool(self.trace_id)),
+            f"trace_id {self.trace_id!r} must be a non-empty string or null",
+        )
 
     # -- identity -------------------------------------------------------
     def config(self, multilevel_active: bool = False) -> Dict[str, Any]:
@@ -361,7 +372,7 @@ class PartitionRequest:
     # -- serialization --------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         """The JSON document form, in stable field order."""
-        return {
+        doc: Dict[str, Any] = {
             "schema": REQUEST_SCHEMA_NAME,
             "v": self.schema_version,
             "verb": self.verb,
@@ -385,6 +396,11 @@ class PartitionRequest:
             "cache": self.cache.value,
             "jobs": self.jobs,
         }
+        if self.trace_id is not None:
+            # Only when set: untraced documents stay byte-identical to
+            # every document minted before trace propagation existed.
+            doc["trace_id"] = self.trace_id
+        return doc
 
     def to_json(self) -> str:
         """One-line JSON with stable field order (wire/ledger format)."""
@@ -457,6 +473,12 @@ class PartitionRequest:
                 max_growth=self.max_growth,
             )
         return out
+
+    def with_trace(self, trace_id: Optional[str]) -> "PartitionRequest":
+        """This request carrying ``trace_id`` (self when already equal)."""
+        if trace_id == self.trace_id:
+            return self
+        return replace(self, trace_id=trace_id)
 
 
 def build_request(

@@ -55,11 +55,13 @@ class ServiceClient:
         path: str,
         body: Optional[Dict[str, Any]] = None,
         ok: tuple = (200, 202),
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> Dict[str, Any]:
         conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             payload = None
             headers = {"X-Client": self.client_id}
+            headers.update(extra_headers or {})
             if body is not None:
                 payload = json.dumps(body).encode("utf-8")
                 headers["Content-Type"] = "application/json"
@@ -82,20 +84,39 @@ class ServiceClient:
     def stats(self) -> Dict[str, Any]:
         return self._request("GET", "/v1/stats")
 
+    def metrics(self) -> str:
+        """The raw ``GET /v1/metrics`` Prometheus exposition text."""
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", "/v1/metrics", headers={"X-Client": self.client_id})
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status != 200:
+                doc = json.loads(raw.decode("utf-8") or "{}")
+                raise ServiceError(response.status, doc)
+            return raw.decode("utf-8")
+        finally:
+            conn.close()
+
     def submit(
         self,
         request: PartitionRequest,
         priority: int = 0,
         client: Optional[str] = None,
+        trace_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Submit a request; ``200`` replies carry the full result
-        (instant cache hit), ``202`` replies carry the queued job id."""
+        (instant cache hit), ``202`` replies carry the queued job id.
+        ``trace_id`` travels as ``X-Repro-Trace-Id`` and names the trace
+        context every server-side record of this job is stamped with
+        (the reply echoes it, server-minted when not supplied)."""
         body = {
             "request": request.to_dict(),
             "priority": priority,
             "client": client or self.client_id,
         }
-        return self._request("POST", "/v1/jobs", body=body)
+        extra = {"X-Repro-Trace-Id": trace_id} if trace_id else None
+        return self._request("POST", "/v1/jobs", body=body, extra_headers=extra)
 
     def jobs(self) -> Dict[str, Any]:
         return self._request("GET", "/v1/jobs")

@@ -76,7 +76,10 @@ class Job:
 
         Built from the request's canonical params, so the worker's
         ``job.to_request()`` round-trips to an equal request and the
-        solve is bit-identical to a direct ``repro.api`` call.
+        solve is bit-identical to a direct ``repro.api`` call.  The
+        request's trace id rides along outside the params (it is never
+        part of the solve identity), so worker-side spans and the ledger
+        record carry the id the service minted at submit.
         """
         return BatchJob(
             job_id=self.job_id,
@@ -85,6 +88,7 @@ class Job:
             seed=self.request.seed,
             params=self.request.params(),
             priority=self.priority,
+            trace_id=self.request.trace_id,
         )
 
     def snapshot(self) -> Dict[str, Any]:
@@ -101,6 +105,8 @@ class Job:
             "events": len(self.events),
             "request": self.request.to_dict(),
         }
+        if self.request.trace_id is not None:
+            doc["trace_id"] = self.request.trace_id
         if self.error is not None:
             doc["error"] = self.error
         return doc

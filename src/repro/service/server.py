@@ -12,11 +12,18 @@ lifecycle events as chunked JSONL or SSE.
 Endpoints (all JSON; the request schema is ``repro-partition-request/1``):
 
 * ``GET  /v1/health`` -- liveness + config;
-* ``GET  /v1/stats``  -- counters, queue depth, per-state job counts;
+* ``GET  /v1/stats``  -- counters, queue depth, per-state job counts,
+  rolling queue-wait and end-to-end latency quantiles;
+* ``GET  /v1/metrics`` -- Prometheus text exposition: service gauges
+  (queue depth, worker utilization, latency quantiles), the lifecycle
+  counters, and -- when the server runs traced -- every registry
+  metric, labeled series included;
 * ``POST /v1/jobs``   -- submit: either a bare request document or
-  ``{"request": {...}, "priority": int, "client": str}``; returns
-  ``200`` with the full result on an instant cache hit, else ``202``
-  with the queued job's id;
+  ``{"request": {...}, "priority": int, "client": str}``; an
+  ``X-Repro-Trace-Id`` header (or a ``trace_id`` on the request
+  document) names the job's trace context, one is minted otherwise;
+  returns ``200`` with the full result on an instant cache hit, else
+  ``202`` with the queued job's id and its ``trace_id``;
 * ``GET  /v1/jobs``           -- list job snapshots;
 * ``GET  /v1/jobs/<id>``      -- one job's status (+ result when done);
 * ``DELETE /v1/jobs/<id>``    -- cancel (queued: guaranteed; running:
@@ -46,6 +53,13 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro import api
 from repro.obs.metrics import get_registry
+from repro.obs.telemetry import (
+    PROMETHEUS_CONTENT_TYPE,
+    QuantileWindow,
+    new_trace_id,
+    prometheus_exposition,
+    series,
+)
 from repro.request import PartitionRequest, RequestError
 from repro.robust.budget import Budget
 from repro.service.jobs import Job, JobQueue, JobTable
@@ -59,6 +73,9 @@ _MAPPED_MEMO_CAP = 8
 
 #: Hot result documents memoized per cache key (O(1) repeat hits).
 _RESULT_MEMO_CAP = 1024
+
+#: Histogram bounds (seconds) for queue-wait / end-to-end job latency.
+LATENCY_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0)
 
 _STATUS_TEXT = {
     200: "OK",
@@ -117,6 +134,10 @@ class PartitionService:
             "rejected": 0,
         }
         self.started_ts = time.time()
+        #: Rolling windows behind the ``/v1/stats`` and ``/v1/metrics``
+        #: latency quantiles (the ``stats`` dict only counts).
+        self.queue_wait = QuantileWindow()
+        self.latency = QuantileWindow()
         self._seq = 0
         self._active = 0
         self._running = False
@@ -227,14 +248,21 @@ class PartitionService:
 
     def _post(self, job: Job, event: str, **fields: Any) -> None:
         """Append a lifecycle event to the job's stream, mirror it to the
-        observability registry, wake stream followers."""
+        observability registry (under the job's trace context), wake
+        stream followers."""
         payload = {"ts": time.time(), "event": event, "job_id": job.job_id}
+        if job.request.trace_id is not None:
+            payload["trace_id"] = job.request.trace_id
         payload.update(fields)
         job.events.append(payload)
         reg = get_registry()
         if reg.enabled:
             name = event if event.startswith("service.") else f"service.{event}"
-            reg.emit_event(name, **{k: v for k, v in payload.items() if k != "event"})
+            fields_out = {
+                k: v for k, v in payload.items() if k not in ("event", "trace_id")
+            }
+            with reg.trace_scope(job.request.trace_id):
+                reg.emit_event(name, **fields_out)
         loop = asyncio.get_running_loop()
         loop.create_task(self._notify())
 
@@ -246,8 +274,14 @@ class PartitionService:
         job.state = state
         job.finished_ts = time.time()
         self.stats[state] = self.stats.get(state, 0) + 1
+        latency = job.finished_ts - job.submitted_ts
+        self.latency.observe(latency)
+        reg = get_registry()
+        if reg.enabled:
+            reg.histogram("service.latency_seconds", LATENCY_BUCKETS).observe(latency)
+            reg.counter(series("service.finished", state=state)).inc()
         self.table.finish(job)
-        self._post(job, f"job.{state}", **fields)
+        self._post(job, f"job.{state}", latency_seconds=latency, **fields)
 
     async def _dispatch_loop(self) -> None:
         while self._running:
@@ -268,7 +302,17 @@ class PartitionService:
         try:
             job.state = "running"
             job.started_ts = time.time()
-            self._post(job, "job.start", worker_pool=self.workers)
+            wait = job.started_ts - job.submitted_ts
+            self.queue_wait.observe(wait)
+            reg = get_registry()
+            if reg.enabled:
+                reg.histogram(
+                    "service.queue_wait_seconds", LATENCY_BUCKETS
+                ).observe(wait)
+            self._post(
+                job, "job.start",
+                worker_pool=self.workers, queue_wait_seconds=wait,
+            )
             job.future = self._pool.submit(job.to_batch_job())
             try:
                 outcome = await loop.run_in_executor(None, self._collect, job.future)
@@ -326,7 +370,10 @@ class PartitionService:
         self.table.add(job)
         self.stats["submitted"] += 1
         self._post(job, "job.queued", client=client, priority=priority)
-        return 202, {"job_id": job.job_id, "state": "queued"}, job
+        payload: Dict[str, Any] = {"job_id": job.job_id, "state": "queued"}
+        if request.trace_id is not None:
+            payload["trace_id"] = request.trace_id
+        return 202, payload, job
 
     # -- HTTP plumbing --------------------------------------------------
 
@@ -391,6 +438,9 @@ class PartitionService:
         if path == "/v1/stats" and method == "GET":
             await _respond(writer, 200, self._stats())
             return
+        if path == "/v1/metrics" and method == "GET":
+            await _respond_text(writer, 200, self._metrics_text())
+            return
         if path == "/v1/jobs":
             if method == "POST":
                 await self._handle_submit(writer, headers, body)
@@ -448,7 +498,35 @@ class PartitionService:
             "active": self._active,
             "states": self.table.counts(),
             "jobs_retained": len(self.table),
+            "queue_wait_seconds": self.queue_wait.summary(),
+            "latency_seconds": self.latency.summary(),
         }
+
+    def _metrics_text(self) -> str:
+        """The ``/v1/metrics`` exposition body.
+
+        Always carries the service-level counters and gauges; when the
+        server runs under an enabled registry the full metric snapshot
+        (trace-labeled counters included) rides along.
+        """
+        reg = get_registry()
+        snapshot: Dict[str, Any] = (
+            reg.snapshot() if reg.enabled
+            else {"counters": {}, "gauges": {}, "histograms": {}}
+        )
+        counters = dict(snapshot.get("counters", {}))
+        for state, value in self.stats.items():
+            counters[series("service.jobs", state=state)] = value
+        snapshot = {**snapshot, "counters": counters}
+        extra: Dict[str, float] = {
+            "service.queue_depth": float(len(self.queue)),
+            "service.active_jobs": float(self._active),
+            "service.worker_utilization": self._active / self.workers,
+            "service.uptime_seconds": time.time() - self.started_ts,
+        }
+        extra.update(self.queue_wait.gauges("service.queue_wait_seconds"))
+        extra.update(self.latency.gauges("service.latency_seconds"))
+        return prometheus_exposition(snapshot, extra_gauges=extra)
 
     def _job_doc(self, job: Job) -> Dict[str, Any]:
         doc = job.snapshot()
@@ -492,6 +570,10 @@ class PartitionService:
         except RequestError as exc:
             await _respond(writer, 400, {"error": str(exc)})
             return
+        # Trace context: the header wins, then a trace_id already on the
+        # request document; every accepted job gets one either way.
+        trace_id = headers.get("x-repro-trace-id") or request.trace_id
+        request = request.with_trace(trace_id or new_trace_id())
         status, payload, job = self._submit_job(request, client, priority)
         loop = asyncio.get_running_loop()
         try:
@@ -594,6 +676,24 @@ async def _respond(
     ]
     for name, value in (extra_headers or {}).items():
         head.append(f"{name}: {value}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
+    await writer.drain()
+
+
+async def _respond_text(
+    writer: asyncio.StreamWriter,
+    status: int,
+    text: str,
+    content_type: str = PROMETHEUS_CONTENT_TYPE,
+) -> None:
+    """A plain-text responder (the JSON one would quote the exposition)."""
+    body = text.encode("utf-8")
+    head = [
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
     writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
     await writer.drain()
 

@@ -9,10 +9,14 @@ actual sockets:
    as a cache hit), and one distinct cold request;
 2. **bit-identity** -- the service's result document must equal, byte
    for byte, ``repro.api.run_request`` replayed on the same cache store;
-3. **clean cancellation** -- with one worker busy, a queued job is
+3. **live telemetry** -- ``GET /v1/metrics`` mid-load must parse as
+   Prometheus text with populated latency quantile gauges and lifecycle
+   counters, and an ``X-Repro-Trace-Id`` submitted with a job must echo
+   through the 202 reply and the job's status document;
+4. **clean cancellation** -- with one worker busy, a queued job is
    cancelled via ``DELETE`` and must finish in state ``cancelled``
    without ever running;
-4. **event stream** -- the done job's JSONL stream replays
+5. **event stream** -- the done job's JSONL stream replays
    ``job.queued -> job.start -> job.done`` and terminates.
 
 Exit code 0 on success; any assertion failure prints the reason and
@@ -29,6 +33,7 @@ import time
 
 from repro import api
 from repro.cache.store import SolutionCache, use_cache
+from repro.obs.telemetry import parse_exposition
 from repro.request import build_request
 from repro.service.client import ServiceClient, ServiceError
 
@@ -110,14 +115,40 @@ def main() -> int:
                 _fail(f"repeat submit should be an instant cache hit, got {hot}")
             print("cache hit served instantly on repeat submission")
 
-            reply_b = client.submit(req_b)
+            reply_b = client.submit(req_b, trace_id="smoketrace01")
+            if reply_b.get("trace_id") != "smoketrace01":
+                _fail(f"submit did not echo X-Repro-Trace-Id: {reply_b}")
             done_b = client.wait(reply_b["job_id"], timeout=300)
             if done_b["state"] != "done":
                 _fail(f"second cold job ended {done_b['state']}")
+            if done_b.get("trace_id") != "smoketrace01":
+                _fail(f"status lost the submitted trace id: {done_b}")
+            print("X-Repro-Trace-Id echoed through submit reply and status")
 
             stats = client.stats()
             if stats["counters"]["instant_hits"] < 1:
                 _fail(f"expected >=1 instant hit, stats={stats['counters']}")
+            if stats["latency_seconds"]["p50"] is None:
+                _fail(f"stats latency quantiles unpopulated: {stats}")
+
+            # Live telemetry: the exposition must parse mid-load and
+            # carry populated latency quantiles + lifecycle counters.
+            try:
+                samples = parse_exposition(client.metrics())
+            except ValueError as exc:
+                _fail(f"/v1/metrics does not parse: {exc}")
+            if "service_queue_depth" not in samples:
+                _fail(f"exposition missing service_queue_depth: {sorted(samples)}")
+            quantiles = [
+                name for name in samples
+                if name.startswith('service_latency_seconds{quantile=')
+            ]
+            if not quantiles:
+                _fail(f"no latency quantile gauges in exposition: {sorted(samples)}")
+            if samples.get('service_jobs_total{state="done"}', 0) < 2:
+                _fail(f"done counter not exposed: {sorted(samples)}")
+            print(f"/v1/metrics parsed: {len(samples)} samples, "
+                  f"{len(quantiles)} latency quantiles")
 
             # 2. Bit-identity vs the direct API on the same store.
             with use_cache(SolutionCache(cache_dir)):
