@@ -73,6 +73,9 @@ from repro.partition.devices import (
     DeviceLibrary,
 )
 from repro.partition.verify import verify_solution
+from repro.robust.budget import ambient_budget
+from repro.robust.budget import cancelled as _job_cancelled
+from repro.robust.errors import DeltaError
 from repro.request import (
     Algorithm,
     CachePolicy,
@@ -319,6 +322,57 @@ def _cache_store_result(
     }
 
 
+def _try_warm_solve(
+    request: PartitionRequest,
+    store: Optional[cache_store.SolutionCache],
+    base_mapped: MappedNetlist,
+    mapped: MappedNetlist,
+    dirty: Any,
+    config: Dict[str, Any],
+) -> tuple:
+    """Attempt an incremental warm-start solve for a delta request.
+
+    Returns ``(solution, warm_info)``; ``solution`` is ``None`` when no
+    usable prior exists or the repair declined (``warm_info["reason"]``
+    says why) and the caller falls back to the cold path.  The prior is
+    the entry named by ``request.warm_start`` (when it is an explicit
+    key) or the cache's nearest ancestor by *base* netlist hash --
+    warm-starting always needs the cache, so ``cache="off"`` requests
+    solve cold regardless of ``warm_start``.
+    """
+    from repro.partition.incremental import IncrementalConfig, incremental_partition
+
+    if store is None:
+        return None, {"mode": "cold", "reason": "cache disabled"}
+    explicit = request.warm_start not in (None, "auto")
+    if explicit:
+        entry = store.get(request.warm_start)
+        miss = f"warm-start key {request.warm_start!r} not in cache"
+    else:
+        entry = cache_store.nearest_ancestor(
+            store,
+            obs_ledger.netlist_fingerprint(base_mapped),
+            config_fp=obs_ledger.config_fingerprint(obs_ledger._jsonable(config)),
+            seed=request.seed,
+        )
+        miss = "no cached ancestor for the base netlist"
+    if entry is None or entry.get("kind") != "partition":
+        return None, {"mode": "cold", "reason": miss}
+    try:
+        previous = cache_codec.decode_solution(entry["solution"])
+    except cache_codec.CacheDecodeError:
+        return None, {"mode": "cold", "reason": "ancestor entry undecodable"}
+    solution, info = incremental_partition(
+        mapped,
+        previous,
+        dirty,
+        IncrementalConfig(seed=request.seed, max_passes=request.max_passes),
+    )
+    info["ancestor_key"] = entry.get("key")
+    info["ancestor_elapsed"] = entry.get("elapsed_seconds")
+    return solution, info
+
+
 def load(
     circuit: Union[str, Netlist],
     scale: float = 1.0,
@@ -455,6 +509,22 @@ def _execute_request(
         scale=request.scale,
         seed=request.mapping_seed,
     ).solution
+    # Incremental front door: apply a carried ECO delta before anything
+    # that depends on the netlist (multilevel resolution, cache identity,
+    # the solve itself).  An empty delta leaves ``mapped`` untouched, so
+    # its key equals the base request's key -- a pure cache hit.
+    base_mapped = mapped
+    dirty = None
+    if request.delta is not None:
+        if request.delta.base is not None:
+            live = obs_ledger.netlist_fingerprint(base_mapped)
+            if request.delta.base != live:
+                raise DeltaError(
+                    f"delta was computed against netlist "
+                    f"{request.delta.base[:12]}..., but the live netlist "
+                    f"is {live[:12]}..."
+                )
+        mapped, dirty = request.apply_delta(base_mapped)
     use_ml = request.resolve_multilevel(mapped.n_cells)
     # The request's config() is byte-compatible with the dicts the verbs
     # built inline pre-redesign, so fingerprints and cache keys carry over.
@@ -473,6 +543,7 @@ def _execute_request(
         if request.library != XC3000_LIBRARY.name:
             library = _bundled_library(request.library)
     log: Optional[RunLog] = None
+    warm_info: Optional[Dict[str, Any]] = None
     wants_runner = _wants_runner(
         request.deadline, request.max_retries, request.fallback
     )
@@ -504,11 +575,23 @@ def _execute_request(
                     balance_tolerance=request.balance_tolerance,
                     max_passes=request.max_passes,
                     max_growth=request.max_growth,
+                    budget=ambient_budget(),
                     jobs=n_jobs,
                     multilevel=use_ml,
                 )
         else:
-            if wants_runner:
+            solution = None
+            if (
+                dirty is not None
+                and not wants_runner
+                and (request.warm_start or "auto") != "off"
+            ):
+                solution, warm_info = _try_warm_solve(
+                    request, store, base_mapped, mapped, dirty, config
+                )
+            if solution is not None:
+                pass  # warm repair succeeded; skip the cold solve
+            elif wants_runner:
                 outcome = _make_runner(
                     request.deadline, request.max_retries, request.fallback
                 ).kway(
@@ -533,12 +616,35 @@ def _execute_request(
                     seeds_per_carve=request.seeds_per_carve,
                     algorithm=request.algorithm.value,
                     devices_per_carve=request.devices_per_carve,
+                    budget=ambient_budget(),
                     jobs=n_jobs,
                     multilevel=request.multilevel.tri,
                 )
     elapsed = perf_counter() - start
+    if warm_info is not None and warm_info.get("mode") == "warm":
+        prev_elapsed = warm_info.get("ancestor_elapsed")
+        if isinstance(prev_elapsed, (int, float)) and elapsed > 0:
+            warm_info["speedup"] = round(float(prev_elapsed) / elapsed, 3)
+        reg = get_registry()
+        if reg.enabled:
+            # Counters are integers; the exact ratio rides the event.
+            reg.counter("incr.warm_speedup").inc(
+                max(1, round(float(warm_info.get("speedup", 1.0))))
+            )
+            reg.emit_event(
+                "incr.warm",
+                circuit=mapped.name,
+                dirty_cells=int(warm_info.get("dirty_cells", 0)),
+                speedup=float(warm_info.get("speedup", 0.0)),
+                ancestor=str(warm_info.get("ancestor_key", "")),
+            )
     cache_info = None
-    if store is not None:
+    if store is not None and _job_cancelled():
+        # A cancelled solve wound down early: whatever it returned is
+        # truncated, and memoizing it under the canonical key would
+        # poison the cache for every future asker of the same request.
+        cache_info = {"status": "skipped", "reason": "cancelled"}
+    elif store is not None:
         cache_info = _cache_store_result(
             kind,
             policy.value,
@@ -550,6 +656,8 @@ def _execute_request(
             solution,
             elapsed,
         )
+        if warm_info is not None:
+            cache_info["warm"] = warm_info
     record = None
     if ledger is not None:
         quality = (
@@ -604,7 +712,11 @@ def cached_result(
         mapped = map(
             request.circuit, scale=request.scale, seed=request.mapping_seed
         ).solution
+    # ``mapped`` is the *base* netlist (the service memoizes it by
+    # circuit x scale x mapping-seed); a carried delta applies here so
+    # the key and the verify target are both the post-delta netlist.
     key = request.cache_key(mapped)
+    mapped, _ = request.apply_delta(mapped)
     reg = get_registry()
     with reg.trace_scope(request.trace_id):
         hit = _cache_try_hit(request.verb, store, key, mapped)
@@ -711,6 +823,8 @@ def partition(
     fallback: Optional[bool] = None,
     cache: Union[CachePolicy, str] = "off",
     multilevel: Union[MultilevelMode, str, bool, None] = None,
+    delta: Any = None,
+    warm_start: Optional[str] = None,
 ) -> RunResult:
     """Experiment 2: k-way partitioning into heterogeneous devices.
 
@@ -746,6 +860,16 @@ def partition(
     skips the solve and the ledger append, and sets ``cache_info``.
     ``"refresh"`` recomputes and overwrites the entry; ``"off"``
     (default) bypasses the cache entirely.
+
+    ``delta`` (a :class:`~repro.techmap.delta.NetlistDelta` or its
+    document form) turns the call into an incremental re-solve: the
+    delta applies to the mapped netlist first, identity becomes the
+    post-delta netlist, and -- with the cache enabled -- the solve
+    warm-starts from the nearest cached ancestor, repairing only the
+    dirty region before falling back to a cold solve.  ``warm_start``
+    tunes that: ``"auto"``/``None`` picks the ancestor automatically,
+    ``"off"`` forces cold, any other string is an explicit prior cache
+    key.  See ``docs/INCREMENTAL.md``.
     """
     if isinstance(circuit, PartitionRequest):
         return run_request(circuit, library=library)
@@ -768,6 +892,8 @@ def partition(
         fallback=fallback,
         cache=cache,
         multilevel=multilevel,
+        delta=delta,
+        warm_start=warm_start,
     )
     return run_request(
         request,

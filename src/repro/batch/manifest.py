@@ -107,6 +107,11 @@ class BatchJob:
     #: jobs).  Execution metadata only: never part of the job identity
     #: used for dedupe/caching (see ``repro.batch.scheduler.job_identity``).
     trace_id: Optional[str] = None
+    #: Sentinel-file path for mid-solve cancellation (service jobs).
+    #: Execution metadata like ``trace_id``: the pool worker polls it
+    #: through :class:`repro.robust.budget.CancelFlag` and winds down
+    #: gracefully when the submitting side creates the file.
+    cancel_path: Optional[str] = None
 
     @property
     def netlist_id(self) -> tuple:

@@ -303,6 +303,50 @@ class SolutionCache:
         return evicted
 
 
+def nearest_ancestor(
+    store: "SolutionCache",
+    netlist_hash: str,
+    config_fp: Optional[str] = None,
+    seed: Optional[int] = None,
+    kind: str = "partition",
+) -> Optional[Dict[str, Any]]:
+    """Best prior entry to warm-start from for a netlist with this hash.
+
+    Exact-key lookup answers "have I solved *this* request"; this scan
+    answers "have I solved this *netlist* before, under any config" --
+    the index the incremental solver consults to find the pre-ECO
+    solution when the caller did not pass an explicit warm-start key.
+
+    Candidates are ranked by how closely their identity matches:
+    same (hash, config fingerprint, seed) beats same (hash, config
+    fingerprint) beats same hash alone; ties break on recency (mtime).
+    Returns the winning entry document, or ``None`` when no entry of
+    ``kind`` with that netlist hash exists.  Reads are as defensive as
+    :meth:`SolutionCache.get` -- unreadable entries are skipped, never
+    raised (but also not deleted: this is a scan, not a lookup).
+    """
+    best: Optional[Tuple[Tuple[int, float], Dict[str, Any]]] = None
+    for _, path, _, mtime in store.entries():
+        try:
+            with open(path, encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, json.JSONDecodeError, ValueError):
+            continue
+        if validate_entry(entry):
+            continue
+        if entry.get("kind") != kind or entry.get("netlist_hash") != netlist_hash:
+            continue
+        tier = 0
+        if config_fp is not None and entry.get("config_fingerprint") == config_fp:
+            tier += 2
+            if seed is not None and entry.get("seed") == seed:
+                tier += 1
+        rank = (tier, mtime)
+        if best is None or rank > best[0]:
+            best = (rank, entry)
+    return best[1] if best is not None else None
+
+
 # ---------------------------------------------------------------------------
 # Process-local enablement (mirrors repro.obs.ledger)
 # ---------------------------------------------------------------------------
@@ -365,6 +409,7 @@ __all__ = [
     "cache_key",
     "get_cache",
     "key_for_request",
+    "nearest_ancestor",
     "resolve_cache",
     "set_cache",
     "use_cache",

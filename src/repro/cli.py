@@ -36,7 +36,7 @@ import contextlib
 import json
 import os
 import sys
-from typing import Iterator, List, Optional, Tuple
+from typing import Any, Iterator, List, Optional, Tuple
 
 from repro.core.flow import bipartition_experiment, kway_experiment
 from repro.netlist.bench_io import load_bench
@@ -416,6 +416,13 @@ def _run_partition(args: argparse.Namespace, ledger=None, events=()) -> int:
         raise SystemExit(
             f"threshold {args.threshold!r} is not a number or 'inf'"
         ) from exc
+    delta_doc = None
+    if getattr(args, "delta", None):
+        try:
+            with open(args.delta, "r", encoding="utf-8") as handle:
+                delta_doc = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read delta {args.delta!r}: {exc}") from exc
     try:
         request = build_request(
             "partition",
@@ -426,9 +433,22 @@ def _run_partition(args: argparse.Namespace, ledger=None, events=()) -> int:
             n_solutions=args.solutions,
             multilevel=args.multilevel,
             jobs=args.jobs,
+            delta=delta_doc,
+            warm_start=getattr(args, "warm_start", None),
         )
     except RequestError as exc:
         raise SystemExit(str(exc)) from exc
+    if (
+        delta_doc is not None
+        or request.warm_start is not None
+        or getattr(args, "cache", "off") != "off"
+    ):
+        # ECO / cached runs route through the one canonical execution
+        # path (api.run_request): delta application, warm-start repair
+        # and verify-before-trust cache hits all live there, and the
+        # result document is bit-identical to a service or batch run of
+        # the same request.
+        return _run_partition_request(args, request)
     netlist = _resolve_circuit(request.circuit, request.scale, request.seed)
     mapped = technology_map(netlist)
     threshold = request.threshold
@@ -534,6 +554,99 @@ def _run_partition(args: argparse.Namespace, ledger=None, events=()) -> int:
             f"replicated {100 * report.replicated_fraction:.1f}% "
             f"feasible={report.feasible} ({report.elapsed_seconds:.1f}s)"
         )
+    return 0
+
+
+def _run_partition_request(args: argparse.Namespace, request) -> int:
+    """Execute a partition request through :func:`repro.api.run_request`.
+
+    Used whenever the invocation carries ECO state (``--delta`` /
+    ``--warm-start``) or a cache policy: those paths need the canonical
+    execution flow, not the CLI's direct solver calls.
+    """
+    from repro import api
+    from repro.robust.errors import ReproError
+
+    cache = getattr(args, "cache", "off") or "off"
+
+    def _go() -> Any:
+        return api.run_request(request, cache=cache)
+
+    try:
+        if getattr(args, "cache_dir", None):
+            from repro.cache.store import SolutionCache, use_cache
+
+            with use_cache(SolutionCache(args.cache_dir)):
+                result = _go()
+        else:
+            result = _go()
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True, default=str))
+        return 0 if result.ok else 1
+    solution = result.solution
+    cache_info = result.cache_info or {}
+    warm = cache_info.get("warm") or {}
+    line = (
+        f"{request.circuit}: k={len(solution.blocks)} "
+        f"cost={solution.cost.total_cost:.0f} feasible={solution.feasible} "
+        f"({result.elapsed_seconds:.2f}s)"
+    )
+    if cache_info:
+        line += f" cache={cache_info.get('status')}"
+    if warm.get("mode") == "warm":
+        line += (
+            f" warm-start: {warm.get('dirty_cells')} dirty cells, "
+            f"{warm.get('speedup', 0.0):.1f}x vs ancestor"
+        )
+    elif warm:
+        line += f" warm-start declined: {warm.get('reason')}"
+    print(line)
+    return 0 if result.ok else 1
+
+
+def _cmd_delta(args: argparse.Namespace) -> int:
+    from repro.obs.ledger import netlist_fingerprint
+    from repro.robust.errors import DeltaError
+    from repro.techmap.delta import NetlistDelta, diff_mapped, seeded_delta
+
+    if args.delta_cmd == "diff":
+        old = technology_map(_resolve_circuit(args.old, args.scale, args.seed))
+        new = technology_map(_resolve_circuit(args.new, args.scale, args.seed))
+        try:
+            delta = diff_mapped(old, new, base=netlist_fingerprint(old))
+        except DeltaError as exc:
+            raise SystemExit(str(exc)) from exc
+        source = old
+    else:  # gen
+        source = technology_map(
+            _resolve_circuit(args.circuit, args.scale, args.seed)
+        )
+        delta = seeded_delta(
+            source,
+            fraction=args.fraction,
+            seed=args.delta_seed,
+            base=netlist_fingerprint(source),
+        )
+    try:
+        _, dirty = delta.apply(source)
+    except DeltaError as exc:
+        raise SystemExit(f"delta does not apply: {exc}") from exc
+    doc = delta.to_dict()
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    print(
+        f"{len(delta.ops)} ops -> {len(dirty.cells)} dirty cells "
+        f"({100 * dirty.fraction:.1f}% of {dirty.n_cells} post-delta cells), "
+        f"{len(dirty.touched_nets)} touched nets"
+        + (f"; written to {args.out}" if args.out else ""),
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -1229,11 +1342,79 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the independent solution checker; non-zero exit on violations",
     )
+    p_kw.add_argument(
+        "--delta",
+        metavar="PATH",
+        default=None,
+        help="apply an ECO delta document (repro-netlist-delta/1) to the "
+        "mapped netlist before solving; enables warm-start repair from a "
+        "cached ancestor solve",
+    )
+    p_kw.add_argument(
+        "--warm-start",
+        dest="warm_start",
+        metavar="KEY",
+        default=None,
+        help="warm-start policy for delta solves: a cache key to seed from, "
+        "'auto' (nearest cached ancestor, the default), or 'off'",
+    )
+    p_kw.add_argument(
+        "--cache",
+        choices=("off", "use", "refresh"),
+        default="off",
+        help="solution cache policy (default off; 'use' is required for "
+        "warm-start repair)",
+    )
+    p_kw.add_argument(
+        "--cache-dir",
+        dest="cache_dir",
+        metavar="DIR",
+        default=None,
+        help="cache directory (default: REPRO_CACHE or the user cache dir)",
+    )
     _add_multilevel_arg(p_kw)
     _add_jobs_arg(p_kw)
     _add_resilience_args(p_kw)
     _add_obs_args(p_kw)
     p_kw.set_defaults(func=_cmd_partition)
+
+    p_delta = sub.add_parser(
+        "delta",
+        help="ECO netlist deltas: diff two circuits or generate a drill edit",
+    )
+    delta_sub = p_delta.add_subparsers(dest="delta_cmd", required=True)
+    p_dd = delta_sub.add_parser(
+        "diff",
+        help="diff OLD into NEW as a repro-netlist-delta/1 document",
+    )
+    p_dd.add_argument("old", help="benchmark name or .bench file (pre-ECO)")
+    p_dd.add_argument("new", help="benchmark name or .bench file (post-ECO)")
+    p_dd.add_argument("--scale", type=float, default=1.0)
+    p_dd.add_argument("--seed", type=int, default=1994, help="mapping seed")
+    p_dd.add_argument("--out", metavar="PATH", default=None)
+    p_dd.set_defaults(func=_cmd_delta)
+    p_dg = delta_sub.add_parser(
+        "gen",
+        help="generate a deterministic seeded ECO edit (CI / bench drills)",
+    )
+    p_dg.add_argument("circuit", help="benchmark name or .bench file")
+    p_dg.add_argument("--scale", type=float, default=1.0)
+    p_dg.add_argument("--seed", type=int, default=1994, help="mapping seed")
+    p_dg.add_argument(
+        "--fraction",
+        type=float,
+        default=0.01,
+        help="fraction of cells to edit (default 0.01)",
+    )
+    p_dg.add_argument(
+        "--delta-seed",
+        dest="delta_seed",
+        type=int,
+        default=0,
+        help="seed for the edit generator itself",
+    )
+    p_dg.add_argument("--out", metavar="PATH", default=None)
+    p_dg.set_defaults(func=_cmd_delta)
 
     p_an = sub.add_parser(
         "analyze",

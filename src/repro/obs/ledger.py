@@ -265,7 +265,10 @@ def distill_convergence(events: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
     * ``multilevel`` -- the V-cycle profile (``ml.level`` events: level
       index, cells, nets, cut after refinement, match rate), capped at
       :data:`MAX_ML_LEVELS` with ``multilevel_dropped`` counting the
-      overflow.
+      overflow;
+    * ``incremental`` -- present only for warm incremental re-solves
+      (``incr.warm`` event: dirty cells, warm speedup, ancestor key), so
+      ledger records distinguish warm from cold runs.
     """
     carves: List[Dict[str, Any]] = []
     pass_series: List[Dict[str, Any]] = []
@@ -273,6 +276,7 @@ def distill_convergence(events: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
     runner_attempts: List[Dict[str, Any]] = []
     ml_levels: List[Dict[str, Any]] = []
     ml_dropped = 0
+    incremental: Optional[Dict[str, Any]] = None
     for event in events:
         if event.get("kind") != "event":
             continue
@@ -323,6 +327,12 @@ def distill_convergence(events: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
                     "outcome": fields.get("outcome"),
                 }
             )
+        elif name == "incr.warm":
+            incremental = {
+                "dirty_cells": fields.get("dirty_cells"),
+                "speedup": fields.get("speedup"),
+                "ancestor": fields.get("ancestor"),
+            }
         elif name == "ml.level":
             if len(ml_levels) < MAX_ML_LEVELS:
                 ml_levels.append(
@@ -345,6 +355,10 @@ def distill_convergence(events: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
         out["multilevel"] = ml_levels
         if ml_dropped:
             out["multilevel_dropped"] = ml_dropped
+    if incremental is not None:
+        # Marks the record as a warm incremental re-solve (ledger diffs
+        # can tell warm from cold without consulting the cache).
+        out["incremental"] = incremental
     return out
 
 

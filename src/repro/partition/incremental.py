@@ -1,0 +1,426 @@
+"""Warm-start repartitioning over an ECO dirty region.
+
+Given the previous :class:`~repro.partition.kway.KWaySolution` and the
+dirty region of an applied :class:`~repro.techmap.delta.NetlistDelta`,
+:func:`incremental_partition` repairs the old solution instead of
+re-carving from scratch:
+
+1. **Projection** -- every instance whose original cell is outside the
+   dirty region is kept exactly where the previous solution placed it.
+   Dirty originals drop *all* their instances together, which is also
+   the replication repair: a replica whose source cell changed is stale
+   by definition, so the collapsed cell re-enters as a single whole
+   instance and later cold solves may re-replicate it.
+2. **Placement** -- uncovered cells (dirty + delta-added) are placed
+   greedily on the block sharing the most nets with them, respecting
+   device CLB capacity.  Primary I/O pads stay on their previous block
+   (IOBs are fixed terminals); pads of newly-live nets join a block
+   already touching the net, pads of now-dead primary inputs are
+   dropped.
+3. **Boundary repair** -- for every pair of blocks sharing a touched
+   net, a pair-local FM (:func:`~repro.partition.fm.fm_bipartition`
+   with ``boundary_refine=True``) re-balances the *dirty* instances
+   only; everything untouched is hard-fixed and nets leaving the pair
+   are pinned permanently cut by per-side pseudo terminals, so the
+   repair can only improve the pair's contribution to the global cut.
+
+The repaired solution is re-finalized with the cold path's own global
+terminal accounting (:func:`repro.partition.kway._finalize`), so eq.1 /
+eq.2 costs and the ``replicated_cells`` set are computed by the same
+code as a cold solve and the result satisfies every invariant of
+:func:`repro.partition.verify.verify_solution`.
+
+The function *declines* rather than degrades: when the dirty region is
+too large, a cell cannot be placed, or the repaired cost leaves the
+tolerance band around the previous cost, it returns ``(None, info)``
+and the caller runs a full cold solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.hypergraph.hypergraph import Hypergraph, NodeKind
+from repro.obs.metrics import get_registry
+from repro.obs.trace import NULL_SPAN
+from repro.partition.fm import FMConfig, fm_bipartition
+from repro.partition.kway import BlockResult, KWaySolution, _finalize, _initial_state
+from repro.robust.budget import Budget
+from repro.techmap.delta import DirtyRegion
+from repro.techmap.mapped import MappedNetlist
+
+#: Dirty fraction above which repair is declined in favour of a cold
+#: solve.  Past this point the "unperturbed majority" assumption behind
+#: projection no longer holds and repair quality falls off fast.
+DEFAULT_MAX_DIRTY_FRACTION = 0.30
+
+#: Warm cost tolerance band: the repaired solution may cost at most
+#: ``(1 + tolerance)`` times the previous solution's eq.1 cost (with the
+#: eq.2 interconnect tie-breaker checked against the same band).
+DEFAULT_COST_TOLERANCE = 0.25
+
+
+@dataclass
+class IncrementalConfig:
+    """Knobs for one warm-start repair."""
+
+    seed: int = 0
+    max_passes: int = 16
+    max_dirty_fraction: float = DEFAULT_MAX_DIRTY_FRACTION
+    cost_tolerance: float = DEFAULT_COST_TOLERANCE
+    budget: Optional[Budget] = None
+
+
+@dataclass
+class _WorkBlock:
+    """Mutable view of one block during repair."""
+
+    index: int
+    device: object  # Device
+    names: List[str] = field(default_factory=list)
+    originals: List[str] = field(default_factory=list)
+    inputs: List[List[str]] = field(default_factory=list)
+    outputs: List[List[str]] = field(default_factory=list)
+    pads: List[str] = field(default_factory=list)
+    pad_nets: Set[str] = field(default_factory=set)
+
+    @property
+    def n_clbs(self) -> int:
+        return len(self.names)
+
+    def nets(self) -> Set[str]:
+        acc: Set[str] = set(self.pad_nets)
+        for pins in self.inputs:
+            acc.update(pins)
+        for pins in self.outputs:
+            acc.update(pins)
+        return acc
+
+    def add(self, name: str, original: str,
+            pins_in: Sequence[str], pins_out: Sequence[str]) -> None:
+        self.names.append(name)
+        self.originals.append(original)
+        self.inputs.append(list(pins_in))
+        self.outputs.append(list(pins_out))
+
+    def pop(self, i: int) -> Tuple[str, str, List[str], List[str]]:
+        return (
+            self.names.pop(i),
+            self.originals.pop(i),
+            self.inputs.pop(i),
+            self.outputs.pop(i),
+        )
+
+
+def _decline(info: Dict[str, object], reason: str
+             ) -> Tuple[None, Dict[str, object]]:
+    info["mode"] = "cold"
+    info["reason"] = reason
+    return None, info
+
+
+def incremental_partition(
+    mapped: MappedNetlist,
+    previous: KWaySolution,
+    dirty: DirtyRegion,
+    config: Optional[IncrementalConfig] = None,
+) -> Tuple[Optional[KWaySolution], Dict[str, object]]:
+    """Repair ``previous`` for the post-delta netlist ``mapped``.
+
+    Returns ``(solution, info)`` on success, ``(None, info)`` when the
+    repair is declined and the caller should cold-solve;
+    ``info["reason"]`` says why.
+    """
+    config = config or IncrementalConfig()
+    info: Dict[str, object] = {
+        "dirty_cells": len(dirty.cells),
+        "dirty_fraction": round(dirty.fraction, 6),
+    }
+    if dirty.fraction > config.max_dirty_fraction:
+        return _decline(
+            info,
+            f"dirty fraction {dirty.fraction:.3f} exceeds "
+            f"{config.max_dirty_fraction:.3f}",
+        )
+    if previous.truncated or not previous.blocks:
+        return _decline(info, "previous solution truncated or empty")
+
+    # Fresh working state of the *new* netlist: pin lists filtered to
+    # live nets, exactly as the cold carver builds them.
+    cells, terms = _initial_state(mapped)
+    vcell_of = {c.name: c for c in cells}
+
+    # -- 1. projection: keep every instance of every clean original -----
+    work: List[_WorkBlock] = []
+    covered: Set[str] = set()
+    prev_home: Dict[str, int] = {}
+    for position, block in enumerate(previous.blocks):
+        wb = _WorkBlock(index=block.index, device=block.device)
+        for name, orig, pins_in, pins_out in zip(
+            block.cells, block.originals, block.cell_inputs, block.cell_outputs
+        ):
+            if orig in vcell_of and orig not in dirty.cells:
+                wb.add(name, orig, pins_in, pins_out)
+                covered.add(orig)
+            else:
+                prev_home.setdefault(orig, position)
+        work.append(wb)
+
+    # Pads: previous placement wins for every still-required pad.
+    required = {t.name: t.net for t in terms}
+    prev_pad_block = {
+        pad: block.index for block in previous.blocks for pad in block.pads
+    }
+    placed_pads: Set[str] = set()
+    for pad, net in required.items():
+        home = prev_pad_block.get(pad)
+        if home is not None:
+            work[home].pads.append(pad)
+            work[home].pad_nets.add(net)
+            placed_pads.add(pad)
+
+    # -- 2. placement of uncovered cells --------------------------------
+    # A dirty cell that existed before goes back to its previous home
+    # when there is room: the previous solution was feasible (IOBs
+    # included) with it there, so restoring the old structure keeps the
+    # terminal pressure of a small edit near zero.  Cells with no
+    # previous home (delta-added) fall back to the greediest block by
+    # shared nets.
+    block_nets = [wb.nets() for wb in work]
+    uncovered = [c for c in cells if c.name not in covered]
+    for vc in uncovered:
+        pins = set(vc.inputs) | set(vc.outputs)
+        home = prev_home.get(vc.name)
+        if home is not None and work[home].n_clbs < work[home].device.max_clbs:
+            choice = home
+        else:
+            best: Optional[Tuple[Tuple[int, int], int]] = None
+            for wb, nets in zip(work, block_nets):
+                if wb.n_clbs >= wb.device.max_clbs:
+                    continue
+                key = (-len(pins & nets), wb.index)
+                if best is None or key < best[0]:
+                    best = (key, wb.index)
+            if best is None:
+                return _decline(info, "no block has CLB capacity left")
+            choice = best[1]
+        target = work[choice]
+        target.add(vc.name, vc.name, vc.inputs, vc.outputs)
+        block_nets[choice].update(pins)
+
+    # Pads that gained a net (e.g. a rewire made a dead primary input
+    # live): join the lowest-index block already touching the net.
+    for pad, net in required.items():
+        if pad in placed_pads:
+            continue
+        home = next(
+            (wb.index for wb, nets in zip(work, block_nets) if net in nets), 0
+        )
+        work[home].pads.append(pad)
+        work[home].pad_nets.add(net)
+        block_nets[home].add(net)
+
+    # Blocks emptied by the delta (every instance dirty, no pads) vanish.
+    work = [wb for wb in work if wb.names or wb.pads]
+    for i, wb in enumerate(work):
+        wb.index = i
+
+    # -- 3. pair-local boundary FM over the dirty frontier --------------
+    reg = get_registry()
+    pairs = _dirty_pairs(work, dirty.touched_nets)
+    moves = 0
+    span = (
+        reg.span("incr.refine", pairs=len(pairs),
+                 dirty_cells=len(dirty.cells))
+        if reg.enabled
+        else NULL_SPAN
+    )
+    with span:
+        for i, j in pairs:
+            if config.budget is not None and config.budget.expired:
+                break
+            moves += _refine_pair(work, i, j, dirty.cells, config)
+    info["pairs_refined"] = len(pairs)
+    info["boundary_moves"] = moves
+
+    # -- 4. finalize with the cold path's global accounting -------------
+    blocks = [
+        BlockResult(
+            index=wb.index,
+            device=wb.device,  # type: ignore[arg-type]
+            cells=list(wb.names),
+            originals=list(wb.originals),
+            pads=list(wb.pads),
+            nets=wb.nets(),
+            pad_nets=set(wb.pad_nets),
+            cell_inputs=[list(p) for p in wb.inputs],
+            cell_outputs=[list(p) for p in wb.outputs],
+        )
+        for wb in work
+    ]
+    solution = _finalize(mapped.name, blocks, len(cells), truncated=False)
+
+    if previous.feasible and not solution.feasible:
+        # Most commonly IOB overflow: the cold carver packs blocks to
+        # the terminal limit (eq.2 maximizes IOB utilization), so on a
+        # saturated design even a small edit's newly-cut nets push a
+        # block past its device's IOB count -- and only a re-carve can
+        # relieve that.  Name the first violated constraint so callers
+        # can see why the warm path bailed.
+        detail = "constraint violated"
+        for usage in solution.cost.blocks:
+            if usage.clbs > usage.device.max_clbs:
+                detail = (
+                    f"{usage.device.name} over CLB capacity "
+                    f"({usage.clbs} > {usage.device.max_clbs})"
+                )
+                break
+            if usage.clbs < usage.device.min_clbs:
+                detail = (
+                    f"{usage.device.name} under CLB utilization floor "
+                    f"({usage.clbs} < {usage.device.min_clbs})"
+                )
+                break
+            if usage.terminals > usage.device.terminals:
+                detail = (
+                    f"{usage.device.name} over IOB capacity "
+                    f"({usage.terminals} > {usage.device.terminals})"
+                )
+                break
+        return _decline(info, f"repair left the solution infeasible: {detail}")
+    band = 1.0 + config.cost_tolerance
+    if solution.cost.total_cost > previous.cost.total_cost * band:
+        return _decline(
+            info,
+            f"repaired cost {solution.cost.total_cost:.0f} outside the "
+            f"band of previous {previous.cost.total_cost:.0f}",
+        )
+    info["mode"] = "warm"
+    info["cost"] = solution.cost.total_cost
+    info["previous_cost"] = previous.cost.total_cost
+    if reg.enabled:
+        reg.counter("incr.dirty_cells").inc(len(dirty.cells))
+        reg.counter("incr.boundary_moves").inc(moves)
+    return solution, info
+
+
+def _dirty_pairs(
+    work: Sequence[_WorkBlock], touched_nets: Set[str]
+) -> List[Tuple[int, int]]:
+    """Block pairs sharing a net the delta touched, in deterministic order."""
+    homes: Dict[str, Set[int]] = {}
+    for wb in work:
+        for net in wb.nets():
+            if net in touched_nets:
+                homes.setdefault(net, set()).add(wb.index)
+    pairs: Set[Tuple[int, int]] = set()
+    for blocks_of_net in homes.values():
+        ordered = sorted(blocks_of_net)
+        for a in range(len(ordered)):
+            for b in range(a + 1, len(ordered)):
+                pairs.add((ordered[a], ordered[b]))
+    return sorted(pairs)
+
+
+def _refine_pair(
+    work: List[_WorkBlock],
+    i: int,
+    j: int,
+    dirty_cells: Set[str],
+    config: IncrementalConfig,
+) -> int:
+    """Boundary FM between blocks ``i`` and ``j``; only instances whose
+    original is dirty may move.  Returns the number of migrations."""
+    wi, wj = work[i], work[j]
+    total = wi.n_clbs + wj.n_clbs
+    lo0 = max(1, total - wj.device.max_clbs)
+    hi0 = min(wi.device.max_clbs, total - 1)
+    if lo0 > hi0 or total < 2:
+        return 0
+
+    outside: Set[str] = set()
+    for wb in work:
+        if wb.index in (i, j):
+            continue
+        outside.update(wb.nets())
+
+    hg = Hypergraph(f"incr:{i}:{j}")
+    net_obj: Dict[str, object] = {}
+
+    def net_of(name: str):
+        if name not in net_obj:
+            net_obj[name] = hg.add_net(name)
+        return net_obj[name]
+
+    fixed: Dict[int, int] = {}
+    initial: List[int] = []
+    movable_nodes: List[Tuple[int, int, int]] = []  # (node, side, slot)
+    for side, wb in ((0, wi), (1, wj)):
+        for slot, name in enumerate(wb.names):
+            node = hg.add_node(name, NodeKind.CELL)
+            for net in wb.inputs[slot]:
+                hg.connect_input(node, net_of(net))
+            for net in wb.outputs[slot]:
+                hg.connect_output(node, net_of(net))
+            initial.append(side)
+            if wb.originals[slot] in dirty_cells:
+                movable_nodes.append((node.index, side, slot))
+            else:
+                fixed[node.index] = side
+        for pad in wb.pads:
+            kind = NodeKind.PI if pad.startswith("pi:") else NodeKind.PO
+            node = hg.add_node(pad, kind)
+            net = net_of(pad.split(":", 1)[1])
+            if kind is NodeKind.PI:
+                hg.connect_output(node, net)
+            else:
+                hg.connect_input(node, net)
+            initial.append(side)
+            fixed[node.index] = side
+    if not movable_nodes:
+        return 0
+    # Nets leaving the pair are permanently cut: one pseudo terminal per
+    # side keeps FM from "rescuing" them by piling pins onto one side.
+    for name in sorted(set(net_obj) & outside):
+        for side in (0, 1):
+            node = hg.add_node(f"ext{side}:{name}", NodeKind.PO)
+            hg.connect_input(node, net_obj[name])
+            initial.append(side)
+            fixed[node.index] = side
+
+    result = fm_bipartition(
+        hg,
+        FMConfig(
+            seed=config.seed,
+            max_passes=config.max_passes,
+            side0_bounds=(lo0, hi0),
+            fixed=fixed,
+            budget=config.budget,
+            boundary_refine=True,
+        ),
+        initial=initial,
+    )
+
+    # Apply migrations, popping from the highest slot down so earlier
+    # slot numbers stay valid.
+    migrations = [
+        (node, side, slot)
+        for node, side, slot in movable_nodes
+        if result.assignment[node] != side
+    ]
+    moves = 0
+    for _, side, slot in sorted(migrations, key=lambda m: -m[2]):
+        src, dst = (wi, wj) if side == 0 else (wj, wi)
+        name, orig, pins_in, pins_out = src.pop(slot)
+        dst.add(name, orig, pins_in, pins_out)
+        moves += 1
+    return moves
+
+
+__all__ = [
+    "DEFAULT_COST_TOLERANCE",
+    "DEFAULT_MAX_DIRTY_FRACTION",
+    "IncrementalConfig",
+    "incremental_partition",
+]

@@ -207,7 +207,7 @@ def check_regressions(
                 "(coverage lost; re-run the full bench or refresh the baseline)"
             )
             continue
-        for section in ("kway", "fm", "replication", "multilevel"):
+        for section in ("kway", "fm", "replication", "multilevel", "incremental"):
             cur_sec = entry.get(section)
             base_sec = base.get(section)
             if not base_sec:

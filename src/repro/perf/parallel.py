@@ -442,10 +442,18 @@ def _batch_init(
 
 def _batch_task(job):
     from repro.batch.worker import execute_job
+    from repro.robust.budget import CancelFlag, cancel_scope
 
     assert _BATCH_CTX is not None
     _, policy, obs_ctx = _BATCH_CTX
-    return _call_with_obs(obs_ctx, lambda: execute_job(job, cache=policy))
+    # Install the job's cancellation sentinel for the duration of the
+    # solve: any Budget the solvers poll reports expired once the
+    # submitting side (the service's DELETE handler) touches the file,
+    # so a cancelled job frees its worker slot at the next checkpoint
+    # instead of running to its deadline.
+    flag = CancelFlag(job.cancel_path) if getattr(job, "cancel_path", None) else None
+    with cancel_scope(flag):
+        return _call_with_obs(obs_ctx, lambda: execute_job(job, cache=policy))
 
 
 class BatchJobPool:

@@ -258,6 +258,21 @@ class PartitionRequest:
     deadline: Optional[float] = None
     max_retries: Optional[int] = None
     fallback: Optional[bool] = None
+    # -- incremental repartitioning (see docs/INCREMENTAL.md) -----------
+    #: Optional ECO delta (``repro-netlist-delta/1``) applied to the
+    #: mapped netlist *before* anything else.  The delta itself is never
+    #: fingerprinted: it enters cache identity only through the
+    #: post-delta netlist hash, so an empty delta is a pure cache hit on
+    #: the base entry and two different deltas producing the same
+    #: netlist share one entry.
+    delta: Optional[Any] = None
+    #: Warm-start policy: ``None``/``"auto"`` warm-start from the
+    #: nearest cached ancestor whenever a delta is present, ``"off"``
+    #: forces a cold solve, any other string is an explicit prior cache
+    #: key to seed from.  Execution-only for identity purposes: the
+    #: warm result is stored as *the* solution for its key, so replays
+    #: are bit-identical regardless of how the entry was first produced.
+    warm_start: Optional[str] = None
     # -- execution-only fields (never fingerprinted) --------------------
     cache: CachePolicy = CachePolicy.OFF
     jobs: int = 1
@@ -286,6 +301,23 @@ class PartitionRequest:
             self.trace_id is None
             or (isinstance(self.trace_id, str) and bool(self.trace_id)),
             f"trace_id {self.trace_id!r} must be a non-empty string or null",
+        )
+        if self.delta is not None:
+            from repro.techmap.delta import NetlistDelta
+
+            if not isinstance(self.delta, NetlistDelta):
+                try:
+                    object.__setattr__(
+                        self, "delta", NetlistDelta.from_dict(self.delta)
+                    )
+                except ValueError as exc:
+                    raise RequestError(f"bad delta: {exc}") from exc
+            _require(self.verb == "partition",
+                     "delta is only supported for the partition verb")
+        _require(
+            self.warm_start is None
+            or (isinstance(self.warm_start, str) and bool(self.warm_start)),
+            f"warm_start {self.warm_start!r} must be a non-empty string or null",
         )
 
     # -- identity -------------------------------------------------------
@@ -346,15 +378,35 @@ class PartitionRequest:
 
         return resolve_multilevel(self.multilevel.tri, n_cells)
 
+    def apply_delta(self, mapped: Any) -> tuple:
+        """``(post-delta netlist, dirty region)`` for this request.
+
+        No-op for delta-free (and empty-delta) requests: the base
+        netlist is returned unchanged with a ``None`` region, which is
+        what makes an empty delta a pure cache hit on the base entry.
+        Raises :class:`~repro.robust.errors.DeltaError` when the delta
+        cannot be applied; ``base``-hash validation is the caller's job
+        (:func:`repro.api.run_request` checks it against the live
+        netlist fingerprint).
+        """
+        if self.delta is None or self.delta.empty:
+            return mapped, None
+        return self.delta.apply(mapped)
+
     def cache_key(self, mapped: Any) -> str:
         """The solution-cache / ledger ``run_key`` of this request.
 
-        ``mapped`` is the technology-mapped netlist the request resolves
-        to (mapping depends on circuit x scale x seed, so it cannot be
-        derived from the request alone without rebuilding it).
+        ``mapped`` is the technology-mapped *base* netlist the request
+        resolves to (mapping depends on circuit x scale x seed, so it
+        cannot be derived from the request alone without rebuilding it).
+        A carried delta is applied first -- identity is always the
+        post-delta netlist, never the (delta, base) pair -- so every
+        caller computes the same key whether or not it applied the
+        delta itself.
         """
         from repro.cache.store import cache_key as store_key
 
+        mapped, _ = self.apply_delta(mapped)
         active = self.resolve_multilevel(mapped.n_cells)
         return store_key(mapped, self.config(active), self.seed)
 
@@ -396,6 +448,12 @@ class PartitionRequest:
             "cache": self.cache.value,
             "jobs": self.jobs,
         }
+        # Only when set: delta-free documents stay byte-identical to
+        # every document minted before incremental requests existed.
+        if self.delta is not None:
+            doc["delta"] = self.delta.to_dict()
+        if self.warm_start is not None:
+            doc["warm_start"] = self.warm_start
         if self.trace_id is not None:
             # Only when set: untraced documents stay byte-identical to
             # every document minted before trace propagation existed.
@@ -472,6 +530,11 @@ class PartitionRequest:
                 max_passes=self.max_passes,
                 max_growth=self.max_growth,
             )
+        # Only when set, so pre-incremental manifests stay byte-identical.
+        if self.delta is not None:
+            out["delta"] = self.delta.to_dict()
+        if self.warm_start is not None:
+            out["warm_start"] = self.warm_start
         return out
 
     def with_trace(self, trace_id: Optional[str]) -> "PartitionRequest":

@@ -18,14 +18,131 @@ parent's deadline, which is how the
 :class:`~repro.robust.runner.ResilientRunner` splits one overall
 deadline into exponentially sized per-attempt slices.  The clock is
 injectable for deterministic tests.
+
+Cancellation rides the same checkpoints: a :class:`CancelFlag`
+installed process-wide (:func:`cancel_scope`) makes *every* budget
+report :attr:`Budget.expired` as soon as the flag's sentinel file
+appears.  The job service uses this to reach into a pool worker mid
+solve -- ``DELETE`` on a running job touches the sentinel and the
+worker's graceful wind-down frees the slot at its next checkpoint
+instead of running to its deadline.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Callable, Optional
 
 from repro.robust.errors import ConfigError, SolverTimeoutError
+
+
+class CancelFlag:
+    """A poll-cheap, cross-process cancellation token (a sentinel file).
+
+    The requesting side (the service) calls :meth:`set` -- creating the
+    file -- from *its* process; the solving side polls :meth:`is_set`
+    from the pool worker.  Polls are throttled (one ``os.path.exists``
+    per ``poll_seconds``, and none at all once the flag has latched), so
+    wiring the probe into :attr:`Budget.expired` adds nothing
+    measurable to solver hot paths.
+    """
+
+    __slots__ = ("path", "poll_seconds", "_latched", "_next_poll", "_clock")
+
+    def __init__(
+        self,
+        path: str,
+        poll_seconds: float = 0.05,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.path = path
+        self.poll_seconds = poll_seconds
+        self._latched = False
+        self._next_poll = 0.0
+        self._clock = clock
+
+    def set(self) -> None:
+        """Raise the flag (idempotent): create the sentinel file."""
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        with open(self.path, "a", encoding="utf-8"):
+            pass
+
+    def clear(self) -> None:
+        """Remove the sentinel (used by tests and job cleanup)."""
+        try:
+            os.remove(self.path)
+        except OSError:
+            pass
+        self._latched = False
+        self._next_poll = 0.0
+
+    def is_set(self) -> bool:
+        """Whether the flag is raised; latches once observed."""
+        if self._latched:
+            return True
+        now = self._clock()
+        if now < self._next_poll:
+            return False
+        self._next_poll = now + self.poll_seconds
+        if os.path.exists(self.path):
+            self._latched = True
+        return self._latched
+
+
+#: The process-wide cancellation flag solvers observe through
+#: :attr:`Budget.expired`; ``None`` means cancellation is not wired up.
+_CANCEL: Optional[CancelFlag] = None
+
+
+def set_cancel_flag(flag: Optional[CancelFlag]) -> Optional[CancelFlag]:
+    """Install ``flag`` process-wide (``None`` removes it again)."""
+    global _CANCEL
+    _CANCEL = flag
+    return _CANCEL
+
+
+def cancelled() -> bool:
+    """Whether the installed process-wide flag (if any) is raised."""
+    return _CANCEL is not None and _CANCEL.is_set()
+
+
+def ambient_budget() -> Optional["Budget"]:
+    """An unlimited budget when cancellation is wired up, else ``None``.
+
+    Deadline-less solves normally run with no budget at all, which would
+    leave them blind to an installed :class:`CancelFlag` (solvers only
+    poll budgets they are given).  Callers that want such solves to stay
+    cancellable thread ``budget=ambient_budget()`` instead of ``None``:
+    the unlimited budget never expires on its own but reports
+    :attr:`Budget.expired` the moment the flag is raised.
+    """
+    return None if _CANCEL is None else Budget(None)
+
+
+class cancel_scope:
+    """Scoped :func:`set_cancel_flag`: restores the previous flag on exit.
+
+    A plain class-based context manager (not ``@contextmanager``) so the
+    pool worker can keep one instance per task with zero generator
+    overhead.
+    """
+
+    __slots__ = ("_flag", "_previous")
+
+    def __init__(self, flag: Optional[CancelFlag]) -> None:
+        self._flag = flag
+        self._previous: Optional[CancelFlag] = None
+
+    def __enter__(self) -> Optional[CancelFlag]:
+        global _CANCEL
+        self._previous = _CANCEL
+        _CANCEL = self._flag
+        return self._flag
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _CANCEL
+        _CANCEL = self._previous
 
 
 class Budget:
@@ -71,7 +188,16 @@ class Budget:
 
     @property
     def expired(self) -> bool:
-        """True once the deadline has passed."""
+        """True once the deadline has passed *or* the job is cancelled.
+
+        Cancellation (see :class:`CancelFlag`) deliberately reuses the
+        deadline machinery: every solver already winds down gracefully
+        when its budget expires, so raising the process-wide flag stops
+        a running solve at its next checkpoint with no new code in any
+        solver.
+        """
+        if _CANCEL is not None and _CANCEL.is_set():
+            return True
         return self.deadline is not None and self._clock() >= self.deadline
 
     def check(self, where: str = "solver") -> None:
@@ -81,9 +207,13 @@ class Budget:
         :attr:`expired` and wind down on their own.
         """
         if not self.graceful and self.expired:
+            what = (
+                "cancellation"
+                if self.seconds is None
+                else f"deadline of {self.seconds:.3f}s"
+            )
             raise SolverTimeoutError(
-                f"deadline of {self.seconds:.3f}s expired in {where} "
-                f"after {self.elapsed():.3f}s",
+                f"{what} expired in {where} after {self.elapsed():.3f}s",
                 elapsed=self.elapsed(),
             )
 

@@ -97,6 +97,17 @@ class ParseError(ReproError, ValueError):
         self.lineno = lineno
 
 
+class DeltaError(ReproError, ValueError):
+    """An ECO netlist delta is malformed or cannot be applied.
+
+    Raised by :mod:`repro.techmap.delta` when a delta document fails
+    schema validation, targets an unknown cell, touches a fixed primary
+    I/O terminal, or would leave the netlist structurally inconsistent
+    (dangling readers, double drivers).  Fatal: re-applying the same
+    delta to the same netlist cannot succeed.
+    """
+
+
 class VerificationError(ReproError):
     """An independently-checked solution violates its invariants.
 
@@ -123,4 +134,4 @@ RETRYABLE = (InfeasibleError, SolverTimeoutError, VerificationError)
 
 #: Exception classes the runner refuses to retry: the input or the
 #: configuration is wrong and no amount of re-running will change that.
-FATAL = (ConfigError, ParseError)
+FATAL = (ConfigError, ParseError, DeltaError)

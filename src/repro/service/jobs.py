@@ -17,7 +17,8 @@ State machine::
 
     queued -> running -> done | failed
     queued -> cancelled | expired          (never dispatched)
-    running -> cancelled                   (best-effort, see server)
+    running -> cancelled                   (cancel flag; solve winds
+                                            down at its next checkpoint)
 """
 
 from __future__ import annotations
@@ -66,6 +67,11 @@ class Job:
     budget: Optional[Budget] = None
     #: The pool future while running (server-owned, best-effort cancel).
     future: Any = None
+    #: Sentinel-file path for mid-solve cancellation: the server touches
+    #: it on ``DELETE`` of a running job and the pool worker's budgets
+    #: (via :class:`~repro.robust.budget.CancelFlag`) wind the solve
+    #: down at the next checkpoint.
+    cancel_path: Optional[str] = None
 
     @property
     def terminal(self) -> bool:
@@ -89,6 +95,7 @@ class Job:
             params=self.request.params(),
             priority=self.priority,
             trace_id=self.request.trace_id,
+            cancel_path=self.cancel_path,
         )
 
     def snapshot(self) -> Dict[str, Any]:

@@ -27,7 +27,8 @@ Endpoints (all JSON; the request schema is ``repro-partition-request/1``):
 * ``GET  /v1/jobs``           -- list job snapshots;
 * ``GET  /v1/jobs/<id>``      -- one job's status (+ result when done);
 * ``DELETE /v1/jobs/<id>``    -- cancel (queued: guaranteed; running:
-  best-effort -- solver processes are not killed mid-solve);
+  the job's cancel flag is raised and the worker's budget checkpoints
+  wind the solve down promptly -- solver processes are never killed);
 * ``GET  /v1/jobs/<id>/events`` -- replay + follow the job's event
   stream until it reaches a terminal state (``?format=sse`` or an
   ``Accept: text/event-stream`` header selects SSE framing, default is
@@ -46,6 +47,9 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
+import shutil
+import tempfile
 import threading
 import time
 from typing import Any, Dict, Optional, Tuple
@@ -145,6 +149,7 @@ class PartitionService:
         # (Any: None only before start()/after stop()).
         self._server: Any = None
         self._pool: Any = None
+        self._cancel_dir: Optional[str] = None
         self._wake: Any = None
         self._cond: Any = None
         self._dispatcher: Any = None
@@ -160,6 +165,10 @@ class PartitionService:
 
         self._wake = asyncio.Event()
         self._cond = asyncio.Condition()
+        # Sentinel-file directory for cancelling *running* jobs: DELETE
+        # touches <dir>/<job_id>.cancel and the pool worker's budgets
+        # notice within one CancelFlag poll interval.
+        self._cancel_dir = tempfile.mkdtemp(prefix="repro-cancel-")
         pool_dir = None
         if self.store is not None and not self.cluster_dir:
             pool_dir = self.store.root
@@ -188,6 +197,9 @@ class PartitionService:
                 pass
         if self._pool is not None:
             self._pool.close()
+        if self._cancel_dir is not None:
+            shutil.rmtree(self._cancel_dir, ignore_errors=True)
+            self._cancel_dir = None
         async with self._cond:
             self._cond.notify_all()
 
@@ -313,6 +325,10 @@ class PartitionService:
                 job, "job.start",
                 worker_pool=self.workers, queue_wait_seconds=wait,
             )
+            if self._cancel_dir is not None:
+                job.cancel_path = os.path.join(
+                    self._cancel_dir, f"{job.job_id}.cancel"
+                )
             job.future = self._pool.submit(job.to_batch_job())
             try:
                 outcome = await loop.run_in_executor(None, self._collect, job.future)
@@ -352,6 +368,12 @@ class PartitionService:
             else:
                 self._finish(job, "failed", error=outcome.error)
         finally:
+            if job.cancel_path is not None:
+                try:
+                    os.remove(job.cancel_path)
+                except OSError:
+                    pass
+                job.cancel_path = None
             self._active -= 1
             self._wake.set()
 
@@ -604,10 +626,21 @@ class PartitionService:
             )
             return
         was_queued = job.state == "queued"
-        if not was_queued and job.future is not None:
-            # Best-effort: only succeeds while the pool has not started
-            # executing; a solving worker process is never killed.
-            job.future.cancel()
+        if not was_queued:
+            if job.future is not None:
+                # Only succeeds while the pool has not started executing;
+                # a solving worker process is never killed.
+                job.future.cancel()
+            if job.cancel_path is not None:
+                # The worker may already be mid-solve: raise its cancel
+                # flag so every Budget checkpoint in the solve reports
+                # expired and the worker slot frees promptly instead of
+                # running to the job's deadline.
+                def _touch(path: str = job.cancel_path) -> None:
+                    with open(path, "a", encoding="utf-8"):
+                        pass
+
+                await asyncio.get_running_loop().run_in_executor(None, _touch)
         self._finish(job, "cancelled", was_queued=was_queued)
         await _respond(
             writer,

@@ -16,7 +16,12 @@ actual sockets:
 4. **clean cancellation** -- with one worker busy, a queued job is
    cancelled via ``DELETE`` and must finish in state ``cancelled``
    without ever running;
-5. **event stream** -- the done job's JSONL stream replays
+5. **mid-solve cancellation** -- a *running* job with a generous
+   deadline is cancelled via ``DELETE``; its cancel flag must wind the
+   worker down at the next budget checkpoint, freeing the worker slot
+   far sooner than the job's deadline (the pre-fix behaviour was a
+   busy worker until the deadline expired);
+6. **event stream** -- the done job's JSONL stream replays
    ``job.queued -> job.start -> job.done`` and terminates.
 
 Exit code 0 on success; any assertion failure prints the reason and
@@ -43,6 +48,16 @@ COLD_B = dict(circuit="s5378", scale=0.08, seed=11, threshold=1, n_solutions=1)
 #: A deliberately slower job to occupy the single worker during the
 #: cancellation drill.
 SLOW = dict(circuit="s5378", scale=0.3, seed=3, threshold=1, n_solutions=2)
+#: The mid-solve cancellation victim: big enough that DELETE lands
+#: while the worker is solving, with a deadline long enough that a
+#: prompt slot release is unambiguously the cancel flag's doing.
+RUNNING_VICTIM = dict(
+    circuit="s5378", scale=0.45, seed=9, threshold=1, n_solutions=2,
+    deadline=240.0,
+)
+#: Ceiling for the worker slot to free after a mid-solve DELETE --
+#: generous for CI, but a small fraction of RUNNING_VICTIM's deadline.
+CANCEL_RELEASE_SECONDS = 45.0
 
 
 def _fail(message: str) -> None:
@@ -178,7 +193,46 @@ def main() -> int:
             if slow["_http_status"] == 202:
                 client.wait(slow["job_id"], timeout=300)
 
-            # 4. Event stream of the finished job replays and terminates.
+            # 4. Mid-solve cancellation: DELETE a *running* job and
+            # require the worker slot back long before its deadline.
+            runner = client.submit(build_request("partition", **RUNNING_VICTIM))
+            if runner["_http_status"] != 202:
+                _fail(f"running-victim should queue (202), got {runner}")
+            start_deadline = time.monotonic() + 60.0
+            while time.monotonic() < start_deadline:
+                doc = client.status(runner["job_id"])
+                if doc["state"] == "running":
+                    break
+                if doc["state"] != "queued":
+                    _fail(f"running-victim ended early: {doc}")
+                time.sleep(0.1)
+            else:
+                _fail("running-victim never started")
+            time.sleep(1.0)  # let the worker get into the solve proper
+            cancelled = client.cancel(runner["job_id"])
+            if not cancelled.get("cancelled"):
+                _fail(f"running cancel refused: {cancelled}")
+            cancel_ts = time.monotonic()
+            while True:
+                released = time.monotonic() - cancel_ts
+                if client.stats()["active"] == 0:
+                    break
+                if released > CANCEL_RELEASE_SECONDS:
+                    _fail(
+                        "worker slot still busy "
+                        f"{released:.1f}s after cancelling a running job "
+                        f"(deadline was {RUNNING_VICTIM['deadline']}s)"
+                    )
+                time.sleep(0.2)
+            final = client.status(runner["job_id"])
+            if final["state"] != "cancelled":
+                _fail(f"running-victim should end cancelled: {final}")
+            print(
+                "running job cancelled mid-solve; worker slot freed in "
+                f"{released:.1f}s (deadline {RUNNING_VICTIM['deadline']:.0f}s)"
+            )
+
+            # 5. Event stream of the finished job replays and terminates.
             events = [e.get("event") for e in client.stream(done_a["job_id"])]
             for expected in ("job.queued", "job.start", "job.done", "stream.end"):
                 if expected not in events:

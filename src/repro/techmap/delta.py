@@ -1,0 +1,467 @@
+"""ECO deltas over mapped netlists: the incremental-repartitioning front door.
+
+A :class:`NetlistDelta` (schema ``repro-netlist-delta/1``) is a frozen,
+serializable edit script over a :class:`~repro.techmap.mapped.MappedNetlist`:
+add / remove / replace (resize + rewire) cells and rewire individual input
+pins.  Net-level edits fall out of the cell ops in a driver-based netlist:
+a net is *added* when an op introduces its driving output, *removed* when
+the driver goes away, and *rewired* when sink pins move
+(``rewire_pin`` / ``replace_cell``).
+
+Applying a delta yields the post-edit netlist **plus a dirty region**: the
+edited cells and their one-hop halo (every surviving cell sharing a net
+with an edit).  The warm-start solver
+(:mod:`repro.partition.incremental`) confines repair work to that region.
+
+Primary I/O is *fixed*: IOB pads cannot move between devices after an ECO,
+so any op that would remove or re-drive a primary input or primary output
+net raises :class:`~repro.robust.errors.DeltaError` -- cleanly, before any
+netlist surgery happens.  Structural damage a delta would cause elsewhere
+(dangling readers, double drivers) is caught by the
+:class:`~repro.techmap.mapped.MappedNetlist` constructor and re-raised as
+a :class:`DeltaError` too.
+
+Deltas are hashable (all-tuple storage), so a
+:class:`~repro.request.PartitionRequest` carrying one stays usable as a
+dict key exactly like a delta-free request.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.robust.errors import DeltaError
+from repro.techmap.mapped import MappedCell, MappedNetlist
+
+#: Version stamped into every delta document as ``v``.
+DELTA_SCHEMA_VERSION = 1
+
+#: Document identifier written in every delta's ``schema`` field.
+DELTA_SCHEMA_NAME = "repro-netlist-delta/1"
+
+#: Operations a conforming delta may contain.
+DELTA_OPS = ("add_cell", "remove_cell", "replace_cell", "rewire_pin")
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise DeltaError(message)
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One mapped cell as immutable data (the ``add/replace_cell`` payload)."""
+
+    name: str
+    inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+    supports: Tuple[Tuple[str, ...], ...]
+    masks: Tuple[int, ...]
+    registered: Tuple[bool, ...]
+
+    @classmethod
+    def from_cell(cls, cell: MappedCell) -> "CellSpec":
+        return cls(
+            name=cell.name,
+            inputs=tuple(cell.inputs),
+            outputs=tuple(cell.outputs),
+            supports=tuple(tuple(s) for s in cell.supports),
+            masks=tuple(cell.masks),
+            registered=tuple(bool(r) for r in cell.registered),
+        )
+
+    @classmethod
+    def from_dict(cls, doc: Any) -> "CellSpec":
+        _require(isinstance(doc, dict), f"cell spec is {type(doc).__name__}")
+        try:
+            spec = cls(
+                name=str(doc["name"]),
+                inputs=tuple(str(n) for n in doc["inputs"]),
+                outputs=tuple(str(n) for n in doc["outputs"]),
+                supports=tuple(
+                    tuple(str(n) for n in sup) for sup in doc["supports"]
+                ),
+                masks=tuple(int(m) for m in doc["masks"]),
+                registered=tuple(bool(r) for r in doc["registered"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DeltaError(f"bad cell spec: {exc!r}") from exc
+        _require(
+            len(spec.outputs) == len(spec.supports) == len(spec.masks)
+            == len(spec.registered) and len(spec.outputs) >= 1,
+            f"cell spec {spec.name!r}: ragged per-output arrays",
+        )
+        for sup in spec.supports:
+            _require(
+                set(sup) <= set(spec.inputs),
+                f"cell spec {spec.name!r}: support outside input pins",
+            )
+        return spec
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "inputs": list(self.inputs),
+            "outputs": list(self.outputs),
+            "supports": [list(s) for s in self.supports],
+            "masks": list(self.masks),
+            "registered": list(self.registered),
+        }
+
+    def to_cell(self) -> MappedCell:
+        return MappedCell(
+            name=self.name,
+            inputs=list(self.inputs),
+            outputs=list(self.outputs),
+            supports=[list(s) for s in self.supports],
+            masks=list(self.masks),
+            registered=list(self.registered),
+        )
+
+    @property
+    def nets(self) -> FrozenSet[str]:
+        return frozenset(self.inputs) | frozenset(self.outputs)
+
+
+@dataclass(frozen=True)
+class DeltaOp:
+    """One edit: ``op`` selects the shape, unused fields stay ``None``."""
+
+    op: str
+    cell: Optional[str] = None  # remove_cell / rewire_pin target
+    spec: Optional[CellSpec] = None  # add_cell / replace_cell payload
+    pin: Optional[int] = None  # rewire_pin input index
+    net: Optional[str] = None  # rewire_pin replacement net
+
+    def to_dict(self) -> Dict[str, Any]:
+        if self.op in ("add_cell", "replace_cell"):
+            assert self.spec is not None
+            return {"op": self.op, "cell": self.spec.to_dict()}
+        if self.op == "remove_cell":
+            return {"op": self.op, "cell": self.cell}
+        return {"op": self.op, "cell": self.cell, "pin": self.pin, "net": self.net}
+
+    @classmethod
+    def from_dict(cls, doc: Any) -> "DeltaOp":
+        _require(isinstance(doc, dict), f"delta op is {type(doc).__name__}")
+        op = doc.get("op")
+        _require(op in DELTA_OPS, f"unknown delta op {op!r}; expected {DELTA_OPS}")
+        if op in ("add_cell", "replace_cell"):
+            return cls(op=op, spec=CellSpec.from_dict(doc.get("cell")))
+        if op == "remove_cell":
+            cell = doc.get("cell")
+            _require(isinstance(cell, str) and bool(cell),
+                     "remove_cell needs a cell name")
+            return cls(op=op, cell=cell)
+        cell, pin, net = doc.get("cell"), doc.get("pin"), doc.get("net")
+        _require(isinstance(cell, str) and bool(cell),
+                 "rewire_pin needs a cell name")
+        _require(isinstance(pin, int) and not isinstance(pin, bool) and pin >= 0,
+                 f"rewire_pin pin {pin!r} is not a non-negative int")
+        _require(isinstance(net, str) and bool(net),
+                 "rewire_pin needs a target net")
+        return cls(op=op, cell=cell, pin=pin, net=net)
+
+    @property
+    def touched_cell(self) -> str:
+        """The name of the cell this op edits."""
+        if self.spec is not None:
+            return self.spec.name
+        assert self.cell is not None
+        return self.cell
+
+
+@dataclass(frozen=True)
+class DirtyRegion:
+    """The perturbed neighbourhood of a delta application.
+
+    ``cells`` are post-delta cell names: every edited cell plus the
+    one-hop halo of cells sharing a net with an edit.  ``touched_nets``
+    are the nets an op created, removed or moved a pin on.
+    """
+
+    cells: FrozenSet[str]
+    touched_nets: FrozenSet[str]
+    n_cells: int  # post-delta netlist size
+
+    @property
+    def fraction(self) -> float:
+        """Dirty share of the post-delta netlist, in [0, 1]."""
+        if not self.n_cells:
+            return 0.0
+        return len(self.cells) / self.n_cells
+
+    def mask(self, names: Sequence[str]) -> List[bool]:
+        """Boolean dirty mask over an ordered node-name sequence -- the
+        CSR-side view (pass the hypergraph's cell-node name order to mask
+        a :class:`~repro.hypergraph.compact.CompactHypergraph`)."""
+        return [name in self.cells for name in names]
+
+
+@dataclass(frozen=True)
+class NetlistDelta:
+    """A frozen, serializable ECO edit script (``repro-netlist-delta/1``).
+
+    ``base`` optionally pins the netlist fingerprint the delta was
+    computed against; callers that know the live netlist's hash should
+    check it before applying (:func:`repro.api.run_request` does).
+    """
+
+    ops: Tuple[DeltaOp, ...] = ()
+    base: Optional[str] = None
+
+    @property
+    def empty(self) -> bool:
+        return not self.ops
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "schema": DELTA_SCHEMA_NAME,
+            "v": DELTA_SCHEMA_VERSION,
+            "ops": [op.to_dict() for op in self.ops],
+        }
+        if self.base is not None:
+            doc["base"] = self.base
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Any) -> "NetlistDelta":
+        if isinstance(doc, NetlistDelta):
+            return doc
+        _require(isinstance(doc, dict),
+                 f"delta is {type(doc).__name__}, expected object")
+        schema = doc.get("schema", DELTA_SCHEMA_NAME)
+        _require(schema == DELTA_SCHEMA_NAME,
+                 f"delta schema {schema!r}, expected {DELTA_SCHEMA_NAME!r}")
+        version = doc.get("v", DELTA_SCHEMA_VERSION)
+        _require(version == DELTA_SCHEMA_VERSION,
+                 f"delta v={version!r}, expected {DELTA_SCHEMA_VERSION}")
+        unknown = sorted(set(doc) - {"schema", "v", "ops", "base"})
+        _require(not unknown, f"unknown delta field(s): {unknown}")
+        base = doc.get("base")
+        _require(base is None or (isinstance(base, str) and bool(base)),
+                 f"delta base {base!r} must be a non-empty string or null")
+        ops_doc = doc.get("ops", [])
+        _require(isinstance(ops_doc, list), "delta ops must be a list")
+        return cls(
+            ops=tuple(DeltaOp.from_dict(op) for op in ops_doc), base=base
+        )
+
+    # -- application ----------------------------------------------------
+    def apply(self, mapped: MappedNetlist) -> Tuple[MappedNetlist, DirtyRegion]:
+        """Apply every op to ``mapped``; returns the post-edit netlist and
+        its dirty region.
+
+        The input netlist is never mutated.  Ops validate individually
+        (unknown cells, fixed-terminal touches) and the finished edit
+        validates structurally as a whole (dangling readers, double
+        drivers), so an op may remove a cell whose readers a *later* op in
+        the same delta rewires.  Raises :class:`DeltaError` on any
+        violation.
+        """
+        cells: Dict[str, MappedCell] = {c.name: c for c in mapped.cells}
+        order: List[str] = [c.name for c in mapped.cells]
+        po_set = set(mapped.primary_outputs)
+        pi_set = set(mapped.primary_inputs)
+        touched_cells: set = set()
+        touched_nets: set = set()
+        removed: set = set()
+
+        def guard_outputs(outputs: Sequence[str], what: str) -> None:
+            for net in outputs:
+                if net in po_set:
+                    raise DeltaError(
+                        f"{what} would disturb primary output {net!r}; "
+                        "primary I/O pads are fixed terminals"
+                    )
+                if net in pi_set:
+                    raise DeltaError(
+                        f"{what} would re-drive primary input {net!r}; "
+                        "primary I/O pads are fixed terminals"
+                    )
+
+        for op in self.ops:
+            if op.op == "remove_cell":
+                cell = cells.get(op.cell or "")
+                _require(cell is not None,
+                         f"remove_cell: unknown cell {op.cell!r}")
+                assert cell is not None
+                guard_outputs(cell.outputs, f"remove_cell {cell.name!r}")
+                touched_nets.update(cell.inputs)
+                touched_nets.update(cell.outputs)
+                del cells[cell.name]
+                order.remove(cell.name)
+                removed.add(cell.name)
+            elif op.op == "add_cell":
+                assert op.spec is not None
+                spec = op.spec
+                _require(spec.name not in cells,
+                         f"add_cell: cell {spec.name!r} already exists")
+                guard_outputs(spec.outputs, f"add_cell {spec.name!r}")
+                cells[spec.name] = spec.to_cell()
+                if spec.name in removed:
+                    removed.discard(spec.name)
+                order.append(spec.name)
+                touched_cells.add(spec.name)
+                touched_nets.update(spec.nets)
+            elif op.op == "replace_cell":
+                assert op.spec is not None
+                spec = op.spec
+                old = cells.get(spec.name)
+                _require(old is not None,
+                         f"replace_cell: unknown cell {spec.name!r}")
+                assert old is not None
+                dropped = set(old.outputs) - set(spec.outputs)
+                guard_outputs(dropped, f"replace_cell {spec.name!r}")
+                guard_outputs(set(spec.outputs) - set(old.outputs),
+                              f"replace_cell {spec.name!r}")
+                touched_nets.update(old.inputs)
+                touched_nets.update(old.outputs)
+                touched_nets.update(spec.nets)
+                cells[spec.name] = spec.to_cell()
+                touched_cells.add(spec.name)
+            else:  # rewire_pin
+                cell = cells.get(op.cell or "")
+                _require(cell is not None,
+                         f"rewire_pin: unknown cell {op.cell!r}")
+                assert cell is not None and op.pin is not None
+                _require(op.pin < len(cell.inputs),
+                         f"rewire_pin: {cell.name!r} has no pin {op.pin}")
+                old_net = cell.inputs[op.pin]
+                new_net = op.net or ""
+                _require(new_net not in cell.inputs or new_net == old_net,
+                         f"rewire_pin: {cell.name!r} already reads {new_net!r}")
+                new_inputs = list(cell.inputs)
+                new_inputs[op.pin] = new_net
+                new_supports = [
+                    [new_net if s == old_net else s for s in sup]
+                    for sup in cell.supports
+                ]
+                cells[cell.name] = MappedCell(
+                    name=cell.name,
+                    inputs=new_inputs,
+                    outputs=list(cell.outputs),
+                    supports=new_supports,
+                    masks=list(cell.masks),
+                    registered=list(cell.registered),
+                )
+                touched_cells.add(cell.name)
+                touched_nets.update((old_net, new_net))
+
+        try:
+            new_mapped = MappedNetlist(
+                name=mapped.name,
+                cells=[cells[name] for name in order],
+                primary_inputs=mapped.primary_inputs,
+                primary_outputs=mapped.primary_outputs,
+            )
+        except ValueError as exc:
+            raise DeltaError(f"delta leaves netlist inconsistent: {exc}") from exc
+
+        # One-hop halo: any surviving cell pinned to a touched net.
+        dirty = set(touched_cells)
+        if touched_nets:
+            for cell in new_mapped.cells:
+                if dirty.issuperset((cell.name,)):
+                    continue
+                if touched_nets.intersection(cell.inputs) or (
+                    touched_nets.intersection(cell.outputs)
+                ):
+                    dirty.add(cell.name)
+        region = DirtyRegion(
+            cells=frozenset(dirty),
+            touched_nets=frozenset(touched_nets),
+            n_cells=new_mapped.n_cells,
+        )
+        return new_mapped, region
+
+
+def diff_mapped(old: MappedNetlist, new: MappedNetlist,
+                base: Optional[str] = None) -> NetlistDelta:
+    """The :class:`NetlistDelta` turning ``old`` into ``new``.
+
+    Cells are matched by name (removed / added / replaced); primary I/O
+    must be identical -- pads are fixed terminals, so two netlists with
+    different I/O are different designs, not an ECO.  The result is
+    deterministic (ops sorted by kind then cell name) and round-trips:
+    ``old`` + ``diff_mapped(old, new)`` is structurally equal to ``new``.
+    """
+    if list(old.primary_inputs) != list(new.primary_inputs) or (
+        list(old.primary_outputs) != list(new.primary_outputs)
+    ):
+        raise DeltaError(
+            "primary I/O differs between netlists; pads are fixed terminals "
+            "and cannot be changed by an ECO delta"
+        )
+    old_cells = {c.name: CellSpec.from_cell(c) for c in old.cells}
+    new_cells = {c.name: CellSpec.from_cell(c) for c in new.cells}
+    ops: List[DeltaOp] = []
+    for name in sorted(set(old_cells) - set(new_cells)):
+        ops.append(DeltaOp(op="remove_cell", cell=name))
+    for name in sorted(set(old_cells) & set(new_cells)):
+        if old_cells[name] != new_cells[name]:
+            ops.append(DeltaOp(op="replace_cell", spec=new_cells[name]))
+    for name in sorted(set(new_cells) - set(old_cells)):
+        ops.append(DeltaOp(op="add_cell", spec=new_cells[name]))
+    return NetlistDelta(ops=tuple(ops), base=base)
+
+
+def seeded_delta(
+    mapped: MappedNetlist,
+    fraction: float = 0.01,
+    seed: int = 0,
+    base: Optional[str] = None,
+) -> NetlistDelta:
+    """A deterministic synthetic ECO editing ``fraction`` of the cells.
+
+    Models the "engineer touches a handful of cells" workload of the
+    incremental drills: each selected cell gets one input pin rewired to
+    a primary input it does not already read (always structurally legal:
+    reading a PI can neither dangle a net nor create a cycle).  Cells
+    with no rewirable pin are skipped, so the edit count can fall
+    slightly short of the request on tiny netlists.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise DeltaError(f"fraction {fraction!r} must be in [0, 1]")
+    rng = random.Random(seed)
+    pis = sorted(mapped.primary_inputs)
+    if not pis or not mapped.cells:
+        return NetlistDelta(base=base)
+    want = max(1, int(round(fraction * mapped.n_cells)))
+    names = [c.name for c in mapped.cells]
+    rng.shuffle(names)
+    by_name = {c.name: c for c in mapped.cells}
+    ops: List[DeltaOp] = []
+    for name in names:
+        if len(ops) >= want:
+            break
+        cell = by_name[name]
+        if not cell.inputs:
+            continue
+        pin = rng.randrange(len(cell.inputs))
+        choices = [p for p in pis if p not in cell.inputs]
+        if not choices:
+            continue
+        ops.append(
+            DeltaOp(
+                op="rewire_pin", cell=name, pin=pin,
+                net=choices[rng.randrange(len(choices))],
+            )
+        )
+    return NetlistDelta(ops=tuple(ops), base=base)
+
+
+__all__ = [
+    "DELTA_OPS",
+    "DELTA_SCHEMA_NAME",
+    "DELTA_SCHEMA_VERSION",
+    "CellSpec",
+    "DeltaOp",
+    "DirtyRegion",
+    "NetlistDelta",
+    "diff_mapped",
+    "seeded_delta",
+]

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.robust.budget import Budget
+from repro.robust.budget import (
+    Budget,
+    CancelFlag,
+    ambient_budget,
+    cancel_scope,
+    cancelled,
+)
 from repro.robust.errors import SolverTimeoutError
 
 
@@ -105,3 +111,100 @@ class TestChild:
         child = Budget(10.0, clock=clock).child(1.0)
         clock.advance(1.5)
         assert child.expired
+
+
+class TestCancellation:
+    """The CancelFlag sentinel and its Budget/ambient integration."""
+
+    def _flag(self, tmp_path, clock):
+        return CancelFlag(
+            str(tmp_path / "job.cancel"), poll_seconds=0.05, clock=clock
+        )
+
+    def test_set_creates_sentinel_and_latches(self, tmp_path):
+        clock = FakeClock()
+        flag = self._flag(tmp_path, clock)
+        assert not flag.is_set()
+        flag.set()
+        clock.advance(0.1)
+        assert flag.is_set()
+        # latched: the file can disappear, the observation stands
+        import os
+
+        os.remove(flag.path)
+        assert flag.is_set()
+
+    def test_clear_resets_the_latch(self, tmp_path):
+        clock = FakeClock()
+        flag = self._flag(tmp_path, clock)
+        flag.set()
+        clock.advance(0.1)
+        assert flag.is_set()
+        flag.clear()
+        assert not flag.is_set()
+
+    def test_polls_are_throttled(self, tmp_path, monkeypatch):
+        clock = FakeClock()
+        flag = self._flag(tmp_path, clock)
+        calls = []
+        import os.path as osp
+
+        real_exists = osp.exists
+        monkeypatch.setattr(
+            "os.path.exists", lambda p: calls.append(p) or real_exists(p)
+        )
+        for _ in range(100):
+            flag.is_set()  # clock frozen: only the first call may stat
+        assert len(calls) == 1
+        clock.advance(0.06)
+        flag.is_set()
+        assert len(calls) == 2
+
+    def test_scope_installs_and_restores(self, tmp_path):
+        clock = FakeClock()
+        flag = self._flag(tmp_path, clock)
+        assert not cancelled()
+        with cancel_scope(flag):
+            assert not cancelled()
+            flag.set()
+            clock.advance(0.1)
+            assert cancelled()
+        assert not cancelled()
+
+    def test_scopes_nest(self, tmp_path):
+        clock = FakeClock()
+        outer = self._flag(tmp_path, clock)
+        outer.set()
+        clock.advance(0.1)
+        with cancel_scope(outer):
+            assert cancelled()
+            with cancel_scope(None):
+                assert not cancelled()
+            assert cancelled()
+
+    def test_ambient_budget_requires_a_flag(self, tmp_path):
+        assert ambient_budget() is None
+        with cancel_scope(self._flag(tmp_path, FakeClock())):
+            budget = ambient_budget()
+            assert budget is not None and budget.seconds is None
+
+    def test_cancellation_expires_every_budget(self, tmp_path):
+        clock = FakeClock()
+        flag = self._flag(tmp_path, clock)
+        with cancel_scope(flag):
+            unlimited = Budget(None, clock=clock)
+            timed = Budget(100.0, clock=clock)
+            assert not unlimited.expired and not timed.expired
+            flag.set()
+            clock.advance(0.1)
+            assert unlimited.expired and timed.expired
+
+    def test_strict_budget_raises_on_cancellation(self, tmp_path):
+        clock = FakeClock()
+        flag = self._flag(tmp_path, clock)
+        flag.set()
+        clock.advance(0.1)
+        with cancel_scope(flag):
+            budget = Budget(None, graceful=False, clock=clock)
+            with pytest.raises(SolverTimeoutError, match="cancellation"):
+                budget.check("carve loop")
